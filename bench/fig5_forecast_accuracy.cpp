@@ -1,0 +1,72 @@
+// Fig. 5 — Forecasting Model Evaluation: test MSE vs forecasting horizon on
+// the BusTracker-like and Alibaba-cluster-like traces for LR, ARIMA, MLP,
+// LSTM, TCN, QB5000, WFGAN, and DBAugur (forecasting interval: 10 minutes).
+//
+// Expected shapes (paper §VI-B): accuracy degrades with horizon everywhere;
+// LR/ARIMA fall off fastest on BusTracker; LR (and hence QB5000) is strong
+// at small horizons on the locally-linear Alibaba trace; WFGAN ~ TCN on
+// BusTracker but ahead on the bursty Alibaba trace; DBAugur best or
+// tied-best throughout.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+using namespace dbaugur;
+using namespace dbaugur::bench;
+
+namespace {
+
+void RunDataset(const Dataset& ds, const std::vector<size_t>& horizons) {
+  std::printf("=== Fig. 5: %s (interval 10 min, %zu train / %zu test) ===\n",
+              ds.name.c_str(), ds.train_size, ds.values.size() - ds.train_size);
+  TablePrinter table({"horizon (steps)", "LR", "ARIMA", "MLP", "LSTM", "TCN",
+                      "QB5000", "WFGAN", "DBAugur"});
+  for (size_t h : horizons) {
+    models::ForecasterOptions opts = BenchOptions(h);
+    // Fit each base model once; ensembles share the trained members.
+    std::map<std::string, std::unique_ptr<models::Forecaster>> fitted;
+    std::map<std::string, double> mse;
+    for (const char* name :
+         {"LR", "ARIMA", "MLP", "LSTM", "TCN", "KR", "WFGAN"}) {
+      // WFGAN's generator+discriminator pair needs more epochs to converge
+      // than the point forecasters (the paper trains everything for 50).
+      models::ForecasterOptions mopts =
+          std::string(name) == "WFGAN" ? BenchOptions(h, 20) : opts;
+      auto fs = FitAndScore(name, ds, mopts);
+      CheckOk(fs.status(), name);
+      mse[name] = fs->second;
+      fitted[name] = std::move(fs->first);
+    }
+    auto qb = EnsembleScore(
+        {fitted["LR"].get(), fitted["LSTM"].get(), fitted["KR"].get()},
+        /*dynamic=*/false, ds, opts);
+    CheckOk(qb.status(), "QB5000");
+    auto dba = EnsembleScore(
+        {fitted["WFGAN"].get(), fitted["TCN"].get(), fitted["MLP"].get()},
+        /*dynamic=*/true, ds, opts);
+    CheckOk(dba.status(), "DBAugur");
+    table.AddRow({std::to_string(h), TablePrinter::Fmt(mse["LR"]),
+                  TablePrinter::Fmt(mse["ARIMA"]), TablePrinter::Fmt(mse["MLP"]),
+                  TablePrinter::Fmt(mse["LSTM"]), TablePrinter::Fmt(mse["TCN"]),
+                  TablePrinter::Fmt(*qb), TablePrinter::Fmt(mse["WFGAN"]),
+                  TablePrinter::Fmt(*dba)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // Horizons in 10-minute steps: 10 min, 1 h, 3 h, 6 h.
+  RunDataset(MakeBusTrackerDataset(), {1, 6, 18, 36});
+  RunDataset(MakeAlibabaDataset(), {1, 6, 18, 36});
+  std::printf(
+      "MSE in raw units (queries/interval for BusTracker; utilization ratio\n"
+      "for AliCluster) — compare shapes across a row/column, not across\n"
+      "datasets.\n");
+  return 0;
+}

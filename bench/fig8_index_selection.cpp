@@ -1,0 +1,240 @@
+// Fig. 8 — Case Study: Index Selection. Replays day 2 of a two-day
+// BusTracker query log against the mini relational engine under three
+// physical-design strategies:
+//
+//   Static          — AutoAdmin once, on day-1's *observed* aggregate
+//                     workload; indexes exist from the start of day 2.
+//   Auto (QB5000)   — starts with no indexes; from 08:00, re-advises every
+//                     4 h with per-template arrival rates *forecast* by the
+//                     QB5000 ensemble (trained on day 1).
+//   Auto (DBAugur)  — same protocol with the DBAugur ensemble.
+//
+// Expected shape (paper Fig. 8): Static is strong early; Auto throughput is
+// low at first (no indexes, then build cost), then overtakes Static once the
+// forecast-driven indexes match the shifted evening mix; DBAugur >= QB5000.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "dbsim/advisor.h"
+#include "dbsim/bustracker_db.h"
+#include "dbsim/replay.h"
+#include "trace/extractor.h"
+#include "workloads/query_log.h"
+
+using namespace dbaugur;
+using namespace dbaugur::bench;
+
+namespace {
+
+constexpr int64_t kDay = 86400;
+constexpr int64_t kInterval = 600;  // 10-minute bins
+constexpr size_t kAdvisorBudget = 2;
+
+// Per-template representative QuerySpec (for the advisor) keyed by the
+// extractor's template id.
+std::map<size_t, dbsim::QuerySpec> TemplateSpecs(
+    const trace::TraceExtractor& extractor,
+    const std::vector<workloads::QueryTemplateSpec>& specs) {
+  std::map<size_t, dbsim::QuerySpec> out;
+  Rng rng(1);
+  for (const auto& spec : specs) {
+    std::string sample = spec.make_sql(rng);
+    auto tmpl = sql::ToTemplate(sample);
+    if (!tmpl.ok()) continue;
+    auto id = extractor.registry().Lookup(*tmpl);
+    if (!id.ok()) continue;
+    auto parsed = dbsim::ParseQuery(sample);
+    if (!parsed.ok()) continue;
+    out[*id] = *parsed;
+  }
+  return out;
+}
+
+// Builds index actions for an Auto strategy: at each re-advise time, weight
+// each template by its forecast arrival rate one hour ahead and run the
+// advisor; emit creates/drops to match the recommendation.
+std::vector<dbsim::IndexAction> PlanAutoActions(
+    const dbsim::Database& db, const std::vector<ts::Series>& traces,
+    const std::map<size_t, dbsim::QuerySpec>& specs,
+    const std::vector<std::unique_ptr<models::Forecaster>>& forecasters,
+    const models::ForecasterOptions& fopts) {
+  std::vector<dbsim::IndexAction> actions;
+  std::set<dbsim::HypotheticalIndex> current;
+  for (int64_t when = kDay + 8 * 3600; when < 2 * kDay; when += 4 * 3600) {
+    size_t bin = static_cast<size_t>(when / kInterval);
+    std::vector<dbsim::WeightedQuery> workload;
+    for (const auto& [id, spec] : specs) {
+      const auto& v = traces[id].values();
+      if (bin > v.size() || bin < fopts.window) continue;
+      std::vector<double> window(
+          v.begin() + static_cast<ptrdiff_t>(bin - fopts.window),
+          v.begin() + static_cast<ptrdiff_t>(bin));
+      auto pred = forecasters[id]->Predict(window);
+      double rate = pred.ok() ? std::max(0.0, *pred) : 0.0;
+      workload.push_back({spec, rate});
+    }
+    auto rec = dbsim::RecommendIndexes(db, workload, {kAdvisorBudget});
+    if (!rec.ok()) continue;
+    std::set<dbsim::HypotheticalIndex> want(rec->indexes.begin(),
+                                            rec->indexes.end());
+    dbsim::IndexAction act;
+    act.when = when;
+    for (const auto& idx : want) {
+      if (!current.count(idx)) act.create.push_back(idx);
+    }
+    for (const auto& idx : current) {
+      if (!want.count(idx)) act.drop.push_back(idx);
+    }
+    if (!act.create.empty() || !act.drop.empty()) actions.push_back(act);
+    current = want;
+  }
+  return actions;
+}
+
+struct StrategyResult {
+  std::string name;
+  std::vector<dbsim::WindowStats> windows;
+};
+
+}  // namespace
+
+int main() {
+  auto specs = workloads::BusTrackerTemplates();
+  workloads::QueryLogOptions lopts;
+  lopts.days = 2;
+  lopts.seed = 17;
+  auto log = workloads::GenerateQueryLog(specs, lopts);
+
+  // Per-template arrival-rate traces over both days.
+  trace::ExtractionOptions eopts;
+  eopts.interval_seconds = kInterval;
+  trace::TraceExtractor extractor(eopts);
+  CheckOk(extractor.IngestLog(log), "ingest");
+  auto traces_or = extractor.TemplateTraces();
+  CheckOk(traces_or.status(), "traces");
+  auto traces = std::move(traces_or).value();
+
+  // Day-2 slice of the log for replay.
+  std::vector<trace::LogEntry> day2;
+  for (const auto& e : log) {
+    if (e.timestamp >= kDay) day2.push_back(e);
+  }
+  std::printf("day-2 replay: %zu queries, %zu templates\n\n", day2.size(),
+              traces.size());
+
+  models::ForecasterOptions fopts;
+  fopts.window = 24;
+  fopts.horizon = 6;  // one hour ahead
+  fopts.epochs = 8;
+
+  // Train per-template forecasters on day 1.
+  auto train_models = [&](bool dbaugur_flavor)
+      -> std::vector<std::unique_ptr<models::Forecaster>> {
+    std::vector<std::unique_ptr<models::Forecaster>> out;
+    for (auto& t : traces) {
+      std::vector<double> day1(t.values().begin(),
+                               t.values().begin() + kDay / kInterval);
+      auto ens = dbaugur_flavor ? ensemble::MakeDBAugur(fopts)
+                                : ensemble::MakeQB5000(fopts);
+      CheckOk(ens.status(), "ensemble");
+      CheckOk((*ens)->Fit(day1), "template model fit");
+      out.push_back(std::move(ens).value());
+    }
+    return out;
+  };
+
+  dbsim::BusTrackerDbOptions db_opts;  // default scale
+  auto tmpl_specs_db = dbsim::MakeBusTrackerDatabase(db_opts);
+  CheckOk(tmpl_specs_db.status(), "db");
+  auto tmpl_specs = TemplateSpecs(extractor, specs);
+
+  dbsim::ReplayOptions ropts;
+  ropts.window_seconds = 3600;
+
+  std::vector<StrategyResult> results;
+
+  // --- Static: advisor on day-1 observed workload, indexes pre-built.
+  {
+    auto db = dbsim::MakeBusTrackerDatabase(db_opts);
+    CheckOk(db.status(), "db");
+    std::vector<dbsim::WeightedQuery> day1_workload;
+    for (const auto& [id, spec] : tmpl_specs) {
+      double total = 0.0;
+      for (size_t b = 0; b < static_cast<size_t>(kDay / kInterval); ++b) {
+        total += traces[id][b];
+      }
+      day1_workload.push_back({spec, total});
+    }
+    auto rec = dbsim::RecommendIndexes(*db, day1_workload, {kAdvisorBudget});
+    CheckOk(rec.status(), "static advisor");
+    std::printf("Static indexes (from day-1 history): ");
+    for (const auto& idx : rec->indexes) {
+      std::printf("%s.%s ", idx.table.c_str(), idx.column.c_str());
+      CheckOk(db->CreateIndex(idx.table, idx.column), "create");
+    }
+    std::printf("\n");
+    auto stats = dbsim::ReplayWorkload(&*db, day2, {}, ropts);
+    CheckOk(stats.status(), "replay static");
+    results.push_back({"Static", std::move(stats).value()});
+  }
+
+  // --- Auto strategies.
+  for (bool dbaugur_flavor : {false, true}) {
+    auto db = dbsim::MakeBusTrackerDatabase(db_opts);
+    CheckOk(db.status(), "db");
+    auto forecasters = train_models(dbaugur_flavor);
+    auto actions =
+        PlanAutoActions(*db, traces, tmpl_specs, forecasters, fopts);
+    std::printf("Auto(%s): %zu re-advise actions\n",
+                dbaugur_flavor ? "DBAugur" : "QB5000", actions.size());
+    auto stats = dbsim::ReplayWorkload(&*db, day2, actions, ropts);
+    CheckOk(stats.status(), "replay auto");
+    results.push_back(
+        {dbaugur_flavor ? "Auto(DBAugur)" : "Auto(QB5000)",
+         std::move(stats).value()});
+  }
+
+  // --- Fig. 8(a): throughput over the day; Fig. 8(b): latency.
+  std::printf("\n=== Fig. 8(a): query throughput (qps) over day 2 ===\n");
+  TablePrinter tput({"hour", results[0].name, results[1].name, results[2].name});
+  size_t windows = results[0].windows.size();
+  for (size_t w = 0; w < windows; ++w) {
+    tput.AddRow({std::to_string(w).append(":00"),
+                 TablePrinter::Fmt(results[0].windows[w].throughput_qps, 3),
+                 TablePrinter::Fmt(results[1].windows[w].throughput_qps, 3),
+                 TablePrinter::Fmt(results[2].windows[w].throughput_qps, 3)});
+  }
+  tput.Print();
+  std::printf("\n=== Fig. 8(b): average latency (ms) over day 2 ===\n");
+  TablePrinter lat({"hour", results[0].name, results[1].name, results[2].name});
+  for (size_t w = 0; w < windows; ++w) {
+    lat.AddRow({std::to_string(w).append(":00"),
+                TablePrinter::Fmt(results[0].windows[w].avg_latency_ms, 2),
+                TablePrinter::Fmt(results[1].windows[w].avg_latency_ms, 2),
+                TablePrinter::Fmt(results[2].windows[w].avg_latency_ms, 2)});
+  }
+  lat.Print();
+
+  // Summary: mean latency before/after the first re-advise (08:00).
+  std::printf("\nmean latency (ms) before / after 08:00:\n");
+  for (const auto& r : results) {
+    double before = 0, after = 0;
+    int nb = 0, na = 0;
+    for (const auto& w : r.windows) {
+      if (w.queries == 0) continue;
+      if (w.start < kDay + 8 * 3600) {
+        before += w.avg_latency_ms;
+        ++nb;
+      } else {
+        after += w.avg_latency_ms;
+        ++na;
+      }
+    }
+    std::printf("  %-14s %8.2f / %8.2f\n", r.name.c_str(),
+                nb ? before / nb : 0.0, na ? after / na : 0.0);
+  }
+  return 0;
+}

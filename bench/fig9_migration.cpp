@@ -1,0 +1,134 @@
+// Fig. 9 — Case Study: Data Region Migration. Simulates region migration on
+// the paper's two synthetic workloads — (a) periodic, (b) complex (trend +
+// white noise + seasonal + holiday + weekday) — with a rotating hotspot
+// across 8 regions on 4 servers. Strategies plan each period's migrations
+// from:
+//   Static        — last period's observed region loads,
+//   QB5000        — per-region QB5000 forecasts,
+//   DBAugur       — per-region DBAugur forecasts.
+// Metric: load-balance difference (max-min)/mean per period; lower is
+// better. Expected shape: Static worst; both forecast-driven strategies far
+// better; DBAugur <= QB5000.
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "migrate/load_balancer.h"
+
+using namespace dbaugur;
+using namespace dbaugur::bench;
+
+namespace {
+
+constexpr size_t kRegions = 8;
+constexpr size_t kServers = 4;
+constexpr size_t kMaxMoves = 2;
+
+struct StrategyCurve {
+  std::string name;
+  std::vector<double> balance;
+  double mean = 0.0;
+};
+
+StrategyCurve Run(const std::string& name,
+                  const std::vector<ts::Series>& regions, size_t eval_start,
+                  const migrate::RegionPredictor& pred) {
+  auto bal = migrate::SimulateMigration(regions, kServers, eval_start, pred,
+                                        kMaxMoves);
+  CheckOk(bal.status(), name.c_str());
+  StrategyCurve out{name, std::move(bal).value(), 0.0};
+  out.mean = std::accumulate(out.balance.begin(), out.balance.end(), 0.0) /
+             static_cast<double>(out.balance.size());
+  return out;
+}
+
+void RunWorkload(const char* label, const ts::Series& base) {
+  // Hotspot advances 1.3 regions per period: fast enough that planning on
+  // last period's loads (Static) is consistently one step behind, while the
+  // rotation is periodic and therefore learnable by the forecasters.
+  auto regions = migrate::MakeRotatingRegionLoads(base, kRegions, 1.3, 3.0);
+  size_t eval_start = base.size() * 6 / 10;
+
+  models::ForecasterOptions fopts;
+  fopts.window = 24;
+  fopts.horizon = 1;
+  fopts.epochs = 20;
+
+  // Per-region forecast ensembles trained on the pre-evaluation history.
+  auto fit_models = [&](bool dbaugur_flavor) {
+    std::vector<std::unique_ptr<ensemble::TimeSensitiveEnsemble>> out;
+    for (size_t r = 0; r < kRegions; ++r) {
+      auto ens = dbaugur_flavor ? ensemble::MakeDBAugur(fopts)
+                                : ensemble::MakeQB5000(fopts);
+      CheckOk(ens.status(), "ensemble");
+      std::vector<double> train(
+          regions[r].values().begin(),
+          regions[r].values().begin() + static_cast<ptrdiff_t>(eval_start));
+      CheckOk((*ens)->Fit(train), "region fit");
+      out.push_back(std::move(ens).value());
+    }
+    return out;
+  };
+  auto qb_models = fit_models(false);
+  auto dba_models = fit_models(true);
+
+  auto model_pred = [&](auto& ms) {
+    return [&regions, &ms, &fopts](size_t r, size_t p) -> StatusOr<double> {
+      const auto& v = regions[r].values();
+      // Feed back the PREVIOUS period's realized value first (it is known by
+      // now) so the time-sensitive weights adapt causally.
+      if (p >= fopts.window + 1) {
+        std::vector<double> prev_window(
+            v.begin() + static_cast<ptrdiff_t>(p - 1 - fopts.window),
+            v.begin() + static_cast<ptrdiff_t>(p - 1));
+        (void)ms[r]->Observe(prev_window, v[p - 1]);
+      }
+      std::vector<double> window(
+          v.begin() + static_cast<ptrdiff_t>(p - fopts.window),
+          v.begin() + static_cast<ptrdiff_t>(p));
+      return ms[r]->Predict(window);
+    };
+  };
+
+  auto static_curve = Run("Static", regions, eval_start,
+                          [&](size_t r, size_t p) -> StatusOr<double> {
+                            return regions[r][p - 1];
+                          });
+  auto qb_curve = Run("QB5000", regions, eval_start, model_pred(qb_models));
+  auto dba_curve = Run("DBAugur", regions, eval_start, model_pred(dba_models));
+
+  std::printf("=== Fig. 9: %s workload (%zu evaluated periods) ===\n", label,
+              static_curve.balance.size());
+  TablePrinter table({"period", "Static", "QB5000", "DBAugur"});
+  size_t stride = std::max<size_t>(1, static_curve.balance.size() / 24);
+  for (size_t p = 0; p < static_curve.balance.size(); p += stride) {
+    table.AddRow({std::to_string(p), TablePrinter::Fmt(static_curve.balance[p], 3),
+                  TablePrinter::Fmt(qb_curve.balance[p], 3),
+                  TablePrinter::Fmt(dba_curve.balance[p], 3)});
+  }
+  table.Print();
+  std::printf("mean balance difference:  Static %.4f  QB5000 %.4f  DBAugur %.4f\n\n",
+              static_curve.mean, qb_curve.mean, dba_curve.mean);
+}
+
+}  // namespace
+
+int main() {
+  workloads::PeriodicOptions popts;
+  popts.periods = 20;
+  popts.steps_per_period = 12;
+  RunWorkload("periodic", workloads::GeneratePeriodic(popts));
+
+  workloads::ComplexOptions copts;
+  copts.days = 20;
+  copts.steps_per_day = 12;
+  RunWorkload("complex", workloads::GenerateComplex(copts));
+
+  std::printf(
+      "Expected (paper Fig. 9): Static (historical loads) lags the rotating\n"
+      "hotspot and balances poorly; forecast-driven migration is markedly\n"
+      "better on both workloads, with DBAugur at or below QB5000.\n");
+  return 0;
+}

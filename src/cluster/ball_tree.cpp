@@ -1,0 +1,152 @@
+#include "cluster/ball_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbaugur::cluster {
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  double s = 0.0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+StatusOr<BallTree> BallTree::Build(std::vector<std::vector<double>> points,
+                                   DistanceFn distance, BallTreeOptions opts) {
+  if (!distance) return Status::InvalidArgument("BallTree: null distance fn");
+  for (const auto& p : points) {
+    if (p.size() != points[0].size()) {
+      return Status::InvalidArgument("BallTree: inconsistent dimensionality");
+    }
+  }
+  BallTree tree;
+  tree.points_ = std::move(points);
+  tree.distance_ = std::move(distance);
+  if (!tree.points_.empty()) {
+    std::vector<size_t> idx(tree.points_.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    tree.root_ = tree.BuildNode(std::move(idx), std::max<size_t>(1, opts.leaf_size));
+  }
+  return tree;
+}
+
+std::unique_ptr<BallTree::Node> BallTree::BuildNode(std::vector<size_t> idx,
+                                                    size_t leaf_size) {
+  auto node = std::make_unique<Node>();
+  // Centroid = coordinate-wise mean (fine even for non-Euclidean distances:
+  // it only needs to be *some* pivot; correctness comes from the radius).
+  size_t dim = points_[idx[0]].size();
+  node->centroid.assign(dim, 0.0);
+  for (size_t i : idx) {
+    for (size_t d = 0; d < dim; ++d) node->centroid[d] += points_[i][d];
+  }
+  for (double& c : node->centroid) c /= static_cast<double>(idx.size());
+  node->radius = 0.0;
+  for (size_t i : idx) {
+    node->radius = std::max(node->radius, distance_(node->centroid, points_[i]));
+  }
+  if (idx.size() <= leaf_size) {
+    node->indices = std::move(idx);
+    return node;
+  }
+  // Split along the dimension of greatest spread at its median.
+  size_t best_dim = 0;
+  double best_spread = -1.0;
+  for (size_t d = 0; d < dim; ++d) {
+    double mn = points_[idx[0]][d], mx = mn;
+    for (size_t i : idx) {
+      mn = std::min(mn, points_[i][d]);
+      mx = std::max(mx, points_[i][d]);
+    }
+    if (mx - mn > best_spread) {
+      best_spread = mx - mn;
+      best_dim = d;
+    }
+  }
+  if (best_spread <= 0.0) {
+    // All points identical: make a leaf regardless of size.
+    node->indices = std::move(idx);
+    return node;
+  }
+  size_t mid = idx.size() / 2;
+  std::nth_element(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(mid),
+                   idx.end(), [&](size_t a, size_t b) {
+                     return points_[a][best_dim] < points_[b][best_dim];
+                   });
+  std::vector<size_t> left(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(mid));
+  std::vector<size_t> right(idx.begin() + static_cast<ptrdiff_t>(mid), idx.end());
+  if (left.empty() || right.empty()) {
+    node->indices = std::move(idx);
+    return node;
+  }
+  node->left = BuildNode(std::move(left), leaf_size);
+  node->right = BuildNode(std::move(right), leaf_size);
+  return node;
+}
+
+std::vector<size_t> BallTree::RangeQuery(const std::vector<double>& query,
+                                         double radius) const {
+  std::vector<size_t> out;
+  if (root_) RangeSearch(root_.get(), query, radius, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void BallTree::RangeSearch(const Node* node, const std::vector<double>& query,
+                           double radius, std::vector<size_t>* out) const {
+  ++distance_evals_;
+  double dc = distance_(query, node->centroid);
+  if (dc > radius + node->radius) return;  // ball cannot intersect query ball
+  if (node->is_leaf()) {
+    for (size_t i : node->indices) {
+      ++distance_evals_;
+      if (distance_(query, points_[i]) <= radius) out->push_back(i);
+    }
+    return;
+  }
+  RangeSearch(node->left.get(), query, radius, out);
+  RangeSearch(node->right.get(), query, radius, out);
+}
+
+StatusOr<std::pair<size_t, double>> BallTree::Nearest(
+    const std::vector<double>& query) const {
+  if (!root_) return Status::NotFound("BallTree: empty tree");
+  size_t best_idx = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  NearestSearch(root_.get(), query, &best_idx, &best_dist);
+  return std::make_pair(best_idx, best_dist);
+}
+
+void BallTree::NearestSearch(const Node* node, const std::vector<double>& query,
+                             size_t* best_idx, double* best_dist) const {
+  ++distance_evals_;
+  double dc = distance_(query, node->centroid);
+  if (dc - node->radius > *best_dist) return;
+  if (node->is_leaf()) {
+    for (size_t i : node->indices) {
+      ++distance_evals_;
+      double d = distance_(query, points_[i]);
+      if (d < *best_dist) {
+        *best_dist = d;
+        *best_idx = i;
+      }
+    }
+    return;
+  }
+  // Visit the closer child first for tighter pruning.
+  ++distance_evals_;
+  double dl = distance_(query, node->left->centroid);
+  ++distance_evals_;
+  double dr = distance_(query, node->right->centroid);
+  const Node* first = dl <= dr ? node->left.get() : node->right.get();
+  const Node* second = dl <= dr ? node->right.get() : node->left.get();
+  NearestSearch(first, query, best_idx, best_dist);
+  NearestSearch(second, query, best_idx, best_dist);
+}
+
+}  // namespace dbaugur::cluster

@@ -1,0 +1,205 @@
+#include "cluster/descender.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+namespace dbaugur::cluster {
+
+std::vector<double> Descender::DistanceValues(const ts::Series& trace) const {
+  if (!opts_.znormalize) return trace.values();
+  const std::vector<double>& v = trace.values();
+  double mean = 0.0;
+  for (double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double var = 0.0;
+  for (double x : v) var += (x - mean) * (x - mean);
+  double sd = std::sqrt(var / static_cast<double>(v.size()));
+  if (sd <= 0.0) sd = 1.0;
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = (v[i] - mean) / sd;
+  return out;
+}
+
+StatusOr<std::vector<size_t>> Descender::Neighbors(
+    const std::vector<double>& values) {
+  std::vector<size_t> out;
+  if (traces_.empty()) return out;
+  if (opts_.search == NeighborSearch::kBallTree) {
+    // Heuristic mode: ball tree with DTW as the distance. Rebuilding per
+    // query batch would defeat the point; the tree is rebuilt lazily here
+    // only because insertion invalidates it. Exact mode is the default.
+    std::vector<std::vector<double>> pts(distance_values_);
+    dtw::DtwOptions dtw_opts = opts_.dtw;
+    auto tree = BallTree::Build(
+        std::move(pts),
+        [dtw_opts](const std::vector<double>& a, const std::vector<double>& b) {
+          auto d = dtw::DtwDistance(a, b, dtw_opts);
+          return d.ok() ? *d : std::numeric_limits<double>::infinity();
+        },
+        {opts_.ball_tree_leaf});
+    if (!tree.ok()) return tree.status();
+    out = tree->RangeQuery(values, opts_.radius);
+    distance_evals_ += tree->distance_evals();
+    return out;
+  }
+  // Exact cascade: LB_Kim -> LB_Keogh -> early-abandoning DTW.
+  dtw::CascadingDtw cascade(opts_.dtw);
+  for (size_t i = 0; i < traces_.size(); ++i) {
+    ++distance_evals_;
+    auto within = cascade.WithinRadius(values, distance_values_[i],
+                                       envelopes_[i], opts_.radius);
+    if (!within.ok()) return within.status();
+    if (*within) out.push_back(i);
+  }
+  return out;
+}
+
+StatusOr<size_t> Descender::AddTrace(ts::Series trace) {
+  if (trace.empty()) return Status::InvalidArgument("Descender: empty trace");
+  if (!traces_.empty() && trace.size() != traces_[0].size()) {
+    return Status::InvalidArgument("Descender: trace length mismatch");
+  }
+  std::vector<double> dvalues = DistanceValues(trace);
+  auto nbrs = Neighbors(dvalues);
+  if (!nbrs.ok()) return nbrs.status();
+  size_t idx = traces_.size();
+  envelopes_.push_back(dtw::BuildEnvelope(dvalues, opts_.dtw.window));
+  distance_values_.push_back(std::move(dvalues));
+  double vol = 0.0;
+  for (double v : trace.values()) vol += v;
+  volumes_.push_back(vol);
+  traces_.push_back(std::move(trace));
+  adjacency_.emplace_back(*nbrs);
+  for (size_t n : *nbrs) adjacency_[n].push_back(idx);
+  Relabel();
+  return idx;
+}
+
+Status Descender::AddTraces(std::vector<ts::Series> traces) {
+  for (auto& t : traces) {
+    if (t.empty()) return Status::InvalidArgument("Descender: empty trace");
+    if (!traces_.empty() && t.size() != traces_[0].size()) {
+      return Status::InvalidArgument("Descender: trace length mismatch");
+    }
+    std::vector<double> dvalues = DistanceValues(t);
+    auto nbrs = Neighbors(dvalues);
+    if (!nbrs.ok()) return nbrs.status();
+    size_t idx = traces_.size();
+    envelopes_.push_back(dtw::BuildEnvelope(dvalues, opts_.dtw.window));
+    distance_values_.push_back(std::move(dvalues));
+    double vol = 0.0;
+    for (double v : t.values()) vol += v;
+    volumes_.push_back(vol);
+    traces_.push_back(std::move(t));
+    adjacency_.emplace_back(*nbrs);
+    for (size_t n : *nbrs) adjacency_[n].push_back(idx);
+  }
+  Relabel();
+  return Status::OK();
+}
+
+void Descender::Relabel() {
+  size_t n = traces_.size();
+  core_.assign(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    core_[i] = adjacency_[i].size() + 1 >= opts_.min_size;
+  }
+  labels_.assign(n, -1);
+  int next = 0;
+  // BFS from each unlabeled core: density-reachable expansion.
+  for (size_t seed = 0; seed < n; ++seed) {
+    if (!core_[seed] || labels_[seed] != -1) continue;
+    int cid = next++;
+    std::deque<size_t> frontier{seed};
+    labels_[seed] = cid;
+    while (!frontier.empty()) {
+      size_t cur = frontier.front();
+      frontier.pop_front();
+      for (size_t nb : adjacency_[cur]) {
+        if (labels_[nb] == -1) {
+          labels_[nb] = cid;  // border or core, first cluster wins
+          if (core_[nb]) frontier.push_back(nb);
+        }
+      }
+    }
+  }
+  // Remaining noise traces become singleton clusters (paper's online rule).
+  for (size_t i = 0; i < n; ++i) {
+    if (labels_[i] == -1) labels_[i] = next++;
+  }
+}
+
+size_t Descender::cluster_count() const {
+  int mx = -1;
+  for (int l : labels_) mx = std::max(mx, l);
+  return static_cast<size_t>(mx + 1);
+}
+
+size_t Descender::density_cluster_count() const {
+  size_t count = 0;
+  std::vector<size_t> sizes(cluster_count(), 0);
+  for (int l : labels_) ++sizes[static_cast<size_t>(l)];
+  std::vector<bool> has_core(sizes.size(), false);
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (core_[i]) has_core[static_cast<size_t>(labels_[i])] = true;
+  }
+  for (size_t c = 0; c < sizes.size(); ++c) {
+    if (has_core[c]) ++count;
+  }
+  return count;
+}
+
+std::vector<ClusterInfo> Descender::TopKClusters(size_t k) const {
+  std::vector<ClusterInfo> infos(cluster_count());
+  for (size_t c = 0; c < infos.size(); ++c) infos[c].id = static_cast<int>(c);
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    auto& info = infos[static_cast<size_t>(labels_[i])];
+    info.members.push_back(i);
+    info.volume += volumes_[i];
+  }
+  for (auto& info : infos) {
+    info.singleton_outlier =
+        info.members.size() == 1 && !core_[info.members[0]];
+  }
+  std::sort(infos.begin(), infos.end(),
+            [](const ClusterInfo& a, const ClusterInfo& b) {
+              return a.volume > b.volume;
+            });
+  if (infos.size() > k) infos.resize(k);
+  return infos;
+}
+
+StatusOr<ts::Series> Descender::ClusterRepresentative(int cluster_id) const {
+  std::vector<ts::Series> members;
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == cluster_id) members.push_back(traces_[i]);
+  }
+  if (members.empty()) {
+    return Status::NotFound("Descender: no such cluster");
+  }
+  auto avg = ts::Series::Average(members);
+  if (!avg.ok()) return avg.status();
+  avg->set_name("cluster_" + std::to_string(cluster_id));
+  return avg;
+}
+
+StatusOr<double> Descender::TraceProportion(size_t i) const {
+  if (i >= traces_.size()) return Status::OutOfRange("Descender: bad index");
+  double cluster_volume = 0.0;
+  for (size_t j = 0; j < labels_.size(); ++j) {
+    if (labels_[j] == labels_[i]) cluster_volume += volumes_[j];
+  }
+  if (cluster_volume <= 0.0) {
+    // Zero-volume cluster: split evenly among members.
+    size_t count = 0;
+    for (int l : labels_) {
+      if (l == labels_[i]) ++count;
+    }
+    return 1.0 / static_cast<double>(count);
+  }
+  return volumes_[i] / cluster_volume;
+}
+
+}  // namespace dbaugur::cluster

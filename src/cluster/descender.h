@@ -1,0 +1,115 @@
+// Descender — Density basEd Spatial ClustEriNg with Dynamic timE waRping
+// (paper §IV-C): DBSCAN over workload traces with DTW as the similarity
+// measure, supporting online insertion of new traces, top-K cluster
+// selection, per-cluster representative traces, and per-trace proportions.
+//
+// The implementation maintains the full ρ-neighborhood adjacency, so after
+// every insertion the labeling is exactly what batch DBSCAN would produce on
+// the same data (the paper's "merge or split the clusters based on the
+// current clustering density"). Non-core traces outside every cluster are
+// materialized as singleton clusters, matching the paper's online rule ("we
+// will create a new cluster with that trace as its sole member").
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/ball_tree.h"
+#include "common/status.h"
+#include "dtw/dtw.h"
+#include "ts/series.h"
+
+namespace dbaugur::cluster {
+
+/// How ρ-neighborhoods are searched.
+enum class NeighborSearch {
+  /// Linear scan with the LB_Kim/LB_Keogh/early-abandon cascade — exact.
+  kExactCascade,
+  /// Ball-tree built over the traces with the DTW distance — faster but
+  /// heuristic because DTW violates the triangle inequality.
+  kBallTree,
+};
+
+/// Descender configuration.
+struct DescenderOptions {
+  double radius = 1.0;          ///< ρ — neighborhood radius (DTW distance).
+  size_t min_size = 3;          ///< MinSize — neighbors (incl. self) to be core.
+  dtw::DtwOptions dtw;          ///< DTW band window.
+  NeighborSearch search = NeighborSearch::kExactCascade;
+  size_t ball_tree_leaf = 8;
+  /// Compute distances on z-normalized copies of the traces. Query-count and
+  /// utilization-ratio traces live on wildly different scales; normalizing
+  /// lets one radius ρ group by *shape*, which is what the paper's pattern
+  /// clustering is after. Volumes/representatives still use raw values.
+  bool znormalize = true;
+};
+
+/// Summary of one cluster for top-K selection.
+struct ClusterInfo {
+  int id = 0;
+  std::vector<size_t> members;  ///< Trace indices.
+  double volume = 0.0;          ///< Total workload (sum of member values).
+  bool singleton_outlier = false;
+};
+
+class Descender {
+ public:
+  explicit Descender(const DescenderOptions& opts) : opts_(opts) {}
+
+  /// Inserts one trace and incrementally updates the clustering. All traces
+  /// must share one length. Returns the trace's index.
+  StatusOr<size_t> AddTrace(ts::Series trace);
+
+  /// Bulk insert + single relabel (faster than repeated AddTrace).
+  Status AddTraces(std::vector<ts::Series> traces);
+
+  size_t trace_count() const { return traces_.size(); }
+  const ts::Series& trace(size_t i) const { return traces_[i]; }
+
+  /// Cluster id of trace i (every trace has one; outliers are singletons).
+  int label(size_t i) const { return labels_[i]; }
+  /// True iff trace i is a core point.
+  bool is_core(size_t i) const { return core_[i]; }
+  /// Number of clusters including singleton outliers.
+  size_t cluster_count() const;
+  /// Number of non-singleton (density) clusters.
+  size_t density_cluster_count() const;
+
+  /// Clusters ordered by descending volume, truncated to k.
+  std::vector<ClusterInfo> TopKClusters(size_t k) const;
+
+  /// Average trace of a cluster's members (the forecasting model's training
+  /// data for that cluster).
+  StatusOr<ts::Series> ClusterRepresentative(int cluster_id) const;
+
+  /// Trace i's share of its cluster's volume — used to scale a cluster-level
+  /// forecast back to the individual trace (paper: "we also track each trace
+  /// and its proportion in the corresponding cluster").
+  StatusOr<double> TraceProportion(size_t i) const;
+
+  /// Total DTW/LB evaluations (telemetry for the clustering ablation).
+  int64_t distance_evals() const { return distance_evals_; }
+
+ private:
+  /// Indices within ρ of `values` among current traces.
+  StatusOr<std::vector<size_t>> Neighbors(const std::vector<double>& values);
+  /// Recomputes core flags and labels from the adjacency lists (exact DBSCAN
+  /// semantics, then singletons for leftover noise).
+  void Relabel();
+
+  /// The values used for distance computation (z-normalized when enabled).
+  std::vector<double> DistanceValues(const ts::Series& trace) const;
+
+  DescenderOptions opts_;
+  std::vector<ts::Series> traces_;
+  std::vector<std::vector<double>> distance_values_;
+  std::vector<dtw::Envelope> envelopes_;
+  std::vector<std::vector<size_t>> adjacency_;  // ρ-neighbors, excl. self
+  std::vector<bool> core_;
+  std::vector<int> labels_;
+  std::vector<double> volumes_;
+  int64_t distance_evals_ = 0;
+};
+
+}  // namespace dbaugur::cluster

@@ -1,0 +1,32 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace dbaugur {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace internal {
+void LogMessage(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[dbaugur %s] %s\n", LevelName(level), msg.c_str());
+}
+}  // namespace internal
+
+}  // namespace dbaugur

@@ -1,0 +1,38 @@
+// Minimal leveled logging for library diagnostics.
+//
+// Defaults to kWarn so tests and benches stay quiet; callers can raise the
+// level to trace training progress (examples do this).
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dbaugur {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is emitted to stderr.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogMessage(LogLevel level, const std::string& msg);
+}  // namespace internal
+
+}  // namespace dbaugur
+
+#define DBAUGUR_LOG(level, expr)                                        \
+  do {                                                                  \
+    if (static_cast<int>(level) >=                                      \
+        static_cast<int>(::dbaugur::GetLogLevel())) {                   \
+      std::ostringstream _oss;                                          \
+      _oss << expr;                                                     \
+      ::dbaugur::internal::LogMessage(level, _oss.str());               \
+    }                                                                   \
+  } while (0)
+
+#define DBAUGUR_DEBUG(expr) DBAUGUR_LOG(::dbaugur::LogLevel::kDebug, expr)
+#define DBAUGUR_INFO(expr) DBAUGUR_LOG(::dbaugur::LogLevel::kInfo, expr)
+#define DBAUGUR_WARN(expr) DBAUGUR_LOG(::dbaugur::LogLevel::kWarn, expr)
+#define DBAUGUR_ERROR(expr) DBAUGUR_LOG(::dbaugur::LogLevel::kError, expr)

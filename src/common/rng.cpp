@@ -1,0 +1,21 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dbaugur {
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::shuffle(idx.begin(), idx.end(), engine_);
+  return idx;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  std::vector<size_t> idx = Permutation(n);
+  if (k < idx.size()) idx.resize(k);
+  return idx;
+}
+
+}  // namespace dbaugur

@@ -1,0 +1,113 @@
+// Status / StatusOr error-handling primitives (RocksDB/Abseil idiom).
+//
+// Fallible operations in DBAugur return `Status` (or `StatusOr<T>` when they
+// produce a value) instead of throwing. This keeps failure paths explicit and
+// cheap, which matters inside training loops and clustering scans.
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dbaugur {
+
+/// Broad failure categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Lightweight result type: a code plus a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders e.g. "InvalidArgument: window must be positive".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or an error Status. Access via `value()` only
+/// after checking `ok()`.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {                 // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dbaugur
+
+/// Propagates a non-OK Status to the caller.
+#define DBAUGUR_RETURN_IF_ERROR(expr)               \
+  do {                                              \
+    ::dbaugur::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                      \
+  } while (0)

@@ -1,0 +1,33 @@
+// Aligned plain-text table output used by the bench harness to print the
+// rows/series of each paper table and figure.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dbaugur {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one data row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Fmt(double v, int precision = 4);
+
+  /// Renders the header, a separator, and all rows.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dbaugur

@@ -1,0 +1,121 @@
+#include "core/dbaugur.h"
+
+#include <algorithm>
+
+#include "ensemble/presets.h"
+
+namespace dbaugur::core {
+
+Status DBAugurSystem::IngestQueryLog(
+    const std::vector<trace::LogEntry>& entries) {
+  if (!extractor_initialized_) {
+    extractor_ = trace::TraceExtractor(opts_.extraction);
+    extractor_initialized_ = true;
+  }
+  return extractor_.IngestLog(entries);
+}
+
+void DBAugurSystem::AddResourceTrace(ts::Series series) {
+  resource_traces_.push_back(std::move(series));
+}
+
+Status DBAugurSystem::Train() {
+  // 1. Materialize the workload collection W = W(Q) ∪ W(R).
+  std::vector<ts::Series> traces;
+  trace_refs_.clear();
+  if (extractor_.entry_count() > 0) {
+    auto templates = extractor_.TemplateTraces();
+    if (!templates.ok()) return templates.status();
+    for (size_t id = 0; id < templates->size(); ++id) {
+      trace_refs_.push_back({TraceRef::Kind::kQueryTemplate, id,
+                             extractor_.registry().template_text(id)});
+      traces.push_back(std::move((*templates)[id]));
+    }
+  }
+  for (size_t r = 0; r < resource_traces_.size(); ++r) {
+    trace_refs_.push_back(
+        {TraceRef::Kind::kResource, r, resource_traces_[r].name()});
+    traces.push_back(resource_traces_[r]);
+  }
+  if (traces.empty()) {
+    return Status::FailedPrecondition("DBAugur: no workload traces ingested");
+  }
+  size_t len = traces[0].size();
+  for (const auto& t : traces) {
+    if (t.size() != len) {
+      return Status::InvalidArgument(
+          "DBAugur: trace length mismatch between query and resource traces "
+          "(bin resource samples at the same interval over the same range)");
+    }
+  }
+
+  // 2. Cluster with Descender.
+  descender_ = std::make_unique<cluster::Descender>(opts_.clustering);
+  DBAUGUR_RETURN_IF_ERROR(descender_->AddTraces(traces));
+  trace_cluster_.resize(traces.size());
+  trace_proportion_.resize(traces.size());
+  for (size_t i = 0; i < traces.size(); ++i) {
+    trace_cluster_[i] = descender_->label(i);
+    auto prop = descender_->TraceProportion(i);
+    if (!prop.ok()) return prop.status();
+    trace_proportion_[i] = *prop;
+  }
+
+  // 3. Fit one DBAugur ensemble per top-K cluster on its average trace.
+  forecasts_.clear();
+  for (const auto& info : descender_->TopKClusters(opts_.top_k)) {
+    auto rep = descender_->ClusterRepresentative(info.id);
+    if (!rep.ok()) return rep.status();
+    auto model = ensemble::MakeDBAugur(opts_.forecaster, opts_.delta);
+    if (!model.ok()) return model.status();
+    Status st = (*model)->Fit(rep->values());
+    if (!st.ok()) return st;
+    ClusterForecast cf;
+    cf.cluster_id = info.id;
+    cf.volume = info.volume;
+    cf.member_count = info.members.size();
+    cf.representative = std::move(rep).value();
+    cf.model = std::move(model).value();
+    forecasts_.push_back(std::move(cf));
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+StatusOr<double> DBAugurSystem::ForecastCluster(size_t rank) const {
+  if (!trained_) return Status::FailedPrecondition("DBAugur: Train not called");
+  if (rank >= forecasts_.size()) {
+    return Status::OutOfRange("DBAugur: cluster rank out of range");
+  }
+  const ClusterForecast& cf = forecasts_[rank];
+  size_t w = opts_.forecaster.window;
+  if (cf.representative.size() < w) {
+    return Status::FailedPrecondition("DBAugur: representative shorter than window");
+  }
+  const auto& vals = cf.representative.values();
+  std::vector<double> window(vals.end() - static_cast<ptrdiff_t>(w), vals.end());
+  return cf.model->Predict(window);
+}
+
+StatusOr<double> DBAugurSystem::ForecastTrace(size_t trace_index) const {
+  if (!trained_) return Status::FailedPrecondition("DBAugur: Train not called");
+  if (trace_index >= trace_cluster_.size()) {
+    return Status::OutOfRange("DBAugur: trace index out of range");
+  }
+  int cid = trace_cluster_[trace_index];
+  for (size_t rank = 0; rank < forecasts_.size(); ++rank) {
+    if (forecasts_[rank].cluster_id == cid) {
+      auto cluster_pred = ForecastCluster(rank);
+      if (!cluster_pred.ok()) return cluster_pred.status();
+      // The representative is the cluster *average*; scale to the cluster
+      // total, then to this trace via its volume proportion.
+      double total = *cluster_pred *
+                     static_cast<double>(forecasts_[rank].member_count);
+      return total * trace_proportion_[trace_index];
+    }
+  }
+  return Status::NotFound(
+      "DBAugur: trace's cluster is outside the forecasted top-K");
+}
+
+}  // namespace dbaugur::core

@@ -1,0 +1,98 @@
+// DBAugur end-to-end system (paper §III): Workload Processor (SQL2Template +
+// Descender clustering) feeding the time-sensitive Ensemble Forecaster.
+//
+// Usage:
+//   DBAugurSystem sys(options);
+//   sys.IngestQueryLog(entries);          // raw timestamped SQL
+//   sys.AddResourceTrace(disk_series);    // runtime statistics
+//   sys.Train();                          // extract -> cluster -> fit top-K
+//   sys.ForecastCluster(rank);            // next value per cluster
+//   sys.ForecastTrace(trace_id);          // scaled by cluster proportion
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/descender.h"
+#include "common/status.h"
+#include "ensemble/time_sensitive_ensemble.h"
+#include "models/forecaster.h"
+#include "trace/extractor.h"
+#include "ts/series.h"
+
+namespace dbaugur::core {
+
+/// End-to-end configuration.
+struct DBAugurOptions {
+  trace::ExtractionOptions extraction;       ///< Log parsing + templating.
+  cluster::DescenderOptions clustering;      ///< DTW density clustering.
+  size_t top_k = 5;                          ///< Clusters to forecast.
+  models::ForecasterOptions forecaster;      ///< Shared model hyper-params.
+  double delta = 0.9;                        ///< Ensemble attenuation factor.
+};
+
+/// Identifies a trace fed into the processor.
+struct TraceRef {
+  enum class Kind { kQueryTemplate, kResource } kind = Kind::kQueryTemplate;
+  size_t index = 0;   ///< Template id or resource slot.
+  std::string name;
+};
+
+/// One trained cluster forecaster with its provenance.
+struct ClusterForecast {
+  int cluster_id = 0;
+  double volume = 0.0;
+  size_t member_count = 0;
+  ts::Series representative;
+  std::unique_ptr<ensemble::TimeSensitiveEnsemble> model;
+};
+
+class DBAugurSystem {
+ public:
+  explicit DBAugurSystem(const DBAugurOptions& opts) : opts_(opts) {}
+
+  /// Feeds raw query-log entries through SQL2Template.
+  Status IngestQueryLog(const std::vector<trace::LogEntry>& entries);
+  /// Adds an already-binned resource-utilization trace; it must match the
+  /// query traces' length once extraction runs (Train validates).
+  void AddResourceTrace(ts::Series series);
+
+  /// Runs the full processor + forecaster pipeline: materializes template
+  /// traces, merges with resource traces, clusters with Descender, selects
+  /// the top-K clusters by volume, and fits one DBAugur ensemble per cluster
+  /// on the cluster's average trace.
+  Status Train();
+
+  /// Number of traces the processor produced (templates + resources).
+  size_t trace_count() const { return trace_refs_.size(); }
+  const TraceRef& trace_ref(size_t i) const { return trace_refs_[i]; }
+  const cluster::Descender* clustering() const { return descender_.get(); }
+  const trace::TraceExtractor& extractor() const { return extractor_; }
+  size_t forecast_count() const { return forecasts_.size(); }
+  const ClusterForecast& forecast(size_t rank) const { return forecasts_[rank]; }
+
+  /// Predicts the representative trace's next value (H steps past its end)
+  /// for the rank-th largest cluster.
+  StatusOr<double> ForecastCluster(size_t rank) const;
+
+  /// Predicts trace i's next value: the cluster forecast scaled by the
+  /// trace's proportion of cluster volume (paper §IV-C). NotFound if the
+  /// trace's cluster is outside the top-K.
+  StatusOr<double> ForecastTrace(size_t trace_index) const;
+
+ private:
+  DBAugurOptions opts_;
+  trace::TraceExtractor extractor_{trace::ExtractionOptions()};
+  bool extractor_initialized_ = false;
+  std::vector<ts::Series> resource_traces_;
+  std::vector<TraceRef> trace_refs_;
+  std::unique_ptr<cluster::Descender> descender_;
+  std::vector<ClusterForecast> forecasts_;
+  std::vector<int> trace_cluster_;      // cluster id per trace
+  std::vector<double> trace_proportion_;
+  bool trained_ = false;
+};
+
+}  // namespace dbaugur::core

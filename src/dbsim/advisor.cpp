@@ -1,0 +1,93 @@
+#include "dbsim/advisor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sql/templater.h"
+
+namespace dbaugur::dbsim {
+
+namespace {
+
+StatusOr<double> WorkloadCost(const Database& db,
+                              const std::vector<WeightedQuery>& workload,
+                              const std::set<HypotheticalIndex>& config) {
+  double total = 0.0;
+  for (const auto& wq : workload) {
+    auto c = db.EstimateCost(wq.spec, config);
+    if (!c.ok()) return c.status();
+    total += wq.weight * (*c);
+  }
+  return total;
+}
+
+}  // namespace
+
+StatusOr<Recommendation> RecommendIndexes(
+    const Database& db, const std::vector<WeightedQuery>& workload,
+    const AdvisorOptions& opts) {
+  // Candidate set: every (table, predicate column) in the workload.
+  std::set<HypotheticalIndex> candidates;
+  for (const auto& wq : workload) {
+    for (const auto& p : wq.spec.predicates) {
+      candidates.insert({wq.spec.table, p.column});
+    }
+  }
+  Recommendation rec;
+  auto base = WorkloadCost(db, workload, {});
+  if (!base.ok()) return base.status();
+  rec.baseline_cost = *base;
+
+  std::set<HypotheticalIndex> chosen;
+  double current = rec.baseline_cost;
+  while (chosen.size() < opts.max_indexes) {
+    const HypotheticalIndex* best = nullptr;
+    double best_cost = current;
+    for (const auto& cand : candidates) {
+      if (chosen.count(cand)) continue;
+      std::set<HypotheticalIndex> trial = chosen;
+      trial.insert(cand);
+      auto cost = WorkloadCost(db, workload, trial);
+      if (!cost.ok()) return cost.status();
+      if (*cost < best_cost - 1e-9) {
+        best_cost = *cost;
+        best = &cand;
+      }
+    }
+    if (best == nullptr) break;  // no candidate improves the workload
+    chosen.insert(*best);
+    current = best_cost;
+  }
+  rec.indexes.assign(chosen.begin(), chosen.end());
+  rec.optimized_cost = current;
+  return rec;
+}
+
+std::vector<WeightedQuery> BuildWorkload(const std::vector<std::string>& sqls,
+                                         size_t* skipped) {
+  // Merge statements by template so weights reflect occurrence counts.
+  std::map<std::string, WeightedQuery> merged;
+  size_t skip_count = 0;
+  for (const auto& s : sqls) {
+    auto spec = ParseQuery(s);
+    if (!spec.ok()) {
+      ++skip_count;
+      continue;
+    }
+    auto tmpl = sql::ToTemplate(s);
+    std::string key = tmpl.ok() ? *tmpl : s;
+    auto it = merged.find(key);
+    if (it == merged.end()) {
+      merged.emplace(key, WeightedQuery{std::move(spec).value(), 1.0});
+    } else {
+      it->second.weight += 1.0;
+    }
+  }
+  if (skipped != nullptr) *skipped = skip_count;
+  std::vector<WeightedQuery> out;
+  out.reserve(merged.size());
+  for (auto& [key, wq] : merged) out.push_back(std::move(wq));
+  return out;
+}
+
+}  // namespace dbaugur::dbsim

@@ -1,0 +1,47 @@
+// AutoAdmin-style index advisor (Chaudhuri & Narasayya, VLDB'97): enumerates
+// single-column index candidates from the workload's predicates and greedily
+// selects the configuration that minimizes total what-if estimated cost,
+// under a budget on the number of indexes.
+
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dbsim/engine.h"
+
+namespace dbaugur::dbsim {
+
+/// One statement with its (possibly forecasted) weight in the workload.
+struct WeightedQuery {
+  QuerySpec spec;
+  double weight = 1.0;  ///< Expected executions over the planning horizon.
+};
+
+/// Advisor configuration.
+struct AdvisorOptions {
+  size_t max_indexes = 3;  ///< Index-count budget.
+};
+
+/// Recommendation output.
+struct Recommendation {
+  std::vector<HypotheticalIndex> indexes;
+  double baseline_cost = 0.0;   ///< Workload cost with current real indexes.
+  double optimized_cost = 0.0;  ///< Cost with the recommendation applied.
+};
+
+/// Runs the greedy what-if search against `db`'s statistics. Does not create
+/// any index — apply via Database::CreateIndex.
+StatusOr<Recommendation> RecommendIndexes(const Database& db,
+                                          const std::vector<WeightedQuery>& workload,
+                                          const AdvisorOptions& opts);
+
+/// Parses raw SQL statements into a weighted workload, merging duplicates by
+/// template (statements dbsim can't parse are skipped and counted in
+/// `skipped` if non-null).
+std::vector<WeightedQuery> BuildWorkload(const std::vector<std::string>& sqls,
+                                         size_t* skipped = nullptr);
+
+}  // namespace dbaugur::dbsim

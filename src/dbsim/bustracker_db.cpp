@@ -1,0 +1,48 @@
+#include "dbsim/bustracker_db.h"
+
+namespace dbaugur::dbsim {
+
+StatusOr<Database> MakeBusTrackerDatabase(const BusTrackerDbOptions& opts) {
+  Database db;
+  Rng rng(opts.seed);
+  DBAUGUR_RETURN_IF_ERROR(db.CreateTable(
+      "positions", {{"bus_id", ColumnType::kInt},
+                    {"route_id", ColumnType::kInt},
+                    {"lat", ColumnType::kDouble},
+                    {"lon", ColumnType::kDouble}}));
+  DBAUGUR_RETURN_IF_ERROR(db.CreateTable(
+      "schedules", {{"stop_id", ColumnType::kInt},
+                    {"arrival", ColumnType::kInt},
+                    {"route_id", ColumnType::kInt}}));
+  DBAUGUR_RETURN_IF_ERROR(
+      db.CreateTable("tickets", {{"trip_id", ColumnType::kInt},
+                                 {"price", ColumnType::kDouble},
+                                 {"seats", ColumnType::kInt}}));
+  DBAUGUR_RETURN_IF_ERROR(
+      db.CreateTable("trips", {{"trip_id", ColumnType::kInt},
+                               {"depart_time", ColumnType::kInt},
+                               {"route_id", ColumnType::kInt}}));
+  for (size_t i = 0; i < opts.positions; ++i) {
+    DBAUGUR_RETURN_IF_ERROR(db.Insert(
+        "positions", {rng.UniformInt(1, 1200), rng.UniformInt(1, 400),
+                      rng.Uniform(40.0, 41.0), rng.Uniform(-80.1, -79.8)}));
+  }
+  for (size_t i = 0; i < opts.schedules; ++i) {
+    DBAUGUR_RETURN_IF_ERROR(db.Insert(
+        "schedules", {rng.UniformInt(1, 5000), rng.UniformInt(0, 86400),
+                      rng.UniformInt(1, 400)}));
+  }
+  for (size_t i = 0; i < opts.tickets; ++i) {
+    DBAUGUR_RETURN_IF_ERROR(
+        db.Insert("tickets", {rng.UniformInt(1, 2000), rng.Uniform(1.0, 8.0),
+                              rng.UniformInt(0, 60)}));
+  }
+  for (size_t i = 0; i < opts.trips; ++i) {
+    DBAUGUR_RETURN_IF_ERROR(
+        db.Insert("trips", {rng.UniformInt(1, 2000), rng.UniformInt(0, 86400),
+                            rng.UniformInt(1, 400)}));
+  }
+  return db;
+}
+
+}  // namespace dbaugur::dbsim

@@ -1,0 +1,27 @@
+// The BusTracker application's schema and synthetic data population — the
+// database instance the Fig. 8 case study replays its query log against.
+
+#pragma once
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dbsim/engine.h"
+
+namespace dbaugur::dbsim {
+
+/// Row-count scale for the synthetic BusTracker database.
+struct BusTrackerDbOptions {
+  size_t positions = 20000;
+  size_t schedules = 50000;
+  size_t tickets = 30000;
+  size_t trips = 15000;
+  uint64_t seed = 99;
+};
+
+/// Creates tables positions(bus_id, route_id, lat, lon),
+/// schedules(stop_id, arrival, route_id), tickets(trip_id, price, seats),
+/// trips(trip_id, depart_time, route_id) and fills them with synthetic rows
+/// whose key domains match workloads::BusTrackerTemplates().
+StatusOr<Database> MakeBusTrackerDatabase(const BusTrackerDbOptions& opts);
+
+}  // namespace dbaugur::dbsim

@@ -1,0 +1,174 @@
+#include "dbsim/query.h"
+
+#include "sql/tokenizer.h"
+
+namespace dbaugur::dbsim {
+
+namespace {
+
+using sql::Token;
+using sql::TokenType;
+
+/// Token cursor with convenience checks.
+class Cursor {
+ public:
+  explicit Cursor(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  bool Done() const { return pos_ >= tokens_.size(); }
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool ConsumeKeyword(const std::string& kw) {
+    if (!Done() && Peek().type == TokenType::kKeyword && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeText(const std::string& text) {
+    if (!Done() && Peek().text == text) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const std::vector<Token>& tokens_;
+  size_t pos_ = 0;
+};
+
+StatusOr<Value> ParseLiteral(Cursor& cur, bool negative_allowed = true) {
+  if (cur.Done()) return Status::InvalidArgument("expected literal");
+  bool negative = false;
+  if (negative_allowed && cur.Peek().type == TokenType::kOperator &&
+      cur.Peek().text == "-") {
+    negative = true;
+    cur.Next();
+  }
+  if (cur.Done()) return Status::InvalidArgument("expected literal");
+  const Token& t = cur.Next();
+  if (t.type == TokenType::kNumber) {
+    if (t.text.find('.') != std::string::npos ||
+        t.text.find('e') != std::string::npos ||
+        t.text.find('E') != std::string::npos) {
+      double d = std::stod(t.text);
+      return Value(negative ? -d : d);
+    }
+    int64_t i = std::stoll(t.text);
+    return Value(negative ? -i : i);
+  }
+  if (t.type == TokenType::kString) {
+    // Strip the surrounding quotes.
+    std::string inner = t.text.substr(1, t.text.size() - 2);
+    return Value(inner);
+  }
+  return Status::InvalidArgument("unsupported literal: " + t.text);
+}
+
+StatusOr<CompareOp> ParseOp(Cursor& cur) {
+  if (cur.Done() || cur.Peek().type != TokenType::kOperator) {
+    return Status::InvalidArgument("expected comparison operator");
+  }
+  std::string op = cur.Next().text;
+  if (op == "=") return CompareOp::kEq;
+  if (op == "<") return CompareOp::kLt;
+  if (op == ">") return CompareOp::kGt;
+  if (op == "<=") return CompareOp::kLe;
+  if (op == ">=") return CompareOp::kGe;
+  return Status::Unimplemented("operator not supported: " + op);
+}
+
+Status ParseWhere(Cursor& cur, std::vector<Predicate>* preds) {
+  if (!cur.ConsumeKeyword("WHERE")) return Status::OK();  // no WHERE clause
+  while (true) {
+    if (cur.Done() || cur.Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected column in WHERE");
+    }
+    Predicate p;
+    p.column = cur.Next().text;
+    auto op = ParseOp(cur);
+    if (!op.ok()) return op.status();
+    p.op = *op;
+    auto lit = ParseLiteral(cur);
+    if (!lit.ok()) return lit.status();
+    p.value = std::move(lit).value();
+    preds->push_back(std::move(p));
+    if (!cur.ConsumeKeyword("AND")) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<QuerySpec> ParseQuery(const std::string& sql) {
+  auto tokens = sql::Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Cursor cur(*tokens);
+  QuerySpec spec;
+  if (cur.ConsumeKeyword("SELECT")) {
+    spec.kind = StatementKind::kSelect;
+    if (cur.ConsumeText("*")) {
+      // all columns
+    } else {
+      while (true) {
+        if (cur.Done() || cur.Peek().type != TokenType::kIdentifier) {
+          return Status::Unimplemented("only plain column lists supported");
+        }
+        spec.select_columns.push_back(cur.Next().text);
+        if (!cur.ConsumeText(",")) break;
+      }
+    }
+    if (!cur.ConsumeKeyword("FROM")) {
+      return Status::InvalidArgument("expected FROM");
+    }
+    if (cur.Done() || cur.Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected table name");
+    }
+    spec.table = cur.Next().text;
+    DBAUGUR_RETURN_IF_ERROR(ParseWhere(cur, &spec.predicates));
+  } else if (cur.ConsumeKeyword("UPDATE")) {
+    spec.kind = StatementKind::kUpdate;
+    if (cur.Done() || cur.Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected table name");
+    }
+    spec.table = cur.Next().text;
+    if (!cur.ConsumeKeyword("SET")) return Status::InvalidArgument("expected SET");
+    while (true) {
+      if (cur.Done() || cur.Peek().type != TokenType::kIdentifier) {
+        return Status::InvalidArgument("expected column in SET");
+      }
+      Assignment a;
+      a.column = cur.Next().text;
+      if (!cur.ConsumeText("=")) return Status::InvalidArgument("expected =");
+      auto lit = ParseLiteral(cur);
+      if (!lit.ok()) return lit.status();
+      a.value = std::move(lit).value();
+      spec.assignments.push_back(std::move(a));
+      if (!cur.ConsumeText(",")) break;
+    }
+    DBAUGUR_RETURN_IF_ERROR(ParseWhere(cur, &spec.predicates));
+  } else {
+    return Status::Unimplemented("only SELECT/UPDATE supported by dbsim");
+  }
+  cur.ConsumeText(";");
+  if (!cur.Done()) {
+    return Status::Unimplemented("trailing tokens not supported: " +
+                                 cur.Peek().text);
+  }
+  return spec;
+}
+
+bool EvalPredicate(const Value& v, CompareOp op, const Value& literal) {
+  ValueLess less;
+  switch (op) {
+    case CompareOp::kEq: return ValueEquals(v, literal);
+    case CompareOp::kLt: return less(v, literal);
+    case CompareOp::kGt: return less(literal, v);
+    case CompareOp::kLe: return !less(literal, v);
+    case CompareOp::kGe: return !less(v, literal);
+  }
+  return false;
+}
+
+}  // namespace dbaugur::dbsim

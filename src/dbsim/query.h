@@ -1,0 +1,50 @@
+// Restricted SQL parsing for the simulator: single-table SELECT/UPDATE with
+// a conjunctive WHERE of <column> <op> <literal> predicates — exactly the
+// statement shapes the synthetic BusTracker application emits.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dbsim/value.h"
+
+namespace dbaugur::dbsim {
+
+/// Comparison operators the engine evaluates.
+enum class CompareOp { kEq, kLt, kGt, kLe, kGe };
+
+/// One WHERE conjunct.
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+};
+
+/// Statement kinds supported.
+enum class StatementKind { kSelect, kUpdate };
+
+/// One SET assignment in an UPDATE.
+struct Assignment {
+  std::string column;
+  Value value;
+};
+
+/// Parsed statement.
+struct QuerySpec {
+  StatementKind kind = StatementKind::kSelect;
+  std::string table;
+  std::vector<std::string> select_columns;  ///< Empty => '*'.
+  std::vector<Predicate> predicates;        ///< AND-connected.
+  std::vector<Assignment> assignments;      ///< UPDATE only.
+};
+
+/// Parses one statement; Unimplemented for shapes outside the subset.
+StatusOr<QuerySpec> ParseQuery(const std::string& sql);
+
+/// Evaluates `v op literal`.
+bool EvalPredicate(const Value& v, CompareOp op, const Value& literal);
+
+}  // namespace dbaugur::dbsim

@@ -1,0 +1,132 @@
+#include "dtw/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbaugur::dtw {
+
+StatusOr<double> DtwDistance(const std::vector<double>& a,
+                             const std::vector<double>& b,
+                             const DtwOptions& opts, double upper_bound) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("DTW: empty trace");
+  }
+  size_t n = a.size(), m = b.size();
+  // Widen the band so the corner (n-1, m-1) is reachable.
+  size_t w;
+  if (opts.window < 0) {
+    w = std::max(n, m);
+  } else {
+    w = std::max<size_t>(static_cast<size_t>(opts.window),
+                         n > m ? n - m : m - n);
+  }
+  double ub2 = upper_bound == kNoBound ? kNoBound : upper_bound * upper_bound;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Two-row DP over the band.
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    size_t lo = i > w ? i - w : 1;
+    size_t hi = std::min(m, i + w);
+    double row_min = kInf;
+    for (size_t j = lo; j <= hi; ++j) {
+      double d = a[i - 1] - b[j - 1];
+      d *= d;
+      double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
+      cur[j] = best == kInf ? kInf : d + best;
+      row_min = std::min(row_min, cur[j]);
+    }
+    if (ub2 != kNoBound && row_min > ub2) return kInf;  // early abandon
+    std::swap(prev, cur);
+  }
+  double result = prev[m];
+  if (result == kInf) {
+    return Status::Internal("DTW: band excluded the alignment corner");
+  }
+  if (ub2 != kNoBound && result > ub2) return kInf;
+  return std::sqrt(result);
+}
+
+Envelope BuildEnvelope(const std::vector<double>& seq, int window) {
+  size_t n = seq.size();
+  size_t w = window < 0 ? n : static_cast<size_t>(window);
+  Envelope env;
+  env.lower.resize(n);
+  env.upper.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t lo = i > w ? i - w : 0;
+    size_t hi = std::min(n - 1, i + w);
+    double mn = seq[lo], mx = seq[lo];
+    for (size_t j = lo + 1; j <= hi; ++j) {
+      mn = std::min(mn, seq[j]);
+      mx = std::max(mx, seq[j]);
+    }
+    env.lower[i] = mn;
+    env.upper[i] = mx;
+  }
+  return env;
+}
+
+double LbKeogh(const std::vector<double>& query, const Envelope& cand_env) {
+  if (query.size() != cand_env.lower.size()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < query.size(); ++i) {
+    double q = query[i];
+    if (q > cand_env.upper[i]) {
+      double d = q - cand_env.upper[i];
+      s += d * d;
+    } else if (q < cand_env.lower[i]) {
+      double d = cand_env.lower[i] - q;
+      s += d * d;
+    }
+  }
+  return std::sqrt(s);
+}
+
+double LbKim(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  // Any warping path must match first-with-first and last-with-last.
+  double df = std::fabs(a.front() - b.front());
+  double dl = std::fabs(a.back() - b.back());
+  if (a.size() < 2 || b.size() < 2) {
+    // First and last cells coincide; only one of the two terms is valid.
+    return std::max(df, dl);
+  }
+  return std::sqrt(df * df + dl * dl);
+}
+
+StatusOr<bool> CascadingDtw::WithinRadius(const std::vector<double>& query,
+                                          const std::vector<double>& candidate,
+                                          const Envelope& cand_env,
+                                          double radius) {
+  auto d = Distance(query, candidate, cand_env, radius);
+  if (!d.ok()) return d.status();
+  return *d <= radius;
+}
+
+StatusOr<double> CascadingDtw::Distance(const std::vector<double>& query,
+                                        const std::vector<double>& candidate,
+                                        const Envelope& cand_env,
+                                        double upper_bound) {
+  if (upper_bound != kNoBound) {
+    if (LbKim(query, candidate) > upper_bound) {
+      ++kim_rejections_;
+      return std::numeric_limits<double>::infinity();
+    }
+    if (LbKeogh(query, cand_env) > upper_bound) {
+      ++keogh_rejections_;
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  ++full_computations_;
+  return DtwDistance(query, candidate, opts_, upper_bound);
+}
+
+void CascadingDtw::ResetCounters() {
+  kim_rejections_ = 0;
+  keogh_rejections_ = 0;
+  full_computations_ = 0;
+}
+
+}  // namespace dbaugur::dtw

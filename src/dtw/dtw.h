@@ -1,0 +1,87 @@
+// Dynamic Time Warping (paper §IV-B, Algorithm 1) with a Sakoe–Chiba window,
+// early abandoning, and the LB_Kim / LB_Keogh lower-bound cascade
+// (Ratanamahatana & Keogh 2004) that reduces the common case to linear time.
+//
+// DTW aligns two traces by warping the time axis, so similar workloads whose
+// patterns are shifted or locally stretched (the paper's planetarium example)
+// still measure as close — unlike lock-step Euclidean/cosine distance.
+
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbaugur::dtw {
+
+/// Sentinel for "no early-abandon threshold".
+inline constexpr double kNoBound = std::numeric_limits<double>::infinity();
+
+/// Options for DTW computation.
+struct DtwOptions {
+  /// Sakoe–Chiba band half-width in steps. Negative => unconstrained.
+  /// For traces of different lengths the effective band is widened to at
+  /// least |n - m| so an alignment always exists.
+  int window = 10;
+};
+
+/// Exact windowed DTW distance between two traces (Algorithm 1 generalized to
+/// unequal lengths). `upper_bound` enables early abandoning: if the distance
+/// provably exceeds it, returns +infinity immediately.
+/// Returns InvalidArgument for empty inputs.
+StatusOr<double> DtwDistance(const std::vector<double>& a,
+                             const std::vector<double>& b,
+                             const DtwOptions& opts,
+                             double upper_bound = kNoBound);
+
+/// Per-position min/max of a trace over a sliding band of half-width
+/// `window` — the Keogh envelope used by LB_Keogh.
+struct Envelope {
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
+/// Builds the Keogh envelope of `seq` for band half-width `window`.
+Envelope BuildEnvelope(const std::vector<double>& seq, int window);
+
+/// LB_Keogh lower bound of DTW(query, candidate) given the candidate's
+/// envelope (equal lengths required; returns 0 — a trivially valid bound —
+/// when lengths differ).
+double LbKeogh(const std::vector<double>& query, const Envelope& cand_env);
+
+/// LB_Kim-style constant-time lower bound from the first and last points.
+double LbKim(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Cascading evaluator: LB_Kim → LB_Keogh → early-abandoning DTW. Used by
+/// the clustering range queries; counts how often each tier decided, which
+/// the ablation bench reports.
+class CascadingDtw {
+ public:
+  explicit CascadingDtw(const DtwOptions& opts) : opts_(opts) {}
+
+  /// True iff DTW(query, candidate) <= radius. `cand_env` must be the
+  /// candidate's envelope for the same window.
+  StatusOr<bool> WithinRadius(const std::vector<double>& query,
+                              const std::vector<double>& candidate,
+                              const Envelope& cand_env, double radius);
+
+  /// Exact distance with the cascade used as a fast reject against
+  /// `upper_bound`; returns +infinity if the bound proves distance > bound.
+  StatusOr<double> Distance(const std::vector<double>& query,
+                            const std::vector<double>& candidate,
+                            const Envelope& cand_env, double upper_bound);
+
+  int64_t kim_rejections() const { return kim_rejections_; }
+  int64_t keogh_rejections() const { return keogh_rejections_; }
+  int64_t full_computations() const { return full_computations_; }
+  void ResetCounters();
+
+ private:
+  DtwOptions opts_;
+  int64_t kim_rejections_ = 0;
+  int64_t keogh_rejections_ = 0;
+  int64_t full_computations_ = 0;
+};
+
+}  // namespace dbaugur::dtw

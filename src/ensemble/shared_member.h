@@ -1,0 +1,29 @@
+// Non-owning forecaster adapter: lets one trained model serve as a member of
+// several ensembles (e.g. the LSTM inside QB5000 and the standalone LSTM
+// baseline in Fig. 5) without retraining. Fit() is a no-op; the wrapped
+// model must already be fitted and must outlive the wrapper.
+
+#pragma once
+
+#include "models/forecaster.h"
+
+namespace dbaugur::ensemble {
+
+class SharedMember : public models::Forecaster {
+ public:
+  /// `inner` must already be fitted and outlive this wrapper.
+  explicit SharedMember(const models::Forecaster* inner) : inner_(inner) {}
+
+  Status Fit(const std::vector<double>&) override { return Status::OK(); }
+  StatusOr<double> Predict(const std::vector<double>& window) const override {
+    return inner_->Predict(window);
+  }
+  std::string name() const override { return inner_->name(); }
+  int64_t StorageBytes() const override { return inner_->StorageBytes(); }
+  int64_t ParameterCount() const override { return inner_->ParameterCount(); }
+
+ private:
+  const models::Forecaster* inner_;
+};
+
+}  // namespace dbaugur::ensemble

@@ -1,0 +1,124 @@
+#include "ensemble/time_sensitive_ensemble.h"
+
+#include <cmath>
+
+namespace dbaugur::ensemble {
+
+void TimeSensitiveEnsemble::AddMember(
+    std::unique_ptr<models::Forecaster> member) {
+  members_.push_back(std::move(member));
+}
+
+Status TimeSensitiveEnsemble::Fit(const std::vector<double>& series) {
+  if (members_.empty()) {
+    return Status::FailedPrecondition("ensemble: no members added");
+  }
+  for (auto& m : members_) {
+    DBAUGUR_RETURN_IF_ERROR(m->Fit(series));
+  }
+  gamma_.assign(members_.size(), 0.0);
+  cached_window_.clear();
+  cached_preds_.clear();
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<std::vector<double>> TimeSensitiveEnsemble::MemberPredictions(
+    const std::vector<double>& window) const {
+  if (cached_window_ == window && cached_preds_.size() == members_.size()) {
+    return cached_preds_;
+  }
+  std::vector<double> preds;
+  preds.reserve(members_.size());
+  for (const auto& m : members_) {
+    auto p = m->Predict(window);
+    if (!p.ok()) return p.status();
+    preds.push_back(*p);
+  }
+  cached_window_ = window;
+  cached_preds_ = preds;
+  return preds;
+}
+
+std::vector<double> TimeSensitiveEnsemble::CurrentWeights() const {
+  size_t n = members_.size();
+  std::vector<double> w(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  if (!ens_.dynamic || n < 2) return w;
+  double sum = 0.0;
+  for (double g : gamma_) sum += g;
+  if (sum <= 1e-300) return w;  // no errors observed yet => equal weights
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = (sum - gamma_[i]) / (static_cast<double>(n - 1) * sum);
+  }
+  return w;
+}
+
+StatusOr<double> TimeSensitiveEnsemble::Predict(
+    const std::vector<double>& window) const {
+  if (!fitted_) return Status::FailedPrecondition("ensemble: Fit not called");
+  auto preds = MemberPredictions(window);
+  if (!preds.ok()) return preds.status();
+  std::vector<double> w = CurrentWeights();
+  double out = 0.0;
+  for (size_t i = 0; i < preds->size(); ++i) out += w[i] * (*preds)[i];
+  return out;
+}
+
+Status TimeSensitiveEnsemble::Observe(const std::vector<double>& window,
+                                      double actual) {
+  if (!fitted_) return Status::FailedPrecondition("ensemble: Fit not called");
+  auto preds = MemberPredictions(window);
+  if (!preds.ok()) return preds.status();
+  for (size_t i = 0; i < members_.size(); ++i) {
+    double e = (*preds)[i] - actual;
+    gamma_[i] = ens_.delta * gamma_[i] + e * e;
+  }
+  return Status::OK();
+}
+
+int64_t TimeSensitiveEnsemble::StorageBytes() const {
+  int64_t bytes = static_cast<int64_t>(gamma_.size()) * 8;
+  for (const auto& m : members_) bytes += m->StorageBytes();
+  return bytes;
+}
+
+int64_t TimeSensitiveEnsemble::ParameterCount() const {
+  int64_t n = 0;
+  for (const auto& m : members_) n += m->ParameterCount();
+  return n;
+}
+
+StatusOr<models::EvalResult> EvaluateOnline(TimeSensitiveEnsemble& model,
+                                            const std::vector<double>& series,
+                                            size_t train_size, size_t window,
+                                            size_t horizon) {
+  if (window == 0 || horizon == 0) {
+    return Status::InvalidArgument("window and horizon must be positive");
+  }
+  if (train_size + horizon >= series.size() || train_size < window) {
+    return Status::InvalidArgument("not enough data to evaluate");
+  }
+  models::EvalResult out;
+  for (size_t target = train_size; target < series.size(); ++target) {
+    if (target < window - 1 + horizon) continue;
+    size_t window_end = target - horizon;
+    size_t window_begin = window_end + 1 - window;
+    std::vector<double> w(
+        series.begin() + static_cast<ptrdiff_t>(window_begin),
+        series.begin() + static_cast<ptrdiff_t>(window_end + 1));
+    auto pred = model.Predict(w);
+    if (!pred.ok()) return pred.status();
+    out.predicted.push_back(*pred);
+    out.actual.push_back(series[target]);
+    out.target_index.push_back(target);
+    // Realized value becomes available once time reaches `target`; feeding it
+    // back immediately after recording the prediction keeps the walk causal.
+    DBAUGUR_RETURN_IF_ERROR(model.Observe(w, series[target]));
+  }
+  if (out.predicted.empty()) {
+    return Status::InvalidArgument("no evaluable targets");
+  }
+  return out;
+}
+
+}  // namespace dbaugur::ensemble

@@ -1,0 +1,89 @@
+// Time-sensitive ensemble (paper §V-C, Eq. 7-8).
+//
+// Each member model i keeps a forecasting distance
+//   Γ(e(i), t) = Σ_{j<=t} δ^{t-j} e_j(i)      (recurrence Γ_t = δΓ_{t-1} + e_t)
+// over its squared one-shot errors. At prediction time the members are fused
+// with normalized inverted distances
+//   w_t(i) = (Σ_j Γ(e(j),t) − Γ(e(i),t)) / ((n−1) · Σ_j Γ(e(j),t)),
+// which reduces to the paper's Eq. 8 for n = 3. With `dynamic = false` the
+// ensemble uses fixed equal weights (the Fig. 7 baseline); the same class
+// with members {LR, LSTM, KR} and fixed weights is QB5000.
+
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/forecaster.h"
+
+namespace dbaugur::ensemble {
+
+/// Ensemble configuration.
+struct EnsembleOptions {
+  double delta = 0.9;    ///< Attenuation factor δ (paper uses 0.9).
+  bool dynamic = true;   ///< false => fixed equal weights.
+};
+
+/// Fuses member forecasters with time-sensitive weights. Implements the
+/// Forecaster interface so it can be evaluated exactly like a single model;
+/// weights evolve as Observe() feeds back realized values.
+class TimeSensitiveEnsemble : public models::Forecaster {
+ public:
+  TimeSensitiveEnsemble(const models::ForecasterOptions& opts,
+                        const EnsembleOptions& ens)
+      : opts_(opts), ens_(ens) {}
+
+  /// Adds a member model (before Fit).
+  void AddMember(std::unique_ptr<models::Forecaster> member);
+  size_t member_count() const { return members_.size(); }
+  const models::Forecaster& member(size_t i) const { return *members_[i]; }
+
+  /// Fits every member on the training series and resets the error state.
+  Status Fit(const std::vector<double>& series) override;
+
+  /// Weighted fusion of member predictions using the current weights.
+  StatusOr<double> Predict(const std::vector<double>& window) const override;
+
+  /// Feeds back the realized value for the given condition window, updating
+  /// each member's forecasting distance Γ. Call in time order: the realized
+  /// value for a window becomes known H steps after the prediction, so the
+  /// natural driver is Predict(w_t), ..., Observe(w_t, x_{t+H}).
+  Status Observe(const std::vector<double>& window, double actual);
+
+  /// Current ensemble weights (sums to 1; equal until errors accumulate).
+  std::vector<double> CurrentWeights() const;
+  /// Current forecasting distances Γ per member.
+  const std::vector<double>& Distances() const { return gamma_; }
+
+  std::string name() const override {
+    return ens_.dynamic ? "DBAugurEnsemble" : "FixedEnsemble";
+  }
+  int64_t StorageBytes() const override;
+  int64_t ParameterCount() const override;
+
+ private:
+  StatusOr<std::vector<double>> MemberPredictions(
+      const std::vector<double>& window) const;
+
+  models::ForecasterOptions opts_;
+  EnsembleOptions ens_;
+  std::vector<std::unique_ptr<models::Forecaster>> members_;
+  std::vector<double> gamma_;
+  // Cache of the last window's member predictions so Observe doesn't
+  // recompute them.
+  mutable std::vector<double> cached_window_;
+  mutable std::vector<double> cached_preds_;
+  bool fitted_ = false;
+};
+
+/// Rolling online evaluation for ensembles: walks the tail of `series`
+/// (targets >= train_size) in time order, predicting each target and then
+/// observing the realized value so the weights adapt as in deployment.
+StatusOr<models::EvalResult> EvaluateOnline(TimeSensitiveEnsemble& model,
+                                            const std::vector<double>& series,
+                                            size_t train_size, size_t window,
+                                            size_t horizon);
+
+}  // namespace dbaugur::ensemble

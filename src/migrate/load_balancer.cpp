@@ -1,0 +1,143 @@
+#include "migrate/load_balancer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbaugur::migrate {
+
+double BalanceDifference(const std::vector<double>& server_loads) {
+  if (server_loads.empty()) return 0.0;
+  double mn = server_loads[0], mx = server_loads[0], sum = 0.0;
+  for (double l : server_loads) {
+    mn = std::min(mn, l);
+    mx = std::max(mx, l);
+    sum += l;
+  }
+  double mean = sum / static_cast<double>(server_loads.size());
+  if (mean <= 0.0) return 0.0;
+  return (mx - mn) / mean;
+}
+
+LoadBalancer::LoadBalancer(size_t servers, size_t regions)
+    : servers_(std::max<size_t>(1, servers)), assignment_(regions) {
+  for (size_t r = 0; r < regions; ++r) assignment_[r] = r % servers_;
+}
+
+std::vector<double> LoadBalancer::ServerLoads(
+    const std::vector<double>& region_loads) const {
+  std::vector<double> out(servers_, 0.0);
+  for (size_t r = 0; r < assignment_.size() && r < region_loads.size(); ++r) {
+    out[assignment_[r]] += region_loads[r];
+  }
+  return out;
+}
+
+std::vector<Move> LoadBalancer::Plan(
+    const std::vector<double>& expected_region_loads, size_t max_moves) const {
+  std::vector<size_t> assign = assignment_;
+  std::vector<double> loads(servers_, 0.0);
+  for (size_t r = 0; r < assign.size(); ++r) {
+    loads[assign[r]] += expected_region_loads[r];
+  }
+  std::vector<Move> moves;
+  for (size_t step = 0; step < max_moves; ++step) {
+    size_t heavy = 0, light = 0;
+    for (size_t s = 1; s < servers_; ++s) {
+      if (loads[s] > loads[heavy]) heavy = s;
+      if (loads[s] < loads[light]) light = s;
+    }
+    if (heavy == light) break;
+    double gap = loads[heavy] - loads[light];
+    // Best region to move: the one closest to half the gap (moving more than
+    // the gap would just flip the imbalance).
+    size_t best_region = assign.size();
+    double best_score = 0.0;
+    for (size_t r = 0; r < assign.size(); ++r) {
+      if (assign[r] != heavy) continue;
+      double l = expected_region_loads[r];
+      if (l <= 0.0 || l >= gap) continue;
+      double score = l * (gap - l);  // maximized at l = gap/2
+      if (score > best_score) {
+        best_score = score;
+        best_region = r;
+      }
+    }
+    if (best_region == assign.size()) break;  // no improving move
+    moves.push_back({best_region, heavy, light});
+    assign[best_region] = light;
+    loads[heavy] -= expected_region_loads[best_region];
+    loads[light] += expected_region_loads[best_region];
+  }
+  return moves;
+}
+
+void LoadBalancer::Apply(const std::vector<Move>& moves) {
+  for (const Move& m : moves) {
+    if (m.region < assignment_.size() && m.to_server < servers_) {
+      assignment_[m.region] = m.to_server;
+    }
+  }
+}
+
+StatusOr<std::vector<double>> SimulateMigration(
+    const std::vector<ts::Series>& region_loads, size_t servers,
+    size_t eval_start, const RegionPredictor& predictor,
+    size_t max_moves_per_period) {
+  if (region_loads.empty()) {
+    return Status::InvalidArgument("migration: no regions");
+  }
+  size_t periods = region_loads[0].size();
+  for (const auto& s : region_loads) {
+    if (s.size() != periods) {
+      return Status::InvalidArgument("migration: region trace length mismatch");
+    }
+  }
+  if (eval_start >= periods) {
+    return Status::InvalidArgument("migration: eval_start beyond trace end");
+  }
+  LoadBalancer balancer(servers, region_loads.size());
+  std::vector<double> out;
+  out.reserve(periods - eval_start);
+  for (size_t p = eval_start; p < periods; ++p) {
+    // Plan with expected loads for period p (knowledge strictly before p).
+    std::vector<double> expected(region_loads.size());
+    for (size_t r = 0; r < region_loads.size(); ++r) {
+      auto e = predictor(r, p);
+      if (!e.ok()) return e.status();
+      expected[r] = std::max(0.0, *e);
+    }
+    balancer.Apply(balancer.Plan(expected, max_moves_per_period));
+    // Score with the actual loads of period p.
+    std::vector<double> actual(region_loads.size());
+    for (size_t r = 0; r < region_loads.size(); ++r) {
+      actual[r] = region_loads[r][p];
+    }
+    out.push_back(BalanceDifference(balancer.ServerLoads(actual)));
+  }
+  return out;
+}
+
+std::vector<ts::Series> MakeRotatingRegionLoads(const ts::Series& base,
+                                                size_t regions,
+                                                double hotspot_speed,
+                                                double hotspot_gain) {
+  std::vector<ts::Series> out;
+  out.reserve(regions);
+  double r_count = static_cast<double>(regions);
+  for (size_t r = 0; r < regions; ++r) {
+    std::vector<double> v(base.size());
+    for (size_t p = 0; p < base.size(); ++p) {
+      double hotspot_pos =
+          std::fmod(hotspot_speed * static_cast<double>(p), r_count);
+      double d = std::fabs(hotspot_pos - static_cast<double>(r));
+      d = std::min(d, r_count - d);  // circular distance
+      double gain = 1.0 + hotspot_gain * std::exp(-d * d / 2.0);
+      v[p] = base[p] * gain / r_count;
+    }
+    out.emplace_back(base.start(), base.interval_seconds(), std::move(v),
+                     "region_" + std::to_string(r));
+  }
+  return out;
+}
+
+}  // namespace dbaugur::migrate

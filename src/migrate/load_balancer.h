@@ -1,0 +1,81 @@
+// Data-region migration / load balancing (paper §VI-G, Fig. 9).
+//
+// The database is horizontally partitioned into non-overlapping regions
+// assigned to servers. Each period, a planner migrates regions from
+// overloaded to lightly-loaded servers based on *expected* per-region loads
+// for the next period; the quality metric is the load-balance difference of
+// the *actual* loads, (max - min) / mean over servers. The Static strategy
+// plans with last period's observed loads (lagging); Auto strategies plan
+// with forecasted loads.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/series.h"
+
+namespace dbaugur::migrate {
+
+/// One region move.
+struct Move {
+  size_t region = 0;
+  size_t from_server = 0;
+  size_t to_server = 0;
+};
+
+/// Load-balance difference: (max - min) / mean of per-server loads
+/// (0 = perfectly balanced). Returns 0 for zero total load.
+double BalanceDifference(const std::vector<double>& server_loads);
+
+/// Region→server assignment with a greedy rebalancing planner.
+class LoadBalancer {
+ public:
+  /// Regions are assigned round-robin initially.
+  LoadBalancer(size_t servers, size_t regions);
+
+  size_t servers() const { return servers_; }
+  size_t regions() const { return assignment_.size(); }
+  size_t server_of(size_t region) const { return assignment_[region]; }
+
+  /// Per-server total of `region_loads` under the current assignment.
+  std::vector<double> ServerLoads(const std::vector<double>& region_loads) const;
+
+  /// Greedy plan: up to `max_moves` migrations, each moving a region from
+  /// the currently heaviest server to the lightest one, maximizing the
+  /// reduction in balance difference of the *expected* loads.
+  std::vector<Move> Plan(const std::vector<double>& expected_region_loads,
+                         size_t max_moves) const;
+
+  void Apply(const std::vector<Move>& moves);
+
+ private:
+  size_t servers_;
+  std::vector<size_t> assignment_;  // region -> server
+};
+
+/// Forecast callback: expected load of `region` at `period`, computed from
+/// information strictly before `period`.
+using RegionPredictor =
+    std::function<StatusOr<double>(size_t region, size_t period)>;
+
+/// Simulates periods [eval_start, P): each period plans migrations from the
+/// predictor's expected loads, applies them, then records the balance
+/// difference of the actual loads. Returns one balance value per evaluated
+/// period.
+StatusOr<std::vector<double>> SimulateMigration(
+    const std::vector<ts::Series>& region_loads, size_t servers,
+    size_t eval_start, const RegionPredictor& predictor,
+    size_t max_moves_per_period);
+
+/// Generates per-region load traces with a rotating hotspot over a shared
+/// base pattern: region r's load peaks when the hotspot (which advances
+/// `hotspot_speed` regions per period) passes it. The Static strategy lags
+/// exactly this rotation, which is what Fig. 9 exercises.
+std::vector<ts::Series> MakeRotatingRegionLoads(const ts::Series& base,
+                                                size_t regions,
+                                                double hotspot_speed,
+                                                double hotspot_gain);
+
+}  // namespace dbaugur::migrate

@@ -1,0 +1,148 @@
+#include "models/arima.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "ts/series.h"
+
+namespace dbaugur::models {
+
+namespace {
+
+// Fits an AR(m) model by least squares, returning {intercept, a_1..a_m}.
+StatusOr<std::vector<double>> FitAR(const std::vector<double>& z, int m) {
+  if (static_cast<int>(z.size()) <= m + 1) {
+    return Status::InvalidArgument("ARIMA: series too short for AR fit");
+  }
+  size_t rows = z.size() - static_cast<size_t>(m);
+  size_t cols = static_cast<size_t>(m) + 1;
+  std::vector<double> x(rows * cols, 0.0);
+  std::vector<double> y(rows, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    size_t t = r + static_cast<size_t>(m);
+    x[r * cols] = 1.0;
+    for (int j = 1; j <= m; ++j) {
+      x[r * cols + static_cast<size_t>(j)] = z[t - static_cast<size_t>(j)];
+    }
+    y[r] = z[t];
+  }
+  return LeastSquares(x, y, rows, cols, 1e-6);
+}
+
+}  // namespace
+
+Status ArimaForecaster::Fit(const std::vector<double>& series) {
+  if (arima_.d < 0 || arima_.d > 2) {
+    return Status::InvalidArgument("ARIMA: d must be in [0,2]");
+  }
+  if (arima_.p < 0 || arima_.q < 0 || arima_.p + arima_.q == 0) {
+    return Status::InvalidArgument("ARIMA: need p+q > 0");
+  }
+  std::vector<double> z = ts::Difference(series, arima_.d);
+  int m = std::max(20, arima_.p + arima_.q + 5);
+  if (static_cast<int>(z.size()) < m + arima_.p + arima_.q + 10) {
+    return Status::InvalidArgument("ARIMA: series too short");
+  }
+  // Stage 1: long AR to estimate innovations.
+  auto ar = FitAR(z, m);
+  if (!ar.ok()) return ar.status();
+  std::vector<double> resid(z.size(), 0.0);
+  for (size_t t = static_cast<size_t>(m); t < z.size(); ++t) {
+    double pred = (*ar)[0];
+    for (int j = 1; j <= m; ++j) {
+      pred += (*ar)[static_cast<size_t>(j)] * z[t - static_cast<size_t>(j)];
+    }
+    resid[t] = z[t] - pred;
+  }
+  // Stage 2: regress z_t on AR lags and innovation lags.
+  int start = m + std::max(arima_.p, arima_.q);
+  size_t rows = z.size() - static_cast<size_t>(start);
+  size_t cols = 1 + static_cast<size_t>(arima_.p + arima_.q);
+  std::vector<double> x(rows * cols, 0.0);
+  std::vector<double> y(rows, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    size_t t = r + static_cast<size_t>(start);
+    size_t c = 0;
+    x[r * cols + c++] = 1.0;
+    for (int j = 1; j <= arima_.p; ++j) {
+      x[r * cols + c++] = z[t - static_cast<size_t>(j)];
+    }
+    for (int j = 1; j <= arima_.q; ++j) {
+      x[r * cols + c++] = resid[t - static_cast<size_t>(j)];
+    }
+    y[r] = z[t];
+  }
+  auto beta = LeastSquares(x, y, rows, cols, 1e-6);
+  if (!beta.ok()) return beta.status();
+  intercept_ = (*beta)[0];
+  phi_.assign(beta->begin() + 1, beta->begin() + 1 + arima_.p);
+  theta_.assign(beta->begin() + 1 + arima_.p, beta->end());
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<double> ArimaForecaster::Predict(
+    const std::vector<double>& window) const {
+  if (!fitted_) return Status::FailedPrecondition("ARIMA: Fit not called");
+  if (window.size() != opts_.window) {
+    return Status::InvalidArgument("ARIMA: window size mismatch");
+  }
+  if (static_cast<int>(window.size()) <= arima_.d + arima_.p + 1) {
+    return Status::InvalidArgument("ARIMA: window too short for model order");
+  }
+  std::vector<double> z = ts::Difference(window, arima_.d);
+  size_t n = z.size();
+  // Reconstruct in-window innovations by running the one-step equation
+  // forward (innovations before the window start are taken as zero).
+  std::vector<double> resid(n, 0.0);
+  size_t warm = static_cast<size_t>(std::max(arima_.p, arima_.q));
+  for (size_t t = warm; t < n; ++t) {
+    double pred = intercept_;
+    for (int j = 1; j <= arima_.p; ++j) {
+      pred += phi_[static_cast<size_t>(j - 1)] * z[t - static_cast<size_t>(j)];
+    }
+    for (int j = 1; j <= arima_.q; ++j) {
+      pred +=
+          theta_[static_cast<size_t>(j - 1)] * resid[t - static_cast<size_t>(j)];
+    }
+    resid[t] = z[t] - pred;
+  }
+  // Iterate H one-step forecasts with future innovations = 0.
+  std::vector<double> zx = z;
+  std::vector<double> rx = resid;
+  for (size_t h = 0; h < opts_.horizon; ++h) {
+    size_t t = zx.size();
+    double pred = intercept_;
+    for (int j = 1; j <= arima_.p; ++j) {
+      pred += phi_[static_cast<size_t>(j - 1)] * zx[t - static_cast<size_t>(j)];
+    }
+    for (int j = 1; j <= arima_.q; ++j) {
+      pred +=
+          theta_[static_cast<size_t>(j - 1)] * rx[t - static_cast<size_t>(j)];
+    }
+    zx.push_back(pred);
+    rx.push_back(0.0);
+  }
+  // Integrate the d differences back to the level scale.
+  if (arima_.d == 0) return zx.back();
+  if (arima_.d == 1) {
+    double level = window.back();
+    for (size_t h = z.size(); h < zx.size(); ++h) level += zx[h];
+    return level;
+  }
+  // d == 2: integrate twice.
+  double last_diff = window[window.size() - 1] - window[window.size() - 2];
+  double level = window.back();
+  for (size_t h = z.size(); h < zx.size(); ++h) {
+    last_diff += zx[h];
+    level += last_diff;
+  }
+  return level;
+}
+
+int64_t ArimaForecaster::StorageBytes() const {
+  return static_cast<int64_t>(1 + phi_.size() + theta_.size()) * 4 + 8;
+}
+
+}  // namespace dbaugur::models

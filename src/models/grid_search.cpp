@@ -1,0 +1,84 @@
+#include "models/grid_search.h"
+
+#include <algorithm>
+
+#include "models/factory.h"
+#include "ts/metrics.h"
+
+namespace dbaugur::models {
+
+namespace {
+template <typename T>
+std::vector<T> OrDefault(const std::vector<T>& candidates, T fallback) {
+  if (candidates.empty()) return {fallback};
+  return candidates;
+}
+}  // namespace
+
+StatusOr<GridSearchResult> GridSearch(
+    const std::function<StatusOr<std::unique_ptr<Forecaster>>(
+        const ForecasterOptions&)>& factory,
+    const std::vector<double>& series, const ForecasterOptions& base,
+    const ParameterGrid& grid, const GridSearchOptions& opts) {
+  if (!factory) return Status::InvalidArgument("GridSearch: null factory");
+  if (opts.validation_fraction <= 0.0 || opts.validation_fraction >= 1.0) {
+    return Status::InvalidArgument("GridSearch: bad validation fraction");
+  }
+  size_t fit_size = static_cast<size_t>(
+      static_cast<double>(series.size()) * (1.0 - opts.validation_fraction));
+  std::vector<double> fit(series.begin(),
+                          series.begin() + static_cast<ptrdiff_t>(fit_size));
+
+  GridSearchResult result;
+  for (size_t w : OrDefault(grid.windows, base.window)) {
+    for (size_t e : OrDefault(grid.epochs, base.epochs)) {
+      for (double lr : OrDefault(grid.learning_rates, base.learning_rate)) {
+        for (size_t b : OrDefault(grid.batch_sizes, base.batch_size)) {
+          ForecasterOptions cand = base;
+          cand.window = w;
+          cand.epochs = e;
+          cand.learning_rate = lr;
+          cand.batch_size = b;
+          auto model = factory(cand);
+          if (!model.ok()) return model.status();
+          Status st = (*model)->Fit(fit);
+          if (!st.ok()) {
+            // A grid point can be infeasible (e.g. window too large for the
+            // fit split); skip it rather than failing the whole search.
+            continue;
+          }
+          auto eval = EvaluateForecaster(**model, series, fit_size, cand.window,
+                                         cand.horizon);
+          if (!eval.ok()) continue;
+          auto mse = ts::MSE(eval->predicted, eval->actual);
+          if (!mse.ok()) continue;
+          result.evaluated.push_back({cand, *mse});
+        }
+      }
+    }
+  }
+  if (result.evaluated.empty()) {
+    return Status::InvalidArgument("GridSearch: no feasible grid point");
+  }
+  std::sort(result.evaluated.begin(), result.evaluated.end(),
+            [](const GridPoint& a, const GridPoint& b) {
+              return a.validation_mse < b.validation_mse;
+            });
+  result.best = result.evaluated.front().options;
+  result.best_mse = result.evaluated.front().validation_mse;
+  return result;
+}
+
+StatusOr<GridSearchResult> GridSearch(const std::string& model_name,
+                                      const std::vector<double>& series,
+                                      const ForecasterOptions& base,
+                                      const ParameterGrid& grid,
+                                      const GridSearchOptions& opts) {
+  return GridSearch(
+      [&model_name](const ForecasterOptions& o) {
+        return MakeForecaster(model_name, o);
+      },
+      series, base, grid, opts);
+}
+
+}  // namespace dbaugur::models

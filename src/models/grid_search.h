@@ -1,0 +1,60 @@
+// Grid search for forecaster hyper-parameters (paper §VI-A: "The parameters
+// of each model are determined by Grid Search"). Splits the training series
+// into fit/validation portions, trains one model per grid point, and returns
+// the configuration with the lowest validation MSE.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "models/forecaster.h"
+
+namespace dbaugur::models {
+
+/// The grid: candidate values per tunable dimension; empty dimension keeps
+/// the base option's value.
+struct ParameterGrid {
+  std::vector<size_t> windows;
+  std::vector<size_t> epochs;
+  std::vector<double> learning_rates;
+  std::vector<size_t> batch_sizes;
+};
+
+/// One evaluated grid point.
+struct GridPoint {
+  ForecasterOptions options;
+  double validation_mse = 0.0;
+};
+
+/// Grid-search configuration.
+struct GridSearchOptions {
+  double validation_fraction = 0.25;  ///< Tail of the series held out.
+};
+
+/// Result: the winner plus every evaluated point (sorted by MSE ascending).
+struct GridSearchResult {
+  ForecasterOptions best;
+  double best_mse = 0.0;
+  std::vector<GridPoint> evaluated;
+};
+
+/// Builds a model per grid point via `factory` (typically MakeForecaster
+/// bound to a model name), trains on the head of `series`, and scores
+/// one-shot predictions over the validation tail. The horizon/seed of `base`
+/// are preserved.
+StatusOr<GridSearchResult> GridSearch(
+    const std::function<StatusOr<std::unique_ptr<Forecaster>>(
+        const ForecasterOptions&)>& factory,
+    const std::vector<double>& series, const ForecasterOptions& base,
+    const ParameterGrid& grid, const GridSearchOptions& opts = {});
+
+/// Convenience overload for registry models ("LR", "TCN", ...).
+StatusOr<GridSearchResult> GridSearch(const std::string& model_name,
+                                      const std::vector<double>& series,
+                                      const ForecasterOptions& base,
+                                      const ParameterGrid& grid,
+                                      const GridSearchOptions& opts = {});
+
+}  // namespace dbaugur::models

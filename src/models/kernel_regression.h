@@ -1,0 +1,45 @@
+// Nadaraya–Watson kernel regression (QB5000's "KR" member): the forecast is a
+// Gaussian-kernel-weighted average of training targets whose condition
+// windows are close to the query window.
+
+#pragma once
+
+#include "models/forecaster.h"
+
+namespace dbaugur::models {
+
+/// KR-specific knobs.
+struct KernelRegressionOptions {
+  /// Bandwidth; <= 0 selects the median-heuristic bandwidth at fit time.
+  double bandwidth = -1.0;
+  /// Cap on stored training samples (uniform subsample beyond this).
+  size_t max_samples = 2000;
+};
+
+class KernelRegressionForecaster : public Forecaster {
+ public:
+  KernelRegressionForecaster(const ForecasterOptions& opts,
+                             const KernelRegressionOptions& kr)
+      : opts_(opts), kr_(kr) {}
+  explicit KernelRegressionForecaster(const ForecasterOptions& opts)
+      : KernelRegressionForecaster(opts, KernelRegressionOptions{}) {}
+
+  Status Fit(const std::vector<double>& series) override;
+  StatusOr<double> Predict(const std::vector<double>& window) const override;
+  std::string name() const override { return "KR"; }
+  int64_t StorageBytes() const override;
+
+  double bandwidth() const { return bandwidth_; }
+  size_t stored_samples() const { return targets_.size(); }
+
+ private:
+  ForecasterOptions opts_;
+  KernelRegressionOptions kr_;
+  std::vector<std::vector<double>> windows_;
+  std::vector<double> targets_;
+  double bandwidth_ = 1.0;
+  double fallback_ = 0.0;  // mean target, used when all kernel weights vanish
+  bool fitted_ = false;
+};
+
+}  // namespace dbaugur::models

@@ -1,0 +1,90 @@
+#include "models/lstm_forecaster.h"
+
+#include "models/neural_common.h"
+#include "nn/loss.h"
+#include "nn/serialize.h"
+
+namespace dbaugur::models {
+
+LstmForecaster::LstmForecaster(const ForecasterOptions& opts,
+                               const LstmOptions& lstm)
+    : opts_(opts),
+      lstm_opts_(lstm),
+      rng_(opts.seed),
+      lstm_(1, lstm.hidden, &rng_),
+      head_(lstm.hidden, 1, nn::Activation::kIdentity, &rng_),
+      adam_(opts.learning_rate) {}
+
+Status LstmForecaster::PrepareTraining(const std::vector<double>& series) {
+  auto ds = BuildScaledDataset(series, opts_);
+  if (!ds.ok()) return ds.status();
+  scaler_ = ds->scaler;
+  train_samples_ = std::move(ds->samples);
+  return Status::OK();
+}
+
+Status LstmForecaster::TrainEpoch() {
+  if (train_samples_.empty()) {
+    return Status::FailedPrecondition("LSTM: PrepareTraining not called");
+  }
+  std::vector<size_t> order = rng_.Permutation(train_samples_.size());
+  std::vector<nn::Param> params = lstm_.Params();
+  for (auto& p : head_.Params()) params.push_back(p);
+  for (size_t begin = 0; begin < order.size(); begin += opts_.batch_size) {
+    size_t count = std::min(opts_.batch_size, order.size() - begin);
+    nn::Matrix xb = BatchWindows(train_samples_, order, begin, count);
+    nn::Matrix y = BatchTargets(train_samples_, order, begin, count);
+    std::vector<nn::Matrix> xs = ToTimeMajor(xb);
+    std::vector<nn::Matrix> hs = lstm_.ForwardSequence(xs);
+    nn::Matrix pred = head_.Forward(hs.back());
+    nn::Matrix grad;
+    nn::MSELoss(pred, y, &grad);
+    for (auto& p : params) p.grad->Fill(0.0);
+    nn::Matrix dh_last = head_.Backward(grad);
+    std::vector<nn::Matrix> grad_hs(hs.size(), nn::Matrix(count, lstm_opts_.hidden));
+    grad_hs.back() = dh_last;
+    lstm_.BackwardSequence(grad_hs);
+    nn::ClipGradNorm(params, opts_.grad_clip);
+    adam_.Step(params);
+  }
+  return Status::OK();
+}
+
+Status LstmForecaster::Fit(const std::vector<double>& series) {
+  DBAUGUR_RETURN_IF_ERROR(PrepareTraining(series));
+  for (size_t e = 0; e < opts_.epochs; ++e) {
+    DBAUGUR_RETURN_IF_ERROR(TrainEpoch());
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<double> LstmForecaster::Predict(
+    const std::vector<double>& window) const {
+  if (!fitted_) return Status::FailedPrecondition("LSTM: Fit not called");
+  if (window.size() != opts_.window) {
+    return Status::InvalidArgument("LSTM: window size mismatch");
+  }
+  std::vector<nn::Matrix> xs(window.size(), nn::Matrix(1, 1));
+  for (size_t t = 0; t < window.size(); ++t) {
+    xs[t](0, 0) = scaler_.Transform(window[t]);
+  }
+  std::vector<nn::Matrix> hs = lstm_.ForwardSequence(xs);
+  nn::Matrix pred = head_.Forward(hs.back());
+  return scaler_.Inverse(pred(0, 0));
+}
+
+int64_t LstmForecaster::StorageBytes() const {
+  std::vector<nn::Param> params = lstm_.Params();
+  for (auto& p : head_.Params()) params.push_back(p);
+  return nn::StorageBytes(params);
+}
+
+int64_t LstmForecaster::ParameterCount() const {
+  int64_t n = 0;
+  for (auto& p : lstm_.Params()) n += static_cast<int64_t>(p.value->size());
+  n += head_.ParameterCount();
+  return n;
+}
+
+}  // namespace dbaugur::models

@@ -1,0 +1,48 @@
+// LSTM forecaster baseline (paper setup: input length 30, hidden/output
+// dimension 16, dense head producing the final value).
+
+#pragma once
+
+#include "common/rng.h"
+#include "models/forecaster.h"
+#include "nn/dense.h"
+#include "nn/lstm.h"
+#include "nn/optimizer.h"
+#include "ts/scaler.h"
+#include "ts/window_dataset.h"
+
+namespace dbaugur::models {
+
+/// LSTM-specific sizes.
+struct LstmOptions {
+  size_t hidden = 16;
+};
+
+class LstmForecaster : public Forecaster {
+ public:
+  LstmForecaster(const ForecasterOptions& opts, const LstmOptions& lstm);
+  explicit LstmForecaster(const ForecasterOptions& opts)
+      : LstmForecaster(opts, LstmOptions{}) {}
+
+  Status Fit(const std::vector<double>& series) override;
+  StatusOr<double> Predict(const std::vector<double>& window) const override;
+  std::string name() const override { return "LSTM"; }
+  int64_t StorageBytes() const override;
+  int64_t ParameterCount() const override;
+
+  Status PrepareTraining(const std::vector<double>& series);
+  Status TrainEpoch();
+
+ private:
+  ForecasterOptions opts_;
+  LstmOptions lstm_opts_;
+  mutable Rng rng_;
+  mutable nn::LSTM lstm_;
+  mutable nn::Dense head_;
+  nn::Adam adam_;
+  ts::MinMaxScaler scaler_;
+  std::vector<ts::WindowSample> train_samples_;
+  bool fitted_ = false;
+};
+
+}  // namespace dbaugur::models

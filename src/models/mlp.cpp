@@ -1,0 +1,88 @@
+#include "models/mlp.h"
+
+#include "models/neural_common.h"
+#include "nn/loss.h"
+#include "nn/serialize.h"
+
+namespace dbaugur::models {
+
+MlpForecaster::MlpForecaster(const ForecasterOptions& opts,
+                             const MlpOptions& mlp)
+    : opts_(opts),
+      mlp_(mlp),
+      rng_(opts.seed),
+      l1_(opts.window, mlp.hidden1, nn::Activation::kRelu, &rng_),
+      l2_(mlp.hidden1, mlp.hidden2, nn::Activation::kRelu, &rng_),
+      l3_(mlp.hidden2, 1, nn::Activation::kIdentity, &rng_),
+      adam_(opts.learning_rate) {}
+
+Status MlpForecaster::PrepareTraining(const std::vector<double>& series) {
+  auto ds = BuildScaledDataset(series, opts_);
+  if (!ds.ok()) return ds.status();
+  scaler_ = ds->scaler;
+  train_samples_ = std::move(ds->samples);
+  return Status::OK();
+}
+
+Status MlpForecaster::TrainEpoch() {
+  if (train_samples_.empty()) {
+    return Status::FailedPrecondition("MLP: PrepareTraining not called");
+  }
+  std::vector<size_t> order = rng_.Permutation(train_samples_.size());
+  std::vector<nn::Param> params = l1_.Params();
+  for (auto& p : l2_.Params()) params.push_back(p);
+  for (auto& p : l3_.Params()) params.push_back(p);
+  for (size_t begin = 0; begin < order.size(); begin += opts_.batch_size) {
+    size_t count = std::min(opts_.batch_size, order.size() - begin);
+    nn::Matrix x = BatchWindows(train_samples_, order, begin, count);
+    nn::Matrix y = BatchTargets(train_samples_, order, begin, count);
+    nn::Matrix pred = l3_.Forward(l2_.Forward(l1_.Forward(x)));
+    nn::Matrix grad;
+    nn::MSELoss(pred, y, &grad);
+    for (auto& p : params) p.grad->Fill(0.0);
+    l1_.Backward(l2_.Backward(l3_.Backward(grad)));
+    nn::ClipGradNorm(params, opts_.grad_clip);
+    adam_.Step(params);
+  }
+  return Status::OK();
+}
+
+Status MlpForecaster::Fit(const std::vector<double>& series) {
+  DBAUGUR_RETURN_IF_ERROR(PrepareTraining(series));
+  for (size_t e = 0; e < opts_.epochs; ++e) {
+    DBAUGUR_RETURN_IF_ERROR(TrainEpoch());
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+nn::Matrix MlpForecaster::ForwardBatch(const nn::Matrix& x) const {
+  return l3_.Forward(l2_.Forward(l1_.Forward(x)));
+}
+
+StatusOr<double> MlpForecaster::Predict(
+    const std::vector<double>& window) const {
+  if (!fitted_) return Status::FailedPrecondition("MLP: Fit not called");
+  if (window.size() != opts_.window) {
+    return Status::InvalidArgument("MLP: window size mismatch");
+  }
+  nn::Matrix x(1, opts_.window);
+  for (size_t j = 0; j < window.size(); ++j) {
+    x(0, j) = scaler_.Transform(window[j]);
+  }
+  nn::Matrix pred = ForwardBatch(x);
+  return scaler_.Inverse(pred(0, 0));
+}
+
+int64_t MlpForecaster::StorageBytes() const {
+  std::vector<nn::Param> params = l1_.Params();
+  for (auto& p : l2_.Params()) params.push_back(p);
+  for (auto& p : l3_.Params()) params.push_back(p);
+  return nn::StorageBytes(params);
+}
+
+int64_t MlpForecaster::ParameterCount() const {
+  return l1_.ParameterCount() + l2_.ParameterCount() + l3_.ParameterCount();
+}
+
+}  // namespace dbaugur::models

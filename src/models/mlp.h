@@ -1,0 +1,53 @@
+// MLP forecaster (the paper's short-term "local view" model): two hidden
+// layers of 32 and 16 ReLU units over the raw condition window.
+
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "models/forecaster.h"
+#include "nn/dense.h"
+#include "nn/optimizer.h"
+#include "ts/scaler.h"
+#include "ts/window_dataset.h"
+
+namespace dbaugur::models {
+
+/// MLP-specific sizes (paper: 32 and 16 units).
+struct MlpOptions {
+  size_t hidden1 = 32;
+  size_t hidden2 = 16;
+};
+
+class MlpForecaster : public Forecaster {
+ public:
+  MlpForecaster(const ForecasterOptions& opts, const MlpOptions& mlp);
+  explicit MlpForecaster(const ForecasterOptions& opts)
+      : MlpForecaster(opts, MlpOptions{}) {}
+
+  Status Fit(const std::vector<double>& series) override;
+  StatusOr<double> Predict(const std::vector<double>& window) const override;
+  std::string name() const override { return "MLP"; }
+  int64_t StorageBytes() const override;
+  int64_t ParameterCount() const override;
+
+  /// Runs exactly one training epoch (used by Table II timing); Fit must have
+  /// prepared the dataset via PrepareTraining or a prior Fit call.
+  Status PrepareTraining(const std::vector<double>& series);
+  Status TrainEpoch();
+
+ private:
+  nn::Matrix ForwardBatch(const nn::Matrix& x) const;
+
+  ForecasterOptions opts_;
+  MlpOptions mlp_;
+  mutable Rng rng_;
+  mutable nn::Dense l1_, l2_, l3_;
+  nn::Adam adam_;
+  ts::MinMaxScaler scaler_;
+  std::vector<ts::WindowSample> train_samples_;
+  bool fitted_ = false;
+};
+
+}  // namespace dbaugur::models

@@ -1,0 +1,56 @@
+#include "models/neural_common.h"
+
+namespace dbaugur::models {
+
+StatusOr<ScaledDataset> BuildScaledDataset(const std::vector<double>& series,
+                                           const ForecasterOptions& opts) {
+  ScaledDataset out;
+  DBAUGUR_RETURN_IF_ERROR(out.scaler.Fit(series));
+  std::vector<double> scaled = out.scaler.Transform(series);
+  ts::WindowDatasetOptions wopts{opts.window, opts.horizon, 1};
+  auto samples = ts::MakeWindows(scaled, wopts);
+  if (!samples.ok()) return samples.status();
+  out.samples = std::move(samples).value();
+  return out;
+}
+
+nn::Matrix BatchWindows(const std::vector<ts::WindowSample>& samples,
+                        const std::vector<size_t>& idx, size_t begin,
+                        size_t count) {
+  size_t t = samples.empty() ? 0 : samples[0].window.size();
+  nn::Matrix m(count, t);
+  for (size_t r = 0; r < count; ++r) {
+    const auto& w = samples[idx[begin + r]].window;
+    for (size_t j = 0; j < t; ++j) m(r, j) = w[j];
+  }
+  return m;
+}
+
+nn::Matrix BatchTargets(const std::vector<ts::WindowSample>& samples,
+                        const std::vector<size_t>& idx, size_t begin,
+                        size_t count) {
+  nn::Matrix m(count, 1);
+  for (size_t r = 0; r < count; ++r) {
+    m(r, 0) = samples[idx[begin + r]].target;
+  }
+  return m;
+}
+
+std::vector<nn::Matrix> ToTimeMajor(const nn::Matrix& batch) {
+  std::vector<nn::Matrix> xs(batch.cols(), nn::Matrix(batch.rows(), 1));
+  for (size_t t = 0; t < batch.cols(); ++t) {
+    for (size_t r = 0; r < batch.rows(); ++r) xs[t](r, 0) = batch(r, t);
+  }
+  return xs;
+}
+
+nn::Tensor3 ToTensor3(const nn::Matrix& batch) {
+  nn::Tensor3 t(batch.rows(), 1, batch.cols());
+  for (size_t r = 0; r < batch.rows(); ++r) {
+    double* lane = t.lane(r, 0);
+    for (size_t j = 0; j < batch.cols(); ++j) lane[j] = batch(r, j);
+  }
+  return t;
+}
+
+}  // namespace dbaugur::models

@@ -1,0 +1,43 @@
+// Shared plumbing for the neural forecasters: min-max-scaled sliding-window
+// datasets and batch assembly in the layouts the nn substrate expects.
+
+#pragma once
+
+#include <vector>
+
+#include "models/forecaster.h"
+#include "nn/matrix.h"
+#include "ts/scaler.h"
+#include "ts/window_dataset.h"
+
+namespace dbaugur::models {
+
+/// Window samples in [0,1] scale plus the scaler that maps back to raw scale.
+struct ScaledDataset {
+  std::vector<ts::WindowSample> samples;
+  ts::MinMaxScaler scaler;
+};
+
+/// Fits a MinMaxScaler on `series` and extracts scaled (window, target) pairs.
+StatusOr<ScaledDataset> BuildScaledDataset(const std::vector<double>& series,
+                                           const ForecasterOptions& opts);
+
+/// Packs selected samples' windows into a [batch, T] matrix.
+nn::Matrix BatchWindows(const std::vector<ts::WindowSample>& samples,
+                        const std::vector<size_t>& idx, size_t begin,
+                        size_t count);
+
+/// Packs selected samples' targets into a [batch, 1] matrix.
+nn::Matrix BatchTargets(const std::vector<ts::WindowSample>& samples,
+                        const std::vector<size_t>& idx, size_t begin,
+                        size_t count);
+
+/// Converts a [batch, T] matrix into a time-major sequence of [batch, 1]
+/// matrices for recurrent layers.
+std::vector<nn::Matrix> ToTimeMajor(const nn::Matrix& batch);
+
+/// Converts a [batch, T] matrix into a [batch, 1 channel, T] tensor for
+/// convolutional layers.
+nn::Tensor3 ToTensor3(const nn::Matrix& batch);
+
+}  // namespace dbaugur::models

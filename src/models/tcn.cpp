@@ -1,0 +1,129 @@
+#include "models/tcn.h"
+
+#include "models/neural_common.h"
+#include "nn/loss.h"
+#include "nn/serialize.h"
+
+namespace dbaugur::models {
+
+TcnForecaster::TcnForecaster(const ForecasterOptions& opts,
+                             const TcnOptions& tcn)
+    : opts_(opts),
+      tcn_opts_(tcn),
+      rng_(opts.seed),
+      head_(tcn.channels, 1, nn::Activation::kIdentity, &rng_),
+      adam_(opts.learning_rate) {
+  size_t in_ch = 1;
+  for (size_t d : tcn_opts_.dilations) {
+    blocks_.push_back(std::make_unique<nn::TCNBlock>(
+        in_ch, tcn_opts_.channels, tcn_opts_.kernel, d, &rng_));
+    in_ch = tcn_opts_.channels;
+  }
+}
+
+size_t TcnForecaster::ReceptiveField() const {
+  size_t sum = 0;
+  for (size_t d : tcn_opts_.dilations) sum += d;
+  return 1 + (tcn_opts_.kernel - 1) * 2 * sum;
+}
+
+std::vector<nn::Param> TcnForecaster::AllParams() const {
+  std::vector<nn::Param> params;
+  for (auto& b : blocks_) {
+    for (auto& p : b->Params()) params.push_back(p);
+  }
+  for (auto& p : head_.Params()) params.push_back(p);
+  return params;
+}
+
+Status TcnForecaster::PrepareTraining(const std::vector<double>& series) {
+  auto ds = BuildScaledDataset(series, opts_);
+  if (!ds.ok()) return ds.status();
+  scaler_ = ds->scaler;
+  train_samples_ = std::move(ds->samples);
+  return Status::OK();
+}
+
+Status TcnForecaster::TrainEpoch() {
+  if (train_samples_.empty()) {
+    return Status::FailedPrecondition("TCN: PrepareTraining not called");
+  }
+  std::vector<size_t> order = rng_.Permutation(train_samples_.size());
+  std::vector<nn::Param> params = AllParams();
+  for (size_t begin = 0; begin < order.size(); begin += opts_.batch_size) {
+    size_t count = std::min(opts_.batch_size, order.size() - begin);
+    nn::Matrix xb = BatchWindows(train_samples_, order, begin, count);
+    nn::Matrix y = BatchTargets(train_samples_, order, begin, count);
+    nn::Tensor3 t = ToTensor3(xb);
+    for (auto& b : blocks_) t = b->Forward(t);
+    // Head reads the final time step across channels.
+    size_t last = t.time() - 1;
+    nn::Matrix feats(count, tcn_opts_.channels);
+    for (size_t r = 0; r < count; ++r) {
+      for (size_t c = 0; c < tcn_opts_.channels; ++c) {
+        feats(r, c) = t(r, c, last);
+      }
+    }
+    nn::Matrix pred = head_.Forward(feats);
+    nn::Matrix grad;
+    nn::MSELoss(pred, y, &grad);
+    for (auto& p : params) p.grad->Fill(0.0);
+    nn::Matrix dfeats = head_.Backward(grad);
+    nn::Tensor3 dt(count, tcn_opts_.channels, t.time());
+    for (size_t r = 0; r < count; ++r) {
+      for (size_t c = 0; c < tcn_opts_.channels; ++c) {
+        dt(r, c, last) = dfeats(r, c);
+      }
+    }
+    for (size_t b = blocks_.size(); b-- > 0;) dt = blocks_[b]->Backward(dt);
+    nn::ClipGradNorm(params, opts_.grad_clip);
+    adam_.Step(params);
+  }
+  return Status::OK();
+}
+
+Status TcnForecaster::Fit(const std::vector<double>& series) {
+  DBAUGUR_RETURN_IF_ERROR(PrepareTraining(series));
+  for (size_t e = 0; e < opts_.epochs; ++e) {
+    DBAUGUR_RETURN_IF_ERROR(TrainEpoch());
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+nn::Matrix TcnForecaster::ForwardBatch(const nn::Matrix& xb) const {
+  nn::Tensor3 t = ToTensor3(xb);
+  for (auto& b : blocks_) t = b->Forward(t);
+  size_t last = t.time() - 1;
+  nn::Matrix feats(xb.rows(), tcn_opts_.channels);
+  for (size_t r = 0; r < xb.rows(); ++r) {
+    for (size_t c = 0; c < tcn_opts_.channels; ++c) feats(r, c) = t(r, c, last);
+  }
+  return head_.Forward(feats);
+}
+
+StatusOr<double> TcnForecaster::Predict(
+    const std::vector<double>& window) const {
+  if (!fitted_) return Status::FailedPrecondition("TCN: Fit not called");
+  if (window.size() != opts_.window) {
+    return Status::InvalidArgument("TCN: window size mismatch");
+  }
+  nn::Matrix x(1, opts_.window);
+  for (size_t j = 0; j < window.size(); ++j) {
+    x(0, j) = scaler_.Transform(window[j]);
+  }
+  nn::Matrix pred = ForwardBatch(x);
+  return scaler_.Inverse(pred(0, 0));
+}
+
+int64_t TcnForecaster::StorageBytes() const {
+  return nn::StorageBytes(AllParams());
+}
+
+int64_t TcnForecaster::ParameterCount() const {
+  int64_t n = 0;
+  for (auto& p : AllParams()) n += static_cast<int64_t>(p.value->size());
+  return n;
+}
+
+}  // namespace dbaugur::models

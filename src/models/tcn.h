@@ -1,0 +1,60 @@
+// Temporal Convolutional Network forecaster (paper setup: five residual
+// levels with dilation factors 1, 2, 4, 8, 16) — the ensemble's long-term
+// "global view" member.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "models/forecaster.h"
+#include "nn/conv1d.h"
+#include "nn/dense.h"
+#include "nn/optimizer.h"
+#include "ts/scaler.h"
+#include "ts/window_dataset.h"
+
+namespace dbaugur::models {
+
+/// TCN sizes; dilations default to the paper's 1,2,4,8,16.
+struct TcnOptions {
+  size_t channels = 16;
+  size_t kernel = 2;
+  std::vector<size_t> dilations = {1, 2, 4, 8, 16};
+};
+
+class TcnForecaster : public Forecaster {
+ public:
+  TcnForecaster(const ForecasterOptions& opts, const TcnOptions& tcn);
+  explicit TcnForecaster(const ForecasterOptions& opts)
+      : TcnForecaster(opts, TcnOptions{}) {}
+
+  Status Fit(const std::vector<double>& series) override;
+  StatusOr<double> Predict(const std::vector<double>& window) const override;
+  std::string name() const override { return "TCN"; }
+  int64_t StorageBytes() const override;
+  int64_t ParameterCount() const override;
+
+  Status PrepareTraining(const std::vector<double>& series);
+  Status TrainEpoch();
+
+  /// Receptive field in time steps: 1 + (k-1) * 2 * sum(dilations).
+  size_t ReceptiveField() const;
+
+ private:
+  nn::Matrix ForwardBatch(const nn::Matrix& xb) const;
+  std::vector<nn::Param> AllParams() const;
+
+  ForecasterOptions opts_;
+  TcnOptions tcn_opts_;
+  mutable Rng rng_;
+  mutable std::vector<std::unique_ptr<nn::TCNBlock>> blocks_;
+  mutable nn::Dense head_;
+  nn::Adam adam_;
+  ts::MinMaxScaler scaler_;
+  std::vector<ts::WindowSample> train_samples_;
+  bool fitted_ = false;
+};
+
+}  // namespace dbaugur::models

@@ -1,0 +1,234 @@
+#include "models/wfgan.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "models/neural_common.h"
+#include "nn/loss.h"
+#include "nn/serialize.h"
+
+namespace dbaugur::models {
+
+WfganForecaster::WfganForecaster(const ForecasterOptions& opts,
+                                 const WfganOptions& gan)
+    : opts_(opts),
+      gan_(gan),
+      rng_(opts.seed),
+      g_lstm_(1, gan.hidden, &rng_),
+      g_attn_(gan.hidden, gan.attn_dim, &rng_),
+      g_head_(gan.hidden, 1, nn::Activation::kIdentity, &rng_),
+      d_lstm_(1, gan.hidden, &rng_),
+      d_attn_(gan.hidden, gan.attn_dim, &rng_),
+      d_head_(gan.hidden, 1, nn::Activation::kIdentity, &rng_),
+      g_adam_(opts.learning_rate),
+      d_adam_(opts.learning_rate) {}
+
+std::vector<nn::Param> WfganForecaster::GeneratorParams() const {
+  std::vector<nn::Param> params = g_lstm_.Params();
+  if (gan_.use_attention) {
+    for (auto& p : g_attn_.Params()) params.push_back(p);
+  }
+  for (auto& p : g_head_.Params()) params.push_back(p);
+  return params;
+}
+
+std::vector<nn::Param> WfganForecaster::DiscriminatorParams() const {
+  std::vector<nn::Param> params = d_lstm_.Params();
+  if (gan_.use_attention) {
+    for (auto& p : d_attn_.Params()) params.push_back(p);
+  }
+  for (auto& p : d_head_.Params()) params.push_back(p);
+  return params;
+}
+
+nn::Matrix WfganForecaster::GeneratorForward(
+    const std::vector<nn::Matrix>& xs) const {
+  std::vector<nn::Matrix> hs = g_lstm_.ForwardSequence(xs);
+  nn::Matrix context =
+      gan_.use_attention ? g_attn_.Forward(hs) : hs.back();
+  return g_head_.Forward(context);
+}
+
+void WfganForecaster::GeneratorBackward(const nn::Matrix& grad_pred,
+                                        size_t steps, size_t batch) const {
+  nn::Matrix dcontext = g_head_.Backward(grad_pred);
+  if (gan_.use_attention) {
+    std::vector<nn::Matrix> grad_hs = g_attn_.Backward(dcontext);
+    g_lstm_.BackwardSequence(grad_hs);
+  } else {
+    std::vector<nn::Matrix> grad_hs(steps, nn::Matrix(batch, gan_.hidden));
+    grad_hs.back() = dcontext;
+    g_lstm_.BackwardSequence(grad_hs);
+  }
+}
+
+nn::Matrix WfganForecaster::DiscriminatorForward(
+    const std::vector<nn::Matrix>& xs) const {
+  std::vector<nn::Matrix> hs = d_lstm_.ForwardSequence(xs);
+  nn::Matrix context =
+      gan_.use_attention ? d_attn_.Forward(hs) : hs.back();
+  return d_head_.Forward(context);
+}
+
+std::vector<nn::Matrix> WfganForecaster::DiscriminatorBackward(
+    const nn::Matrix& grad_logit, size_t steps, size_t batch) const {
+  nn::Matrix dcontext = d_head_.Backward(grad_logit);
+  if (gan_.use_attention) {
+    std::vector<nn::Matrix> grad_hs = d_attn_.Backward(dcontext);
+    return d_lstm_.BackwardSequence(grad_hs);
+  }
+  std::vector<nn::Matrix> grad_hs(steps, nn::Matrix(batch, gan_.hidden));
+  grad_hs.back() = dcontext;
+  return d_lstm_.BackwardSequence(grad_hs);
+}
+
+Status WfganForecaster::PrepareTraining(const std::vector<double>& series) {
+  auto ds = BuildScaledDataset(series, opts_);
+  if (!ds.ok()) return ds.status();
+  scaler_ = ds->scaler;
+  train_samples_ = std::move(ds->samples);
+  return Status::OK();
+}
+
+StatusOr<WfganEpochStats> WfganForecaster::TrainEpoch() {
+  if (train_samples_.empty()) {
+    return Status::FailedPrecondition("WFGAN: PrepareTraining not called");
+  }
+  std::vector<size_t> order = rng_.Permutation(train_samples_.size());
+  std::vector<nn::Param> gparams = GeneratorParams();
+  std::vector<nn::Param> dparams = DiscriminatorParams();
+  auto zero = [](std::vector<nn::Param>& ps) {
+    for (auto& p : ps) p.grad->Fill(0.0);
+  };
+  WfganEpochStats stats;
+  size_t batches = 0;
+  for (size_t begin = 0; begin < order.size(); begin += opts_.batch_size) {
+    size_t count = std::min(opts_.batch_size, order.size() - begin);
+    nn::Matrix xb = BatchWindows(train_samples_, order, begin, count);
+    nn::Matrix y = BatchTargets(train_samples_, order, begin, count);
+    std::vector<nn::Matrix> xs = ToTimeMajor(xb);
+
+    if (gan_.adversarial) {
+      // --- D-steps (Algorithm 2, lines 5-7): fake forecasts are detached.
+      nn::Matrix fake = GeneratorForward(xs);
+      std::vector<nn::Matrix> xs_real = xs;
+      xs_real.push_back(y);
+      std::vector<nn::Matrix> xs_fake = xs;
+      xs_fake.push_back(fake);
+      nn::Matrix real_labels(count, 1, gan_.real_label);
+      nn::Matrix fake_labels(count, 1, 0.0);
+      for (size_t s = 0; s < gan_.d_steps; ++s) {
+        zero(dparams);
+        nn::Matrix real_logits = DiscriminatorForward(xs_real);
+        nn::Matrix grad_real;
+        double loss_real =
+            nn::BCEWithLogitsLoss(real_logits, real_labels, &grad_real);
+        DiscriminatorBackward(grad_real, xs_real.size(), count);
+        nn::Matrix fake_logits = DiscriminatorForward(xs_fake);
+        nn::Matrix grad_fake;
+        double loss_fake =
+            nn::BCEWithLogitsLoss(fake_logits, fake_labels, &grad_fake);
+        DiscriminatorBackward(grad_fake, xs_fake.size(), count);
+        nn::ClipGradNorm(dparams, opts_.grad_clip);
+        d_adam_.Step(dparams);
+        stats.d_loss += loss_real + loss_fake;
+      }
+    }
+
+    // --- G-steps (Algorithm 2, lines 8-10) plus the supervised MSE term.
+    for (size_t s = 0; s < gan_.g_steps; ++s) {
+      zero(gparams);
+      nn::Matrix fake = GeneratorForward(xs);
+      nn::Matrix grad_pred(count, 1, 0.0);
+
+      nn::Matrix mse_grad;
+      double mse = nn::MSELoss(fake, y, &mse_grad);
+      grad_pred.AddScaled(mse_grad, gan_.supervised_weight);
+      stats.g_mse += mse;
+
+      if (gan_.adversarial) {
+        std::vector<nn::Matrix> xs_fake = xs;
+        xs_fake.push_back(fake);
+        zero(dparams);  // D grads from this pass are discarded below.
+        nn::Matrix fake_logits = DiscriminatorForward(xs_fake);
+        nn::Matrix grad_logit;
+        double adv = gan_.saturating_g_loss
+                         ? nn::GeneratorGanLossSaturating(fake_logits, &grad_logit)
+                         : nn::GeneratorGanLoss(fake_logits, &grad_logit);
+        stats.g_adv += adv;
+        std::vector<nn::Matrix> dxs =
+            DiscriminatorBackward(grad_logit, xs_fake.size(), count);
+        grad_pred.AddScaled(dxs.back(), gan_.adversarial_weight);
+        zero(dparams);
+      }
+
+      GeneratorBackward(grad_pred, xs.size(), count);
+      nn::ClipGradNorm(gparams, opts_.grad_clip);
+      g_adam_.Step(gparams);
+    }
+    ++batches;
+  }
+  if (batches > 0) {
+    stats.d_loss /= static_cast<double>(batches * std::max<size_t>(1, gan_.d_steps));
+    stats.g_adv /= static_cast<double>(batches * gan_.g_steps);
+    stats.g_mse /= static_cast<double>(batches * gan_.g_steps);
+  }
+  last_stats_ = stats;
+  return stats;
+}
+
+Status WfganForecaster::Fit(const std::vector<double>& series) {
+  DBAUGUR_RETURN_IF_ERROR(PrepareTraining(series));
+  for (size_t e = 0; e < opts_.epochs; ++e) {
+    auto st = TrainEpoch();
+    if (!st.ok()) return st.status();
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<double> WfganForecaster::Predict(
+    const std::vector<double>& window) const {
+  if (!fitted_) return Status::FailedPrecondition("WFGAN: Fit not called");
+  if (window.size() != opts_.window) {
+    return Status::InvalidArgument("WFGAN: window size mismatch");
+  }
+  std::vector<nn::Matrix> xs(window.size(), nn::Matrix(1, 1));
+  for (size_t t = 0; t < window.size(); ++t) {
+    xs[t](0, 0) = scaler_.Transform(window[t]);
+  }
+  nn::Matrix pred = GeneratorForward(xs);
+  return scaler_.Inverse(pred(0, 0));
+}
+
+StatusOr<double> WfganForecaster::DiscriminatorScore(
+    const std::vector<double>& window, double value) const {
+  if (!fitted_) return Status::FailedPrecondition("WFGAN: Fit not called");
+  if (window.size() != opts_.window) {
+    return Status::InvalidArgument("WFGAN: window size mismatch");
+  }
+  std::vector<nn::Matrix> xs(window.size() + 1, nn::Matrix(1, 1));
+  for (size_t t = 0; t < window.size(); ++t) {
+    xs[t](0, 0) = scaler_.Transform(window[t]);
+  }
+  xs.back()(0, 0) = scaler_.Transform(value);
+  nn::Matrix logit = DiscriminatorForward(xs);
+  return Sigmoid(logit(0, 0));
+}
+
+int64_t WfganForecaster::StorageBytes() const {
+  std::vector<nn::Param> params = GeneratorParams();
+  for (auto& p : DiscriminatorParams()) params.push_back(p);
+  return nn::StorageBytes(params);
+}
+
+int64_t WfganForecaster::ParameterCount() const {
+  int64_t n = 0;
+  for (auto& p : GeneratorParams()) n += static_cast<int64_t>(p.value->size());
+  for (auto& p : DiscriminatorParams()) {
+    n += static_cast<int64_t>(p.value->size());
+  }
+  return n;
+}
+
+}  // namespace dbaugur::models

@@ -1,0 +1,234 @@
+#include "models/wfgan_multitask.h"
+
+#include <algorithm>
+
+#include "models/neural_common.h"
+#include "nn/loss.h"
+
+namespace dbaugur::models {
+
+MultiTaskWfgan::MultiTaskWfgan(const ForecasterOptions& opts,
+                               const WfganOptions& gan)
+    : opts_(opts),
+      gan_(gan),
+      rng_(opts.seed),
+      shared_lstm_(1, gan.hidden, &rng_),
+      g_adam_(opts.learning_rate),
+      d_adams_{nn::Adam(opts.learning_rate), nn::Adam(opts.learning_rate)} {
+  for (auto& t : tasks_) {
+    t.attn = std::make_unique<nn::TemporalAttention>(gan.hidden, gan.attn_dim,
+                                                     &rng_);
+    t.head = std::make_unique<nn::Dense>(gan.hidden, 1,
+                                         nn::Activation::kIdentity, &rng_);
+    t.d_lstm = std::make_unique<nn::LSTM>(1, gan.hidden, &rng_);
+    t.d_attn = std::make_unique<nn::TemporalAttention>(gan.hidden,
+                                                       gan.attn_dim, &rng_);
+    t.d_head = std::make_unique<nn::Dense>(gan.hidden, 1,
+                                           nn::Activation::kIdentity, &rng_);
+  }
+}
+
+nn::Matrix MultiTaskWfgan::GenForward(TaskNet& t,
+                                      const std::vector<nn::Matrix>& xs) const {
+  std::vector<nn::Matrix> hs = shared_lstm_.ForwardSequence(xs);
+  nn::Matrix context = gan_.use_attention ? t.attn->Forward(hs) : hs.back();
+  return t.head->Forward(context);
+}
+
+void MultiTaskWfgan::GenBackward(TaskNet& t, const nn::Matrix& grad_pred,
+                                 size_t steps, size_t batch) const {
+  nn::Matrix dcontext = t.head->Backward(grad_pred);
+  if (gan_.use_attention) {
+    shared_lstm_.BackwardSequence(t.attn->Backward(dcontext));
+  } else {
+    std::vector<nn::Matrix> grad_hs(steps, nn::Matrix(batch, gan_.hidden));
+    grad_hs.back() = dcontext;
+    shared_lstm_.BackwardSequence(grad_hs);
+  }
+}
+
+nn::Matrix MultiTaskWfgan::DiscForward(TaskNet& t,
+                                       const std::vector<nn::Matrix>& xs) const {
+  std::vector<nn::Matrix> hs = t.d_lstm->ForwardSequence(xs);
+  nn::Matrix context = gan_.use_attention ? t.d_attn->Forward(hs) : hs.back();
+  return t.d_head->Forward(context);
+}
+
+std::vector<nn::Matrix> MultiTaskWfgan::DiscBackward(TaskNet& t,
+                                                     const nn::Matrix& grad,
+                                                     size_t steps,
+                                                     size_t batch) const {
+  nn::Matrix dcontext = t.d_head->Backward(grad);
+  if (gan_.use_attention) {
+    return t.d_lstm->BackwardSequence(t.d_attn->Backward(dcontext));
+  }
+  std::vector<nn::Matrix> grad_hs(steps, nn::Matrix(batch, gan_.hidden));
+  grad_hs.back() = dcontext;
+  return t.d_lstm->BackwardSequence(grad_hs);
+}
+
+std::vector<nn::Param> MultiTaskWfgan::TaskGenParams(TaskNet& t) const {
+  std::vector<nn::Param> params;
+  if (gan_.use_attention) {
+    for (auto& p : t.attn->Params()) params.push_back(p);
+  }
+  for (auto& p : t.head->Params()) params.push_back(p);
+  return params;
+}
+
+std::vector<nn::Param> MultiTaskWfgan::DiscParams(TaskNet& t) const {
+  std::vector<nn::Param> params = t.d_lstm->Params();
+  if (gan_.use_attention) {
+    for (auto& p : t.d_attn->Params()) params.push_back(p);
+  }
+  for (auto& p : t.d_head->Params()) params.push_back(p);
+  return params;
+}
+
+Status MultiTaskWfgan::Fit(const std::vector<double>& query_series,
+                           const std::vector<double>& resource_series) {
+  {
+    auto ds = BuildScaledDataset(query_series, opts_);
+    if (!ds.ok()) return ds.status();
+    tasks_[0].scaler = ds->scaler;
+    tasks_[0].samples = std::move(ds->samples);
+  }
+  {
+    auto ds = BuildScaledDataset(resource_series, opts_);
+    if (!ds.ok()) return ds.status();
+    tasks_[1].scaler = ds->scaler;
+    tasks_[1].samples = std::move(ds->samples);
+  }
+  for (size_t e = 0; e < opts_.epochs; ++e) {
+    DBAUGUR_RETURN_IF_ERROR(TrainEpoch());
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status MultiTaskWfgan::TrainEpoch() {
+  auto zero = [](std::vector<nn::Param> ps) {
+    for (auto& p : ps) p.grad->Fill(0.0);
+  };
+  // Combined generator parameter set: shared trunk + both task heads.
+  std::vector<nn::Param> gparams = shared_lstm_.Params();
+  for (auto& t : tasks_) {
+    for (auto& p : TaskGenParams(t)) gparams.push_back(p);
+  }
+
+  std::array<std::vector<size_t>, 2> orders = {
+      rng_.Permutation(tasks_[0].samples.size()),
+      rng_.Permutation(tasks_[1].samples.size())};
+  size_t batches = std::min(orders[0].size(), orders[1].size()) /
+                   std::max<size_t>(1, opts_.batch_size);
+  if (batches == 0) return Status::InvalidArgument("MTL: not enough samples");
+
+  for (size_t bidx = 0; bidx < batches; ++bidx) {
+    size_t begin = bidx * opts_.batch_size;
+    // Per-task minibatch tensors.
+    std::array<std::vector<nn::Matrix>, 2> xs;
+    std::array<nn::Matrix, 2> ys;
+    for (size_t ti = 0; ti < 2; ++ti) {
+      size_t count =
+          std::min(opts_.batch_size, orders[ti].size() - begin);
+      nn::Matrix xb = BatchWindows(tasks_[ti].samples, orders[ti], begin, count);
+      ys[ti] = BatchTargets(tasks_[ti].samples, orders[ti], begin, count);
+      xs[ti] = ToTimeMajor(xb);
+    }
+
+    // D-steps per task with detached fakes.
+    if (gan_.adversarial) {
+      for (size_t ti = 0; ti < 2; ++ti) {
+        TaskNet& t = tasks_[ti];
+        size_t count = ys[ti].rows();
+        nn::Matrix fake = GenForward(t, xs[ti]);
+        std::vector<nn::Matrix> xs_real = xs[ti];
+        xs_real.push_back(ys[ti]);
+        std::vector<nn::Matrix> xs_fake = xs[ti];
+        xs_fake.push_back(fake);
+        std::vector<nn::Param> dparams = DiscParams(t);
+        zero(dparams);
+        nn::Matrix real_labels(count, 1, gan_.real_label);
+        nn::Matrix fake_labels(count, 1, 0.0);
+        nn::Matrix grad_real, grad_fake;
+        nn::BCEWithLogitsLoss(DiscForward(t, xs_real), real_labels, &grad_real);
+        DiscBackward(t, grad_real, xs_real.size(), count);
+        nn::BCEWithLogitsLoss(DiscForward(t, xs_fake), fake_labels, &grad_fake);
+        DiscBackward(t, grad_fake, xs_fake.size(), count);
+        nn::ClipGradNorm(dparams, opts_.grad_clip);
+        d_adams_[ti].Step(dparams);
+      }
+    }
+
+    // Joint G-step: both tasks' gradients accumulate into the shared trunk
+    // before one optimizer update (multi-task learning).
+    zero(gparams);
+    for (size_t ti = 0; ti < 2; ++ti) {
+      TaskNet& t = tasks_[ti];
+      size_t count = ys[ti].rows();
+      nn::Matrix fake = GenForward(t, xs[ti]);
+      nn::Matrix grad_pred(count, 1, 0.0);
+      nn::Matrix mse_grad;
+      nn::MSELoss(fake, ys[ti], &mse_grad);
+      grad_pred.AddScaled(mse_grad, gan_.supervised_weight);
+      if (gan_.adversarial) {
+        std::vector<nn::Matrix> xs_fake = xs[ti];
+        xs_fake.push_back(fake);
+        std::vector<nn::Param> dparams = DiscParams(t);
+        nn::Matrix grad_logit;
+        nn::Matrix fake_logits = DiscForward(t, xs_fake);
+        if (gan_.saturating_g_loss) {
+          nn::GeneratorGanLossSaturating(fake_logits, &grad_logit);
+        } else {
+          nn::GeneratorGanLoss(fake_logits, &grad_logit);
+        }
+        std::vector<nn::Matrix> dxs =
+            DiscBackward(t, grad_logit, xs_fake.size(), count);
+        grad_pred.AddScaled(dxs.back(), gan_.adversarial_weight);
+        zero(dparams);  // discard D grads from the G pass
+      }
+      GenBackward(t, grad_pred, xs[ti].size(), count);
+    }
+    nn::ClipGradNorm(gparams, opts_.grad_clip);
+    g_adam_.Step(gparams);
+  }
+  return Status::OK();
+}
+
+StatusOr<double> MultiTaskWfgan::Predict(
+    WorkloadTask task, const std::vector<double>& window) const {
+  if (!fitted_) return Status::FailedPrecondition("MTL-WFGAN: Fit not called");
+  if (window.size() != opts_.window) {
+    return Status::InvalidArgument("MTL-WFGAN: window size mismatch");
+  }
+  TaskNet& t = tasks_[static_cast<size_t>(task)];
+  std::vector<nn::Matrix> xs(window.size(), nn::Matrix(1, 1));
+  for (size_t i = 0; i < window.size(); ++i) {
+    xs[i](0, 0) = t.scaler.Transform(window[i]);
+  }
+  nn::Matrix pred = GenForward(t, xs);
+  return t.scaler.Inverse(pred(0, 0));
+}
+
+int64_t MultiTaskWfgan::ParameterCount() const {
+  int64_t n = SharedParameterCount();
+  for (auto& t : tasks_) {
+    for (auto& p : TaskGenParams(const_cast<TaskNet&>(t))) {
+      n += static_cast<int64_t>(p.value->size());
+    }
+    for (auto& p : DiscParams(const_cast<TaskNet&>(t))) {
+      n += static_cast<int64_t>(p.value->size());
+    }
+  }
+  return n;
+}
+
+int64_t MultiTaskWfgan::SharedParameterCount() const {
+  int64_t n = 0;
+  for (auto& p : shared_lstm_.Params()) {
+    n += static_cast<int64_t>(p.value->size());
+  }
+  return n;
+}
+
+}  // namespace dbaugur::models

@@ -1,0 +1,122 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "nn/init.h"
+
+namespace dbaugur::nn {
+
+TemporalAttention::TemporalAttention(size_t hidden, size_t attn_dim, Rng* rng)
+    : hidden_(hidden),
+      attn_(attn_dim),
+      wa_(hidden, attn_dim),
+      ba_(1, attn_dim),
+      v_(attn_dim, 1),
+      dwa_(hidden, attn_dim),
+      dba_(1, attn_dim),
+      dv_(attn_dim, 1) {
+  XavierInit(&wa_, rng);
+  XavierInit(&v_, rng);
+}
+
+Matrix TemporalAttention::Forward(const std::vector<Matrix>& hs) {
+  hs_ = hs;
+  size_t steps = hs.size();
+  size_t batch = steps == 0 ? 0 : hs[0].rows();
+  u_.assign(steps, Matrix());
+  Matrix scores(batch, steps);
+  for (size_t t = 0; t < steps; ++t) {
+    Matrix u = hs[t].MatMul(wa_);
+    u.AddRowVector(ba_);
+    u.Apply([](double x) { return std::tanh(x); });
+    Matrix s = u.MatMul(v_);  // [batch, 1]
+    for (size_t r = 0; r < batch; ++r) scores(r, t) = s(r, 0);
+    u_[t] = std::move(u);
+  }
+  // Row-wise softmax over time.
+  alpha_ = Matrix(batch, steps);
+  for (size_t r = 0; r < batch; ++r) {
+    double mx = -1e300;
+    for (size_t t = 0; t < steps; ++t) mx = std::max(mx, scores(r, t));
+    double sum = 0.0;
+    for (size_t t = 0; t < steps; ++t) {
+      alpha_(r, t) = std::exp(scores(r, t) - mx);
+      sum += alpha_(r, t);
+    }
+    for (size_t t = 0; t < steps; ++t) alpha_(r, t) /= sum;
+  }
+  Matrix context(batch, hidden_);
+  for (size_t t = 0; t < steps; ++t) {
+    for (size_t r = 0; r < batch; ++r) {
+      double a = alpha_(r, t);
+      const double* hrow = hs[t].row(r);
+      double* crow = context.row(r);
+      for (size_t j = 0; j < hidden_; ++j) crow[j] += a * hrow[j];
+    }
+  }
+  return context;
+}
+
+std::vector<Matrix> TemporalAttention::Backward(const Matrix& grad_context) {
+  size_t steps = hs_.size();
+  size_t batch = steps == 0 ? 0 : hs_[0].rows();
+  std::vector<Matrix> dhs(steps, Matrix(batch, hidden_));
+
+  // dL/dalpha_{r,t} = grad_context_r . h_t_r ; context term dh += alpha * dc.
+  Matrix dalpha(batch, steps);
+  for (size_t t = 0; t < steps; ++t) {
+    for (size_t r = 0; r < batch; ++r) {
+      const double* hrow = hs_[t].row(r);
+      const double* crow = grad_context.row(r);
+      double dot = 0.0;
+      for (size_t j = 0; j < hidden_; ++j) {
+        dot += crow[j] * hrow[j];
+        dhs[t](r, j) += alpha_(r, t) * crow[j];
+      }
+      dalpha(r, t) = dot;
+    }
+  }
+  // Softmax backward: ds_t = alpha_t * (dalpha_t - sum_k alpha_k dalpha_k).
+  Matrix dscore(batch, steps);
+  for (size_t r = 0; r < batch; ++r) {
+    double dot = 0.0;
+    for (size_t t = 0; t < steps; ++t) dot += alpha_(r, t) * dalpha(r, t);
+    for (size_t t = 0; t < steps; ++t) {
+      dscore(r, t) = alpha_(r, t) * (dalpha(r, t) - dot);
+    }
+  }
+  // Through s_t = u_t . v and u_t = tanh(h_t Wa + ba).
+  for (size_t t = 0; t < steps; ++t) {
+    Matrix ds(batch, 1);
+    for (size_t r = 0; r < batch; ++r) ds(r, 0) = dscore(r, t);
+    // dv += u_t^T ds ; du = ds v^T.
+    dv_.Add(u_[t].TransposeMatMul(ds));
+    Matrix du = ds.MatMulTranspose(v_);  // [batch, attn]
+    // Through tanh.
+    for (size_t r = 0; r < batch; ++r) {
+      for (size_t j = 0; j < attn_; ++j) {
+        double uv = u_[t](r, j);
+        du(r, j) *= 1.0 - uv * uv;
+      }
+    }
+    dwa_.Add(hs_[t].TransposeMatMul(du));
+    dba_.Add(du.ColSum());
+    dhs[t].Add(du.MatMulTranspose(wa_));
+  }
+  return dhs;
+}
+
+std::vector<Param> TemporalAttention::Params() {
+  return {{&wa_, &dwa_, "attn.wa"},
+          {&ba_, &dba_, "attn.ba"},
+          {&v_, &dv_, "attn.v"}};
+}
+
+void TemporalAttention::ZeroGrad() {
+  dwa_.Fill(0.0);
+  dba_.Fill(0.0);
+  dv_.Fill(0.0);
+}
+
+}  // namespace dbaugur::nn

@@ -1,0 +1,50 @@
+// Temporal (additive) attention over per-step LSTM hidden states.
+//
+// WFGAN summarizes hidden states h_1..h_T into a context vector via learned
+// attention weights instead of relying only on h_T (paper Eq. 2-3):
+//   u_t = tanh(h_t Wa + ba),  s_t = u_t . v,  alpha = softmax_t(s),
+//   context = sum_t alpha_t h_t.
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+#include "nn/matrix.h"
+
+namespace dbaugur::nn {
+
+/// Additive temporal attention pooling a sequence of [batch, hidden] states
+/// into one [batch, hidden] context.
+class TemporalAttention {
+ public:
+  TemporalAttention(size_t hidden, size_t attn_dim, Rng* rng);
+
+  /// Computes the context vector; caches activations for Backward.
+  Matrix Forward(const std::vector<Matrix>& hs);
+
+  /// Given dLoss/dContext, accumulates parameter gradients and returns
+  /// dLoss/dh_t for every step.
+  std::vector<Matrix> Backward(const Matrix& grad_context);
+
+  std::vector<Param> Params();
+  void ZeroGrad();
+
+  /// Attention weights of the last Forward call: [batch, T].
+  const Matrix& last_weights() const { return alpha_; }
+
+ private:
+  size_t hidden_;
+  size_t attn_;
+  Matrix wa_;  // [hidden, attn]
+  Matrix ba_;  // [1, attn]
+  Matrix v_;   // [attn, 1]
+  Matrix dwa_, dba_, dv_;
+
+  std::vector<Matrix> hs_;  // cached inputs
+  std::vector<Matrix> u_;   // cached tanh pre-scores, per step [batch, attn]
+  Matrix alpha_;            // [batch, T]
+};
+
+}  // namespace dbaugur::nn

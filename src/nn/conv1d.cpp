@@ -1,0 +1,152 @@
+#include "nn/conv1d.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace dbaugur::nn {
+
+CausalConv1D::CausalConv1D(size_t in_channels, size_t out_channels,
+                           size_t kernel, size_t dilation, Rng* rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      dilation_(dilation),
+      w_(out_channels, in_channels * kernel),
+      b_(1, out_channels),
+      dw_(out_channels, in_channels * kernel),
+      db_(1, out_channels) {
+  double limit =
+      std::sqrt(6.0 / static_cast<double>(in_channels * kernel + out_channels));
+  UniformInit(&w_, rng, limit);
+}
+
+Tensor3 CausalConv1D::Forward(const Tensor3& input) {
+  input_ = input;
+  size_t batch = input.batch();
+  size_t time = input.time();
+  Tensor3 out(batch, out_ch_, time);
+  for (size_t bi = 0; bi < batch; ++bi) {
+    for (size_t co = 0; co < out_ch_; ++co) {
+      double* olane = out.lane(bi, co);
+      const double* wrow = w_.row(co);
+      double bias = b_(0, co);
+      for (size_t t = 0; t < time; ++t) olane[t] = bias;
+      for (size_t ci = 0; ci < in_ch_; ++ci) {
+        const double* ilane = input.lane(bi, ci);
+        for (size_t j = 0; j < kernel_; ++j) {
+          double wv = wrow[ci * kernel_ + j];
+          if (wv == 0.0) continue;
+          size_t shift = (kernel_ - 1 - j) * dilation_;
+          for (size_t t = shift; t < time; ++t) {
+            olane[t] += wv * ilane[t - shift];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor3 CausalConv1D::Backward(const Tensor3& grad_output) {
+  size_t batch = input_.batch();
+  size_t time = input_.time();
+  Tensor3 dx(batch, in_ch_, time);
+  for (size_t bi = 0; bi < batch; ++bi) {
+    for (size_t co = 0; co < out_ch_; ++co) {
+      const double* glane = grad_output.lane(bi, co);
+      double* dwrow = dw_.row(co);
+      const double* wrow = w_.row(co);
+      double gsum = 0.0;
+      for (size_t t = 0; t < time; ++t) gsum += glane[t];
+      db_(0, co) += gsum;
+      for (size_t ci = 0; ci < in_ch_; ++ci) {
+        const double* ilane = input_.lane(bi, ci);
+        double* dxlane = dx.lane(bi, ci);
+        for (size_t j = 0; j < kernel_; ++j) {
+          size_t shift = (kernel_ - 1 - j) * dilation_;
+          double wv = wrow[ci * kernel_ + j];
+          double dwv = 0.0;
+          for (size_t t = shift; t < time; ++t) {
+            double g = glane[t];
+            dwv += g * ilane[t - shift];
+            dxlane[t - shift] += g * wv;
+          }
+          dwrow[ci * kernel_ + j] += dwv;
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<Param> CausalConv1D::Params() {
+  return {{&w_, &dw_, "conv.w"}, {&b_, &db_, "conv.b"}};
+}
+
+namespace {
+void ReluInPlace(Tensor3* t) {
+  t->Apply([](double x) { return x > 0.0 ? x : 0.0; });
+}
+
+// Zeroes grad entries where the forward activation was clipped.
+void ReluBackward(const Tensor3& activated, Tensor3* grad) {
+  for (size_t b = 0; b < grad->batch(); ++b) {
+    for (size_t c = 0; c < grad->channels(); ++c) {
+      const double* alane = activated.lane(b, c);
+      double* glane = grad->lane(b, c);
+      for (size_t t = 0; t < grad->time(); ++t) {
+        if (alane[t] <= 0.0) glane[t] = 0.0;
+      }
+    }
+  }
+}
+}  // namespace
+
+TCNBlock::TCNBlock(size_t in_channels, size_t channels, size_t kernel,
+                   size_t dilation, Rng* rng)
+    : conv1_(in_channels, channels, kernel, dilation, rng),
+      conv2_(channels, channels, kernel, dilation, rng) {
+  if (in_channels != channels) {
+    downsample_ =
+        std::make_unique<CausalConv1D>(in_channels, channels, 1, 1, rng);
+  }
+}
+
+Tensor3 TCNBlock::Forward(const Tensor3& input) {
+  a1_ = conv1_.Forward(input);
+  ReluInPlace(&a1_);
+  a2_ = conv2_.Forward(a1_);
+  skip_ = downsample_ ? downsample_->Forward(input) : input;
+  out_ = a2_;
+  out_.Add(skip_);
+  ReluInPlace(&out_);
+  return out_;
+}
+
+Tensor3 TCNBlock::Backward(const Tensor3& grad_output) {
+  Tensor3 g = grad_output;
+  ReluBackward(out_, &g);
+  // Branch into conv path and skip path.
+  Tensor3 g2 = conv2_.Backward(g);
+  ReluBackward(a1_, &g2);
+  Tensor3 dx = conv1_.Backward(g2);
+  if (downsample_) {
+    Tensor3 dskip = downsample_->Backward(g);
+    dx.Add(dskip);
+  } else {
+    dx.Add(g);
+  }
+  return dx;
+}
+
+std::vector<Param> TCNBlock::Params() {
+  std::vector<Param> out = conv1_.Params();
+  for (Param& p : conv2_.Params()) out.push_back(p);
+  if (downsample_) {
+    for (Param& p : downsample_->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace dbaugur::nn

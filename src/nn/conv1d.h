@@ -1,0 +1,65 @@
+// Causal dilated 1-D convolution and the TCN residual block (Bai et al. 2018).
+//
+// The TCN baseline stacks residual blocks with dilations 1, 2, 4, 8, 16 so the
+// receptive field covers the whole condition window — the paper's "global
+// view" model for long-term patterns.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+#include "nn/matrix.h"
+
+namespace dbaugur::nn {
+
+/// Causal dilated conv: out(b,co,t) = bias[co] +
+///   sum_ci sum_j w[co][ci][j] * in(b, ci, t - (k-1-j)*dilation)
+/// with implicit zero left-padding, so output length == input length and no
+/// future leakage.
+class CausalConv1D {
+ public:
+  CausalConv1D(size_t in_channels, size_t out_channels, size_t kernel,
+               size_t dilation, Rng* rng);
+
+  Tensor3 Forward(const Tensor3& input);
+  /// Accumulates parameter gradients, returns dLoss/dInput.
+  Tensor3 Backward(const Tensor3& grad_output);
+
+  std::vector<Param> Params();
+
+  size_t in_channels() const { return in_ch_; }
+  size_t out_channels() const { return out_ch_; }
+  size_t kernel() const { return kernel_; }
+  size_t dilation() const { return dilation_; }
+
+ private:
+  size_t in_ch_, out_ch_, kernel_, dilation_;
+  Matrix w_;   // [out_ch, in_ch * kernel]
+  Matrix b_;   // [1, out_ch]
+  Matrix dw_, db_;
+  Tensor3 input_;  // cached
+};
+
+/// TCN residual block: relu(conv2(relu(conv1(x))) + downsample(x)) where
+/// downsample is a 1x1 conv when the channel count changes, identity
+/// otherwise.
+class TCNBlock {
+ public:
+  TCNBlock(size_t in_channels, size_t channels, size_t kernel, size_t dilation,
+           Rng* rng);
+
+  Tensor3 Forward(const Tensor3& input);
+  Tensor3 Backward(const Tensor3& grad_output);
+  std::vector<Param> Params();
+
+ private:
+  CausalConv1D conv1_;
+  CausalConv1D conv2_;
+  std::unique_ptr<CausalConv1D> downsample_;  // null => identity skip
+  Tensor3 a1_, a2_, skip_, out_;              // cached activations
+};
+
+}  // namespace dbaugur::nn

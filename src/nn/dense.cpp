@@ -1,0 +1,82 @@
+#include "nn/dense.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "nn/init.h"
+
+namespace dbaugur::nn {
+
+void ApplyActivation(Activation act, Matrix* m) {
+  switch (act) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      m->Apply([](double x) { return x > 0.0 ? x : 0.0; });
+      return;
+    case Activation::kTanh:
+      m->Apply([](double x) { return std::tanh(x); });
+      return;
+    case Activation::kSigmoid:
+      m->Apply([](double x) { return Sigmoid(x); });
+      return;
+  }
+}
+
+void ApplyActivationGrad(Activation act, const Matrix& pre, const Matrix& post,
+                         Matrix* grad) {
+  switch (act) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      for (size_t i = 0; i < grad->rows(); ++i) {
+        for (size_t j = 0; j < grad->cols(); ++j) {
+          if (pre(i, j) <= 0.0) (*grad)(i, j) = 0.0;
+        }
+      }
+      return;
+    case Activation::kTanh:
+      for (size_t i = 0; i < grad->rows(); ++i) {
+        for (size_t j = 0; j < grad->cols(); ++j) {
+          (*grad)(i, j) *= 1.0 - post(i, j) * post(i, j);
+        }
+      }
+      return;
+    case Activation::kSigmoid:
+      for (size_t i = 0; i < grad->rows(); ++i) {
+        for (size_t j = 0; j < grad->cols(); ++j) {
+          (*grad)(i, j) *= post(i, j) * (1.0 - post(i, j));
+        }
+      }
+      return;
+  }
+}
+
+Dense::Dense(size_t in, size_t out, Activation act, Rng* rng)
+    : in_(in), out_(out), act_(act), w_(in, out), b_(1, out),
+      dw_(in, out), db_(1, out) {
+  XavierInit(&w_, rng);
+}
+
+Matrix Dense::Forward(const Matrix& input) {
+  input_ = input;
+  pre_act_ = input.MatMul(w_);
+  pre_act_.AddRowVector(b_);
+  output_ = pre_act_;
+  ApplyActivation(act_, &output_);
+  return output_;
+}
+
+Matrix Dense::Backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  ApplyActivationGrad(act_, pre_act_, output_, &g);
+  dw_.Add(input_.TransposeMatMul(g));
+  db_.Add(g.ColSum());
+  return g.MatMulTranspose(w_);
+}
+
+std::vector<Param> Dense::Params() {
+  return {{&w_, &dw_, "dense.w"}, {&b_, &db_, "dense.b"}};
+}
+
+}  // namespace dbaugur::nn

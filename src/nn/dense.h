@@ -1,0 +1,46 @@
+// Fully connected layer with optional fused activation.
+
+#pragma once
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace dbaugur::nn {
+
+/// Supported activations for Dense.
+enum class Activation { kIdentity, kRelu, kTanh, kSigmoid };
+
+/// y = act(x W + b); W is (in x out), b is (1 x out).
+class Dense : public Layer {
+ public:
+  Dense(size_t in, size_t out, Activation act, Rng* rng);
+
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Param> Params() override;
+
+  size_t in_features() const { return in_; }
+  size_t out_features() const { return out_; }
+  const Matrix& weight() const { return w_; }
+  const Matrix& bias() const { return b_; }
+
+ private:
+  size_t in_;
+  size_t out_;
+  Activation act_;
+  Matrix w_, b_;
+  Matrix dw_, db_;
+  Matrix input_;       // cached for backward
+  Matrix pre_act_;     // cached pre-activation (z)
+  Matrix output_;      // cached post-activation
+};
+
+/// Applies the activation in place and returns the result.
+void ApplyActivation(Activation act, Matrix* m);
+
+/// Given z (pre-activation) and y (post-activation), multiplies `grad` by the
+/// activation derivative element-wise.
+void ApplyActivationGrad(Activation act, const Matrix& pre, const Matrix& post,
+                         Matrix* grad);
+
+}  // namespace dbaugur::nn

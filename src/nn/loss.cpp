@@ -1,0 +1,68 @@
+#include "nn/loss.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace dbaugur::nn {
+
+double MSELoss(const Matrix& pred, const Matrix& target, Matrix* grad) {
+  assert(pred.SameShape(target));
+  double n = static_cast<double>(pred.size());
+  double loss = 0.0;
+  if (grad != nullptr) *grad = Matrix(pred.rows(), pred.cols());
+  for (size_t i = 0; i < pred.size(); ++i) {
+    double d = pred.data()[i] - target.data()[i];
+    loss += d * d;
+    if (grad != nullptr) grad->data()[i] = 2.0 * d / n;
+  }
+  return loss / n;
+}
+
+double BCEWithLogitsLoss(const Matrix& logits, const Matrix& target,
+                         Matrix* grad) {
+  assert(logits.SameShape(target));
+  double n = static_cast<double>(logits.size());
+  double loss = 0.0;
+  if (grad != nullptr) *grad = Matrix(logits.rows(), logits.cols());
+  for (size_t i = 0; i < logits.size(); ++i) {
+    double z = logits.data()[i];
+    double y = target.data()[i];
+    // max(z,0) - z*y + log(1 + exp(-|z|))
+    loss += std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::fabs(z)));
+    if (grad != nullptr) grad->data()[i] = (Sigmoid(z) - y) / n;
+  }
+  return loss / n;
+}
+
+double GeneratorGanLoss(const Matrix& fake_logits, Matrix* grad) {
+  // -mean(log sigmoid(z)) ; d/dz = sigmoid(z) - 1.
+  double n = static_cast<double>(fake_logits.size());
+  double loss = 0.0;
+  if (grad != nullptr) *grad = Matrix(fake_logits.rows(), fake_logits.cols());
+  for (size_t i = 0; i < fake_logits.size(); ++i) {
+    double z = fake_logits.data()[i];
+    // -log sigmoid(z) = log(1 + exp(-z)) computed stably.
+    loss += std::max(-z, 0.0) + std::log1p(std::exp(-std::fabs(z)));
+    if (grad != nullptr) grad->data()[i] = (Sigmoid(z) - 1.0) / n;
+  }
+  return loss / n;
+}
+
+double GeneratorGanLossSaturating(const Matrix& fake_logits, Matrix* grad) {
+  // mean(log(1 - sigmoid(z))) = mean(-z - log(1+exp(-z)))... use stable form:
+  // log(1 - sigmoid(z)) = -max(z,0) - log(1 + exp(-|z|)).
+  // d/dz log(1 - sigmoid(z)) = -sigmoid(z).
+  double n = static_cast<double>(fake_logits.size());
+  double loss = 0.0;
+  if (grad != nullptr) *grad = Matrix(fake_logits.rows(), fake_logits.cols());
+  for (size_t i = 0; i < fake_logits.size(); ++i) {
+    double z = fake_logits.data()[i];
+    loss += -std::max(z, 0.0) - std::log1p(std::exp(-std::fabs(z)));
+    if (grad != nullptr) grad->data()[i] = -Sigmoid(z) / n;
+  }
+  return loss / n;
+}
+
+}  // namespace dbaugur::nn

@@ -1,0 +1,137 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "nn/init.h"
+
+namespace dbaugur::nn {
+
+LSTM::LSTM(size_t input_size, size_t hidden_size, Rng* rng)
+    : input_(input_size),
+      hidden_(hidden_size),
+      wx_(input_size, 4 * hidden_size),
+      wh_(hidden_size, 4 * hidden_size),
+      b_(1, 4 * hidden_size),
+      dwx_(input_size, 4 * hidden_size),
+      dwh_(hidden_size, 4 * hidden_size),
+      db_(1, 4 * hidden_size) {
+  XavierInit(&wx_, rng);
+  XavierInit(&wh_, rng);
+  // Forget-gate bias starts at 1 so early training retains state.
+  for (size_t j = hidden_; j < 2 * hidden_; ++j) b_(0, j) = 1.0;
+}
+
+std::vector<Matrix> LSTM::ForwardSequence(const std::vector<Matrix>& xs) {
+  cache_.clear();
+  cache_.reserve(xs.size());
+  std::vector<Matrix> hs;
+  hs.reserve(xs.size());
+  if (xs.empty()) return hs;
+  size_t batch = xs[0].rows();
+  Matrix h(batch, hidden_), c(batch, hidden_);
+  for (const Matrix& x : xs) {
+    StepCache sc;
+    sc.x = x;
+    sc.h_prev = h;
+    sc.c_prev = c;
+    Matrix z = x.MatMul(wx_);
+    z.Add(h.MatMul(wh_));
+    z.AddRowVector(b_);
+    sc.i = Matrix(batch, hidden_);
+    sc.f = Matrix(batch, hidden_);
+    sc.g = Matrix(batch, hidden_);
+    sc.o = Matrix(batch, hidden_);
+    for (size_t r = 0; r < batch; ++r) {
+      const double* zr = z.row(r);
+      for (size_t j = 0; j < hidden_; ++j) {
+        sc.i(r, j) = Sigmoid(zr[j]);
+        sc.f(r, j) = Sigmoid(zr[hidden_ + j]);
+        sc.g(r, j) = std::tanh(zr[2 * hidden_ + j]);
+        sc.o(r, j) = Sigmoid(zr[3 * hidden_ + j]);
+      }
+    }
+    sc.c = Matrix(batch, hidden_);
+    sc.tanh_c = Matrix(batch, hidden_);
+    Matrix h_new(batch, hidden_);
+    for (size_t r = 0; r < batch; ++r) {
+      for (size_t j = 0; j < hidden_; ++j) {
+        sc.c(r, j) = sc.f(r, j) * c(r, j) + sc.i(r, j) * sc.g(r, j);
+        sc.tanh_c(r, j) = std::tanh(sc.c(r, j));
+        h_new(r, j) = sc.o(r, j) * sc.tanh_c(r, j);
+      }
+    }
+    c = sc.c;
+    h = h_new;
+    hs.push_back(h);
+    cache_.push_back(std::move(sc));
+  }
+  return hs;
+}
+
+std::vector<Matrix> LSTM::BackwardSequence(const std::vector<Matrix>& grad_hs) {
+  size_t steps = cache_.size();
+  std::vector<Matrix> dxs(steps);
+  if (steps == 0) return dxs;
+  size_t batch = cache_[0].x.rows();
+  Matrix dh_next(batch, hidden_);  // carried dL/dh from t+1
+  Matrix dc_next(batch, hidden_);  // carried dL/dc from t+1
+  for (size_t t = steps; t-- > 0;) {
+    const StepCache& sc = cache_[t];
+    Matrix dh = grad_hs[t];
+    dh.Add(dh_next);
+    // h = o * tanh(c)
+    Matrix do_gate(batch, hidden_), dc(batch, hidden_);
+    for (size_t r = 0; r < batch; ++r) {
+      for (size_t j = 0; j < hidden_; ++j) {
+        double tc = sc.tanh_c(r, j);
+        do_gate(r, j) = dh(r, j) * tc;
+        dc(r, j) = dh(r, j) * sc.o(r, j) * (1.0 - tc * tc) + dc_next(r, j);
+      }
+    }
+    // c = f * c_prev + i * g
+    Matrix di(batch, hidden_), df(batch, hidden_), dg(batch, hidden_);
+    Matrix dc_prev(batch, hidden_);
+    for (size_t r = 0; r < batch; ++r) {
+      for (size_t j = 0; j < hidden_; ++j) {
+        di(r, j) = dc(r, j) * sc.g(r, j);
+        df(r, j) = dc(r, j) * sc.c_prev(r, j);
+        dg(r, j) = dc(r, j) * sc.i(r, j);
+        dc_prev(r, j) = dc(r, j) * sc.f(r, j);
+      }
+    }
+    // Through the gate nonlinearities into the fused pre-activation dz.
+    Matrix dz(batch, 4 * hidden_);
+    for (size_t r = 0; r < batch; ++r) {
+      for (size_t j = 0; j < hidden_; ++j) {
+        double iv = sc.i(r, j), fv = sc.f(r, j), gv = sc.g(r, j),
+               ov = sc.o(r, j);
+        dz(r, j) = di(r, j) * iv * (1.0 - iv);
+        dz(r, hidden_ + j) = df(r, j) * fv * (1.0 - fv);
+        dz(r, 2 * hidden_ + j) = dg(r, j) * (1.0 - gv * gv);
+        dz(r, 3 * hidden_ + j) = do_gate(r, j) * ov * (1.0 - ov);
+      }
+    }
+    dwx_.Add(sc.x.TransposeMatMul(dz));
+    dwh_.Add(sc.h_prev.TransposeMatMul(dz));
+    db_.Add(dz.ColSum());
+    dxs[t] = dz.MatMulTranspose(wx_);
+    dh_next = dz.MatMulTranspose(wh_);
+    dc_next = dc_prev;
+  }
+  return dxs;
+}
+
+std::vector<Param> LSTM::Params() {
+  return {{&wx_, &dwx_, "lstm.wx"},
+          {&wh_, &dwh_, "lstm.wh"},
+          {&b_, &db_, "lstm.b"}};
+}
+
+void LSTM::ZeroGrad() {
+  dwx_.Fill(0.0);
+  dwh_.Fill(0.0);
+  db_.Fill(0.0);
+}
+
+}  // namespace dbaugur::nn

@@ -1,0 +1,56 @@
+// LSTM layer with backpropagation through time.
+//
+// The paper's WFGAN generator/discriminator and the LSTM baseline all use a
+// single LSTM layer producing per-step hidden states (fed to a temporal
+// attention layer or a dense head).
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+#include "nn/matrix.h"
+
+namespace dbaugur::nn {
+
+/// Single-layer LSTM. Sequences are time-major: xs[t] is a [batch, input]
+/// matrix; ForwardSequence returns hs[t] = [batch, hidden].
+///
+/// Gate layout in the fused weight matrices is [i | f | g | o] where i/f/o are
+/// sigmoid gates and g is the tanh candidate.
+class LSTM {
+ public:
+  LSTM(size_t input_size, size_t hidden_size, Rng* rng);
+
+  /// Runs the full sequence from zero initial state, caching activations for
+  /// BackwardSequence.
+  std::vector<Matrix> ForwardSequence(const std::vector<Matrix>& xs);
+
+  /// grad_hs[t] = dLoss/dh_t (zero matrices allowed). Accumulates parameter
+  /// gradients and returns dLoss/dx_t for each step.
+  std::vector<Matrix> BackwardSequence(const std::vector<Matrix>& grad_hs);
+
+  std::vector<Param> Params();
+  void ZeroGrad();
+
+  size_t input_size() const { return input_; }
+  size_t hidden_size() const { return hidden_; }
+
+ private:
+  struct StepCache {
+    Matrix x, h_prev, c_prev;
+    Matrix i, f, g, o;  // gate activations, each [batch, hidden]
+    Matrix c, tanh_c;
+  };
+
+  size_t input_;
+  size_t hidden_;
+  Matrix wx_;  // [input, 4*hidden]
+  Matrix wh_;  // [hidden, 4*hidden]
+  Matrix b_;   // [1, 4*hidden]
+  Matrix dwx_, dwh_, db_;
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace dbaugur::nn

@@ -1,0 +1,147 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace dbaugur::nn {
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  assert(data_.size() == rows_ * cols_);
+}
+
+void Matrix::Fill(double v) {
+  for (double& x : data_) x = v;
+}
+
+void Matrix::Add(const Matrix& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AddScaled(const Matrix& other, double alpha) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::Sub(const Matrix& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::Hadamard(const Matrix& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Matrix::Scale(double alpha) {
+  for (double& x : data_) x *= alpha;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* arow = row(i);
+    double* orow = out.row(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = arow[k];
+      if (a == 0.0) continue;
+      const double* brow = other.row(k);
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposeMatMul(const Matrix& other) const {
+  // (this^T * other): this is (m x n), other is (m x p), result (n x p).
+  assert(rows_ == other.rows_);
+  Matrix out(cols_, other.cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* arow = row(i);
+    const double* brow = other.row(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = arow[k];
+      if (a == 0.0) continue;
+      double* orow = out.row(k);
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTranspose(const Matrix& other) const {
+  // (this * other^T): this is (m x n), other is (p x n), result (m x p).
+  assert(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* arow = row(i);
+    double* orow = out.row(i);
+    for (size_t j = 0; j < other.rows_; ++j) {
+      const double* brow = other.row(j);
+      double s = 0.0;
+      for (size_t k = 0; k < cols_; ++k) s += arow[k] * brow[k];
+      orow[j] = s;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+void Matrix::AddRowVector(const Matrix& v) {
+  assert(v.size() == cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    double* r = row(i);
+    for (size_t j = 0; j < cols_; ++j) r[j] += v.data_[j];
+  }
+}
+
+Matrix Matrix::ColSum() const {
+  Matrix out(1, cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* r = row(i);
+    for (size_t j = 0; j < cols_; ++j) out.data()[j] += r[j];
+  }
+  return out;
+}
+
+double Matrix::SquaredNorm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return s;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(precision);
+  for (size_t i = 0; i < rows_; ++i) {
+    oss << '[';
+    for (size_t j = 0; j < cols_; ++j) {
+      oss << (*this)(i, j);
+      if (j + 1 < cols_) oss << ", ";
+    }
+    oss << "]\n";
+  }
+  return oss.str();
+}
+
+void Tensor3::Fill(double v) {
+  for (double& x : data_) x = v;
+}
+
+void Tensor3::Add(const Tensor3& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+}  // namespace dbaugur::nn

@@ -1,0 +1,150 @@
+// Dense row-major matrix used throughout the neural-net substrate.
+//
+// Shapes are small (batch x hidden sizes in the tens), so a straightforward
+// cache-friendly implementation with an ikj matmul loop is plenty fast for
+// the paper's model sizes.
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dbaugur::nn {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  /// Builds from explicit data (size must equal rows*cols).
+  Matrix(size_t rows, size_t cols, std::vector<double> data);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row(size_t r) { return &data_[r * cols_]; }
+  const double* row(size_t r) const { return &data_[r * cols_]; }
+
+  /// Sets every element to `v`.
+  void Fill(double v);
+
+  /// this += other (shapes must match).
+  void Add(const Matrix& other);
+  /// this += alpha * other.
+  void AddScaled(const Matrix& other, double alpha);
+  /// this -= other.
+  void Sub(const Matrix& other);
+  /// Element-wise multiply in place.
+  void Hadamard(const Matrix& other);
+  /// Scale all elements.
+  void Scale(double alpha);
+
+  /// Returns this * other.
+  Matrix MatMul(const Matrix& other) const;
+  /// Returns this^T * other (avoids materializing the transpose).
+  Matrix TransposeMatMul(const Matrix& other) const;
+  /// Returns this * other^T.
+  Matrix MatMulTranspose(const Matrix& other) const;
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Adds a row vector (1 x cols or plain cols-length matrix row) to each row.
+  void AddRowVector(const Matrix& v);
+  /// Column-wise sum producing a 1 x cols matrix (bias gradients).
+  Matrix ColSum() const;
+
+  /// Applies f element-wise in place.
+  template <typename F>
+  void Apply(F f) {
+    for (double& x : data_) x = f(x);
+  }
+  /// Returns a copy with f applied element-wise.
+  template <typename F>
+  Matrix Map(F f) const {
+    Matrix out = *this;
+    out.Apply(f);
+    return out;
+  }
+
+  /// Frobenius-norm squared (used in tests and gradient clipping).
+  double SquaredNorm() const;
+
+  /// Debug rendering.
+  std::string ToString(int precision = 3) const;
+
+  bool SameShape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// 3-D tensor (batch, channels, time) for convolutional layers; contiguous
+/// with time innermost.
+class Tensor3 {
+ public:
+  Tensor3() = default;
+  Tensor3(size_t batch, size_t channels, size_t time, double fill = 0.0)
+      : batch_(batch),
+        channels_(channels),
+        time_(time),
+        data_(batch * channels * time, fill) {}
+
+  size_t batch() const { return batch_; }
+  size_t channels() const { return channels_; }
+  size_t time() const { return time_; }
+  size_t size() const { return data_.size(); }
+
+  double& operator()(size_t b, size_t c, size_t t) {
+    assert(b < batch_ && c < channels_ && t < time_);
+    return data_[(b * channels_ + c) * time_ + t];
+  }
+  double operator()(size_t b, size_t c, size_t t) const {
+    assert(b < batch_ && c < channels_ && t < time_);
+    return data_[(b * channels_ + c) * time_ + t];
+  }
+
+  double* lane(size_t b, size_t c) { return &data_[(b * channels_ + c) * time_]; }
+  const double* lane(size_t b, size_t c) const {
+    return &data_[(b * channels_ + c) * time_];
+  }
+
+  void Fill(double v);
+  void Add(const Tensor3& other);
+
+  template <typename F>
+  void Apply(F f) {
+    for (double& x : data_) x = f(x);
+  }
+
+  bool SameShape(const Tensor3& o) const {
+    return batch_ == o.batch_ && channels_ == o.channels_ && time_ == o.time_;
+  }
+
+ private:
+  size_t batch_ = 0;
+  size_t channels_ = 0;
+  size_t time_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace dbaugur::nn

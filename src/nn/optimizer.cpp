@@ -1,0 +1,55 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace dbaugur::nn {
+
+void SGD::Step(std::vector<Param>& params) {
+  for (Param& p : params) p.value->AddScaled(*p.grad, -lr_);
+}
+
+void Adam::Step(std::vector<Param>& params) {
+  bool needs_init = m_.size() != params.size();
+  if (!needs_init) {
+    for (size_t k = 0; k < params.size(); ++k) {
+      if (!m_[k].SameShape(*params[k].value)) {
+        needs_init = true;
+        break;
+      }
+    }
+  }
+  if (needs_init) {
+    m_.clear();
+    v_.clear();
+    for (Param& p : params) {
+      m_.emplace_back(p.value->rows(), p.value->cols(), 0.0);
+      v_.emplace_back(p.value->rows(), p.value->cols(), 0.0);
+    }
+    t_ = 0;
+  }
+  ++t_;
+  double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t k = 0; k < params.size(); ++k) {
+    Matrix& value = *params[k].value;
+    const Matrix& grad = *params[k].grad;
+    Matrix& m = m_[k];
+    Matrix& v = v_[k];
+    for (size_t i = 0; i < value.size(); ++i) {
+      double g = grad.data()[i];
+      m.data()[i] = beta1_ * m.data()[i] + (1.0 - beta1_) * g;
+      v.data()[i] = beta2_ * v.data()[i] + (1.0 - beta2_) * g * g;
+      double mhat = m.data()[i] / bc1;
+      double vhat = v.data()[i] / bc2;
+      value.data()[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::Reset() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+}  // namespace dbaugur::nn

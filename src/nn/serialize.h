@@ -1,0 +1,25 @@
+// Parameter (de)serialization. Weights are stored as float32 with a small
+// header per tensor — this is what Table II's "Storage" column measures.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/layer.h"
+
+namespace dbaugur::nn {
+
+/// Serializes all parameters (values only) into a compact byte buffer.
+std::vector<uint8_t> SerializeParams(const std::vector<Param>& params);
+
+/// Restores parameter values from a buffer produced by SerializeParams.
+/// The parameter list must have the same tensors in the same order.
+Status DeserializeParams(const std::vector<uint8_t>& buffer,
+                         std::vector<Param>& params);
+
+/// Storage footprint in bytes of the serialized form.
+int64_t StorageBytes(const std::vector<Param>& params);
+
+}  // namespace dbaugur::nn

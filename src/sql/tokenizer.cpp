@@ -1,0 +1,174 @@
+#include "sql/tokenizer.h"
+
+#include <array>
+#include <cctype>
+#include <unordered_set>
+
+namespace dbaugur::sql {
+
+bool IsKeyword(const std::string& upper_word) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM",   "WHERE",  "AND",    "OR",     "NOT",    "IN",
+      "INSERT", "INTO",   "VALUES", "UPDATE", "SET",    "DELETE", "JOIN",
+      "INNER",  "LEFT",   "RIGHT",  "FULL",   "OUTER",  "ON",     "AS",
+      "GROUP",  "BY",     "ORDER",  "HAVING", "LIMIT",  "OFFSET", "ASC",
+      "DESC",   "UNION",  "ALL",    "DISTINCT", "BETWEEN", "LIKE", "IS",
+      "NULL",   "EXISTS", "CASE",   "WHEN",   "THEN",   "ELSE",   "END",
+      "COUNT",  "SUM",    "AVG",    "MIN",    "MAX",    "CREATE", "TABLE",
+      "INDEX",  "DROP",   "ALTER",  "PRIMARY", "KEY",   "FOREIGN", "REFERENCES",
+      "BEGIN",  "COMMIT", "ROLLBACK", "TRANSACTION", "CROSS", "USING",
+  };
+  return kKeywords.count(upper_word) > 0;
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0, n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      size_t end = sql.find("*/", i + 2);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument("unterminated block comment");
+      }
+      i = end + 2;
+      continue;
+    }
+    // String literals ('' escaping) — double quotes treated as quoted
+    // identifiers but kept as string tokens for templating purposes.
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      size_t start = i++;
+      while (i < n) {
+        if (sql[i] == quote) {
+          if (i + 1 < n && sql[i + 1] == quote) {
+            i += 2;  // escaped quote
+            continue;
+          }
+          break;
+        }
+        ++i;
+      }
+      if (i >= n) return Status::InvalidArgument("unterminated string literal");
+      ++i;  // consume closing quote
+      out.push_back({TokenType::kString, sql.substr(start, i - start)});
+      continue;
+    }
+    // Numbers (integers, decimals, scientific).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t save = i++;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        } else {
+          i = save;  // bare 'e' belongs to a following identifier
+        }
+      }
+      out.push_back({TokenType::kNumber, sql.substr(start, i - start)});
+      continue;
+    }
+    // Identifiers / keywords (allow qualified names with dots).
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        out.push_back({TokenType::kKeyword, upper});
+      } else {
+        out.push_back({TokenType::kIdentifier, ToLower(word)});
+      }
+      continue;
+    }
+    // Placeholders from templated statements.
+    if (c == '?') {
+      out.push_back({TokenType::kPlaceholder, "?"});
+      ++i;
+      continue;
+    }
+    // Multi-char operators.
+    static const std::array<const char*, 6> kTwoChar = {"<=", ">=", "<>",
+                                                        "!=", "||", ":="};
+    bool matched = false;
+    if (i + 1 < n) {
+      std::string two = sql.substr(i, 2);
+      for (const char* op : kTwoChar) {
+        if (two == op) {
+          out.push_back({TokenType::kOperator, two});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (matched) continue;
+    if (std::string("=<>+-*/%").find(c) != std::string::npos) {
+      out.push_back({TokenType::kOperator, std::string(1, c)});
+      ++i;
+      continue;
+    }
+    if (std::string("(),;").find(c) != std::string::npos) {
+      out.push_back({TokenType::kPunct, std::string(1, c)});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' in SQL");
+  }
+  return out;
+}
+
+std::string Render(const std::vector<Token>& tokens) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    bool glue = false;
+    if (!out.empty()) {
+      // No space before closing punct / comma / semicolon, none after '('.
+      if (t.text == ")" || t.text == "," || t.text == ";") glue = true;
+      if (i > 0 && tokens[i - 1].text == "(") glue = true;
+    }
+    if (!out.empty() && !glue) out += ' ';
+    out += t.text;
+  }
+  return out;
+}
+
+}  // namespace dbaugur::sql

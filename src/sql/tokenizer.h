@@ -1,0 +1,46 @@
+// SQL tokenizer used by SQL2Template (paper §IV-A). Handles quoted strings,
+// numeric literals, qualified identifiers, multi-character operators, and
+// strips both `--` and `/* */` comments.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbaugur::sql {
+
+/// Token categories relevant to templating.
+enum class TokenType {
+  kKeyword,      ///< SQL keyword (SELECT, FROM, ...), uppercased.
+  kIdentifier,   ///< Table/column name, possibly qualified (a.b), lowercased.
+  kNumber,       ///< Numeric literal.
+  kString,       ///< Quoted string literal (quotes included in text).
+  kOperator,     ///< = <> <= >= < > != + - * / % ||
+  kPunct,        ///< ( ) , ;
+  kPlaceholder,  ///< ? — produced by templating, accepted on re-parse.
+};
+
+/// One lexical token.
+struct Token {
+  TokenType type = TokenType::kPunct;
+  std::string text;
+
+  bool operator==(const Token& o) const {
+    return type == o.type && text == o.text;
+  }
+};
+
+/// True if `word` (already uppercased) is a recognized SQL keyword.
+bool IsKeyword(const std::string& upper_word);
+
+/// Tokenizes a SQL statement. Keywords are uppercased, identifiers
+/// lowercased, comments removed. Returns InvalidArgument on unterminated
+/// strings/comments or unexpected characters.
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// Renders tokens back to a normalized single-spaced SQL string.
+std::string Render(const std::vector<Token>& tokens);
+
+}  // namespace dbaugur::sql

@@ -1,0 +1,178 @@
+#include "trace/extractor.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ctime>
+#include <sstream>
+
+namespace dbaugur::trace {
+
+StatusOr<ts::Timestamp> ParseTimestamp(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty timestamp");
+  // Pure integer => epoch seconds.
+  bool all_digits = std::all_of(text.begin(), text.end(), [](char c) {
+    return std::isdigit(static_cast<unsigned char>(c));
+  });
+  if (all_digits) {
+    return static_cast<ts::Timestamp>(std::stoll(text));
+  }
+  // "YYYY-MM-DD HH:MM:SS" or with 'T'.
+  int y, mo, d, h, mi, s;
+  char sep;
+  if (std::sscanf(text.c_str(), "%d-%d-%d%c%d:%d:%d", &y, &mo, &d, &sep, &h,
+                  &mi, &s) == 7 &&
+      (sep == ' ' || sep == 'T')) {
+    if (mo < 1 || mo > 12 || d < 1 || d > 31 || h < 0 || h > 23 || mi < 0 ||
+        mi > 59 || s < 0 || s > 60) {
+      return Status::InvalidArgument("timestamp fields out of range: " + text);
+    }
+    std::tm tm{};
+    tm.tm_year = y - 1900;
+    tm.tm_mon = mo - 1;
+    tm.tm_mday = d;
+    tm.tm_hour = h;
+    tm.tm_min = mi;
+    tm.tm_sec = s;
+    // timegm avoids timezone dependence.
+    time_t t = timegm(&tm);
+    if (t == static_cast<time_t>(-1)) {
+      return Status::InvalidArgument("unrepresentable timestamp: " + text);
+    }
+    return static_cast<ts::Timestamp>(t);
+  }
+  return Status::InvalidArgument("unrecognized timestamp format: " + text);
+}
+
+StatusOr<std::vector<LogEntry>> ParseQueryLog(const std::string& text) {
+  std::vector<LogEntry> out;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Trim.
+    size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    size_t e = line.find_last_not_of(" \t\r");
+    std::string trimmed = line.substr(b, e - b + 1);
+    // Timestamp may be "DATE TIME SQL" (two fields) or "EPOCH SQL" /
+    // "DATETTIME SQL" (one field).
+    size_t sp1 = trimmed.find(' ');
+    if (sp1 == std::string::npos) {
+      return Status::InvalidArgument("log line " + std::to_string(line_no) +
+                                     ": no SQL after timestamp");
+    }
+    std::string first = trimmed.substr(0, sp1);
+    auto t1 = ParseTimestamp(first);
+    if (t1.ok()) {
+      out.push_back({*t1, trimmed.substr(sp1 + 1)});
+      continue;
+    }
+    size_t sp2 = trimmed.find(' ', sp1 + 1);
+    if (sp2 != std::string::npos) {
+      auto t2 = ParseTimestamp(trimmed.substr(0, sp2));
+      if (t2.ok()) {
+        out.push_back({*t2, trimmed.substr(sp2 + 1)});
+        continue;
+      }
+    }
+    return Status::InvalidArgument("log line " + std::to_string(line_no) +
+                                   ": bad timestamp");
+  }
+  return out;
+}
+
+Status TraceExtractor::Ingest(const LogEntry& entry) {
+  if (opts_.interval_seconds <= 0) {
+    return Status::InvalidArgument("interval must be positive");
+  }
+  auto id = registry_.Record(entry.sql);
+  if (!id.ok()) return id.status();
+  if (*id >= bins_.size()) bins_.resize(*id + 1);
+  int64_t bin = entry.timestamp / opts_.interval_seconds;
+  if (entry.timestamp < 0 && entry.timestamp % opts_.interval_seconds != 0) {
+    --bin;  // floor division for negative timestamps
+  }
+  bins_[*id][bin] += 1.0;
+  if (max_bin_ < min_bin_) {
+    min_bin_ = max_bin_ = bin;
+  } else {
+    min_bin_ = std::min(min_bin_, bin);
+    max_bin_ = std::max(max_bin_, bin);
+  }
+  ++entry_count_;
+  return Status::OK();
+}
+
+Status TraceExtractor::IngestLog(const std::vector<LogEntry>& entries) {
+  for (const auto& e : entries) {
+    DBAUGUR_RETURN_IF_ERROR(Ingest(e));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<ts::Series>> TraceExtractor::TemplateTraces() const {
+  if (entry_count_ == 0) {
+    return Status::FailedPrecondition("no log entries ingested");
+  }
+  size_t len = static_cast<size_t>(max_bin_ - min_bin_ + 1);
+  std::vector<ts::Series> out;
+  out.reserve(bins_.size());
+  for (size_t id = 0; id < bins_.size(); ++id) {
+    std::vector<double> values(len, 0.0);
+    for (const auto& [bin, count] : bins_[id]) {
+      values[static_cast<size_t>(bin - min_bin_)] = count;
+    }
+    out.emplace_back(min_bin_ * opts_.interval_seconds, opts_.interval_seconds,
+                     std::move(values), "template_" + std::to_string(id));
+  }
+  return out;
+}
+
+StatusOr<ts::Series> TraceExtractor::TotalTrace() const {
+  auto traces = TemplateTraces();
+  if (!traces.ok()) return traces.status();
+  auto total = ts::Series::Sum(*traces);
+  if (!total.ok()) return total.status();
+  total->set_name("total");
+  return total;
+}
+
+StatusOr<ts::Series> BinResourceSamples(
+    const std::vector<ResourceSample>& samples, int64_t interval_seconds,
+    std::string name) {
+  if (samples.empty()) return Status::InvalidArgument("no resource samples");
+  if (interval_seconds <= 0) {
+    return Status::InvalidArgument("interval must be positive");
+  }
+  int64_t min_bin = samples[0].timestamp / interval_seconds;
+  int64_t max_bin = min_bin;
+  for (const auto& s : samples) {
+    int64_t bin = s.timestamp / interval_seconds;
+    min_bin = std::min(min_bin, bin);
+    max_bin = std::max(max_bin, bin);
+  }
+  size_t len = static_cast<size_t>(max_bin - min_bin + 1);
+  std::vector<double> sums(len, 0.0);
+  std::vector<int64_t> counts(len, 0);
+  for (const auto& s : samples) {
+    size_t i = static_cast<size_t>(s.timestamp / interval_seconds - min_bin);
+    sums[i] += s.value;
+    counts[i] += 1;
+  }
+  std::vector<double> values(len, 0.0);
+  double last = 0.0;
+  bool seen = false;
+  for (size_t i = 0; i < len; ++i) {
+    if (counts[i] > 0) {
+      last = sums[i] / static_cast<double>(counts[i]);
+      seen = true;
+    }
+    values[i] = seen ? last : 0.0;
+  }
+  return ts::Series(min_bin * interval_seconds, interval_seconds,
+                    std::move(values), std::move(name));
+}
+
+}  // namespace dbaugur::trace

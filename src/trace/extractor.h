@@ -1,0 +1,80 @@
+// Workload trace extraction (paper §IV-A): parses timestamped query logs,
+// maps each statement to its SQL template, and bins occurrences per template
+// at the forecasting interval to produce arrival-rate traces. Resource
+// samples (CPU/memory/disk ratios) are binned to utilization traces.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/templater.h"
+#include "ts/series.h"
+
+namespace dbaugur::trace {
+
+/// One query-log record.
+struct LogEntry {
+  ts::Timestamp timestamp = 0;
+  std::string sql;
+};
+
+/// Parses "<timestamp> <sql...>" lines. The timestamp is either epoch seconds
+/// or "YYYY-MM-DD HH:MM:SS" / "YYYY-MM-DDTHH:MM:SS". Blank lines are skipped;
+/// malformed lines produce InvalidArgument with the line number.
+StatusOr<std::vector<LogEntry>> ParseQueryLog(const std::string& text);
+
+/// Parses one timestamp in the formats above.
+StatusOr<ts::Timestamp> ParseTimestamp(const std::string& text);
+
+/// Extraction configuration.
+struct ExtractionOptions {
+  int64_t interval_seconds = 600;  ///< Forecasting interval I (paper: 10 min).
+  sql::TemplateOptions template_opts;
+};
+
+/// Streaming extractor: ingest log entries, then materialize per-template
+/// arrival-rate traces over the observed time range.
+class TraceExtractor {
+ public:
+  explicit TraceExtractor(const ExtractionOptions& opts) : opts_(opts) {}
+
+  /// Templates the statement and counts it in its time bin.
+  Status Ingest(const LogEntry& entry);
+  Status IngestLog(const std::vector<LogEntry>& entries);
+
+  /// One arrival-rate Series per template id, all aligned to the same start
+  /// and length (bins with no occurrences are zero).
+  StatusOr<std::vector<ts::Series>> TemplateTraces() const;
+
+  /// Total arrival-rate trace across all templates.
+  StatusOr<ts::Series> TotalTrace() const;
+
+  const sql::TemplateRegistry& registry() const { return registry_; }
+  size_t entry_count() const { return entry_count_; }
+
+ private:
+  ExtractionOptions opts_;
+  sql::TemplateRegistry registry_{sql::TemplateOptions()};
+  // template id -> (bin index -> count); bin = floor(ts / interval).
+  std::vector<std::map<int64_t, double>> bins_;
+  int64_t min_bin_ = 0, max_bin_ = -1;
+  size_t entry_count_ = 0;
+};
+
+/// One resource-utilization sample.
+struct ResourceSample {
+  ts::Timestamp timestamp = 0;
+  double value = 0.0;
+};
+
+/// Bins resource samples to a utilization Series by averaging within each
+/// interval; empty bins carry the previous bin's value (metrics are sampled
+/// state, not counts).
+StatusOr<ts::Series> BinResourceSamples(const std::vector<ResourceSample>& samples,
+                                        int64_t interval_seconds,
+                                        std::string name = "resource");
+
+}  // namespace dbaugur::trace

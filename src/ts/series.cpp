@@ -1,0 +1,70 @@
+#include "ts/series.h"
+
+#include <algorithm>
+
+namespace dbaugur::ts {
+
+Series Series::Slice(size_t begin, size_t end) const {
+  begin = std::min(begin, values_.size());
+  end = std::min(end, values_.size());
+  if (end < begin) end = begin;
+  std::vector<double> vals(values_.begin() + static_cast<ptrdiff_t>(begin),
+                           values_.begin() + static_cast<ptrdiff_t>(end));
+  return Series(TimeAt(begin), interval_, std::move(vals), name_);
+}
+
+StatusOr<Series> Series::AggregateSum(size_t factor) const {
+  if (factor == 0) return Status::InvalidArgument("aggregate factor must be > 0");
+  std::vector<double> out;
+  out.reserve(values_.size() / factor);
+  for (size_t i = 0; i + factor <= values_.size(); i += factor) {
+    double s = 0.0;
+    for (size_t j = 0; j < factor; ++j) s += values_[i + j];
+    out.push_back(s);
+  }
+  return Series(start_, interval_ * static_cast<int64_t>(factor), std::move(out),
+                name_);
+}
+
+StatusOr<Series> Series::AggregateMean(size_t factor) const {
+  auto summed = AggregateSum(factor);
+  if (!summed.ok()) return summed.status();
+  for (double& v : summed->mutable_values()) v /= static_cast<double>(factor);
+  return std::move(summed).value();
+}
+
+StatusOr<Series> Series::Sum(const std::vector<Series>& traces) {
+  if (traces.empty()) return Status::InvalidArgument("Sum: no traces");
+  Series out = traces[0];
+  for (size_t k = 1; k < traces.size(); ++k) {
+    if (traces[k].size() != out.size()) {
+      return Status::InvalidArgument("Sum: trace length mismatch");
+    }
+    for (size_t i = 0; i < out.size(); ++i) out[i] += traces[k][i];
+  }
+  return out;
+}
+
+StatusOr<Series> Series::Average(const std::vector<Series>& traces) {
+  auto summed = Sum(traces);
+  if (!summed.ok()) return summed.status();
+  double n = static_cast<double>(traces.size());
+  for (double& v : summed->mutable_values()) v /= n;
+  return std::move(summed).value();
+}
+
+std::vector<double> Difference(const std::vector<double>& v, int d) {
+  std::vector<double> cur = v;
+  for (int k = 0; k < d && cur.size() > 1; ++k) {
+    std::vector<double> next(cur.size() - 1);
+    for (size_t i = 0; i + 1 < cur.size(); ++i) next[i] = cur[i + 1] - cur[i];
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+double UndifferenceStep(double diff_prediction, double last_level) {
+  return last_level + diff_prediction;
+}
+
+}  // namespace dbaugur::ts

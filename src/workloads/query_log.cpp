@@ -1,0 +1,107 @@
+#include "workloads/query_log.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbaugur::workloads {
+
+std::vector<trace::LogEntry> GenerateQueryLog(
+    const std::vector<QueryTemplateSpec>& templates,
+    const QueryLogOptions& opts) {
+  Rng rng(opts.seed);
+  std::vector<trace::LogEntry> out;
+  int64_t steps_per_day = 86400 / opts.interval_seconds;
+  for (size_t day = 0; day < opts.days; ++day) {
+    for (int64_t step = 0; step < steps_per_day; ++step) {
+      double day_frac =
+          static_cast<double>(step) / static_cast<double>(steps_per_day);
+      int64_t base_ts = (static_cast<int64_t>(day) * steps_per_day + step) *
+                        opts.interval_seconds;
+      for (const auto& spec : templates) {
+        int64_t count = rng.Poisson(spec.rate(day_frac, day));
+        for (int64_t q = 0; q < count; ++q) {
+          int64_t offset = rng.UniformInt(0, opts.interval_seconds - 1);
+          out.push_back({base_ts + offset, spec.make_sql(rng)});
+        }
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const trace::LogEntry& a, const trace::LogEntry& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return out;
+}
+
+namespace {
+// Gaussian bump centered at `center` (day fraction) with width `sd`.
+double Bump(double day_frac, double center, double sd) {
+  double d = day_frac - center;
+  // Wrap around midnight.
+  if (d > 0.5) d -= 1.0;
+  if (d < -0.5) d += 1.0;
+  return std::exp(-d * d / (2.0 * sd * sd));
+}
+}  // namespace
+
+std::vector<QueryTemplateSpec> BusTrackerTemplates() {
+  std::vector<QueryTemplateSpec> specs;
+  // 1. Live position lookups: commute peaks (morning + evening).
+  specs.push_back(
+      {"positions_by_route",
+       [](Rng& rng) {
+         return "SELECT * FROM positions WHERE route_id = " +
+                std::to_string(rng.UniformInt(1, 400));
+       },
+       [](double f, size_t) {
+         return 4.0 + 60.0 * Bump(f, 0.33, 0.05) + 50.0 * Bump(f, 0.71, 0.06);
+       }});
+  // 2. Schedule lookups: daytime plateau.
+  specs.push_back(
+      {"schedule_by_stop",
+       [](Rng& rng) {
+         return "SELECT * FROM schedules WHERE stop_id = " +
+                std::to_string(rng.UniformInt(1, 5000)) + " AND arrival > " +
+                std::to_string(rng.UniformInt(0, 86400));
+       },
+       [](double f, size_t) { return f > 0.25 && f < 0.9 ? 25.0 : 3.0; }});
+  // 3. Ticket price scans: evening-heavy (the planetarium-style pairing).
+  specs.push_back(
+      {"ticket_prices",
+       [](Rng& rng) {
+         return "SELECT price, seats FROM tickets WHERE trip_id = " +
+                std::to_string(rng.UniformInt(1, 2000));
+       },
+       [](double f, size_t) { return 2.0 + 55.0 * Bump(f, 0.75, 0.07); }});
+  // 4. Ticket availability: tracks prices with a small lag (same cluster).
+  specs.push_back(
+      {"ticket_seats_left",
+       [](Rng& rng) {
+         return "SELECT seats FROM tickets WHERE trip_id = " +
+                std::to_string(rng.UniformInt(1, 2000)) + " AND seats > 0";
+       },
+       [](double f, size_t) { return 2.0 + 50.0 * Bump(f, 0.77, 0.07); }});
+  // 5. Position updates from buses: constant background writes.
+  specs.push_back(
+      {"position_update",
+       [](Rng& rng) {
+         return "UPDATE positions SET lat = " +
+                std::to_string(rng.Uniform(40.0, 41.0)) + ", lon = " +
+                std::to_string(rng.Uniform(-80.1, -79.8)) +
+                " WHERE bus_id = " + std::to_string(rng.UniformInt(1, 1200));
+       },
+       [](double, size_t) { return 12.0; }});
+  // 6. Departure range scans: midday analytical queries.
+  specs.push_back(
+      {"departures_range",
+       [](Rng& rng) {
+         int64_t start = rng.UniformInt(0, 80000);
+         return "SELECT * FROM trips WHERE depart_time > " +
+                std::to_string(start) + " AND depart_time < " +
+                std::to_string(start + 3600);
+       },
+       [](double f, size_t) { return 1.0 + 18.0 * Bump(f, 0.5, 0.1); }});
+  return specs;
+}
+
+}  // namespace dbaugur::workloads

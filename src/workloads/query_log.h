@@ -1,0 +1,47 @@
+// Synthetic query-log generation: emits timestamped SQL statements whose
+// per-template arrival rates follow configurable time-of-day profiles. This
+// feeds the end-to-end pipeline (SQL2Template -> clustering -> forecasting)
+// and the index-selection case study, where the query *mix* shifts over the
+// day so the optimal index set changes.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/extractor.h"
+
+namespace dbaugur::workloads {
+
+/// One query template's behaviour in the generated log.
+struct QueryTemplateSpec {
+  std::string name;
+  /// Produces one concrete SQL statement (with fresh literal values).
+  std::function<std::string(Rng&)> make_sql;
+  /// Expected statements per interval as a function of the fraction of the
+  /// day [0,1) and the day index.
+  std::function<double(double day_frac, size_t day)> rate;
+};
+
+/// Log-generation configuration.
+struct QueryLogOptions {
+  size_t days = 2;
+  int64_t interval_seconds = 600;
+  uint64_t seed = 7;
+};
+
+/// Generates a time-ordered log: per interval, each template contributes
+/// Poisson(rate) statements at uniform offsets within the interval.
+std::vector<trace::LogEntry> GenerateQueryLog(
+    const std::vector<QueryTemplateSpec>& templates,
+    const QueryLogOptions& opts);
+
+/// The canned BusTracker-application template set used by the examples and
+/// the Fig. 8 case study: five templates over a transit schema whose hot set
+/// shifts from route lookups (morning commute) to ticket-price scans
+/// (evening).
+std::vector<QueryTemplateSpec> BusTrackerTemplates();
+
+}  // namespace dbaugur::workloads

@@ -1,0 +1,203 @@
+// Unit tests for src/common: Status, Rng, math utilities, table printer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+
+namespace dbaugur {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad window");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad window");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad window");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(7);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(Mean(xs), 5.0, 0.1);
+  EXPECT_NEAR(StdDev(xs), 2.0, 0.1);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += static_cast<double>(rng.Poisson(4.0));
+  EXPECT_NEAR(sum / 20000.0, 4.0, 0.1);
+}
+
+TEST(RngTest, PoissonNonPositiveRateIsZero) {
+  Rng rng(2);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-3.0), 0);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(5);
+  auto p = rng.Permutation(50);
+  std::set<size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(6);
+  auto s = rng.SampleWithoutReplacement(100, 10);
+  std::set<size_t> seen(s.begin(), s.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(MathTest, MeanVarianceStd) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(1.25));
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(MathTest, PearsonPerfectCorrelation) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(MathTest, SigmoidStableAtExtremes) {
+  EXPECT_NEAR(Sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(MathTest, SolveLinearSystem) {
+  // [2 1; 1 3] x = [5; 10] => x = [1, 3]? check: 2+3=5 yes, 1+9=10 yes.
+  auto x = SolveLinearSystem({2, 1, 1, 3}, {5, 10}, 2);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-9);
+}
+
+TEST(MathTest, SolveSingularFails) {
+  auto x = SolveLinearSystem({1, 2, 2, 4}, {3, 6}, 2);
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kInternal);
+}
+
+TEST(MathTest, SolveDimensionMismatch) {
+  auto x = SolveLinearSystem({1, 2, 3}, {1, 2}, 2);
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MathTest, LeastSquaresRecoversLine) {
+  // y = 3x + 2 with x in {0..9}; columns: [x, 1].
+  std::vector<double> X, y;
+  for (int i = 0; i < 10; ++i) {
+    X.push_back(i);
+    X.push_back(1.0);
+    y.push_back(3.0 * i + 2.0);
+  }
+  auto beta = LeastSquares(X, y, 10, 2);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR((*beta)[0], 3.0, 1e-6);
+  EXPECT_NEAR((*beta)[1], 2.0, 1e-5);
+}
+
+TEST(MathTest, LeastSquaresUnderdetermined) {
+  auto beta = LeastSquares({1, 2}, {1}, 1, 2);
+  EXPECT_FALSE(beta.ok());
+}
+
+TEST(MathTest, SoftmaxSumsToOne) {
+  auto s = Softmax({1.0, 2.0, 3.0});
+  double sum = s[0] + s[1] + s[2];
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(s[2], s[1]);
+  EXPECT_GT(s[1], s[0]);
+}
+
+TEST(MathTest, SoftmaxStableForLargeInputs) {
+  auto s = Softmax({1000.0, 1000.0});
+  EXPECT_NEAR(s[0], 0.5, 1e-12);
+  EXPECT_NEAR(s[1], 0.5, 1e-12);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"model", "mse"});
+  t.AddRow({"LR", "0.5"});
+  t.AddRow({"WFGAN", "0.25"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("model"), std::string::npos);
+  EXPECT_NE(out.find("WFGAN"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 3), "2.000");
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_NO_THROW(t.ToString());
+}
+
+}  // namespace
+}  // namespace dbaugur

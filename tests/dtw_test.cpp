@@ -1,0 +1,211 @@
+// Tests for windowed DTW, envelopes, and the lower-bound cascade.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dtw/dtw.h"
+
+namespace dbaugur::dtw {
+namespace {
+
+double Euclid(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(s);
+}
+
+TEST(DtwTest, IdenticalTracesZeroDistance) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  auto d = DtwDistance(a, a, {2});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 0.0);
+}
+
+TEST(DtwTest, KnownSmallExample) {
+  // a = [0,0,1], b = [0,1,1]: alignment (0,0)(1,0)... optimal is 0.
+  std::vector<double> a = {0, 0, 1};
+  std::vector<double> b = {0, 1, 1};
+  auto d = DtwDistance(a, b, {-1});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 0.0);
+  // Euclidean (lock-step) distance is sqrt(1) = 1: DTW absorbs the shift.
+  EXPECT_DOUBLE_EQ(Euclid(a, b), 1.0);
+}
+
+TEST(DtwTest, NeverExceedsEuclidean) {
+  // The identity alignment is one warping path, so DTW <= Euclidean.
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a(40), b(40);
+    for (size_t i = 0; i < 40; ++i) {
+      a[i] = rng.Gaussian();
+      b[i] = rng.Gaussian();
+    }
+    auto d = DtwDistance(a, b, {40});
+    ASSERT_TRUE(d.ok());
+    EXPECT_LE(*d, Euclid(a, b) + 1e-9);
+  }
+}
+
+TEST(DtwTest, ShiftedSineIsCloseUnderDtwNotEuclidean) {
+  std::vector<double> a(64), b(64);
+  for (size_t i = 0; i < 64; ++i) {
+    a[i] = std::sin(2 * M_PI * static_cast<double>(i) / 16.0);
+    b[i] = std::sin(2 * M_PI * static_cast<double>(i + 3) / 16.0);  // shift 3
+  }
+  auto d = DtwDistance(a, b, {8});
+  ASSERT_TRUE(d.ok());
+  double euclid = Euclid(a, b);
+  // DTW absorbs the interior of the shift; only boundary cells (where first
+  // must match first) keep residual cost, so a ~3.5x reduction remains.
+  EXPECT_LT(*d, euclid * 0.35) << "dtw=" << *d << " euclid=" << euclid;
+}
+
+TEST(DtwTest, DifferentLengthsSupported) {
+  std::vector<double> a = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<double> b = {0, 2, 4, 6};  // same ramp, half the samples
+  auto d = DtwDistance(a, b, {1});
+  ASSERT_TRUE(d.ok());  // band widened to |n-m|
+  EXPECT_LT(*d, 3.0);
+}
+
+TEST(DtwTest, WindowConstraintIncreasesDistance) {
+  // A large shift that a narrow band cannot absorb.
+  std::vector<double> a(50, 0.0), b(50, 0.0);
+  for (size_t i = 0; i < 10; ++i) a[i + 5] = 1.0;
+  for (size_t i = 0; i < 10; ++i) b[i + 30] = 1.0;
+  auto narrow = DtwDistance(a, b, {2});
+  auto wide = DtwDistance(a, b, {-1});
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_TRUE(wide.ok());
+  EXPECT_GT(*narrow, *wide);
+  EXPECT_DOUBLE_EQ(*wide, 0.0);
+}
+
+TEST(DtwTest, EmptyTraceRejected) {
+  EXPECT_FALSE(DtwDistance({}, {1.0}, {2}).ok());
+  EXPECT_FALSE(DtwDistance({1.0}, {}, {2}).ok());
+}
+
+TEST(DtwTest, EarlyAbandonReturnsInfinity) {
+  std::vector<double> a(20, 0.0), b(20, 100.0);
+  auto d = DtwDistance(a, b, {5}, /*upper_bound=*/1.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(std::isinf(*d));
+}
+
+TEST(DtwTest, EarlyAbandonAgreesWhenWithinBound) {
+  Rng rng(7);
+  std::vector<double> a(30), b(30);
+  for (size_t i = 0; i < 30; ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = a[i] + rng.Gaussian(0, 0.1);
+  }
+  auto exact = DtwDistance(a, b, {5});
+  auto bounded = DtwDistance(a, b, {5}, 1000.0);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_DOUBLE_EQ(*exact, *bounded);
+}
+
+TEST(EnvelopeTest, BoundsContainSequence) {
+  Rng rng(9);
+  std::vector<double> s(50);
+  for (double& x : s) x = rng.Gaussian();
+  Envelope env = BuildEnvelope(s, 4);
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_LE(env.lower[i], s[i]);
+    EXPECT_GE(env.upper[i], s[i]);
+  }
+}
+
+TEST(EnvelopeTest, WiderWindowLoosensEnvelope) {
+  std::vector<double> s = {0, 5, 1, 4, 2, 3};
+  Envelope narrow = BuildEnvelope(s, 1);
+  Envelope wide = BuildEnvelope(s, 5);
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_LE(wide.lower[i], narrow.lower[i]);
+    EXPECT_GE(wide.upper[i], narrow.upper[i]);
+  }
+}
+
+TEST(LowerBoundTest, LbKeoghIsLowerBoundOfDtw) {
+  Rng rng(11);
+  const int kWindow = 5;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> a(32), b(32);
+    for (size_t i = 0; i < 32; ++i) {
+      a[i] = rng.Gaussian();
+      b[i] = rng.Gaussian();
+    }
+    Envelope env = BuildEnvelope(b, kWindow);
+    double lb = LbKeogh(a, env);
+    auto d = DtwDistance(a, b, {kWindow});
+    ASSERT_TRUE(d.ok());
+    EXPECT_LE(lb, *d + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(LowerBoundTest, LbKimIsLowerBoundOfDtw) {
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> a(20), b(20);
+    for (size_t i = 0; i < 20; ++i) {
+      a[i] = rng.Gaussian();
+      b[i] = rng.Gaussian();
+    }
+    double lb = LbKim(a, b);
+    auto d = DtwDistance(a, b, {20});
+    ASSERT_TRUE(d.ok());
+    EXPECT_LE(lb, *d + 1e-9);
+  }
+}
+
+TEST(LowerBoundTest, LbKeoghZeroForDifferentLengths) {
+  std::vector<double> a = {1, 2, 3};
+  Envelope env = BuildEnvelope({1, 2}, 1);
+  EXPECT_DOUBLE_EQ(LbKeogh(a, env), 0.0);
+}
+
+TEST(CascadeTest, NeverRejectsTrueNeighbors) {
+  Rng rng(15);
+  const int kWindow = 5;
+  CascadingDtw cascade({kWindow});
+  int accepted = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> a(24), b(24);
+    for (size_t i = 0; i < 24; ++i) {
+      a[i] = rng.Gaussian();
+      b[i] = a[i] + rng.Gaussian(0, 0.3);
+    }
+    Envelope env = BuildEnvelope(b, kWindow);
+    auto exact = DtwDistance(a, b, {kWindow});
+    ASSERT_TRUE(exact.ok());
+    double radius = 1.5;
+    auto within = cascade.WithinRadius(a, b, env, radius);
+    ASSERT_TRUE(within.ok());
+    EXPECT_EQ(*within, *exact <= radius) << "trial " << trial;
+    if (*within) ++accepted;
+  }
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(cascade.full_computations(), 0);
+}
+
+TEST(CascadeTest, CountersTrackRejections) {
+  CascadingDtw cascade({3});
+  std::vector<double> a(10, 0.0);
+  std::vector<double> far(10, 100.0);
+  Envelope env = BuildEnvelope(far, 3);
+  auto d = cascade.Distance(a, far, env, 1.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(std::isinf(*d));
+  EXPECT_EQ(cascade.kim_rejections(), 1);
+  EXPECT_EQ(cascade.full_computations(), 0);
+  cascade.ResetCounters();
+  EXPECT_EQ(cascade.kim_rejections(), 0);
+}
+
+}  // namespace
+}  // namespace dbaugur::dtw

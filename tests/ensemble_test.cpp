@@ -1,0 +1,211 @@
+// Tests for the time-sensitive ensemble (Eq. 7-8), QB5000, and the online
+// evaluation harness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ensemble/presets.h"
+#include "ensemble/time_sensitive_ensemble.h"
+#include "ts/metrics.h"
+
+namespace dbaugur::ensemble {
+namespace {
+
+// A stub member with a fixed additive bias: prediction = next-window-naive
+// (last value) + bias. Lets us control per-member error exactly.
+class BiasedNaive : public models::Forecaster {
+ public:
+  explicit BiasedNaive(double bias) : bias_(bias) {}
+  Status Fit(const std::vector<double>&) override { return Status::OK(); }
+  StatusOr<double> Predict(const std::vector<double>& window) const override {
+    return window.back() + bias_;
+  }
+  std::string name() const override { return "BiasedNaive"; }
+  int64_t StorageBytes() const override { return 8; }
+
+ private:
+  double bias_;
+};
+
+models::ForecasterOptions SmallOpts() {
+  models::ForecasterOptions o;
+  o.window = 8;
+  o.horizon = 1;
+  o.epochs = 5;
+  return o;
+}
+
+std::vector<double> ConstSeries(size_t n, double v) {
+  return std::vector<double>(n, v);
+}
+
+TEST(EnsembleTest, EqualWeightsBeforeAnyObservation) {
+  TimeSensitiveEnsemble ens(SmallOpts(), {0.9, true});
+  ens.AddMember(std::make_unique<BiasedNaive>(0.0));
+  ens.AddMember(std::make_unique<BiasedNaive>(1.0));
+  ens.AddMember(std::make_unique<BiasedNaive>(2.0));
+  ASSERT_TRUE(ens.Fit(ConstSeries(20, 5.0)).ok());
+  auto w = ens.CurrentWeights();
+  ASSERT_EQ(w.size(), 3u);
+  for (double wi : w) EXPECT_DOUBLE_EQ(wi, 1.0 / 3.0);
+  // Prediction = mean of 5, 6, 7.
+  auto p = ens.Predict(ConstSeries(8, 5.0));
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 6.0, 1e-12);
+}
+
+TEST(EnsembleTest, WeightsShiftTowardAccurateMember) {
+  TimeSensitiveEnsemble ens(SmallOpts(), {0.9, true});
+  ens.AddMember(std::make_unique<BiasedNaive>(0.0));  // perfect on const series
+  ens.AddMember(std::make_unique<BiasedNaive>(3.0));
+  ASSERT_TRUE(ens.Fit(ConstSeries(20, 5.0)).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ens.Observe(ConstSeries(8, 5.0), 5.0).ok());
+  }
+  auto w = ens.CurrentWeights();
+  EXPECT_GT(w[0], 0.95);
+  EXPECT_LT(w[1], 0.05);
+  double sum = w[0] + w[1];
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  auto p = ens.Predict(ConstSeries(8, 5.0));
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 5.0, 0.2);
+}
+
+TEST(EnsembleTest, WeightsMatchEquation8ForThreeMembers) {
+  TimeSensitiveEnsemble ens(SmallOpts(), {0.9, true});
+  ens.AddMember(std::make_unique<BiasedNaive>(1.0));
+  ens.AddMember(std::make_unique<BiasedNaive>(2.0));
+  ens.AddMember(std::make_unique<BiasedNaive>(3.0));
+  ASSERT_TRUE(ens.Fit(ConstSeries(20, 0.0)).ok());
+  ASSERT_TRUE(ens.Observe(ConstSeries(8, 0.0), 0.0).ok());
+  // Errors: 1, 4, 9. Gammas after one step equal the squared errors.
+  const auto& g = ens.Distances();
+  EXPECT_DOUBLE_EQ(g[0], 1.0);
+  EXPECT_DOUBLE_EQ(g[1], 4.0);
+  EXPECT_DOUBLE_EQ(g[2], 9.0);
+  auto w = ens.CurrentWeights();
+  double sum = 14.0;
+  EXPECT_NEAR(w[0], (sum - 1.0) / (2 * sum), 1e-12);
+  EXPECT_NEAR(w[1], (sum - 4.0) / (2 * sum), 1e-12);
+  EXPECT_NEAR(w[2], (sum - 9.0) / (2 * sum), 1e-12);
+  EXPECT_NEAR(w[0] + w[1] + w[2], 1.0, 1e-12);
+}
+
+TEST(EnsembleTest, AttenuationForgetsOldErrors) {
+  // Member 0 starts bad then becomes perfect; with delta < 1 its weight must
+  // recover.
+  TimeSensitiveEnsemble ens(SmallOpts(), {0.5, true});
+  ens.AddMember(std::make_unique<BiasedNaive>(0.0));
+  ens.AddMember(std::make_unique<BiasedNaive>(1.0));
+  ASSERT_TRUE(ens.Fit(ConstSeries(20, 0.0)).ok());
+  // Phase 1: feed actuals equal to member-1's prediction (member 0 is wrong).
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ens.Observe(ConstSeries(8, 0.0), 1.0).ok());
+  }
+  double w0_bad = ens.CurrentWeights()[0];
+  EXPECT_LT(w0_bad, 0.5);
+  // Phase 2: actuals now equal member-0's prediction.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(ens.Observe(ConstSeries(8, 0.0), 0.0).ok());
+  }
+  double w0_recovered = ens.CurrentWeights()[0];
+  EXPECT_GT(w0_recovered, 0.5);
+}
+
+TEST(EnsembleTest, FixedModeKeepsEqualWeights) {
+  TimeSensitiveEnsemble ens(SmallOpts(), {0.9, false});
+  ens.AddMember(std::make_unique<BiasedNaive>(0.0));
+  ens.AddMember(std::make_unique<BiasedNaive>(2.0));
+  ASSERT_TRUE(ens.Fit(ConstSeries(20, 0.0)).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ens.Observe(ConstSeries(8, 0.0), 0.0).ok());
+  }
+  auto w = ens.CurrentWeights();
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+}
+
+TEST(EnsembleTest, GuardsAndErrors) {
+  TimeSensitiveEnsemble empty(SmallOpts(), {0.9, true});
+  EXPECT_FALSE(empty.Fit(ConstSeries(20, 0.0)).ok());
+  TimeSensitiveEnsemble ens(SmallOpts(), {0.9, true});
+  ens.AddMember(std::make_unique<BiasedNaive>(0.0));
+  EXPECT_FALSE(ens.Predict(ConstSeries(8, 0.0)).ok());
+  EXPECT_FALSE(ens.Observe(ConstSeries(8, 0.0), 1.0).ok());
+}
+
+TEST(EnsembleTest, DynamicBeatsWorstMemberOnRegimeShift) {
+  // Series whose behaviour changes mid-stream: dynamic weighting should track
+  // whichever member currently fits.
+  Rng rng(44);
+  std::vector<double> series;
+  for (int i = 0; i < 300; ++i) series.push_back(10.0 + rng.Gaussian(0, 0.05));
+  for (int i = 0; i < 300; ++i) {
+    series.push_back(10.0 + 0.05 * i + rng.Gaussian(0, 0.05));
+  }
+  models::ForecasterOptions opts = SmallOpts();
+  TimeSensitiveEnsemble dyn(opts, {0.9, true});
+  dyn.AddMember(std::make_unique<BiasedNaive>(0.0));   // good on flat part
+  dyn.AddMember(std::make_unique<BiasedNaive>(0.05));  // good on trend part
+  ASSERT_TRUE(dyn.Fit(series).ok());
+  auto eval = EvaluateOnline(dyn, series, 350, opts.window, opts.horizon);
+  ASSERT_TRUE(eval.ok());
+  double dyn_mse = *ts::MSE(eval->predicted, eval->actual);
+  // Worst single member on the trend region is the zero-bias one.
+  double naive_mse = 0.0;
+  size_t count = 0;
+  for (size_t t = 350; t < series.size(); ++t) {
+    double e = series[t - 1] - series[t];
+    naive_mse += e * e;
+    ++count;
+  }
+  naive_mse /= static_cast<double>(count);
+  EXPECT_LT(dyn_mse, naive_mse);
+}
+
+TEST(PresetsTest, DBAugurHasPaperMembers) {
+  auto ens = MakeDBAugur(SmallOpts());
+  ASSERT_TRUE(ens.ok());
+  ASSERT_EQ((*ens)->member_count(), 3u);
+  EXPECT_EQ((*ens)->member(0).name(), "WFGAN");
+  EXPECT_EQ((*ens)->member(1).name(), "TCN");
+  EXPECT_EQ((*ens)->member(2).name(), "MLP");
+  EXPECT_EQ((*ens)->name(), "DBAugurEnsemble");
+}
+
+TEST(PresetsTest, QB5000HasPaperMembers) {
+  auto ens = MakeQB5000(SmallOpts());
+  ASSERT_TRUE(ens.ok());
+  ASSERT_EQ((*ens)->member_count(), 3u);
+  EXPECT_EQ((*ens)->member(0).name(), "LR");
+  EXPECT_EQ((*ens)->member(1).name(), "LSTM");
+  EXPECT_EQ((*ens)->member(2).name(), "KR");
+  EXPECT_EQ((*ens)->name(), "FixedEnsemble");
+}
+
+TEST(PresetsTest, EndToEndOnSine) {
+  models::ForecasterOptions opts;
+  opts.window = 24;
+  opts.horizon = 1;
+  opts.epochs = 10;
+  Rng rng(45);
+  std::vector<double> series(600);
+  for (size_t i = 0; i < series.size(); ++i) {
+    series[i] = 10 + 5 * std::sin(2 * M_PI * static_cast<double>(i) / 48.0) +
+                rng.Gaussian(0, 0.1);
+  }
+  auto ens = MakeDBAugur(opts);
+  ASSERT_TRUE(ens.ok());
+  ASSERT_TRUE((*ens)->Fit(std::vector<double>(series.begin(),
+                                              series.begin() + 420)).ok());
+  auto eval = EvaluateOnline(**ens, series, 420, opts.window, opts.horizon);
+  ASSERT_TRUE(eval.ok());
+  double mse = *ts::MSE(eval->predicted, eval->actual);
+  EXPECT_LT(mse, 2.0);  // signal variance 12.5
+}
+
+}  // namespace
+}  // namespace dbaugur::ensemble

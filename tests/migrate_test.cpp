@@ -1,0 +1,146 @@
+// Tests for the region-migration load balancer and simulation harness.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "migrate/load_balancer.h"
+#include "workloads/generators.h"
+
+namespace dbaugur::migrate {
+namespace {
+
+TEST(BalanceDifferenceTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(BalanceDifference({10, 10, 10}), 0.0);
+  EXPECT_DOUBLE_EQ(BalanceDifference({0, 20}), 2.0);  // (20-0)/10
+  EXPECT_DOUBLE_EQ(BalanceDifference({}), 0.0);
+  EXPECT_DOUBLE_EQ(BalanceDifference({0, 0}), 0.0);
+}
+
+TEST(LoadBalancerTest, RoundRobinInitialAssignment) {
+  LoadBalancer lb(3, 7);
+  EXPECT_EQ(lb.server_of(0), 0u);
+  EXPECT_EQ(lb.server_of(1), 1u);
+  EXPECT_EQ(lb.server_of(3), 0u);
+  EXPECT_EQ(lb.servers(), 3u);
+  EXPECT_EQ(lb.regions(), 7u);
+}
+
+TEST(LoadBalancerTest, ServerLoadsAggregation) {
+  LoadBalancer lb(2, 4);
+  auto loads = lb.ServerLoads({1, 2, 3, 4});
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_DOUBLE_EQ(loads[0], 4.0);  // regions 0, 2
+  EXPECT_DOUBLE_EQ(loads[1], 6.0);  // regions 1, 3
+}
+
+TEST(LoadBalancerTest, PlanReducesImbalance) {
+  LoadBalancer lb(2, 4);
+  // Server 0 holds regions {0, 2} with loads {10, 10}; server 1 {1, 3} with
+  // {1, 1}: imbalance (20-2)/11.
+  std::vector<double> loads = {10, 1, 10, 1};
+  double before = BalanceDifference(lb.ServerLoads(loads));
+  auto moves = lb.Plan(loads, 2);
+  EXPECT_FALSE(moves.empty());
+  lb.Apply(moves);
+  double after = BalanceDifference(lb.ServerLoads(loads));
+  EXPECT_LT(after, before);
+}
+
+TEST(LoadBalancerTest, NoMovesWhenBalanced) {
+  LoadBalancer lb(2, 4);
+  auto moves = lb.Plan({5, 5, 5, 5}, 3);
+  EXPECT_TRUE(moves.empty());
+}
+
+TEST(LoadBalancerTest, MaxMovesRespected) {
+  LoadBalancer lb(2, 8);
+  std::vector<double> loads = {9, 1, 9, 1, 9, 1, 9, 1};
+  auto moves = lb.Plan(loads, 1);
+  EXPECT_LE(moves.size(), 1u);
+}
+
+TEST(RotatingRegionLoadsTest, ConservesBaseMass) {
+  workloads::PeriodicOptions popts;
+  popts.periods = 4;
+  auto base = workloads::GeneratePeriodic(popts);
+  auto regions = MakeRotatingRegionLoads(base, 6, 0.3, 2.0);
+  ASSERT_EQ(regions.size(), 6u);
+  // Total across regions at each step stays within the hotspot gain factor
+  // of the base (mass scaled by 1/R, amplified where the hotspot sits).
+  for (size_t p = 0; p < base.size(); p += 17) {
+    double total = 0;
+    for (const auto& r : regions) total += r[p];
+    EXPECT_GT(total, base[p] * 0.9);
+    EXPECT_LT(total, base[p] * 3.1);
+  }
+}
+
+TEST(RotatingRegionLoadsTest, HotspotMovesOverTime) {
+  workloads::PeriodicOptions popts;
+  popts.periods = 8;
+  popts.noise_sd = 0.0;
+  auto base = workloads::GeneratePeriodic(popts);
+  // Constant base so only the hotspot drives differences.
+  for (auto& v : base.mutable_values()) v = 100.0;
+  auto regions = MakeRotatingRegionLoads(base, 8, 0.5, 3.0);
+  auto hottest_at = [&](size_t p) {
+    size_t best = 0;
+    for (size_t r = 1; r < regions.size(); ++r) {
+      if (regions[r][p] > regions[best][p]) best = r;
+    }
+    return best;
+  };
+  EXPECT_NE(hottest_at(0), hottest_at(8));
+}
+
+TEST(SimulateMigrationTest, OraclePredictorBeatsLaggingStatic) {
+  workloads::PeriodicOptions popts;
+  popts.periods = 3;
+  popts.steps_per_period = 40;
+  auto base = workloads::GeneratePeriodic(popts);
+  auto regions = MakeRotatingRegionLoads(base, 8, 0.35, 3.0);
+  size_t eval_start = 20;
+  // Static: expected load = last observed period.
+  auto static_pred = [&](size_t r, size_t p) -> StatusOr<double> {
+    return regions[r][p - 1];
+  };
+  // Oracle: perfect forecast.
+  auto oracle_pred = [&](size_t r, size_t p) -> StatusOr<double> {
+    return regions[r][p];
+  };
+  auto static_bal = SimulateMigration(regions, 4, eval_start, static_pred, 2);
+  auto oracle_bal = SimulateMigration(regions, 4, eval_start, oracle_pred, 2);
+  ASSERT_TRUE(static_bal.ok());
+  ASSERT_TRUE(oracle_bal.ok());
+  double static_avg =
+      std::accumulate(static_bal->begin(), static_bal->end(), 0.0) /
+      static_cast<double>(static_bal->size());
+  double oracle_avg =
+      std::accumulate(oracle_bal->begin(), oracle_bal->end(), 0.0) /
+      static_cast<double>(oracle_bal->size());
+  EXPECT_LT(oracle_avg, static_avg);
+}
+
+TEST(SimulateMigrationTest, Validation) {
+  auto pred = [](size_t, size_t) -> StatusOr<double> { return 1.0; };
+  EXPECT_FALSE(SimulateMigration({}, 2, 0, pred, 1).ok());
+  std::vector<ts::Series> regions = {ts::Series(0, 60, {1, 2}),
+                                     ts::Series(0, 60, {1})};
+  EXPECT_FALSE(SimulateMigration(regions, 2, 0, pred, 1).ok());
+  std::vector<ts::Series> ok_regions = {ts::Series(0, 60, {1, 2})};
+  EXPECT_FALSE(SimulateMigration(ok_regions, 2, 5, pred, 1).ok());
+}
+
+TEST(SimulateMigrationTest, PredictorErrorsPropagate) {
+  std::vector<ts::Series> regions = {ts::Series(0, 60, {1, 2, 3})};
+  auto bad = [](size_t, size_t) -> StatusOr<double> {
+    return Status::Internal("model exploded");
+  };
+  auto res = SimulateMigration(regions, 2, 1, bad, 1);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace dbaugur::migrate

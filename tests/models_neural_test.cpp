@@ -1,0 +1,273 @@
+// Tests for the neural forecasters (MLP, LSTM, TCN, WFGAN, multi-task WFGAN):
+// each must actually learn a predictable synthetic signal, beating the naive
+// persistence ("repeat last value") baseline by a wide margin.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "models/lstm_forecaster.h"
+#include "models/mlp.h"
+#include "models/tcn.h"
+#include "models/wfgan.h"
+#include "models/wfgan_multitask.h"
+#include "ts/metrics.h"
+
+namespace dbaugur::models {
+namespace {
+
+std::vector<double> SineSeries(size_t n, double period, double noise_sd,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = 10.0 + 5.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / period) +
+           rng.Gaussian(0.0, noise_sd);
+  }
+  return v;
+}
+
+// MSE of predicting x_{t+h} = x_t on the evaluation region.
+double PersistenceMse(const std::vector<double>& series, size_t train_size,
+                      size_t horizon) {
+  std::vector<double> pred, actual;
+  for (size_t t = train_size; t < series.size(); ++t) {
+    if (t < horizon) continue;
+    pred.push_back(series[t - horizon]);
+    actual.push_back(series[t]);
+  }
+  return *ts::MSE(pred, actual);
+}
+
+ForecasterOptions FastOpts(size_t horizon = 3) {
+  ForecasterOptions o;
+  o.window = 24;
+  o.horizon = horizon;
+  o.epochs = 25;
+  o.batch_size = 32;
+  return o;
+}
+
+template <typename Model>
+double TrainedMse(Model& model, const std::vector<double>& series,
+                  size_t train_size, const ForecasterOptions& opts) {
+  std::vector<double> train(series.begin(),
+                            series.begin() + static_cast<ptrdiff_t>(train_size));
+  EXPECT_TRUE(model.Fit(train).ok());
+  auto eval =
+      EvaluateForecaster(model, series, train_size, opts.window, opts.horizon);
+  EXPECT_TRUE(eval.ok());
+  return *ts::MSE(eval->predicted, eval->actual);
+}
+
+TEST(MlpForecasterTest, LearnsSineBeatsPersistence) {
+  auto series = SineSeries(1000, 48.0, 0.1, 21);
+  ForecasterOptions opts = FastOpts();
+  MlpForecaster mlp(opts);
+  double mse = TrainedMse(mlp, series, 700, opts);
+  double naive = PersistenceMse(series, 700, opts.horizon);
+  EXPECT_LT(mse, naive * 0.3) << "mse=" << mse << " naive=" << naive;
+}
+
+TEST(MlpForecasterTest, ParameterCountMatchesArchitecture) {
+  ForecasterOptions opts = FastOpts();
+  MlpForecaster mlp(opts);  // 24->32->16->1
+  EXPECT_EQ(mlp.ParameterCount(), 24 * 32 + 32 + 32 * 16 + 16 + 16 + 1);
+  EXPECT_GT(mlp.StorageBytes(), 4 * mlp.ParameterCount());
+}
+
+TEST(MlpForecasterTest, PredictGuards) {
+  ForecasterOptions opts = FastOpts();
+  MlpForecaster mlp(opts);
+  EXPECT_EQ(mlp.Predict(std::vector<double>(24, 0.0)).status().code(),
+            StatusCode::kFailedPrecondition);
+  auto series = SineSeries(400, 48.0, 0.1, 22);
+  ASSERT_TRUE(mlp.Fit(series).ok());
+  EXPECT_EQ(mlp.Predict(std::vector<double>(3, 0.0)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LstmForecasterTest, LearnsSineBeatsPersistence) {
+  auto series = SineSeries(1000, 48.0, 0.1, 23);
+  ForecasterOptions opts = FastOpts();
+  LstmForecaster lstm(opts);
+  double mse = TrainedMse(lstm, series, 700, opts);
+  double naive = PersistenceMse(series, 700, opts.horizon);
+  EXPECT_LT(mse, naive * 0.5) << "mse=" << mse << " naive=" << naive;
+}
+
+TEST(LstmForecasterTest, DeterministicAcrossRuns) {
+  auto series = SineSeries(500, 48.0, 0.1, 25);
+  ForecasterOptions opts = FastOpts();
+  opts.epochs = 3;
+  LstmForecaster a(opts), b(opts);
+  ASSERT_TRUE(a.Fit(series).ok());
+  ASSERT_TRUE(b.Fit(series).ok());
+  std::vector<double> window(series.end() - 24, series.end());
+  EXPECT_DOUBLE_EQ(*a.Predict(window), *b.Predict(window));
+}
+
+TEST(TcnForecasterTest, LearnsSineBeatsPersistence) {
+  auto series = SineSeries(1000, 48.0, 0.1, 27);
+  ForecasterOptions opts = FastOpts();
+  TcnForecaster tcn(opts);
+  double mse = TrainedMse(tcn, series, 700, opts);
+  double naive = PersistenceMse(series, 700, opts.horizon);
+  EXPECT_LT(mse, naive * 0.5) << "mse=" << mse << " naive=" << naive;
+}
+
+TEST(TcnForecasterTest, ReceptiveFieldCoversPaperWindow) {
+  ForecasterOptions opts = FastOpts();
+  TcnForecaster tcn(opts);  // dilations 1..16, kernel 2
+  EXPECT_EQ(tcn.ReceptiveField(), 1 + 2 * (1 + 2 + 4 + 8 + 16));  // 63 >= 30
+  EXPECT_GE(tcn.ReceptiveField(), 30u);
+}
+
+TEST(TcnForecasterTest, CustomDilations) {
+  ForecasterOptions opts = FastOpts();
+  TcnOptions topts;
+  topts.dilations = {1, 2};
+  topts.channels = 4;
+  TcnForecaster tcn(opts, topts);
+  EXPECT_EQ(tcn.ReceptiveField(), 1 + 2 * 3);
+  auto series = SineSeries(400, 24.0, 0.1, 29);
+  EXPECT_TRUE(tcn.Fit(series).ok());
+}
+
+TEST(WfganTest, LearnsSineBeatsPersistence) {
+  auto series = SineSeries(1000, 48.0, 0.1, 31);
+  ForecasterOptions opts = FastOpts();
+  WfganForecaster gan(opts);
+  double mse = TrainedMse(gan, series, 700, opts);
+  double naive = PersistenceMse(series, 700, opts.horizon);
+  EXPECT_LT(mse, naive * 0.5) << "mse=" << mse << " naive=" << naive;
+}
+
+TEST(WfganTest, DiscriminatorSeparatesRealFromGeneratorEarly) {
+  // D's real-vs-fake margin is only guaranteed while G is still inaccurate
+  // (at the min-max equilibrium both distributions coincide and D -> 1/2), so
+  // train briefly with a pure adversarial objective and compare the MEAN
+  // scores of true continuations vs generator continuations over many
+  // windows.
+  auto series = SineSeries(800, 48.0, 0.1, 33);
+  ForecasterOptions opts = FastOpts(1);
+  opts.epochs = 5;
+  WfganOptions gopts;
+  gopts.supervised_weight = 0.0;  // keep G inaccurate
+  gopts.adversarial_weight = 1.0;
+  WfganForecaster gan(opts, gopts);
+  std::vector<double> train(series.begin(), series.begin() + 600);
+  ASSERT_TRUE(gan.Fit(train).ok());
+  double real_sum = 0.0, fake_sum = 0.0;
+  int count = 0;
+  for (size_t t = 624; t < series.size(); t += 4) {
+    std::vector<double> window(series.begin() + static_cast<ptrdiff_t>(t - 24),
+                               series.begin() + static_cast<ptrdiff_t>(t));
+    auto gen = gan.Predict(window);
+    ASSERT_TRUE(gen.ok());
+    auto real_score = gan.DiscriminatorScore(window, series[t]);
+    auto fake_score = gan.DiscriminatorScore(window, *gen);
+    ASSERT_TRUE(real_score.ok());
+    ASSERT_TRUE(fake_score.ok());
+    real_sum += *real_score;
+    fake_sum += *fake_score;
+    ++count;
+  }
+  EXPECT_GT(real_sum / count, fake_sum / count);
+}
+
+TEST(WfganTest, EpochStatsAreFinite) {
+  auto series = SineSeries(400, 24.0, 0.1, 35);
+  ForecasterOptions opts = FastOpts(1);
+  opts.epochs = 2;
+  WfganForecaster gan(opts);
+  ASSERT_TRUE(gan.PrepareTraining(series).ok());
+  auto stats = gan.TrainEpoch();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(std::isfinite(stats->d_loss));
+  EXPECT_TRUE(std::isfinite(stats->g_adv));
+  EXPECT_TRUE(std::isfinite(stats->g_mse));
+  EXPECT_GT(stats->d_loss, 0.0);
+}
+
+TEST(WfganTest, NonAdversarialAblationStillLearns) {
+  auto series = SineSeries(800, 48.0, 0.1, 37);
+  ForecasterOptions opts = FastOpts();
+  WfganOptions gopts;
+  gopts.adversarial = false;
+  WfganForecaster gan(opts, gopts);
+  double mse = TrainedMse(gan, series, 600, opts);
+  double naive = PersistenceMse(series, 600, opts.horizon);
+  EXPECT_LT(mse, naive);
+}
+
+TEST(WfganTest, NoAttentionAblationStillLearns) {
+  auto series = SineSeries(800, 48.0, 0.1, 39);
+  ForecasterOptions opts = FastOpts();
+  WfganOptions gopts;
+  gopts.use_attention = false;
+  WfganForecaster gan(opts, gopts);
+  double mse = TrainedMse(gan, series, 600, opts);
+  double naive = PersistenceMse(series, 600, opts.horizon);
+  EXPECT_LT(mse, naive);
+}
+
+TEST(MultiTaskWfganTest, JointTrainingLearnsBothTasks) {
+  auto query = SineSeries(700, 48.0, 0.1, 41);
+  // Resource trace correlated with the query trace (shifted/scaled).
+  std::vector<double> resource(query.size());
+  Rng rng(43);
+  for (size_t i = 0; i < query.size(); ++i) {
+    resource[i] = 0.3 + 0.04 * query[i] + rng.Gaussian(0.0, 0.01);
+  }
+  ForecasterOptions opts = FastOpts(1);
+  opts.epochs = 20;
+  MultiTaskWfgan mtl(opts, WfganOptions{});
+  std::vector<double> qtrain(query.begin(), query.begin() + 500);
+  std::vector<double> rtrain(resource.begin(), resource.begin() + 500);
+  ASSERT_TRUE(mtl.Fit(qtrain, rtrain).ok());
+
+  // Evaluate both tasks on the held-out tail.
+  std::vector<double> qpred, qact, rpred, ract;
+  for (size_t t = 500; t < query.size(); ++t) {
+    std::vector<double> qw(query.begin() + static_cast<ptrdiff_t>(t - 24),
+                           query.begin() + static_cast<ptrdiff_t>(t));
+    std::vector<double> rw(resource.begin() + static_cast<ptrdiff_t>(t - 24),
+                           resource.begin() + static_cast<ptrdiff_t>(t));
+    auto qp = mtl.Predict(WorkloadTask::kQuery, qw);
+    auto rp = mtl.Predict(WorkloadTask::kResource, rw);
+    ASSERT_TRUE(qp.ok());
+    ASSERT_TRUE(rp.ok());
+    qpred.push_back(*qp);
+    qact.push_back(query[t]);
+    rpred.push_back(*rp);
+    ract.push_back(resource[t]);
+  }
+  double qmse = *ts::MSE(qpred, qact);
+  double rmse = *ts::MSE(rpred, ract);
+  double qnaive = PersistenceMse(query, 500, 1);
+  double rnaive = PersistenceMse(resource, 500, 1);
+  EXPECT_LT(qmse, qnaive) << qmse << " vs " << qnaive;
+  EXPECT_LT(rmse, rnaive) << rmse << " vs " << rnaive;
+}
+
+TEST(MultiTaskWfganTest, SharedTrunkIsCounted) {
+  ForecasterOptions opts = FastOpts(1);
+  MultiTaskWfgan mtl(opts, WfganOptions{});
+  // Shared LSTM: 4*h*(in+h+1) with in=1, h=30.
+  EXPECT_EQ(mtl.SharedParameterCount(), 4 * 30 * (1 + 30) + 4 * 30);
+  EXPECT_GT(mtl.ParameterCount(), 2 * mtl.SharedParameterCount());
+}
+
+TEST(MultiTaskWfganTest, PredictBeforeFitFails) {
+  ForecasterOptions opts = FastOpts(1);
+  MultiTaskWfgan mtl(opts, WfganOptions{});
+  EXPECT_EQ(mtl.Predict(WorkloadTask::kQuery, std::vector<double>(24, 0.0))
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace dbaugur::models

@@ -1,0 +1,261 @@
+// Numerical gradient checks for every layer in the NN substrate. Each check
+// defines the scalar loss L = sum(probe ⊙ output) for a fixed random probe,
+// so dL/dOutput = probe, and compares analytic parameter/input gradients
+// against central finite differences.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "nn/attention.h"
+#include "nn/conv1d.h"
+#include "nn/dense.h"
+#include "nn/layer.h"
+#include "nn/lstm.h"
+#include "nn/matrix.h"
+
+namespace dbaugur::nn {
+namespace {
+
+constexpr double kEps = 1e-5;
+constexpr double kTol = 1e-6;
+
+Matrix RandomMatrix(size_t r, size_t c, Rng* rng) {
+  Matrix m(r, c);
+  for (size_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Gaussian(0.0, 0.5);
+  return m;
+}
+
+double Dot(const Matrix& a, const Matrix& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a.data()[i] * b.data()[i];
+  return s;
+}
+
+// Checks each parameter gradient of `params` against finite differences of
+// `loss_fn` (which must recompute the forward pass from scratch).
+void CheckParamGrads(std::vector<Param> params,
+                     const std::function<double()>& loss_fn) {
+  for (Param& p : params) {
+    for (size_t i = 0; i < p.value->size(); ++i) {
+      double orig = p.value->data()[i];
+      p.value->data()[i] = orig + kEps;
+      double lp = loss_fn();
+      p.value->data()[i] = orig - kEps;
+      double lm = loss_fn();
+      p.value->data()[i] = orig;
+      double numeric = (lp - lm) / (2 * kEps);
+      EXPECT_NEAR(p.grad->data()[i], numeric, kTol)
+          << "param " << p.name << " index " << i;
+    }
+  }
+}
+
+TEST(DenseGradTest, ParamAndInputGrads) {
+  Rng rng(11);
+  for (Activation act : {Activation::kIdentity, Activation::kRelu,
+                         Activation::kTanh, Activation::kSigmoid}) {
+    Dense layer(4, 3, act, &rng);
+    Matrix x = RandomMatrix(5, 4, &rng);
+    Matrix probe = RandomMatrix(5, 3, &rng);
+    auto loss_fn = [&]() { return Dot(layer.Forward(x), probe); };
+    loss_fn();
+    layer.ZeroGrad();
+    Matrix dx = layer.Backward(probe);
+    CheckParamGrads(layer.Params(), loss_fn);
+    // Input gradient check.
+    for (size_t i = 0; i < x.size(); ++i) {
+      double orig = x.data()[i];
+      x.data()[i] = orig + kEps;
+      double lp = loss_fn();
+      x.data()[i] = orig - kEps;
+      double lm = loss_fn();
+      x.data()[i] = orig;
+      EXPECT_NEAR(dx.data()[i], (lp - lm) / (2 * kEps), kTol) << "input " << i;
+    }
+  }
+}
+
+TEST(LstmGradTest, ParamAndInputGradsThroughTime) {
+  Rng rng(13);
+  const size_t kSteps = 5, kBatch = 3, kIn = 2, kHidden = 4;
+  LSTM lstm(kIn, kHidden, &rng);
+  std::vector<Matrix> xs;
+  std::vector<Matrix> probes;
+  for (size_t t = 0; t < kSteps; ++t) {
+    xs.push_back(RandomMatrix(kBatch, kIn, &rng));
+    probes.push_back(RandomMatrix(kBatch, kHidden, &rng));
+  }
+  auto loss_fn = [&]() {
+    auto hs = lstm.ForwardSequence(xs);
+    double s = 0.0;
+    for (size_t t = 0; t < kSteps; ++t) s += Dot(hs[t], probes[t]);
+    return s;
+  };
+  loss_fn();
+  lstm.ZeroGrad();
+  std::vector<Matrix> dxs = lstm.BackwardSequence(probes);
+  CheckParamGrads(lstm.Params(), loss_fn);
+  for (size_t t = 0; t < kSteps; ++t) {
+    for (size_t i = 0; i < xs[t].size(); ++i) {
+      double orig = xs[t].data()[i];
+      xs[t].data()[i] = orig + kEps;
+      double lp = loss_fn();
+      xs[t].data()[i] = orig - kEps;
+      double lm = loss_fn();
+      xs[t].data()[i] = orig;
+      EXPECT_NEAR(dxs[t].data()[i], (lp - lm) / (2 * kEps), kTol)
+          << "step " << t << " input " << i;
+    }
+  }
+}
+
+TEST(AttentionGradTest, ParamAndInputGrads) {
+  Rng rng(17);
+  const size_t kSteps = 4, kBatch = 3, kHidden = 5, kAttn = 3;
+  TemporalAttention attn(kHidden, kAttn, &rng);
+  std::vector<Matrix> hs;
+  for (size_t t = 0; t < kSteps; ++t) {
+    hs.push_back(RandomMatrix(kBatch, kHidden, &rng));
+  }
+  Matrix probe = RandomMatrix(kBatch, kHidden, &rng);
+  auto loss_fn = [&]() { return Dot(attn.Forward(hs), probe); };
+  loss_fn();
+  attn.ZeroGrad();
+  std::vector<Matrix> dhs = attn.Backward(probe);
+  CheckParamGrads(attn.Params(), loss_fn);
+  for (size_t t = 0; t < kSteps; ++t) {
+    for (size_t i = 0; i < hs[t].size(); ++i) {
+      double orig = hs[t].data()[i];
+      hs[t].data()[i] = orig + kEps;
+      double lp = loss_fn();
+      hs[t].data()[i] = orig - kEps;
+      double lm = loss_fn();
+      hs[t].data()[i] = orig;
+      EXPECT_NEAR(dhs[t].data()[i], (lp - lm) / (2 * kEps), kTol)
+          << "step " << t << " input " << i;
+    }
+  }
+}
+
+TEST(AttentionGradTest, WeightsSumToOne) {
+  Rng rng(19);
+  TemporalAttention attn(4, 3, &rng);
+  std::vector<Matrix> hs;
+  for (int t = 0; t < 6; ++t) hs.push_back(RandomMatrix(2, 4, &rng));
+  attn.Forward(hs);
+  const Matrix& w = attn.last_weights();
+  for (size_t r = 0; r < w.rows(); ++r) {
+    double sum = 0.0;
+    for (size_t t = 0; t < w.cols(); ++t) {
+      EXPECT_GE(w(r, t), 0.0);
+      sum += w(r, t);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+Tensor3 RandomTensor(size_t b, size_t c, size_t t, Rng* rng) {
+  Tensor3 out(b, c, t);
+  for (size_t bi = 0; bi < b; ++bi) {
+    for (size_t ci = 0; ci < c; ++ci) {
+      for (size_t ti = 0; ti < t; ++ti) {
+        out(bi, ci, ti) = rng->Gaussian(0.0, 0.5);
+      }
+    }
+  }
+  return out;
+}
+
+double DotT(const Tensor3& a, const Tensor3& b) {
+  double s = 0.0;
+  for (size_t bi = 0; bi < a.batch(); ++bi) {
+    for (size_t ci = 0; ci < a.channels(); ++ci) {
+      for (size_t ti = 0; ti < a.time(); ++ti) {
+        s += a(bi, ci, ti) * b(bi, ci, ti);
+      }
+    }
+  }
+  return s;
+}
+
+TEST(ConvGradTest, CausalConvParamAndInputGrads) {
+  Rng rng(23);
+  CausalConv1D conv(2, 3, /*kernel=*/3, /*dilation=*/2, &rng);
+  Tensor3 x = RandomTensor(2, 2, 9, &rng);
+  Tensor3 probe = RandomTensor(2, 3, 9, &rng);
+  auto loss_fn = [&]() { return DotT(conv.Forward(x), probe); };
+  loss_fn();
+  for (auto& p : conv.Params()) p.grad->Fill(0.0);
+  Tensor3 dx = conv.Backward(probe);
+  CheckParamGrads(conv.Params(), loss_fn);
+  for (size_t bi = 0; bi < x.batch(); ++bi) {
+    for (size_t ci = 0; ci < x.channels(); ++ci) {
+      for (size_t ti = 0; ti < x.time(); ++ti) {
+        double orig = x(bi, ci, ti);
+        x(bi, ci, ti) = orig + kEps;
+        double lp = loss_fn();
+        x(bi, ci, ti) = orig - kEps;
+        double lm = loss_fn();
+        x(bi, ci, ti) = orig;
+        EXPECT_NEAR(dx(bi, ci, ti), (lp - lm) / (2 * kEps), kTol);
+      }
+    }
+  }
+}
+
+TEST(ConvGradTest, CausalityNoFutureLeak) {
+  // Changing input at time t must never change output at time < t.
+  Rng rng(29);
+  CausalConv1D conv(1, 2, 2, 4, &rng);
+  Tensor3 x = RandomTensor(1, 1, 12, &rng);
+  Tensor3 base = conv.Forward(x);
+  x(0, 0, 7) += 10.0;
+  Tensor3 bumped = conv.Forward(x);
+  for (size_t c = 0; c < 2; ++c) {
+    for (size_t t = 0; t < 7; ++t) {
+      EXPECT_DOUBLE_EQ(base(0, c, t), bumped(0, c, t)) << "c=" << c << " t=" << t;
+    }
+  }
+  // And it must change some output at t >= 7 (through the tap at lag 0).
+  EXPECT_NE(base(0, 0, 7), bumped(0, 0, 7));
+}
+
+TEST(ConvGradTest, TcnBlockParamAndInputGrads) {
+  Rng rng(31);
+  TCNBlock block(1, 3, 2, 2, &rng);  // includes a 1x1 downsample path
+  Tensor3 x = RandomTensor(2, 1, 8, &rng);
+  Tensor3 probe = RandomTensor(2, 3, 8, &rng);
+  auto loss_fn = [&]() { return DotT(block.Forward(x), probe); };
+  loss_fn();
+  for (auto& p : block.Params()) p.grad->Fill(0.0);
+  Tensor3 dx = block.Backward(probe);
+  CheckParamGrads(block.Params(), loss_fn);
+  for (size_t bi = 0; bi < x.batch(); ++bi) {
+    for (size_t ti = 0; ti < x.time(); ++ti) {
+      double orig = x(bi, 0, ti);
+      x(bi, 0, ti) = orig + kEps;
+      double lp = loss_fn();
+      x(bi, 0, ti) = orig - kEps;
+      double lm = loss_fn();
+      x(bi, 0, ti) = orig;
+      EXPECT_NEAR(dx(bi, 0, ti), (lp - lm) / (2 * kEps), kTol);
+    }
+  }
+}
+
+TEST(ClipGradNormTest, ScalesDownOnly) {
+  Matrix v1(1, 2, {3.0, 4.0});
+  Matrix g1(1, 2, {3.0, 4.0});
+  std::vector<Param> params = {{&v1, &g1, "p"}};
+  ClipGradNorm(params, 10.0);  // norm 5 < 10: untouched
+  EXPECT_DOUBLE_EQ(g1(0, 0), 3.0);
+  ClipGradNorm(params, 2.5);  // norm 5 > 2.5: halved
+  EXPECT_DOUBLE_EQ(g1(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(g1(0, 1), 2.0);
+}
+
+}  // namespace
+}  // namespace dbaugur::nn

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_clustering.dir/ablation_clustering.cpp.o"
+  "CMakeFiles/bench_ablation_clustering.dir/ablation_clustering.cpp.o.d"
+  "ablation_clustering"
+  "ablation_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

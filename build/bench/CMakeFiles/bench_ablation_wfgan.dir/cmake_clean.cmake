@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wfgan.dir/ablation_wfgan.cpp.o"
+  "CMakeFiles/bench_ablation_wfgan.dir/ablation_wfgan.cpp.o.d"
+  "ablation_wfgan"
+  "ablation_wfgan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wfgan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_workload_patterns.dir/fig2_workload_patterns.cpp.o"
+  "CMakeFiles/bench_fig2_workload_patterns.dir/fig2_workload_patterns.cpp.o.d"
+  "fig2_workload_patterns"
+  "fig2_workload_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_workload_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

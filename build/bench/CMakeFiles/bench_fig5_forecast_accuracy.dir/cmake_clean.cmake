@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_forecast_accuracy.dir/fig5_forecast_accuracy.cpp.o"
+  "CMakeFiles/bench_fig5_forecast_accuracy.dir/fig5_forecast_accuracy.cpp.o.d"
+  "fig5_forecast_accuracy"
+  "fig5_forecast_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_forecast_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig5_forecast_accuracy.
+# This may be replaced when dependencies are built.

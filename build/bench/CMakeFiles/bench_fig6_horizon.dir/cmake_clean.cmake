@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_horizon.dir/fig6_horizon.cpp.o"
+  "CMakeFiles/bench_fig6_horizon.dir/fig6_horizon.cpp.o.d"
+  "fig6_horizon"
+  "fig6_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ensemble.dir/fig7_ensemble.cpp.o"
+  "CMakeFiles/bench_fig7_ensemble.dir/fig7_ensemble.cpp.o.d"
+  "fig7_ensemble"
+  "fig7_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

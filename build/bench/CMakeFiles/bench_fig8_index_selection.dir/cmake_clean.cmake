@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_index_selection.dir/fig8_index_selection.cpp.o"
+  "CMakeFiles/bench_fig8_index_selection.dir/fig8_index_selection.cpp.o.d"
+  "fig8_index_selection"
+  "fig8_index_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_index_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

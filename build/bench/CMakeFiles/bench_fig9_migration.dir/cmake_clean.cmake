@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_migration.dir/fig9_migration.cpp.o"
+  "CMakeFiles/bench_fig9_migration.dir/fig9_migration.cpp.o.d"
+  "fig9_migration"
+  "fig9_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

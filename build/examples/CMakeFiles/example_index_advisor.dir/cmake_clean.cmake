@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_index_advisor.dir/index_advisor.cpp.o"
+  "CMakeFiles/example_index_advisor.dir/index_advisor.cpp.o.d"
+  "index_advisor"
+  "index_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_index_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

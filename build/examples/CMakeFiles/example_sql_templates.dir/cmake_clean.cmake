@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sql_templates.dir/sql_templates.cpp.o"
+  "CMakeFiles/example_sql_templates.dir/sql_templates.cpp.o.d"
+  "sql_templates"
+  "sql_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sql_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbaugur_cluster.dir/cluster/ball_tree.cpp.o"
+  "CMakeFiles/dbaugur_cluster.dir/cluster/ball_tree.cpp.o.d"
+  "CMakeFiles/dbaugur_cluster.dir/cluster/descender.cpp.o"
+  "CMakeFiles/dbaugur_cluster.dir/cluster/descender.cpp.o.d"
+  "libdbaugur_cluster.a"
+  "libdbaugur_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbaugur_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbaugur_common.dir/common/logging.cpp.o"
+  "CMakeFiles/dbaugur_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/dbaugur_common.dir/common/math_utils.cpp.o"
+  "CMakeFiles/dbaugur_common.dir/common/math_utils.cpp.o.d"
+  "CMakeFiles/dbaugur_common.dir/common/rng.cpp.o"
+  "CMakeFiles/dbaugur_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/dbaugur_common.dir/common/status.cpp.o"
+  "CMakeFiles/dbaugur_common.dir/common/status.cpp.o.d"
+  "CMakeFiles/dbaugur_common.dir/common/table_printer.cpp.o"
+  "CMakeFiles/dbaugur_common.dir/common/table_printer.cpp.o.d"
+  "libdbaugur_common.a"
+  "libdbaugur_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbaugur_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbaugur_core.dir/core/dbaugur.cpp.o"
+  "CMakeFiles/dbaugur_core.dir/core/dbaugur.cpp.o.d"
+  "libdbaugur_core.a"
+  "libdbaugur_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbaugur_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

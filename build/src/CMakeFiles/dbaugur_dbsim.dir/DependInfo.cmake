@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbsim/advisor.cpp" "src/CMakeFiles/dbaugur_dbsim.dir/dbsim/advisor.cpp.o" "gcc" "src/CMakeFiles/dbaugur_dbsim.dir/dbsim/advisor.cpp.o.d"
+  "/root/repo/src/dbsim/bustracker_db.cpp" "src/CMakeFiles/dbaugur_dbsim.dir/dbsim/bustracker_db.cpp.o" "gcc" "src/CMakeFiles/dbaugur_dbsim.dir/dbsim/bustracker_db.cpp.o.d"
+  "/root/repo/src/dbsim/engine.cpp" "src/CMakeFiles/dbaugur_dbsim.dir/dbsim/engine.cpp.o" "gcc" "src/CMakeFiles/dbaugur_dbsim.dir/dbsim/engine.cpp.o.d"
+  "/root/repo/src/dbsim/query.cpp" "src/CMakeFiles/dbaugur_dbsim.dir/dbsim/query.cpp.o" "gcc" "src/CMakeFiles/dbaugur_dbsim.dir/dbsim/query.cpp.o.d"
+  "/root/repo/src/dbsim/replay.cpp" "src/CMakeFiles/dbaugur_dbsim.dir/dbsim/replay.cpp.o" "gcc" "src/CMakeFiles/dbaugur_dbsim.dir/dbsim/replay.cpp.o.d"
+  "/root/repo/src/dbsim/table.cpp" "src/CMakeFiles/dbaugur_dbsim.dir/dbsim/table.cpp.o" "gcc" "src/CMakeFiles/dbaugur_dbsim.dir/dbsim/table.cpp.o.d"
+  "/root/repo/src/dbsim/value.cpp" "src/CMakeFiles/dbaugur_dbsim.dir/dbsim/value.cpp.o" "gcc" "src/CMakeFiles/dbaugur_dbsim.dir/dbsim/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbaugur_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbaugur_dbsim.dir/dbsim/advisor.cpp.o"
+  "CMakeFiles/dbaugur_dbsim.dir/dbsim/advisor.cpp.o.d"
+  "CMakeFiles/dbaugur_dbsim.dir/dbsim/bustracker_db.cpp.o"
+  "CMakeFiles/dbaugur_dbsim.dir/dbsim/bustracker_db.cpp.o.d"
+  "CMakeFiles/dbaugur_dbsim.dir/dbsim/engine.cpp.o"
+  "CMakeFiles/dbaugur_dbsim.dir/dbsim/engine.cpp.o.d"
+  "CMakeFiles/dbaugur_dbsim.dir/dbsim/query.cpp.o"
+  "CMakeFiles/dbaugur_dbsim.dir/dbsim/query.cpp.o.d"
+  "CMakeFiles/dbaugur_dbsim.dir/dbsim/replay.cpp.o"
+  "CMakeFiles/dbaugur_dbsim.dir/dbsim/replay.cpp.o.d"
+  "CMakeFiles/dbaugur_dbsim.dir/dbsim/table.cpp.o"
+  "CMakeFiles/dbaugur_dbsim.dir/dbsim/table.cpp.o.d"
+  "CMakeFiles/dbaugur_dbsim.dir/dbsim/value.cpp.o"
+  "CMakeFiles/dbaugur_dbsim.dir/dbsim/value.cpp.o.d"
+  "libdbaugur_dbsim.a"
+  "libdbaugur_dbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbaugur_dbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbaugur_dtw.dir/dtw/dtw.cpp.o"
+  "CMakeFiles/dbaugur_dtw.dir/dtw/dtw.cpp.o.d"
+  "libdbaugur_dtw.a"
+  "libdbaugur_dtw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbaugur_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ensemble/presets.cpp" "src/CMakeFiles/dbaugur_ensemble.dir/ensemble/presets.cpp.o" "gcc" "src/CMakeFiles/dbaugur_ensemble.dir/ensemble/presets.cpp.o.d"
+  "/root/repo/src/ensemble/time_sensitive_ensemble.cpp" "src/CMakeFiles/dbaugur_ensemble.dir/ensemble/time_sensitive_ensemble.cpp.o" "gcc" "src/CMakeFiles/dbaugur_ensemble.dir/ensemble/time_sensitive_ensemble.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbaugur_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbaugur_ensemble.dir/ensemble/presets.cpp.o"
+  "CMakeFiles/dbaugur_ensemble.dir/ensemble/presets.cpp.o.d"
+  "CMakeFiles/dbaugur_ensemble.dir/ensemble/time_sensitive_ensemble.cpp.o"
+  "CMakeFiles/dbaugur_ensemble.dir/ensemble/time_sensitive_ensemble.cpp.o.d"
+  "libdbaugur_ensemble.a"
+  "libdbaugur_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbaugur_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

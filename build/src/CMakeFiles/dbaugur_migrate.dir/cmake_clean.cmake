@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbaugur_migrate.dir/migrate/load_balancer.cpp.o"
+  "CMakeFiles/dbaugur_migrate.dir/migrate/load_balancer.cpp.o.d"
+  "libdbaugur_migrate.a"
+  "libdbaugur_migrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbaugur_migrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

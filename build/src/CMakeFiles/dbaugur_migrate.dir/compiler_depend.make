@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dbaugur_migrate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/arima.cpp" "src/CMakeFiles/dbaugur_models.dir/models/arima.cpp.o" "gcc" "src/CMakeFiles/dbaugur_models.dir/models/arima.cpp.o.d"
+  "/root/repo/src/models/factory.cpp" "src/CMakeFiles/dbaugur_models.dir/models/factory.cpp.o" "gcc" "src/CMakeFiles/dbaugur_models.dir/models/factory.cpp.o.d"
+  "/root/repo/src/models/forecaster.cpp" "src/CMakeFiles/dbaugur_models.dir/models/forecaster.cpp.o" "gcc" "src/CMakeFiles/dbaugur_models.dir/models/forecaster.cpp.o.d"
+  "/root/repo/src/models/grid_search.cpp" "src/CMakeFiles/dbaugur_models.dir/models/grid_search.cpp.o" "gcc" "src/CMakeFiles/dbaugur_models.dir/models/grid_search.cpp.o.d"
+  "/root/repo/src/models/kernel_regression.cpp" "src/CMakeFiles/dbaugur_models.dir/models/kernel_regression.cpp.o" "gcc" "src/CMakeFiles/dbaugur_models.dir/models/kernel_regression.cpp.o.d"
+  "/root/repo/src/models/linear_regression.cpp" "src/CMakeFiles/dbaugur_models.dir/models/linear_regression.cpp.o" "gcc" "src/CMakeFiles/dbaugur_models.dir/models/linear_regression.cpp.o.d"
+  "/root/repo/src/models/lstm_forecaster.cpp" "src/CMakeFiles/dbaugur_models.dir/models/lstm_forecaster.cpp.o" "gcc" "src/CMakeFiles/dbaugur_models.dir/models/lstm_forecaster.cpp.o.d"
+  "/root/repo/src/models/mlp.cpp" "src/CMakeFiles/dbaugur_models.dir/models/mlp.cpp.o" "gcc" "src/CMakeFiles/dbaugur_models.dir/models/mlp.cpp.o.d"
+  "/root/repo/src/models/neural_common.cpp" "src/CMakeFiles/dbaugur_models.dir/models/neural_common.cpp.o" "gcc" "src/CMakeFiles/dbaugur_models.dir/models/neural_common.cpp.o.d"
+  "/root/repo/src/models/tcn.cpp" "src/CMakeFiles/dbaugur_models.dir/models/tcn.cpp.o" "gcc" "src/CMakeFiles/dbaugur_models.dir/models/tcn.cpp.o.d"
+  "/root/repo/src/models/wfgan.cpp" "src/CMakeFiles/dbaugur_models.dir/models/wfgan.cpp.o" "gcc" "src/CMakeFiles/dbaugur_models.dir/models/wfgan.cpp.o.d"
+  "/root/repo/src/models/wfgan_multitask.cpp" "src/CMakeFiles/dbaugur_models.dir/models/wfgan_multitask.cpp.o" "gcc" "src/CMakeFiles/dbaugur_models.dir/models/wfgan_multitask.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbaugur_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

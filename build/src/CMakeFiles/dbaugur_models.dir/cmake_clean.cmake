@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbaugur_models.dir/models/arima.cpp.o"
+  "CMakeFiles/dbaugur_models.dir/models/arima.cpp.o.d"
+  "CMakeFiles/dbaugur_models.dir/models/factory.cpp.o"
+  "CMakeFiles/dbaugur_models.dir/models/factory.cpp.o.d"
+  "CMakeFiles/dbaugur_models.dir/models/forecaster.cpp.o"
+  "CMakeFiles/dbaugur_models.dir/models/forecaster.cpp.o.d"
+  "CMakeFiles/dbaugur_models.dir/models/grid_search.cpp.o"
+  "CMakeFiles/dbaugur_models.dir/models/grid_search.cpp.o.d"
+  "CMakeFiles/dbaugur_models.dir/models/kernel_regression.cpp.o"
+  "CMakeFiles/dbaugur_models.dir/models/kernel_regression.cpp.o.d"
+  "CMakeFiles/dbaugur_models.dir/models/linear_regression.cpp.o"
+  "CMakeFiles/dbaugur_models.dir/models/linear_regression.cpp.o.d"
+  "CMakeFiles/dbaugur_models.dir/models/lstm_forecaster.cpp.o"
+  "CMakeFiles/dbaugur_models.dir/models/lstm_forecaster.cpp.o.d"
+  "CMakeFiles/dbaugur_models.dir/models/mlp.cpp.o"
+  "CMakeFiles/dbaugur_models.dir/models/mlp.cpp.o.d"
+  "CMakeFiles/dbaugur_models.dir/models/neural_common.cpp.o"
+  "CMakeFiles/dbaugur_models.dir/models/neural_common.cpp.o.d"
+  "CMakeFiles/dbaugur_models.dir/models/tcn.cpp.o"
+  "CMakeFiles/dbaugur_models.dir/models/tcn.cpp.o.d"
+  "CMakeFiles/dbaugur_models.dir/models/wfgan.cpp.o"
+  "CMakeFiles/dbaugur_models.dir/models/wfgan.cpp.o.d"
+  "CMakeFiles/dbaugur_models.dir/models/wfgan_multitask.cpp.o"
+  "CMakeFiles/dbaugur_models.dir/models/wfgan_multitask.cpp.o.d"
+  "libdbaugur_models.a"
+  "libdbaugur_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbaugur_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

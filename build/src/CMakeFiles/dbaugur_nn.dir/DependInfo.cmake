@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/CMakeFiles/dbaugur_nn.dir/nn/attention.cpp.o" "gcc" "src/CMakeFiles/dbaugur_nn.dir/nn/attention.cpp.o.d"
+  "/root/repo/src/nn/conv1d.cpp" "src/CMakeFiles/dbaugur_nn.dir/nn/conv1d.cpp.o" "gcc" "src/CMakeFiles/dbaugur_nn.dir/nn/conv1d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/CMakeFiles/dbaugur_nn.dir/nn/dense.cpp.o" "gcc" "src/CMakeFiles/dbaugur_nn.dir/nn/dense.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/CMakeFiles/dbaugur_nn.dir/nn/layer.cpp.o" "gcc" "src/CMakeFiles/dbaugur_nn.dir/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/dbaugur_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/dbaugur_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/CMakeFiles/dbaugur_nn.dir/nn/lstm.cpp.o" "gcc" "src/CMakeFiles/dbaugur_nn.dir/nn/lstm.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/CMakeFiles/dbaugur_nn.dir/nn/matrix.cpp.o" "gcc" "src/CMakeFiles/dbaugur_nn.dir/nn/matrix.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/dbaugur_nn.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/dbaugur_nn.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/dbaugur_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/dbaugur_nn.dir/nn/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbaugur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbaugur_nn.dir/nn/attention.cpp.o"
+  "CMakeFiles/dbaugur_nn.dir/nn/attention.cpp.o.d"
+  "CMakeFiles/dbaugur_nn.dir/nn/conv1d.cpp.o"
+  "CMakeFiles/dbaugur_nn.dir/nn/conv1d.cpp.o.d"
+  "CMakeFiles/dbaugur_nn.dir/nn/dense.cpp.o"
+  "CMakeFiles/dbaugur_nn.dir/nn/dense.cpp.o.d"
+  "CMakeFiles/dbaugur_nn.dir/nn/layer.cpp.o"
+  "CMakeFiles/dbaugur_nn.dir/nn/layer.cpp.o.d"
+  "CMakeFiles/dbaugur_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/dbaugur_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/dbaugur_nn.dir/nn/lstm.cpp.o"
+  "CMakeFiles/dbaugur_nn.dir/nn/lstm.cpp.o.d"
+  "CMakeFiles/dbaugur_nn.dir/nn/matrix.cpp.o"
+  "CMakeFiles/dbaugur_nn.dir/nn/matrix.cpp.o.d"
+  "CMakeFiles/dbaugur_nn.dir/nn/optimizer.cpp.o"
+  "CMakeFiles/dbaugur_nn.dir/nn/optimizer.cpp.o.d"
+  "CMakeFiles/dbaugur_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/dbaugur_nn.dir/nn/serialize.cpp.o.d"
+  "libdbaugur_nn.a"
+  "libdbaugur_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbaugur_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbaugur_sql.dir/sql/templater.cpp.o"
+  "CMakeFiles/dbaugur_sql.dir/sql/templater.cpp.o.d"
+  "CMakeFiles/dbaugur_sql.dir/sql/tokenizer.cpp.o"
+  "CMakeFiles/dbaugur_sql.dir/sql/tokenizer.cpp.o.d"
+  "libdbaugur_sql.a"
+  "libdbaugur_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbaugur_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dbaugur_sql.
+# This may be replaced when dependencies are built.

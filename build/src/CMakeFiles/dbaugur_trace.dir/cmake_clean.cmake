@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbaugur_trace.dir/trace/extractor.cpp.o"
+  "CMakeFiles/dbaugur_trace.dir/trace/extractor.cpp.o.d"
+  "libdbaugur_trace.a"
+  "libdbaugur_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbaugur_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ts/analysis.cpp" "src/CMakeFiles/dbaugur_ts.dir/ts/analysis.cpp.o" "gcc" "src/CMakeFiles/dbaugur_ts.dir/ts/analysis.cpp.o.d"
+  "/root/repo/src/ts/metrics.cpp" "src/CMakeFiles/dbaugur_ts.dir/ts/metrics.cpp.o" "gcc" "src/CMakeFiles/dbaugur_ts.dir/ts/metrics.cpp.o.d"
+  "/root/repo/src/ts/scaler.cpp" "src/CMakeFiles/dbaugur_ts.dir/ts/scaler.cpp.o" "gcc" "src/CMakeFiles/dbaugur_ts.dir/ts/scaler.cpp.o.d"
+  "/root/repo/src/ts/series.cpp" "src/CMakeFiles/dbaugur_ts.dir/ts/series.cpp.o" "gcc" "src/CMakeFiles/dbaugur_ts.dir/ts/series.cpp.o.d"
+  "/root/repo/src/ts/window_dataset.cpp" "src/CMakeFiles/dbaugur_ts.dir/ts/window_dataset.cpp.o" "gcc" "src/CMakeFiles/dbaugur_ts.dir/ts/window_dataset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbaugur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

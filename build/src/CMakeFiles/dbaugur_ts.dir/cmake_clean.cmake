@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbaugur_ts.dir/ts/analysis.cpp.o"
+  "CMakeFiles/dbaugur_ts.dir/ts/analysis.cpp.o.d"
+  "CMakeFiles/dbaugur_ts.dir/ts/metrics.cpp.o"
+  "CMakeFiles/dbaugur_ts.dir/ts/metrics.cpp.o.d"
+  "CMakeFiles/dbaugur_ts.dir/ts/scaler.cpp.o"
+  "CMakeFiles/dbaugur_ts.dir/ts/scaler.cpp.o.d"
+  "CMakeFiles/dbaugur_ts.dir/ts/series.cpp.o"
+  "CMakeFiles/dbaugur_ts.dir/ts/series.cpp.o.d"
+  "CMakeFiles/dbaugur_ts.dir/ts/window_dataset.cpp.o"
+  "CMakeFiles/dbaugur_ts.dir/ts/window_dataset.cpp.o.d"
+  "libdbaugur_ts.a"
+  "libdbaugur_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbaugur_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

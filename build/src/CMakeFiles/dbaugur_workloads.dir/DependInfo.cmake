@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/generators.cpp" "src/CMakeFiles/dbaugur_workloads.dir/workloads/generators.cpp.o" "gcc" "src/CMakeFiles/dbaugur_workloads.dir/workloads/generators.cpp.o.d"
+  "/root/repo/src/workloads/query_log.cpp" "src/CMakeFiles/dbaugur_workloads.dir/workloads/query_log.cpp.o" "gcc" "src/CMakeFiles/dbaugur_workloads.dir/workloads/query_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbaugur_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbaugur_workloads.dir/workloads/generators.cpp.o"
+  "CMakeFiles/dbaugur_workloads.dir/workloads/generators.cpp.o.d"
+  "CMakeFiles/dbaugur_workloads.dir/workloads/query_log.cpp.o"
+  "CMakeFiles/dbaugur_workloads.dir/workloads/query_log.cpp.o.d"
+  "libdbaugur_workloads.a"
+  "libdbaugur_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbaugur_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

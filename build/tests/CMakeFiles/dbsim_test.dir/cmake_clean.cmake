@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsim_test.dir/dbsim_test.cpp.o"
+  "CMakeFiles/dbsim_test.dir/dbsim_test.cpp.o.d"
+  "dbsim_test"
+  "dbsim_test.pdb"
+  "dbsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtw_test.dir/dtw_test.cpp.o"
+  "CMakeFiles/dtw_test.dir/dtw_test.cpp.o.d"
+  "dtw_test"
+  "dtw_test.pdb"
+  "dtw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

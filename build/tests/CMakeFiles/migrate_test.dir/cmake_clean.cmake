@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrate_test.dir/migrate_test.cpp.o"
+  "CMakeFiles/migrate_test.dir/migrate_test.cpp.o.d"
+  "migrate_test"
+  "migrate_test.pdb"
+  "migrate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_classical_test.dir/models_classical_test.cpp.o"
+  "CMakeFiles/models_classical_test.dir/models_classical_test.cpp.o.d"
+  "models_classical_test"
+  "models_classical_test.pdb"
+  "models_classical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_classical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

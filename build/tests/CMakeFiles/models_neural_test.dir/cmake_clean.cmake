@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_neural_test.dir/models_neural_test.cpp.o"
+  "CMakeFiles/models_neural_test.dir/models_neural_test.cpp.o.d"
+  "models_neural_test"
+  "models_neural_test.pdb"
+  "models_neural_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_neural_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

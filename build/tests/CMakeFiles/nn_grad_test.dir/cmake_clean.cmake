@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_grad_test.dir/nn_grad_test.cpp.o"
+  "CMakeFiles/nn_grad_test.dir/nn_grad_test.cpp.o.d"
+  "nn_grad_test"
+  "nn_grad_test.pdb"
+  "nn_grad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_grad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

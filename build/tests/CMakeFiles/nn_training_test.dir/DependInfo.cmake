@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn_training_test.cpp" "tests/CMakeFiles/nn_training_test.dir/nn_training_test.cpp.o" "gcc" "tests/CMakeFiles/nn_training_test.dir/nn_training_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbaugur_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_dtw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_dbsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_migrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_ensemble.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbaugur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

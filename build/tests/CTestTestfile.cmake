@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/dbsim_test[1]_include.cmake")
+include("/root/repo/build/tests/dtw_test[1]_include.cmake")
+include("/root/repo/build/tests/ensemble_test[1]_include.cmake")
+include("/root/repo/build/tests/migrate_test[1]_include.cmake")
+include("/root/repo/build/tests/models_classical_test[1]_include.cmake")
+include("/root/repo/build/tests/models_neural_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_grad_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_training_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/ts_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.h"
+
 namespace dbaugur::cluster {
 
 double EuclideanDistance(const std::vector<double>& a,
@@ -37,6 +39,8 @@ StatusOr<BallTree> BallTree::Build(std::vector<std::vector<double>> points,
 
 std::unique_ptr<BallTree::Node> BallTree::BuildNode(std::vector<size_t> idx,
                                                     size_t leaf_size) {
+  DBAUGUR_CHECK(!idx.empty(), "BallTree::BuildNode on an empty partition");
+  DBAUGUR_CHECK_GE(leaf_size, 1u, "BallTree leaf size must be positive");
   auto node = std::make_unique<Node>();
   // Centroid = coordinate-wise mean (fine even for non-Euclidean distances:
   // it only needs to be *some* pivot; correctness comes from the radius).
@@ -50,6 +54,11 @@ std::unique_ptr<BallTree::Node> BallTree::BuildNode(std::vector<size_t> idx,
   for (size_t i : idx) {
     node->radius = std::max(node->radius, distance_(node->centroid, points_[i]));
   }
+  // A NaN or negative radius breaks the pruning bound in RangeSearch; catch a
+  // broken user distance function here instead of silently dropping matches.
+  DBAUGUR_CHECK(node->radius >= 0.0,
+                "BallTree: distance function produced invalid ball radius ",
+                node->radius);
   if (idx.size() <= leaf_size) {
     node->indices = std::move(idx);
     return node;
@@ -84,6 +93,8 @@ std::unique_ptr<BallTree::Node> BallTree::BuildNode(std::vector<size_t> idx,
     node->indices = std::move(idx);
     return node;
   }
+  DBAUGUR_DCHECK_EQ(left.size() + right.size(), idx.size(),
+                    "BallTree: split lost or duplicated points");
   node->left = BuildNode(std::move(left), leaf_size);
   node->right = BuildNode(std::move(right), leaf_size);
   return node;

@@ -1,0 +1,20 @@
+#include "common/contracts.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace dbaugur::contracts_internal {
+
+void ContractFailure(const char* file, int line, const char* condition,
+                     const std::string& details) {
+  std::ostringstream oss;
+  oss << "CHECK failed: " << condition << " at " << file << ":" << line;
+  if (!details.empty()) oss << " | " << details;
+  // Bypass the level filter: a contract violation must be visible even when
+  // the caller silenced logging (e.g. tests default to kWarn or kOff).
+  internal::LogMessage(LogLevel::kError, oss.str());
+  std::abort();
+}
+
+}  // namespace dbaugur::contracts_internal

@@ -6,10 +6,11 @@
 
 #pragma once
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/contracts.h"
 
 namespace dbaugur {
 
@@ -69,27 +70,33 @@ class Status {
 
 /// Either a value of type T or an error Status. Access via `value()` only
 /// after checking `ok()`.
+///
+/// Misuse (constructing from an OK status, or reading the value of an error
+/// or moved-from StatusOr) aborts via DBAUGUR_CHECK in every build type —
+/// these were previously `assert()`s that `-DNDEBUG` silently stripped,
+/// turning the misuse into a read of a disengaged optional.
 template <typename T>
 class StatusOr {
  public:
   StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
   StatusOr(Status status) : status_(std::move(status)) {                 // NOLINT
-    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+    DBAUGUR_CHECK(!status_.ok(),
+                  "StatusOr constructed from OK status without a value");
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    CheckHasValue();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CheckHasValue();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckHasValue();
     return std::move(*value_);
   }
 
@@ -99,6 +106,13 @@ class StatusOr {
   T* operator->() { return &value(); }
 
  private:
+  void CheckHasValue() const {
+    DBAUGUR_CHECK(ok(), "StatusOr::value() called on error: ",
+                  status_.ToString());
+    DBAUGUR_CHECK(value_.has_value(),
+                  "StatusOr::value() called on moved-from object");
+  }
+
   Status status_;
   std::optional<T> value_;
 };

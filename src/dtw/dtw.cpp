@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.h"
+
 namespace dbaugur::dtw {
 
 StatusOr<double> DtwDistance(const std::vector<double>& a,
@@ -11,6 +13,8 @@ StatusOr<double> DtwDistance(const std::vector<double>& a,
   if (a.empty() || b.empty()) {
     return Status::InvalidArgument("DTW: empty trace");
   }
+  DBAUGUR_CHECK(upper_bound == kNoBound || upper_bound >= 0.0,
+                "DTW: negative early-abandon bound ", upper_bound);
   size_t n = a.size(), m = b.size();
   // Widen the band so the corner (n-1, m-1) is reachable.
   size_t w;
@@ -20,6 +24,8 @@ StatusOr<double> DtwDistance(const std::vector<double>& a,
     w = std::max<size_t>(static_cast<size_t>(opts.window),
                          n > m ? n - m : m - n);
   }
+  DBAUGUR_DCHECK_GE(w, n > m ? n - m : m - n,
+                    "DTW band narrower than the length gap");
   double ub2 = upper_bound == kNoBound ? kNoBound : upper_bound * upper_bound;
   constexpr double kInf = std::numeric_limits<double>::infinity();
   // Two-row DP over the band.
@@ -29,6 +35,7 @@ StatusOr<double> DtwDistance(const std::vector<double>& a,
     std::fill(cur.begin(), cur.end(), kInf);
     size_t lo = i > w ? i - w : 1;
     size_t hi = std::min(m, i + w);
+    DBAUGUR_DCHECK_LE(lo, hi, "DTW band row ", i, " is empty");
     double row_min = kInf;
     for (size_t j = lo; j <= hi; ++j) {
       double d = a[i - 1] - b[j - 1];
@@ -69,6 +76,8 @@ Envelope BuildEnvelope(const std::vector<double>& seq, int window) {
 }
 
 double LbKeogh(const std::vector<double>& query, const Envelope& cand_env) {
+  DBAUGUR_DCHECK_EQ(cand_env.lower.size(), cand_env.upper.size(),
+                    "LbKeogh: malformed envelope");
   if (query.size() != cand_env.lower.size()) return 0.0;
   double s = 0.0;
   for (size_t i = 0; i < query.size(); ++i) {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/contracts.h"
+
 namespace dbaugur::ensemble {
 
 void TimeSensitiveEnsemble::AddMember(
@@ -10,6 +12,12 @@ void TimeSensitiveEnsemble::AddMember(
 }
 
 Status TimeSensitiveEnsemble::Fit(const std::vector<double>& series) {
+  // δ outside (0,1) makes the forecasting-distance recurrence Γ_t = δΓ_{t-1} +
+  // e_t diverge or ignore history entirely — a configuration bug, not a data
+  // condition, so it is a contract rather than a Status.
+  DBAUGUR_CHECK(ens_.delta > 0.0 && ens_.delta < 1.0,
+                "ensemble attenuation delta must be in (0,1), got ",
+                ens_.delta);
   if (members_.empty()) {
     return Status::FailedPrecondition("ensemble: no members added");
   }
@@ -40,6 +48,16 @@ StatusOr<std::vector<double>> TimeSensitiveEnsemble::MemberPredictions(
   return preds;
 }
 
+namespace {
+// True iff the weight vector is a normalized distribution (sums to 1 within
+// floating-point tolerance). DCHECK-tier: O(n) per prediction.
+bool WeightsNormalized(const std::vector<double>& w) {
+  double sum = 0.0;
+  for (double x : w) sum += x;
+  return std::fabs(sum - 1.0) <= 1e-9;
+}
+}  // namespace
+
 std::vector<double> TimeSensitiveEnsemble::CurrentWeights() const {
   size_t n = members_.size();
   std::vector<double> w(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
@@ -50,6 +68,8 @@ std::vector<double> TimeSensitiveEnsemble::CurrentWeights() const {
   for (size_t i = 0; i < n; ++i) {
     w[i] = (sum - gamma_[i]) / (static_cast<double>(n - 1) * sum);
   }
+  DBAUGUR_DCHECK(WeightsNormalized(w),
+                 "ensemble weights do not sum to 1 (Eq. 8 normalization)");
   return w;
 }
 
@@ -103,6 +123,10 @@ StatusOr<models::EvalResult> EvaluateOnline(TimeSensitiveEnsemble& model,
     if (target < window - 1 + horizon) continue;
     size_t window_end = target - horizon;
     size_t window_begin = window_end + 1 - window;
+    DBAUGUR_DCHECK_LT(window_end, series.size(),
+                      "EvaluateOnline window exceeds series");
+    DBAUGUR_DCHECK_LE(window_begin, window_end,
+                      "EvaluateOnline window inverted");
     std::vector<double> w(
         series.begin() + static_cast<ptrdiff_t>(window_begin),
         series.begin() + static_cast<ptrdiff_t>(window_end + 1));

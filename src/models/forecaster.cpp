@@ -1,5 +1,7 @@
 #include "models/forecaster.h"
 
+#include "common/contracts.h"
+
 namespace dbaugur::models {
 
 StatusOr<EvalResult> EvaluateForecaster(const Forecaster& model,
@@ -19,6 +21,10 @@ StatusOr<EvalResult> EvaluateForecaster(const Forecaster& model,
     if (target < window - 1 + horizon) continue;
     size_t window_end = target - horizon;  // inclusive index of last input
     size_t window_begin = window_end + 1 - window;
+    DBAUGUR_DCHECK_LT(window_end, series.size(),
+                      "EvaluateForecaster window exceeds series");
+    DBAUGUR_DCHECK_LE(window_begin, window_end,
+                      "EvaluateForecaster window inverted");
     std::vector<double> w(series.begin() + static_cast<ptrdiff_t>(window_begin),
                           series.begin() + static_cast<ptrdiff_t>(window_end + 1));
     auto pred = model.Predict(w);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contracts.h"
 #include "common/math_utils.h"
 #include "nn/init.h"
 
@@ -16,6 +17,9 @@ TemporalAttention::TemporalAttention(size_t hidden, size_t attn_dim, Rng* rng)
       dwa_(hidden, attn_dim),
       dba_(1, attn_dim),
       dv_(attn_dim, 1) {
+  DBAUGUR_CHECK(hidden > 0 && attn_dim > 0,
+                "TemporalAttention needs positive dims, got hidden=", hidden,
+                " attn=", attn_dim);
   XavierInit(&wa_, rng);
   XavierInit(&v_, rng);
 }
@@ -27,6 +31,10 @@ Matrix TemporalAttention::Forward(const std::vector<Matrix>& hs) {
   u_.assign(steps, Matrix());
   Matrix scores(batch, steps);
   for (size_t t = 0; t < steps; ++t) {
+    DBAUGUR_CHECK_EQ(hs[t].cols(), hidden_,
+                     "TemporalAttention::Forward step width");
+    DBAUGUR_CHECK_EQ(hs[t].rows(), batch,
+                     "TemporalAttention::Forward inconsistent batch size");
     Matrix u = hs[t].MatMul(wa_);
     u.AddRowVector(ba_);
     u.Apply([](double x) { return std::tanh(x); });
@@ -61,6 +69,13 @@ Matrix TemporalAttention::Forward(const std::vector<Matrix>& hs) {
 std::vector<Matrix> TemporalAttention::Backward(const Matrix& grad_context) {
   size_t steps = hs_.size();
   size_t batch = steps == 0 ? 0 : hs_[0].rows();
+  if (steps > 0) {
+    DBAUGUR_CHECK(grad_context.rows() == batch &&
+                      grad_context.cols() == hidden_,
+                  "TemporalAttention::Backward gradient shape ",
+                  grad_context.rows(), "x", grad_context.cols(),
+                  " does not match context ", batch, "x", hidden_);
+  }
   std::vector<Matrix> dhs(steps, Matrix(batch, hidden_));
 
   // dL/dalpha_{r,t} = grad_context_r . h_t_r ; context term dh += alpha * dc.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contracts.h"
 #include "nn/init.h"
 
 namespace dbaugur::nn {
@@ -16,12 +17,19 @@ CausalConv1D::CausalConv1D(size_t in_channels, size_t out_channels,
       b_(1, out_channels),
       dw_(out_channels, in_channels * kernel),
       db_(1, out_channels) {
+  DBAUGUR_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 &&
+                    dilation > 0,
+                "CausalConv1D needs positive dims, got in=", in_channels,
+                " out=", out_channels, " kernel=", kernel,
+                " dilation=", dilation);
   double limit =
       std::sqrt(6.0 / static_cast<double>(in_channels * kernel + out_channels));
   UniformInit(&w_, rng, limit);
 }
 
 Tensor3 CausalConv1D::Forward(const Tensor3& input) {
+  DBAUGUR_CHECK_EQ(input.channels(), in_ch_,
+                   "CausalConv1D::Forward channel count");
   input_ = input;
   size_t batch = input.batch();
   size_t time = input.time();
@@ -51,6 +59,13 @@ Tensor3 CausalConv1D::Forward(const Tensor3& input) {
 Tensor3 CausalConv1D::Backward(const Tensor3& grad_output) {
   size_t batch = input_.batch();
   size_t time = input_.time();
+  DBAUGUR_CHECK(grad_output.batch() == batch &&
+                    grad_output.channels() == out_ch_ &&
+                    grad_output.time() == time,
+                "CausalConv1D::Backward gradient shape ", grad_output.batch(),
+                "x", grad_output.channels(), "x", grad_output.time(),
+                " does not match forward output ", batch, "x", out_ch_, "x",
+                time);
   Tensor3 dx(batch, in_ch_, time);
   for (size_t bi = 0; bi < batch; ++bi) {
     for (size_t co = 0; co < out_ch_; ++co) {

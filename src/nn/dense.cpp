@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contracts.h"
 #include "common/math_utils.h"
 #include "nn/init.h"
 
@@ -55,10 +56,13 @@ void ApplyActivationGrad(Activation act, const Matrix& pre, const Matrix& post,
 Dense::Dense(size_t in, size_t out, Activation act, Rng* rng)
     : in_(in), out_(out), act_(act), w_(in, out), b_(1, out),
       dw_(in, out), db_(1, out) {
+  DBAUGUR_CHECK(in > 0 && out > 0, "Dense layer needs positive dims, got ", in,
+                "x", out);
   XavierInit(&w_, rng);
 }
 
 Matrix Dense::Forward(const Matrix& input) {
+  DBAUGUR_CHECK_EQ(input.cols(), in_, "Dense::Forward input width");
   input_ = input;
   pre_act_ = input.MatMul(w_);
   pre_act_.AddRowVector(b_);
@@ -68,6 +72,10 @@ Matrix Dense::Forward(const Matrix& input) {
 }
 
 Matrix Dense::Backward(const Matrix& grad_output) {
+  DBAUGUR_CHECK(grad_output.SameShape(output_),
+                "Dense::Backward gradient shape ", grad_output.rows(), "x",
+                grad_output.cols(), " does not match forward output ",
+                output_.rows(), "x", output_.cols());
   Matrix g = grad_output;
   ApplyActivationGrad(act_, pre_act_, output_, &g);
   dw_.Add(input_.TransposeMatMul(g));

@@ -1,14 +1,17 @@
 #include "nn/loss.h"
 
-#include <cassert>
 #include <cmath>
 
+#include "common/contracts.h"
 #include "common/math_utils.h"
 
 namespace dbaugur::nn {
 
 double MSELoss(const Matrix& pred, const Matrix& target, Matrix* grad) {
-  assert(pred.SameShape(target));
+  DBAUGUR_CHECK(pred.SameShape(target), "MSELoss shape mismatch: ",
+                pred.rows(), "x", pred.cols(), " vs ", target.rows(), "x",
+                target.cols());
+  DBAUGUR_CHECK_GT(pred.size(), 0u, "MSELoss on empty matrices");
   double n = static_cast<double>(pred.size());
   double loss = 0.0;
   if (grad != nullptr) *grad = Matrix(pred.rows(), pred.cols());
@@ -22,7 +25,10 @@ double MSELoss(const Matrix& pred, const Matrix& target, Matrix* grad) {
 
 double BCEWithLogitsLoss(const Matrix& logits, const Matrix& target,
                          Matrix* grad) {
-  assert(logits.SameShape(target));
+  DBAUGUR_CHECK(logits.SameShape(target), "BCEWithLogitsLoss shape mismatch: ",
+                logits.rows(), "x", logits.cols(), " vs ", target.rows(), "x",
+                target.cols());
+  DBAUGUR_CHECK_GT(logits.size(), 0u, "BCEWithLogitsLoss on empty matrices");
   double n = static_cast<double>(logits.size());
   double loss = 0.0;
   if (grad != nullptr) *grad = Matrix(logits.rows(), logits.cols());
@@ -38,6 +44,7 @@ double BCEWithLogitsLoss(const Matrix& logits, const Matrix& target,
 
 double GeneratorGanLoss(const Matrix& fake_logits, Matrix* grad) {
   // -mean(log sigmoid(z)) ; d/dz = sigmoid(z) - 1.
+  DBAUGUR_CHECK_GT(fake_logits.size(), 0u, "GeneratorGanLoss on empty matrix");
   double n = static_cast<double>(fake_logits.size());
   double loss = 0.0;
   if (grad != nullptr) *grad = Matrix(fake_logits.rows(), fake_logits.cols());
@@ -54,6 +61,8 @@ double GeneratorGanLossSaturating(const Matrix& fake_logits, Matrix* grad) {
   // mean(log(1 - sigmoid(z))) = mean(-z - log(1+exp(-z)))... use stable form:
   // log(1 - sigmoid(z)) = -max(z,0) - log(1 + exp(-|z|)).
   // d/dz log(1 - sigmoid(z)) = -sigmoid(z).
+  DBAUGUR_CHECK_GT(fake_logits.size(), 0u,
+                   "GeneratorGanLossSaturating on empty matrix");
   double n = static_cast<double>(fake_logits.size());
   double loss = 0.0;
   if (grad != nullptr) *grad = Matrix(fake_logits.rows(), fake_logits.cols());

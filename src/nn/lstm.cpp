@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contracts.h"
 #include "common/math_utils.h"
 #include "nn/init.h"
 
@@ -16,6 +17,9 @@ LSTM::LSTM(size_t input_size, size_t hidden_size, Rng* rng)
       dwx_(input_size, 4 * hidden_size),
       dwh_(hidden_size, 4 * hidden_size),
       db_(1, 4 * hidden_size) {
+  DBAUGUR_CHECK(input_size > 0 && hidden_size > 0,
+                "LSTM needs positive dims, got input=", input_size,
+                " hidden=", hidden_size);
   XavierInit(&wx_, rng);
   XavierInit(&wh_, rng);
   // Forget-gate bias starts at 1 so early training retains state.
@@ -31,6 +35,9 @@ std::vector<Matrix> LSTM::ForwardSequence(const std::vector<Matrix>& xs) {
   size_t batch = xs[0].rows();
   Matrix h(batch, hidden_), c(batch, hidden_);
   for (const Matrix& x : xs) {
+    DBAUGUR_CHECK_EQ(x.cols(), input_, "LSTM::ForwardSequence step width");
+    DBAUGUR_CHECK_EQ(x.rows(), batch,
+                     "LSTM::ForwardSequence inconsistent batch size");
     StepCache sc;
     sc.x = x;
     sc.h_prev = h;
@@ -71,6 +78,9 @@ std::vector<Matrix> LSTM::ForwardSequence(const std::vector<Matrix>& xs) {
 
 std::vector<Matrix> LSTM::BackwardSequence(const std::vector<Matrix>& grad_hs) {
   size_t steps = cache_.size();
+  DBAUGUR_CHECK_EQ(grad_hs.size(), steps,
+                   "LSTM::BackwardSequence gradient count does not match the "
+                   "cached forward pass");
   std::vector<Matrix> dxs(steps);
   if (steps == 0) return dxs;
   size_t batch = cache_[0].x.rows();

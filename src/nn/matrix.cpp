@@ -8,7 +8,8 @@ namespace dbaugur::nn {
 
 Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
-  assert(data_.size() == rows_ * cols_);
+  DBAUGUR_CHECK_EQ(data_.size(), rows_ * cols_,
+                   "Matrix data does not match shape ", rows_, "x", cols_);
 }
 
 void Matrix::Fill(double v) {
@@ -16,22 +17,26 @@ void Matrix::Fill(double v) {
 }
 
 void Matrix::Add(const Matrix& other) {
-  assert(SameShape(other));
+  DBAUGUR_CHECK(SameShape(other), "Matrix::Add shape mismatch: ", rows_, "x",
+                cols_, " vs ", other.rows_, "x", other.cols_);
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
 }
 
 void Matrix::AddScaled(const Matrix& other, double alpha) {
-  assert(SameShape(other));
+  DBAUGUR_CHECK(SameShape(other), "Matrix::AddScaled shape mismatch: ", rows_,
+                "x", cols_, " vs ", other.rows_, "x", other.cols_);
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
 }
 
 void Matrix::Sub(const Matrix& other) {
-  assert(SameShape(other));
+  DBAUGUR_CHECK(SameShape(other), "Matrix::Sub shape mismatch: ", rows_, "x",
+                cols_, " vs ", other.rows_, "x", other.cols_);
   for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
 }
 
 void Matrix::Hadamard(const Matrix& other) {
-  assert(SameShape(other));
+  DBAUGUR_CHECK(SameShape(other), "Matrix::Hadamard shape mismatch: ", rows_,
+                "x", cols_, " vs ", other.rows_, "x", other.cols_);
   for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
 }
 
@@ -40,7 +45,7 @@ void Matrix::Scale(double alpha) {
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
-  assert(cols_ == other.rows_);
+  DBAUGUR_CHECK_EQ(cols_, other.rows_, "Matrix::MatMul inner dimensions");
   Matrix out(rows_, other.cols_, 0.0);
   for (size_t i = 0; i < rows_; ++i) {
     const double* arow = row(i);
@@ -57,7 +62,8 @@ Matrix Matrix::MatMul(const Matrix& other) const {
 
 Matrix Matrix::TransposeMatMul(const Matrix& other) const {
   // (this^T * other): this is (m x n), other is (m x p), result (n x p).
-  assert(rows_ == other.rows_);
+  DBAUGUR_CHECK_EQ(rows_, other.rows_,
+                   "Matrix::TransposeMatMul row counts");
   Matrix out(cols_, other.cols_, 0.0);
   for (size_t i = 0; i < rows_; ++i) {
     const double* arow = row(i);
@@ -74,7 +80,8 @@ Matrix Matrix::TransposeMatMul(const Matrix& other) const {
 
 Matrix Matrix::MatMulTranspose(const Matrix& other) const {
   // (this * other^T): this is (m x n), other is (p x n), result (m x p).
-  assert(cols_ == other.cols_);
+  DBAUGUR_CHECK_EQ(cols_, other.cols_,
+                   "Matrix::MatMulTranspose column counts");
   Matrix out(rows_, other.rows_, 0.0);
   for (size_t i = 0; i < rows_; ++i) {
     const double* arow = row(i);
@@ -98,7 +105,7 @@ Matrix Matrix::Transposed() const {
 }
 
 void Matrix::AddRowVector(const Matrix& v) {
-  assert(v.size() == cols_);
+  DBAUGUR_CHECK_EQ(v.size(), cols_, "Matrix::AddRowVector width mismatch");
   for (size_t i = 0; i < rows_; ++i) {
     double* r = row(i);
     for (size_t j = 0; j < cols_; ++j) r[j] += v.data_[j];
@@ -140,7 +147,9 @@ void Tensor3::Fill(double v) {
 }
 
 void Tensor3::Add(const Tensor3& other) {
-  assert(SameShape(other));
+  DBAUGUR_CHECK(SameShape(other), "Tensor3::Add shape mismatch: ", batch_,
+                "x", channels_, "x", time_, " vs ", other.batch_, "x",
+                other.channels_, "x", other.time_);
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
 }
 

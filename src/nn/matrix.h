@@ -6,10 +6,11 @@
 
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <string>
 #include <vector>
+
+#include "common/contracts.h"
 
 namespace dbaugur::nn {
 
@@ -27,19 +28,30 @@ class Matrix {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  // Element access is the innermost loop of every kernel, so the bounds
+  // checks are DCHECK-tier: free in Release, active in debug and sanitizer
+  // builds (which define DBAUGUR_ENABLE_DCHECKS).
   double& operator()(size_t r, size_t c) {
-    assert(r < rows_ && c < cols_);
+    DBAUGUR_DCHECK(r < rows_ && c < cols_, "Matrix(", r, ",", c,
+                   ") out of bounds for ", rows_, "x", cols_);
     return data_[r * cols_ + c];
   }
   double operator()(size_t r, size_t c) const {
-    assert(r < rows_ && c < cols_);
+    DBAUGUR_DCHECK(r < rows_ && c < cols_, "Matrix(", r, ",", c,
+                   ") out of bounds for ", rows_, "x", cols_);
     return data_[r * cols_ + c];
   }
 
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
-  double* row(size_t r) { return &data_[r * cols_]; }
-  const double* row(size_t r) const { return &data_[r * cols_]; }
+  double* row(size_t r) {
+    DBAUGUR_DCHECK_LT(r, rows_, "Matrix::row out of bounds");
+    return &data_[r * cols_];
+  }
+  const double* row(size_t r) const {
+    DBAUGUR_DCHECK_LT(r, rows_, "Matrix::row out of bounds");
+    return &data_[r * cols_];
+  }
 
   /// Sets every element to `v`.
   void Fill(double v);
@@ -115,16 +127,26 @@ class Tensor3 {
   size_t size() const { return data_.size(); }
 
   double& operator()(size_t b, size_t c, size_t t) {
-    assert(b < batch_ && c < channels_ && t < time_);
+    DBAUGUR_DCHECK(b < batch_ && c < channels_ && t < time_, "Tensor3(", b,
+                   ",", c, ",", t, ") out of bounds for ", batch_, "x",
+                   channels_, "x", time_);
     return data_[(b * channels_ + c) * time_ + t];
   }
   double operator()(size_t b, size_t c, size_t t) const {
-    assert(b < batch_ && c < channels_ && t < time_);
+    DBAUGUR_DCHECK(b < batch_ && c < channels_ && t < time_, "Tensor3(", b,
+                   ",", c, ",", t, ") out of bounds for ", batch_, "x",
+                   channels_, "x", time_);
     return data_[(b * channels_ + c) * time_ + t];
   }
 
-  double* lane(size_t b, size_t c) { return &data_[(b * channels_ + c) * time_]; }
+  double* lane(size_t b, size_t c) {
+    DBAUGUR_DCHECK(b < batch_ && c < channels_, "Tensor3::lane(", b, ",", c,
+                   ") out of bounds for ", batch_, "x", channels_);
+    return &data_[(b * channels_ + c) * time_];
+  }
   const double* lane(size_t b, size_t c) const {
+    DBAUGUR_DCHECK(b < batch_ && c < channels_, "Tensor3::lane(", b, ",", c,
+                   ") out of bounds for ", batch_, "x", channels_);
     return &data_[(b * channels_ + c) * time_];
   }
 

@@ -1,0 +1,135 @@
+// Tests for the contracts library (common/contracts.h): failure formatting,
+// all comparison macros, the DCHECK on/off toggle, and the Release-mode
+// regression for StatusOr — DBAUGUR_CHECK must fire even under -DNDEBUG,
+// which is the default test configuration here.
+
+#include "common/contracts.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace dbaugur {
+namespace {
+
+using ContractsDeathTest = ::testing::Test;
+
+TEST(ContractsTest, PassingChecksAreSilent) {
+  DBAUGUR_CHECK(true);
+  DBAUGUR_CHECK(1 + 1 == 2, "math still works");
+  DBAUGUR_CHECK_EQ(4, 4);
+  DBAUGUR_CHECK_NE(4, 5);
+  DBAUGUR_CHECK_LT(4, 5);
+  DBAUGUR_CHECK_LE(4, 4);
+  DBAUGUR_CHECK_GT(5, 4);
+  DBAUGUR_CHECK_GE(5, 5);
+}
+
+TEST(ContractsTest, CheckEvaluatesConditionExactlyOnce) {
+  int calls = 0;
+  DBAUGUR_CHECK(++calls > 0, "side effect must run once");
+  EXPECT_EQ(calls, 1);
+  int lhs_evals = 0;
+  DBAUGUR_CHECK_EQ((++lhs_evals, 7), 7);
+  EXPECT_EQ(lhs_evals, 1);
+}
+
+TEST(ContractsDeathTest, FailureReportsFileLineAndMessageOperands) {
+  // The report must carry the stringified condition, this file's name with a
+  // line number, and the streamed message operands.
+  EXPECT_DEATH(DBAUGUR_CHECK(1 == 2, "widget count ", 42, " is wrong"),
+               "CHECK failed: 1 == 2 at .*contracts_test\\.cpp:[0-9]+ \\| "
+               "widget count 42 is wrong");
+}
+
+TEST(ContractsDeathTest, FailureWithoutMessageStillReportsCondition) {
+  EXPECT_DEATH(DBAUGUR_CHECK(false),
+               "CHECK failed: false at .*contracts_test\\.cpp:[0-9]+");
+}
+
+TEST(ContractsDeathTest, ComparisonFormsPrintBothOperands) {
+  EXPECT_DEATH(DBAUGUR_CHECK_EQ(3, 4), "lhs=3 rhs=4");
+  EXPECT_DEATH(DBAUGUR_CHECK_NE(7, 7), "lhs=7 rhs=7");
+  EXPECT_DEATH(DBAUGUR_CHECK_LT(5, 5), "lhs=5 rhs=5");
+  EXPECT_DEATH(DBAUGUR_CHECK_LE(6, 5), "lhs=6 rhs=5");
+  EXPECT_DEATH(DBAUGUR_CHECK_GT(5, 5), "lhs=5 rhs=5");
+  EXPECT_DEATH(DBAUGUR_CHECK_GE(4, 5), "lhs=4 rhs=5");
+}
+
+TEST(ContractsDeathTest, ComparisonFormsAppendExtraMessage) {
+  size_t rows = 3, cols = 4;
+  EXPECT_DEATH(DBAUGUR_CHECK_EQ(rows, cols, "matrix must be square"),
+               "CHECK failed: rows == cols .*lhs=3 rhs=4 \\| "
+               "matrix must be square");
+}
+
+TEST(ContractsDeathTest, CheckIsActiveUnderNdebug) {
+  // The whole point of DBAUGUR_CHECK: unlike assert(), -DNDEBUG (the default
+  // Release/test configuration) must not strip it.
+#ifdef NDEBUG
+  EXPECT_DEATH(DBAUGUR_CHECK(false, "must fire in Release"),
+               "must fire in Release");
+#else
+  EXPECT_DEATH(DBAUGUR_CHECK(false, "must fire in Debug"),
+               "must fire in Debug");
+#endif
+}
+
+TEST(ContractsDeathTest, DcheckFiresWhenEnabled) {
+#if DBAUGUR_DCHECKS_ENABLED
+  EXPECT_DEATH(DBAUGUR_DCHECK(false, "dchecks are on"), "dchecks are on");
+  EXPECT_DEATH(DBAUGUR_DCHECK_EQ(1, 2), "lhs=1 rhs=2");
+#else
+  SUCCEED() << "DCHECKs compiled out in this configuration";
+#endif
+}
+
+TEST(ContractsTest, DcheckCompiledOutWhenDisabled) {
+#if DBAUGUR_DCHECKS_ENABLED
+  SUCCEED() << "DCHECKs active in this configuration";
+#else
+  // Compiled out: must neither abort nor evaluate operands at runtime.
+  int evals = 0;
+  DBAUGUR_DCHECK(++evals > 0, "compiled out");
+  DBAUGUR_DCHECK_EQ(++evals, 99);
+  DBAUGUR_DCHECK_NE(++evals, 0);
+  DBAUGUR_DCHECK_LT(++evals, -1);
+  DBAUGUR_DCHECK_LE(++evals, -1);
+  DBAUGUR_DCHECK_GT(++evals, 99);
+  DBAUGUR_DCHECK_GE(++evals, 99);
+  EXPECT_EQ(evals, 0);
+#endif
+}
+
+// Regression for the Release-mode contract hole: StatusOr misuse used to be
+// guarded by assert(), which -DNDEBUG compiled out, turning value()-on-error
+// into a read of a disengaged optional.
+TEST(ContractsDeathTest, StatusOrValueOnErrorAbortsInEveryBuildType) {
+  StatusOr<int> err(Status::InvalidArgument("boom"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_DEATH((void)err.value(),
+               "StatusOr::value\\(\\) called on error: InvalidArgument: boom");
+}
+
+TEST(ContractsDeathTest, StatusOrDerefOnErrorAborts) {
+  StatusOr<std::string> err(Status::NotFound("missing"));
+  EXPECT_DEATH((void)*err, "StatusOr::value\\(\\) called on error");
+  EXPECT_DEATH((void)err->size(), "StatusOr::value\\(\\) called on error");
+}
+
+TEST(ContractsDeathTest, StatusOrFromOkStatusAborts) {
+  EXPECT_DEATH(StatusOr<int>{Status::OK()},
+               "StatusOr constructed from OK status");
+}
+
+TEST(ContractsTest, StatusOrHappyPathUnaffected) {
+  StatusOr<int> ok(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(*ok, 7);
+}
+
+}  // namespace
+}  // namespace dbaugur

@@ -186,5 +186,23 @@ TEST(LossTest, NumericalGradBce) {
   }
 }
 
+// Shape contracts are DBAUGUR_CHECK-tier: they must abort in every build
+// type, including the default Release (-DNDEBUG) one this test runs under.
+TEST(MatrixDeathTest, ShapeMismatchAbortsInEveryBuildType) {
+  Matrix a(2, 3), b(3, 2);
+  EXPECT_DEATH(a.Add(b), "Matrix::Add shape mismatch: 2x3 vs 3x2");
+  EXPECT_DEATH(a.Hadamard(b), "Matrix::Hadamard shape mismatch");
+  EXPECT_DEATH(a.MatMul(a), "lhs=3 rhs=2 \\| Matrix::MatMul inner dimensions");
+  EXPECT_DEATH(Matrix(2, 2, {1.0, 2.0, 3.0}),
+               "Matrix data does not match shape 2x2");
+}
+
+TEST(LossDeathTest, ShapeMismatchAborts) {
+  Matrix pred(2, 2), target(2, 3);
+  EXPECT_DEATH(MSELoss(pred, target, nullptr), "MSELoss shape mismatch");
+  EXPECT_DEATH(BCEWithLogitsLoss(pred, target, nullptr),
+               "BCEWithLogitsLoss shape mismatch");
+}
+
 }  // namespace
 }  // namespace dbaugur::nn

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# One-command correctness gate for DBAugur. Builds and tests the tree under:
+#   1. Release            (-O2 -DNDEBUG — proves DBAUGUR_CHECK survives NDEBUG)
+#   2. ASan + UBSan       (-fno-sanitize-recover=all, DCHECKs forced on)
+#   3. TSan               (skipped with a warning if the toolchain lacks it)
+#   4. clang-tidy on src/ (skipped with a warning if clang-tidy is absent)
+#
+# Every future perf PR must pass this script before landing (see ROADMAP.md).
+#
+# Usage: tools/check.sh [--fast]
+#   --fast  skip TSan and clang-tidy (inner-loop use; CI runs the full set)
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+declare -a RESULTS=()
+FAILED=0
+
+note() { printf '\n\033[1;34m== %s ==\033[0m\n' "$*"; }
+record() { RESULTS+=("$1: $2"); [[ "$2" == FAIL* ]] && FAILED=1; }
+
+# build_and_test <name> <builddir> <extra cmake args...>
+build_and_test() {
+  local name="$1" dir="$2"
+  shift 2
+  note "$name: configure + build ($dir)"
+  if ! cmake -B "$dir" -S . "$@" > "$dir.configure.log" 2>&1; then
+    tail -30 "$dir.configure.log"
+    record "$name" "FAIL (configure)"
+    return 1
+  fi
+  if ! cmake --build "$dir" -j "$JOBS" > "$dir.build.log" 2>&1; then
+    grep -E 'error|Error' "$dir.build.log" | head -30
+    record "$name" "FAIL (build)"
+    return 1
+  fi
+  note "$name: ctest"
+  if ! ctest --test-dir "$dir" --output-on-failure -j "$JOBS"; then
+    record "$name" "FAIL (tests)"
+    return 1
+  fi
+  record "$name" "OK"
+}
+
+# --- 1. Release: the configuration users actually run. -----------------------
+build_and_test "release" build-release -DCMAKE_BUILD_TYPE=Release
+
+# --- 2. ASan + UBSan. --------------------------------------------------------
+export UBSAN_OPTIONS="print_stacktrace=1:${UBSAN_OPTIONS:-}"
+build_and_test "asan+ubsan" build-asan \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDBAUGUR_SANITIZE=address,undefined \
+  -DDBAUGUR_ENABLE_DCHECKS=ON
+
+# --- 3. TSan (if the toolchain supports it). ---------------------------------
+if [[ "$FAST" == 1 ]]; then
+  record "tsan" "SKIPPED (--fast)"
+else
+  tsan_probe="$(mktemp -d)"
+  echo 'int main(){return 0;}' > "$tsan_probe/p.cpp"
+  if "${CXX:-c++}" -fsanitize=thread "$tsan_probe/p.cpp" -o "$tsan_probe/p" \
+      > /dev/null 2>&1 && "$tsan_probe/p"; then
+    export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
+    build_and_test "tsan" build-tsan \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DDBAUGUR_SANITIZE=thread \
+      -DDBAUGUR_ENABLE_DCHECKS=ON
+  else
+    echo "WARNING: toolchain cannot link -fsanitize=thread; skipping TSan tree"
+    record "tsan" "SKIPPED (unsupported toolchain)"
+  fi
+  rm -rf "$tsan_probe"
+fi
+
+# --- 4. clang-tidy over src/ (zero unsuppressed warnings required). ----------
+if [[ "$FAST" == 1 ]]; then
+  record "clang-tidy" "SKIPPED (--fast)"
+elif command -v clang-tidy > /dev/null 2>&1; then
+  note "clang-tidy over src/"
+  # compile_commands.json comes from the Release tree (CMAKE_EXPORT_COMPILE_COMMANDS).
+  mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
+  if clang-tidy -p build-release --quiet "${tidy_sources[@]}"; then
+    record "clang-tidy" "OK"
+  else
+    record "clang-tidy" "FAIL (warnings; fix or document a // NOLINT(check) with reason)"
+  fi
+else
+  echo "WARNING: clang-tidy not found on PATH; skipping static analysis step"
+  record "clang-tidy" "SKIPPED (not installed)"
+fi
+
+# --- Summary. ----------------------------------------------------------------
+note "summary"
+for r in "${RESULTS[@]}"; do echo "  $r"; done
+exit "$FAILED"

@@ -1,11 +1,21 @@
 #include "cluster/descender.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <deque>
 #include <numeric>
 
+#include "common/contracts.h"
+
 namespace dbaugur::cluster {
+
+Descender::Descender(const DescenderOptions& opts) : opts_(opts) {
+  DBAUGUR_CHECK_GE(opts.radius, 0.0,
+                   "Descender: neighborhood radius must be non-negative");
+  DBAUGUR_CHECK_GE(opts.threads, size_t{1},
+                   "Descender: thread count must be at least 1");
+}
 
 std::vector<double> Descender::DistanceValues(const ts::Series& trace) const {
   if (!opts_.znormalize) return trace.values();
@@ -22,37 +32,58 @@ std::vector<double> Descender::DistanceValues(const ts::Series& trace) const {
   return out;
 }
 
+Status Descender::EnsureTreeFresh() {
+  size_t n = traces_.size();
+  if (n - tree_covered_ <= opts_.ball_tree_rebuild_pending) return Status::OK();
+  // Rebuild over every current trace; until the pending budget is exceeded
+  // again, new traces are searched exactly via the cascade instead.
+  std::vector<std::vector<double>> pts(distance_values_);
+  dtw::DtwOptions dtw_opts = opts_.dtw;
+  auto tree = BallTree::Build(
+      std::move(pts),
+      [dtw_opts](const std::vector<double>& a, const std::vector<double>& b) {
+        auto d = dtw::DtwDistance(a, b, dtw_opts);
+        return d.ok() ? *d : std::numeric_limits<double>::infinity();
+      },
+      {opts_.ball_tree_leaf});
+  if (!tree.ok()) return tree.status();
+  tree_ = std::make_unique<BallTree>(std::move(*tree));
+  tree_covered_ = n;
+  return Status::OK();
+}
+
 StatusOr<std::vector<size_t>> Descender::Neighbors(
     const std::vector<double>& values) {
   std::vector<size_t> out;
   if (traces_.empty()) return out;
+  size_t scan_begin = 0;
   if (opts_.search == NeighborSearch::kBallTree) {
-    // Heuristic mode: ball tree with DTW as the distance. Rebuilding per
-    // query batch would defeat the point; the tree is rebuilt lazily here
-    // only because insertion invalidates it. Exact mode is the default.
-    std::vector<std::vector<double>> pts(distance_values_);
-    dtw::DtwOptions dtw_opts = opts_.dtw;
-    auto tree = BallTree::Build(
-        std::move(pts),
-        [dtw_opts](const std::vector<double>& a, const std::vector<double>& b) {
-          auto d = dtw::DtwDistance(a, b, dtw_opts);
-          return d.ok() ? *d : std::numeric_limits<double>::infinity();
-        },
-        {opts_.ball_tree_leaf});
-    if (!tree.ok()) return tree.status();
-    out = tree->RangeQuery(values, opts_.radius);
-    distance_evals_ += tree->distance_evals();
-    return out;
+    // Heuristic mode: ball tree with DTW as the distance, maintained with a
+    // pending-insert buffer — traces past tree_covered_ are scanned exactly
+    // below, and the tree is only rebuilt once the pending budget is spent.
+    // Exact mode is the default.
+    DBAUGUR_RETURN_IF_ERROR(EnsureTreeFresh());
+    if (tree_) {
+      int64_t evals_before = tree_->distance_evals();
+      int64_t pruned_before = tree_->pruned_points();
+      out = tree_->RangeQuery(values, opts_.radius);
+      // Every non-pruned tree probe pays for a full DTW.
+      stats_.full_dtw += tree_->distance_evals() - evals_before;
+      stats_.tree_rejections += tree_->pruned_points() - pruned_before;
+      distance_evals_ += tree_->distance_evals() - evals_before;
+    }
+    scan_begin = tree_covered_;
   }
   // Exact cascade: LB_Kim -> LB_Keogh -> early-abandoning DTW.
   dtw::CascadingDtw cascade(opts_.dtw);
-  for (size_t i = 0; i < traces_.size(); ++i) {
+  for (size_t i = scan_begin; i < traces_.size(); ++i) {
     ++distance_evals_;
     auto within = cascade.WithinRadius(values, distance_values_[i],
                                        envelopes_[i], opts_.radius);
     if (!within.ok()) return within.status();
     if (*within) out.push_back(i);
   }
+  stats_ += cascade.stats();
   return out;
 }
 
@@ -78,23 +109,113 @@ StatusOr<size_t> Descender::AddTrace(ts::Series trace) {
 }
 
 Status Descender::AddTraces(std::vector<ts::Series> traces) {
-  for (auto& t : traces) {
+  // Atomic validation: reject the whole batch up front so a bad trace in the
+  // middle cannot leave the clustering half-updated.
+  size_t len = traces_.empty()
+                   ? (traces.empty() ? 0 : traces[0].size())
+                   : traces_[0].size();
+  for (const auto& t : traces) {
     if (t.empty()) return Status::InvalidArgument("Descender: empty trace");
-    if (!traces_.empty() && t.size() != traces_[0].size()) {
+    if (t.size() != len) {
       return Status::InvalidArgument("Descender: trace length mismatch");
     }
+  }
+  const size_t old_n = traces_.size();
+  const size_t batch = traces.size();
+
+  // Ball-Tree mode: refresh the index over the pre-batch traces at most once
+  // per batch. The batch itself is covered by the exact symmetric sweep
+  // below, so the per-insert rebuilds of the old code disappear entirely.
+  size_t sweep_begin = 0;
+  if (opts_.search == NeighborSearch::kBallTree) {
+    DBAUGUR_RETURN_IF_ERROR(EnsureTreeFresh());
+    sweep_begin = tree_covered_;
+  }
+
+  // Precompute every envelope and distance series up front; the sweep then
+  // reads distance_values_/envelopes_ concurrently without any mutation.
+  for (auto& t : traces) {
     std::vector<double> dvalues = DistanceValues(t);
-    auto nbrs = Neighbors(dvalues);
-    if (!nbrs.ok()) return nbrs.status();
-    size_t idx = traces_.size();
     envelopes_.push_back(dtw::BuildEnvelope(dvalues, opts_.dtw.window));
     distance_values_.push_back(std::move(dvalues));
     double vol = 0.0;
     for (double v : t.values()) vol += v;
     volumes_.push_back(vol);
     traces_.push_back(std::move(t));
-    adjacency_.emplace_back(*nbrs);
-    for (size_t n : *nbrs) adjacency_[n].push_back(idx);
+    adjacency_.emplace_back();
+  }
+
+  // Old-trace neighbors via the Ball-Tree index (serial: queries mutate the
+  // tree's telemetry counters, and this part is cheap next to the sweep).
+  std::vector<std::vector<size_t>> tree_nbrs;
+  if (opts_.search == NeighborSearch::kBallTree && tree_) {
+    tree_nbrs.resize(batch);
+    for (size_t bi = 0; bi < batch; ++bi) {
+      int64_t evals_before = tree_->distance_evals();
+      int64_t pruned_before = tree_->pruned_points();
+      tree_nbrs[bi] =
+          tree_->RangeQuery(distance_values_[old_n + bi], opts_.radius);
+      stats_.full_dtw += tree_->distance_evals() - evals_before;
+      stats_.tree_rejections += tree_->pruned_points() - pruned_before;
+      distance_evals_ += tree_->distance_evals() - evals_before;
+    }
+  }
+
+  // Pairwise half-matrix sweep: row bi decides every pair (old_n + bi, j)
+  // for j in [sweep_begin, old_n + bi) exactly once, with the symmetric
+  // two-sided LB_Keogh (both envelopes are available, unlike the incremental
+  // path). Rows write disjoint slots, so any schedule yields the same
+  // result; the merge below runs in index order regardless.
+  std::vector<std::vector<size_t>> row_nbrs(batch);
+  std::vector<dtw::PruningStats> row_stats(batch);
+  std::vector<Status> row_status(batch);
+  {
+    ThreadPool pool(opts_.threads);
+    pool.ParallelFor(batch, 1, [&](size_t row_begin, size_t row_end) {
+      for (size_t bi = row_begin; bi < row_end; ++bi) {
+        size_t gi = old_n + bi;
+        dtw::CascadingDtw cascade(opts_.dtw);
+        for (size_t j = sweep_begin; j < gi; ++j) {
+          auto within =
+              cascade.WithinRadius(distance_values_[gi], distance_values_[j],
+                                   envelopes_[j], opts_.radius, &envelopes_[gi]);
+          if (!within.ok()) {
+            row_status[bi] = within.status();
+            break;
+          }
+          if (*within) row_nbrs[bi].push_back(j);
+        }
+        row_stats[bi] = cascade.stats();
+      }
+    });
+  }
+  for (const Status& st : row_status) {
+    if (!st.ok()) {
+      // Roll the appended per-trace state back so a failure stays atomic.
+      traces_.resize(old_n);
+      distance_values_.resize(old_n);
+      envelopes_.resize(old_n);
+      volumes_.resize(old_n);
+      adjacency_.resize(old_n);
+      return st;
+    }
+  }
+
+  // Deterministic merge in index order: each adjacency list is built sorted
+  // ascending (tree hits < sweep_begin first, then sweep hits), and the
+  // symmetric back-fill appends strictly increasing indices — exactly the
+  // lists the sequential AddTrace loop produces, so Relabel's BFS emits
+  // identical labels.
+  for (size_t bi = 0; bi < batch; ++bi) {
+    size_t gi = old_n + bi;
+    std::vector<size_t>& adj = adjacency_[gi];
+    if (!tree_nbrs.empty()) {
+      adj.insert(adj.end(), tree_nbrs[bi].begin(), tree_nbrs[bi].end());
+    }
+    adj.insert(adj.end(), row_nbrs[bi].begin(), row_nbrs[bi].end());
+    for (size_t j : adj) adjacency_[j].push_back(gi);
+    stats_ += row_stats[bi];
+    distance_evals_ += static_cast<int64_t>(gi - sweep_begin);
   }
   Relabel();
   return Status::OK();

@@ -13,10 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cluster/ball_tree.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "dtw/dtw.h"
 #include "ts/series.h"
 
@@ -38,11 +40,19 @@ struct DescenderOptions {
   dtw::DtwOptions dtw;          ///< DTW band window.
   NeighborSearch search = NeighborSearch::kExactCascade;
   size_t ball_tree_leaf = 8;
+  /// Ball-Tree staleness budget: the index tolerates this many traces not yet
+  /// folded into the tree (searched exactly via the LB cascade instead)
+  /// before AddTrace triggers a full rebuild. 0 restores the old
+  /// rebuild-on-every-insert behavior.
+  size_t ball_tree_rebuild_pending = 32;
   /// Compute distances on z-normalized copies of the traces. Query-count and
   /// utilization-ratio traces live on wildly different scales; normalizing
   /// lets one radius ρ group by *shape*, which is what the paper's pattern
   /// clustering is after. Volumes/representatives still use raw values.
   bool znormalize = true;
+  /// Worker lanes for the batch AddTraces pairwise sweep. Results are
+  /// deterministic for any value; 1 runs fully inline (no threads spawned).
+  size_t threads = DefaultThreadCount();
 };
 
 /// Summary of one cluster for top-K selection.
@@ -55,13 +65,21 @@ struct ClusterInfo {
 
 class Descender {
  public:
-  explicit Descender(const DescenderOptions& opts) : opts_(opts) {}
+  /// Aborts (DBAUGUR_CHECK) when opts.radius < 0 or opts.threads == 0.
+  explicit Descender(const DescenderOptions& opts);
 
   /// Inserts one trace and incrementally updates the clustering. All traces
   /// must share one length. Returns the trace's index.
   StatusOr<size_t> AddTrace(ts::Series trace);
 
-  /// Bulk insert + single relabel (faster than repeated AddTrace).
+  /// Batch fast path: inserts every trace, then relabels once. Produces the
+  /// same labels/core flags/adjacency as an equivalent AddTrace loop but
+  /// much cheaper — envelopes are precomputed up front, the pairwise
+  /// neighbor sweep runs over the half-matrix with the symmetric two-sided
+  /// LB_Keogh bound (d(i,j) decided once, adjacency filled both ways), rows
+  /// are distributed over opts.threads lanes with a deterministic merge, and
+  /// in Ball-Tree mode the index is rebuilt at most once per batch.
+  /// Validation is atomic: on error no trace is added.
   Status AddTraces(std::vector<ts::Series> traces);
 
   size_t trace_count() const { return traces_.size(); }
@@ -91,9 +109,16 @@ class Descender {
   /// Total DTW/LB evaluations (telemetry for the clustering ablation).
   int64_t distance_evals() const { return distance_evals_; }
 
+  /// Per-tier pruning telemetry accumulated over every insertion: LB_Kim /
+  /// LB_Keogh / Ball-Tree rejections and full DTW computations.
+  const dtw::PruningStats& pruning_stats() const { return stats_; }
+
  private:
   /// Indices within ρ of `values` among current traces.
   StatusOr<std::vector<size_t>> Neighbors(const std::vector<double>& values);
+  /// Ball-Tree maintenance: rebuilds the index over all current traces when
+  /// more than opts.ball_tree_rebuild_pending traces sit outside it.
+  Status EnsureTreeFresh();
   /// Recomputes core flags and labels from the adjacency lists (exact DBSCAN
   /// semantics, then singletons for leftover noise).
   void Relabel();
@@ -110,6 +135,11 @@ class Descender {
   std::vector<int> labels_;
   std::vector<double> volumes_;
   int64_t distance_evals_ = 0;
+  dtw::PruningStats stats_;
+  // Ball-Tree mode: persistent index over traces [0, tree_covered_); traces
+  // past that point are pending (searched exactly until the next rebuild).
+  std::unique_ptr<BallTree> tree_;
+  size_t tree_covered_ = 0;
 };
 
 }  // namespace dbaugur::cluster

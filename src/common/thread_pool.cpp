@@ -1,0 +1,90 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "common/contracts.h"
+
+namespace dbaugur {
+
+size_t DefaultThreadCount() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<size_t>(hc);
+}
+
+ThreadPool::ThreadPool(size_t threads) : size_(threads) {
+  DBAUGUR_CHECK_GE(threads, size_t{1},
+                   "ThreadPool needs at least one thread (the caller)");
+  workers_.reserve(threads - 1);
+  for (size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (workers_.empty()) {
+    for (size_t b = 0; b < n; b += grain) body(b, std::min(n, b + grain));
+    return;
+  }
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  // Each runner pulls chunks until the range is exhausted; `body` stays alive
+  // until Wait() returns, so capturing it by reference is safe.
+  auto runner = [next, n, grain, &body] {
+    for (;;) {
+      size_t b = next->fetch_add(grain, std::memory_order_relaxed);
+      if (b >= n) return;
+      body(b, std::min(n, b + grain));
+    }
+  };
+  for (size_t i = 0; i < workers_.size(); ++i) Submit(runner);
+  runner();  // the calling thread is one of the size() lanes
+  Wait();
+}
+
+}  // namespace dbaugur

@@ -1,0 +1,64 @@
+// Small fixed-size thread pool used by the batch clustering sweep.
+//
+// Design constraints (see descender.cpp): the pool must be deterministic in
+// its *results* regardless of scheduling — callers write to disjoint
+// per-index slots and merge in index order — and a pool of size 1 must run
+// everything inline on the calling thread, spawning nothing, so single-core
+// configurations behave exactly like the pre-pool code.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbaugur {
+
+/// std::thread::hardware_concurrency() clamped to >= 1 (the standard allows
+/// it to return 0 when the count is unknowable).
+size_t DefaultThreadCount();
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers; the caller itself is the remaining lane
+  /// (ParallelFor participates). Aborts via DBAUGUR_CHECK when threads == 0.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Configured parallelism (workers + calling thread).
+  size_t size() const { return size_; }
+
+  /// Enqueues one task for a worker thread.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs body(begin, end) over chunks of `grain` indices covering [0, n).
+  /// Chunks are claimed dynamically (rows of a triangular sweep have uneven
+  /// cost), so bodies must not depend on execution order. With size() == 1
+  /// the chunks run inline, in order, on the calling thread. Not reentrant:
+  /// one ParallelFor at a time per pool.
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  size_t size_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace dbaugur

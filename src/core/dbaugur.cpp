@@ -82,6 +82,10 @@ Status DBAugurSystem::Train() {
   return Status::OK();
 }
 
+dtw::PruningStats DBAugurSystem::clustering_pruning_stats() const {
+  return descender_ ? descender_->pruning_stats() : dtw::PruningStats();
+}
+
 StatusOr<double> DBAugurSystem::ForecastCluster(size_t rank) const {
   if (!trained_) return Status::FailedPrecondition("DBAugur: Train not called");
   if (rank >= forecasts_.size()) {

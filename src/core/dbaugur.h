@@ -73,6 +73,10 @@ class DBAugurSystem {
   size_t forecast_count() const { return forecasts_.size(); }
   const ClusterForecast& forecast(size_t rank) const { return forecasts_[rank]; }
 
+  /// Neighbor-search pruning telemetry from the clustering stage (LB_Kim /
+  /// LB_Keogh / Ball-Tree rejections, full DTW count). Zeros before Train.
+  dtw::PruningStats clustering_pruning_stats() const;
+
   /// Predicts the representative trace's next value (H steps past its end)
   /// for the rank-th largest cluster.
   StatusOr<double> ForecastCluster(size_t rank) const;

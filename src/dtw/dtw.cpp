@@ -93,13 +93,22 @@ double LbKeogh(const std::vector<double>& query, const Envelope& cand_env) {
   return std::sqrt(s);
 }
 
+double LbKeoghSymmetric(const std::vector<double>& a, const Envelope& env_a,
+                        const std::vector<double>& b, const Envelope& env_b) {
+  return std::max(LbKeogh(a, env_b), LbKeogh(b, env_a));
+}
+
 double LbKim(const std::vector<double>& a, const std::vector<double>& b) {
   if (a.empty() || b.empty()) return 0.0;
   // Any warping path must match first-with-first and last-with-last.
   double df = std::fabs(a.front() - b.front());
   double dl = std::fabs(a.back() - b.back());
-  if (a.size() < 2 || b.size() < 2) {
-    // First and last cells coincide; only one of the two terms is valid.
+  if (a.size() == 1 && b.size() == 1) {
+    // The path is the single cell (0,0): df and dl are the same cost, so
+    // summing them would double-count. (When only one side has length 1 the
+    // first and last cells are still distinct path cells — b.front() and
+    // b.back() both align against a[0] — so the sqrt form below remains
+    // admissible.)
     return std::max(df, dl);
   }
   return std::sqrt(df * df + dl * dl);
@@ -108,8 +117,9 @@ double LbKim(const std::vector<double>& a, const std::vector<double>& b) {
 StatusOr<bool> CascadingDtw::WithinRadius(const std::vector<double>& query,
                                           const std::vector<double>& candidate,
                                           const Envelope& cand_env,
-                                          double radius) {
-  auto d = Distance(query, candidate, cand_env, radius);
+                                          double radius,
+                                          const Envelope* query_env) {
+  auto d = Distance(query, candidate, cand_env, radius, query_env);
   if (!d.ok()) return d.status();
   return *d <= radius;
 }
@@ -117,25 +127,26 @@ StatusOr<bool> CascadingDtw::WithinRadius(const std::vector<double>& query,
 StatusOr<double> CascadingDtw::Distance(const std::vector<double>& query,
                                         const std::vector<double>& candidate,
                                         const Envelope& cand_env,
-                                        double upper_bound) {
+                                        double upper_bound,
+                                        const Envelope* query_env) {
   if (upper_bound != kNoBound) {
     if (LbKim(query, candidate) > upper_bound) {
-      ++kim_rejections_;
+      ++stats_.kim_rejections;
       return std::numeric_limits<double>::infinity();
     }
-    if (LbKeogh(query, cand_env) > upper_bound) {
-      ++keogh_rejections_;
+    double lb = LbKeogh(query, cand_env);
+    if (query_env != nullptr) {
+      lb = std::max(lb, LbKeogh(candidate, *query_env));
+    }
+    if (lb > upper_bound) {
+      ++stats_.keogh_rejections;
       return std::numeric_limits<double>::infinity();
     }
   }
-  ++full_computations_;
+  ++stats_.full_dtw;
   return DtwDistance(query, candidate, opts_, upper_bound);
 }
 
-void CascadingDtw::ResetCounters() {
-  kim_rejections_ = 0;
-  keogh_rejections_ = 0;
-  full_computations_ = 0;
-}
+void CascadingDtw::ResetCounters() { stats_ = PruningStats(); }
 
 }  // namespace dbaugur::dtw

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -50,8 +51,33 @@ Envelope BuildEnvelope(const std::vector<double>& seq, int window);
 /// when lengths differ).
 double LbKeogh(const std::vector<double>& query, const Envelope& cand_env);
 
+/// Two-sided LB_Keogh: the max of both directions (a against b's envelope
+/// and b against a's). Each direction is an admissible lower bound of the
+/// symmetric DTW distance, so their max is a tighter admissible bound.
+double LbKeoghSymmetric(const std::vector<double>& a, const Envelope& env_a,
+                        const std::vector<double>& b, const Envelope& env_b);
+
 /// LB_Kim-style constant-time lower bound from the first and last points.
 double LbKim(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Per-tier telemetry for the neighbor-search cascade: how many candidates
+/// each lower-bound tier rejected and how many paid for a full DTW. Threaded
+/// from CascadingDtw / BallTree through Descender and core::DBAugur into the
+/// efficiency benches.
+struct PruningStats {
+  int64_t kim_rejections = 0;    ///< Candidates rejected by LB_Kim.
+  int64_t keogh_rejections = 0;  ///< Candidates rejected by LB_Keogh.
+  int64_t tree_rejections = 0;   ///< Points skipped by Ball-Tree ball pruning.
+  int64_t full_dtw = 0;          ///< Full (possibly early-abandoned) DTW runs.
+
+  PruningStats& operator+=(const PruningStats& o) {
+    kim_rejections += o.kim_rejections;
+    keogh_rejections += o.keogh_rejections;
+    tree_rejections += o.tree_rejections;
+    full_dtw += o.full_dtw;
+    return *this;
+  }
+};
 
 /// Cascading evaluator: LB_Kim → LB_Keogh → early-abandoning DTW. Used by
 /// the clustering range queries; counts how often each tier decided, which
@@ -61,27 +87,30 @@ class CascadingDtw {
   explicit CascadingDtw(const DtwOptions& opts) : opts_(opts) {}
 
   /// True iff DTW(query, candidate) <= radius. `cand_env` must be the
-  /// candidate's envelope for the same window.
+  /// candidate's envelope for the same window. When `query_env` is supplied
+  /// the Keogh tier uses the symmetric two-sided bound, which prunes
+  /// strictly more candidates without changing any accept/reject decision.
   StatusOr<bool> WithinRadius(const std::vector<double>& query,
                               const std::vector<double>& candidate,
-                              const Envelope& cand_env, double radius);
+                              const Envelope& cand_env, double radius,
+                              const Envelope* query_env = nullptr);
 
   /// Exact distance with the cascade used as a fast reject against
   /// `upper_bound`; returns +infinity if the bound proves distance > bound.
   StatusOr<double> Distance(const std::vector<double>& query,
                             const std::vector<double>& candidate,
-                            const Envelope& cand_env, double upper_bound);
+                            const Envelope& cand_env, double upper_bound,
+                            const Envelope* query_env = nullptr);
 
-  int64_t kim_rejections() const { return kim_rejections_; }
-  int64_t keogh_rejections() const { return keogh_rejections_; }
-  int64_t full_computations() const { return full_computations_; }
+  const PruningStats& stats() const { return stats_; }
+  int64_t kim_rejections() const { return stats_.kim_rejections; }
+  int64_t keogh_rejections() const { return stats_.keogh_rejections; }
+  int64_t full_computations() const { return stats_.full_dtw; }
   void ResetCounters();
 
  private:
   DtwOptions opts_;
-  int64_t kim_rejections_ = 0;
-  int64_t keogh_rejections_ = 0;
-  int64_t full_computations_ = 0;
+  PruningStats stats_;
 };
 
 }  // namespace dbaugur::dtw

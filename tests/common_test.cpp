@@ -2,13 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <numeric>
 #include <set>
+#include <vector>
 
 #include "common/math_utils.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 
 namespace dbaugur {
 namespace {
@@ -197,6 +201,57 @@ TEST(TablePrinterTest, ShortRowsPadded) {
   TablePrinter t({"a", "b", "c"});
   t.AddRow({"x"});
   EXPECT_NO_THROW(t.ToString());
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsAtLeastOne) {
+  EXPECT_GE(DefaultThreadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    for (size_t grain : {size_t{1}, size_t{7}, size_t{1000}}) {
+      constexpr size_t kN = 257;  // prime-ish: exercises a ragged last chunk
+      std::vector<std::atomic<int>> hits(kN);
+      ThreadPool pool(threads);
+      pool.ParallelFor(kN, grain, [&](size_t begin, size_t end) {
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end, kN);
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads=" << threads
+                                     << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroItemsNeverInvokesBody) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 4, [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossParallelForCalls) {
+  ThreadPool pool(4);
+  std::vector<double> acc(64, 0.0);
+  for (int round = 0; round < 5; ++round) {
+    pool.ParallelFor(acc.size(), 8, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) acc[i] += 1.0;
+    });
+  }
+  EXPECT_DOUBLE_EQ(std::accumulate(acc.begin(), acc.end(), 0.0), 5.0 * 64);
 }
 
 }  // namespace

@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/descender.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace dbaugur {
 namespace {
@@ -122,6 +124,34 @@ TEST(ContractsDeathTest, StatusOrDerefOnErrorAborts) {
 TEST(ContractsDeathTest, StatusOrFromOkStatusAborts) {
   EXPECT_DEATH(StatusOr<int>{Status::OK()},
                "StatusOr constructed from OK status");
+}
+
+// Configuration contracts guarding the clustering hot path: a negative
+// radius silently empties every neighborhood and a zero thread count would
+// deadlock the batch sweep, so both abort at construction.
+TEST(ContractsDeathTest, DescenderRejectsNegativeRadius) {
+  cluster::DescenderOptions opts;
+  opts.radius = -1.0;
+  EXPECT_DEATH({ cluster::Descender desc(opts); }, "radius must be non-negative");
+}
+
+TEST(ContractsDeathTest, DescenderRejectsZeroThreads) {
+  cluster::DescenderOptions opts;
+  opts.threads = 0;
+  EXPECT_DEATH({ cluster::Descender desc(opts); },
+               "thread count must be at least 1");
+}
+
+TEST(ContractsTest, DescenderAcceptsBoundaryConfig) {
+  cluster::DescenderOptions opts;
+  opts.radius = 0.0;  // degenerate but legal: only exact duplicates match
+  opts.threads = 1;
+  cluster::Descender desc(opts);
+  EXPECT_EQ(desc.trace_count(), 0u);
+}
+
+TEST(ContractsDeathTest, ThreadPoolRejectsZeroThreads) {
+  EXPECT_DEATH({ ThreadPool pool(0); }, "ThreadPool needs at least one thread");
 }
 
 TEST(ContractsTest, StatusOrHappyPathUnaffected) {

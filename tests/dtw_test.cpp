@@ -163,6 +163,76 @@ TEST(LowerBoundTest, LbKimIsLowerBoundOfDtw) {
   }
 }
 
+TEST(LowerBoundTest, LbKimShortSeriesCases) {
+  // 1×m: the first and last path cells are distinct (b.front() and b.back()
+  // both align against a[0]), so the sqrt(df²+dl²) form applies and is
+  // tighter than the old max(df, dl) fallback.
+  std::vector<double> one = {2.0};
+  std::vector<double> m = {0.0, 1.0, 5.0};
+  double lb_1m = LbKim(one, m);
+  EXPECT_DOUBLE_EQ(lb_1m, std::sqrt(4.0 + 9.0));
+  EXPECT_GT(lb_1m, std::max(std::fabs(2.0 - 0.0), std::fabs(2.0 - 5.0)));
+  auto d_1m = DtwDistance(one, m, {-1});
+  ASSERT_TRUE(d_1m.ok());
+  EXPECT_LE(lb_1m, *d_1m + 1e-12);  // DTW(1×m) = sqrt(4 + 1 + 9)
+
+  // n×1 mirror.
+  double lb_m1 = LbKim(m, one);
+  EXPECT_DOUBLE_EQ(lb_m1, std::sqrt(4.0 + 9.0));
+  auto d_m1 = DtwDistance(m, one, {-1});
+  ASSERT_TRUE(d_m1.ok());
+  EXPECT_LE(lb_m1, *d_m1 + 1e-12);
+
+  // 1×1: a single path cell — df and dl are the same cost, so the bound
+  // must fall back to max(df, dl) = |a0 - b0| = the exact DTW distance.
+  std::vector<double> b1 = {5.0};
+  double lb_11 = LbKim(one, b1);
+  EXPECT_DOUBLE_EQ(lb_11, 3.0);
+  auto d_11 = DtwDistance(one, b1, {0});
+  ASSERT_TRUE(d_11.ok());
+  EXPECT_DOUBLE_EQ(*d_11, 3.0);
+  EXPECT_LE(lb_11, *d_11 + 1e-12);
+}
+
+TEST(LowerBoundTest, LbKimAdmissibleOnRandomShortSeries) {
+  Rng rng(21);
+  const std::pair<size_t, size_t> shapes[] = {
+      {1, 1}, {1, 2}, {2, 1}, {1, 5}, {5, 1}, {1, 20}, {20, 1}, {2, 2}};
+  for (auto [n, m] : shapes) {
+    for (int trial = 0; trial < 25; ++trial) {
+      std::vector<double> a(n), b(m);
+      for (double& x : a) x = rng.Gaussian();
+      for (double& x : b) x = rng.Gaussian();
+      double lb = LbKim(a, b);
+      auto d = DtwDistance(a, b, {-1});
+      ASSERT_TRUE(d.ok());
+      EXPECT_LE(lb, *d + 1e-9) << n << "x" << m << " trial " << trial;
+    }
+  }
+}
+
+TEST(LowerBoundTest, SymmetricKeoghAdmissibleAndAtLeastOneSided) {
+  Rng rng(23);
+  const int kWindow = 5;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> a(32), b(32);
+    for (size_t i = 0; i < 32; ++i) {
+      a[i] = rng.Gaussian();
+      b[i] = rng.Gaussian();
+    }
+    Envelope env_a = BuildEnvelope(a, kWindow);
+    Envelope env_b = BuildEnvelope(b, kWindow);
+    double sym = LbKeoghSymmetric(a, env_a, b, env_b);
+    // Dominates both one-sided bounds...
+    EXPECT_GE(sym, LbKeogh(a, env_b)) << "trial " << trial;
+    EXPECT_GE(sym, LbKeogh(b, env_a)) << "trial " << trial;
+    // ...and both directions stay admissible against the symmetric DTW.
+    auto d = DtwDistance(a, b, {kWindow});
+    ASSERT_TRUE(d.ok());
+    EXPECT_LE(sym, *d + 1e-9) << "trial " << trial;
+  }
+}
+
 TEST(LowerBoundTest, LbKeoghZeroForDifferentLengths) {
   std::vector<double> a = {1, 2, 3};
   Envelope env = BuildEnvelope({1, 2}, 1);
@@ -191,6 +261,66 @@ TEST(CascadeTest, NeverRejectsTrueNeighbors) {
   }
   EXPECT_GT(accepted, 0);
   EXPECT_GT(cascade.full_computations(), 0);
+}
+
+TEST(CascadeTest, DistanceEqualsPlainDtwWhenNotPruned) {
+  Rng rng(25);
+  const int kWindow = 5;
+  CascadingDtw cascade({kWindow});
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> a(28), b(28);
+    for (size_t i = 0; i < 28; ++i) {
+      a[i] = rng.Gaussian();
+      b[i] = a[i] + rng.Gaussian(0, 0.2);
+    }
+    Envelope env_a = BuildEnvelope(a, kWindow);
+    Envelope env_b = BuildEnvelope(b, kWindow);
+    auto exact = DtwDistance(a, b, {kWindow});
+    ASSERT_TRUE(exact.ok());
+    // No bound: the cascade cannot prune and must return the exact distance.
+    auto unbounded = cascade.Distance(a, b, env_b, kNoBound);
+    ASSERT_TRUE(unbounded.ok());
+    EXPECT_DOUBLE_EQ(*unbounded, *exact) << "trial " << trial;
+    // Generous bound, symmetric form: still no pruning, still exact.
+    auto bounded = cascade.Distance(a, b, env_b, 1e6, &env_a);
+    ASSERT_TRUE(bounded.ok());
+    EXPECT_DOUBLE_EQ(*bounded, *exact) << "trial " << trial;
+  }
+  EXPECT_EQ(cascade.kim_rejections(), 0);
+  EXPECT_EQ(cascade.keogh_rejections(), 0);
+}
+
+TEST(CascadeTest, SymmetricBoundRejectsWhereOneSidedCannot) {
+  // Flat query vs oscillating candidate: the candidate's envelope is wide,
+  // so the flat series sits inside it (one-sided bound 0) — but the flat
+  // series' envelope is degenerate, so the reverse direction sees the full
+  // oscillation and rejects without any DTW.
+  const int kWindow = 2;
+  std::vector<double> flat(32, 0.0);
+  std::vector<double> spiky(32, 0.0);
+  for (size_t i = 1; i + 1 < spiky.size(); i += 2) spiky[i] = 3.0;
+  Envelope env_flat = BuildEnvelope(flat, kWindow);
+  Envelope env_spiky = BuildEnvelope(spiky, kWindow);
+  const double radius = 5.0;
+  ASSERT_LE(LbKim(flat, spiky), radius);          // Kim can't decide this
+  ASSERT_EQ(LbKeogh(flat, env_spiky), 0.0);       // one-sided can't either
+  ASSERT_GT(LbKeogh(spiky, env_flat), radius);    // the reverse side can
+
+  CascadingDtw one_sided({kWindow});
+  auto d1 = one_sided.Distance(flat, spiky, env_spiky, radius);
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(one_sided.full_computations(), 1);
+
+  CascadingDtw symmetric({kWindow});
+  auto d2 = symmetric.Distance(flat, spiky, env_spiky, radius, &env_flat);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_TRUE(std::isinf(*d2));
+  EXPECT_EQ(symmetric.full_computations(), 0);
+  EXPECT_EQ(symmetric.stats().keogh_rejections, 1);
+  // Both agree on the decision: the true distance really is over the radius.
+  auto exact = DtwDistance(flat, spiky, {kWindow});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_GT(*exact, radius);
 }
 
 TEST(CascadeTest, CountersTrackRejections) {

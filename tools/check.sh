@@ -38,7 +38,9 @@ build_and_test() {
     return 1
   fi
   note "$name: ctest"
-  if ! ctest --test-dir "$dir" --output-on-failure -j "$JOBS"; then
+  # Explicit --timeout so a deadlocked thread-pool test fails loudly instead
+  # of hanging the whole gate (sanitizer trees run far slower than Release).
+  if ! ctest --test-dir "$dir" --output-on-failure -j "$JOBS" --timeout 600; then
     record "$name" "FAIL (tests)"
     return 1
   fi

@@ -28,26 +28,34 @@ Status LstmForecaster::TrainEpoch() {
     return Status::FailedPrecondition("LSTM: PrepareTraining not called");
   }
   std::vector<size_t> order = rng_.Permutation(train_samples_.size());
-  std::vector<nn::Param> params = lstm_.Params();
-  for (auto& p : head_.Params()) params.push_back(p);
+  std::vector<nn::Param> params = Params();
   for (size_t begin = 0; begin < order.size(); begin += opts_.batch_size) {
     size_t count = std::min(opts_.batch_size, order.size() - begin);
-    nn::Matrix xb = BatchWindows(train_samples_, order, begin, count);
-    nn::Matrix y = BatchTargets(train_samples_, order, begin, count);
-    std::vector<nn::Matrix> xs = ToTimeMajor(xb);
-    std::vector<nn::Matrix> hs = lstm_.ForwardSequence(xs);
-    nn::Matrix pred = head_.Forward(hs.back());
-    nn::Matrix grad;
-    nn::MSELoss(pred, y, &grad);
+    BatchWindowsInto(train_samples_, order, begin, count, &xb_);
+    BatchTargetsInto(train_samples_, order, begin, count, &y_);
+    ToTimeMajorInto(xb_, &xs_);
+    const std::vector<nn::Matrix>& hs = lstm_.ForwardSequence(xs_);
+    const nn::Matrix& pred = head_.Forward(hs.back());
+    nn::MSELoss(pred, y_, &grad_);
     for (auto& p : params) p.grad->Fill(0.0);
-    nn::Matrix dh_last = head_.Backward(grad);
-    std::vector<nn::Matrix> grad_hs(hs.size(), nn::Matrix(count, lstm_opts_.hidden));
-    grad_hs.back() = dh_last;
-    lstm_.BackwardSequence(grad_hs);
+    const nn::Matrix& dh_last = head_.Backward(grad_);
+    grad_hs_.resize(hs.size());
+    for (size_t t = 0; t + 1 < grad_hs_.size(); ++t) {
+      grad_hs_[t].Resize(count, lstm_opts_.hidden);
+      grad_hs_[t].Fill(0.0);
+    }
+    grad_hs_.back() = dh_last;
+    lstm_.BackwardSequence(grad_hs_);
     nn::ClipGradNorm(params, opts_.grad_clip);
     adam_.Step(params);
   }
   return Status::OK();
+}
+
+std::vector<nn::Param> LstmForecaster::Params() const {
+  std::vector<nn::Param> params = lstm_.Params();
+  for (auto& p : head_.Params()) params.push_back(p);
+  return params;
 }
 
 Status LstmForecaster::Fit(const std::vector<double>& series) {
@@ -69,15 +77,13 @@ StatusOr<double> LstmForecaster::Predict(
   for (size_t t = 0; t < window.size(); ++t) {
     xs[t](0, 0) = scaler_.Transform(window[t]);
   }
-  std::vector<nn::Matrix> hs = lstm_.ForwardSequence(xs);
-  nn::Matrix pred = head_.Forward(hs.back());
+  const std::vector<nn::Matrix>& hs = lstm_.ForwardSequence(xs);
+  const nn::Matrix& pred = head_.Forward(hs.back());
   return scaler_.Inverse(pred(0, 0));
 }
 
 int64_t LstmForecaster::StorageBytes() const {
-  std::vector<nn::Param> params = lstm_.Params();
-  for (auto& p : head_.Params()) params.push_back(p);
-  return nn::StorageBytes(params);
+  return nn::StorageBytes(Params());
 }
 
 int64_t LstmForecaster::ParameterCount() const {

@@ -33,6 +33,9 @@ class LstmForecaster : public Forecaster {
   Status PrepareTraining(const std::vector<double>& series);
   Status TrainEpoch();
 
+  /// Parameter tensors in layer order (lstm, head) — used by serialization.
+  std::vector<nn::Param> Params() const;
+
  private:
   ForecasterOptions opts_;
   LstmOptions lstm_opts_;
@@ -42,6 +45,9 @@ class LstmForecaster : public Forecaster {
   nn::Adam adam_;
   ts::MinMaxScaler scaler_;
   std::vector<ts::WindowSample> train_samples_;
+  // Batch workspaces reused across batches.
+  nn::Matrix xb_, y_, grad_;
+  std::vector<nn::Matrix> xs_, grad_hs_;
   bool fitted_ = false;
 };
 

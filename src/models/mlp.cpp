@@ -29,22 +29,26 @@ Status MlpForecaster::TrainEpoch() {
     return Status::FailedPrecondition("MLP: PrepareTraining not called");
   }
   std::vector<size_t> order = rng_.Permutation(train_samples_.size());
-  std::vector<nn::Param> params = l1_.Params();
-  for (auto& p : l2_.Params()) params.push_back(p);
-  for (auto& p : l3_.Params()) params.push_back(p);
+  std::vector<nn::Param> params = Params();
   for (size_t begin = 0; begin < order.size(); begin += opts_.batch_size) {
     size_t count = std::min(opts_.batch_size, order.size() - begin);
-    nn::Matrix x = BatchWindows(train_samples_, order, begin, count);
-    nn::Matrix y = BatchTargets(train_samples_, order, begin, count);
-    nn::Matrix pred = l3_.Forward(l2_.Forward(l1_.Forward(x)));
-    nn::Matrix grad;
-    nn::MSELoss(pred, y, &grad);
+    BatchWindowsInto(train_samples_, order, begin, count, &x_);
+    BatchTargetsInto(train_samples_, order, begin, count, &y_);
+    const nn::Matrix& pred = l3_.Forward(l2_.Forward(l1_.Forward(x_)));
+    nn::MSELoss(pred, y_, &grad_);
     for (auto& p : params) p.grad->Fill(0.0);
-    l1_.Backward(l2_.Backward(l3_.Backward(grad)));
+    l1_.Backward(l2_.Backward(l3_.Backward(grad_)));
     nn::ClipGradNorm(params, opts_.grad_clip);
     adam_.Step(params);
   }
   return Status::OK();
+}
+
+std::vector<nn::Param> MlpForecaster::Params() const {
+  std::vector<nn::Param> params = l1_.Params();
+  for (auto& p : l2_.Params()) params.push_back(p);
+  for (auto& p : l3_.Params()) params.push_back(p);
+  return params;
 }
 
 Status MlpForecaster::Fit(const std::vector<double>& series) {
@@ -56,7 +60,7 @@ Status MlpForecaster::Fit(const std::vector<double>& series) {
   return Status::OK();
 }
 
-nn::Matrix MlpForecaster::ForwardBatch(const nn::Matrix& x) const {
+const nn::Matrix& MlpForecaster::ForwardBatch(const nn::Matrix& x) const {
   return l3_.Forward(l2_.Forward(l1_.Forward(x)));
 }
 
@@ -70,15 +74,12 @@ StatusOr<double> MlpForecaster::Predict(
   for (size_t j = 0; j < window.size(); ++j) {
     x(0, j) = scaler_.Transform(window[j]);
   }
-  nn::Matrix pred = ForwardBatch(x);
+  const nn::Matrix& pred = ForwardBatch(x);
   return scaler_.Inverse(pred(0, 0));
 }
 
 int64_t MlpForecaster::StorageBytes() const {
-  std::vector<nn::Param> params = l1_.Params();
-  for (auto& p : l2_.Params()) params.push_back(p);
-  for (auto& p : l3_.Params()) params.push_back(p);
-  return nn::StorageBytes(params);
+  return nn::StorageBytes(Params());
 }
 
 int64_t MlpForecaster::ParameterCount() const {

@@ -37,8 +37,11 @@ class MlpForecaster : public Forecaster {
   Status PrepareTraining(const std::vector<double>& series);
   Status TrainEpoch();
 
+  /// Parameter tensors in layer order (l1, l2, l3) — used by serialization.
+  std::vector<nn::Param> Params() const;
+
  private:
-  nn::Matrix ForwardBatch(const nn::Matrix& x) const;
+  const nn::Matrix& ForwardBatch(const nn::Matrix& x) const;
 
   ForecasterOptions opts_;
   MlpOptions mlp_;
@@ -47,6 +50,7 @@ class MlpForecaster : public Forecaster {
   nn::Adam adam_;
   ts::MinMaxScaler scaler_;
   std::vector<ts::WindowSample> train_samples_;
+  nn::Matrix x_, y_, grad_;  // batch workspaces reused across batches
   bool fitted_ = false;
 };
 

@@ -17,40 +17,85 @@ StatusOr<ScaledDataset> BuildScaledDataset(const std::vector<double>& series,
 nn::Matrix BatchWindows(const std::vector<ts::WindowSample>& samples,
                         const std::vector<size_t>& idx, size_t begin,
                         size_t count) {
-  size_t t = samples.empty() ? 0 : samples[0].window.size();
-  nn::Matrix m(count, t);
-  for (size_t r = 0; r < count; ++r) {
-    const auto& w = samples[idx[begin + r]].window;
-    for (size_t j = 0; j < t; ++j) m(r, j) = w[j];
-  }
+  nn::Matrix m;
+  BatchWindowsInto(samples, idx, begin, count, &m);
   return m;
 }
 
 nn::Matrix BatchTargets(const std::vector<ts::WindowSample>& samples,
                         const std::vector<size_t>& idx, size_t begin,
                         size_t count) {
-  nn::Matrix m(count, 1);
-  for (size_t r = 0; r < count; ++r) {
-    m(r, 0) = samples[idx[begin + r]].target;
-  }
+  nn::Matrix m;
+  BatchTargetsInto(samples, idx, begin, count, &m);
   return m;
 }
 
-std::vector<nn::Matrix> ToTimeMajor(const nn::Matrix& batch) {
-  std::vector<nn::Matrix> xs(batch.cols(), nn::Matrix(batch.rows(), 1));
-  for (size_t t = 0; t < batch.cols(); ++t) {
-    for (size_t r = 0; r < batch.rows(); ++r) xs[t](r, 0) = batch(r, t);
+void BatchWindowsInto(const std::vector<ts::WindowSample>& samples,
+                      const std::vector<size_t>& idx, size_t begin,
+                      size_t count, nn::Matrix* out) {
+  size_t t = samples.empty() ? 0 : samples[0].window.size();
+  out->Resize(count, t);
+  for (size_t r = 0; r < count; ++r) {
+    const auto& w = samples[idx[begin + r]].window;
+    double* row = out->row(r);
+    for (size_t j = 0; j < t; ++j) row[j] = w[j];
   }
+}
+
+void BatchTargetsInto(const std::vector<ts::WindowSample>& samples,
+                      const std::vector<size_t>& idx, size_t begin,
+                      size_t count, nn::Matrix* out) {
+  out->Resize(count, 1);
+  for (size_t r = 0; r < count; ++r) {
+    (*out)(r, 0) = samples[idx[begin + r]].target;
+  }
+}
+
+std::vector<nn::Matrix> ToTimeMajor(const nn::Matrix& batch) {
+  std::vector<nn::Matrix> xs;
+  ToTimeMajorInto(batch, &xs);
   return xs;
 }
 
+void ToTimeMajorInto(const nn::Matrix& batch, std::vector<nn::Matrix>* xs) {
+  xs->resize(batch.cols());
+  for (size_t t = 0; t < batch.cols(); ++t) {
+    nn::Matrix& x = (*xs)[t];
+    x.Resize(batch.rows(), 1);
+    for (size_t r = 0; r < batch.rows(); ++r) x(r, 0) = batch(r, t);
+  }
+}
+
 nn::Tensor3 ToTensor3(const nn::Matrix& batch) {
-  nn::Tensor3 t(batch.rows(), 1, batch.cols());
+  nn::Tensor3 t;
+  ToTensor3Into(batch, &t);
+  return t;
+}
+
+void ToTensor3Into(const nn::Matrix& batch, nn::Tensor3* out) {
+  out->Resize(batch.rows(), 1, batch.cols());
   for (size_t r = 0; r < batch.rows(); ++r) {
-    double* lane = t.lane(r, 0);
+    double* lane = out->lane(r, 0);
     for (size_t j = 0; j < batch.cols(); ++j) lane[j] = batch(r, j);
   }
-  return t;
+}
+
+void CopySequenceWithTail(const std::vector<nn::Matrix>& xs,
+                          const nn::Matrix& tail,
+                          std::vector<nn::Matrix>* dst) {
+  dst->resize(xs.size() + 1);
+  for (size_t t = 0; t < xs.size(); ++t) (*dst)[t] = xs[t];
+  dst->back() = tail;
+}
+
+void LastStepGradSequence(const nn::Matrix& dlast, size_t steps, size_t batch,
+                          size_t hidden, std::vector<nn::Matrix>* dst) {
+  dst->resize(steps);
+  for (size_t t = 0; t + 1 < steps; ++t) {
+    (*dst)[t].Resize(batch, hidden);
+    (*dst)[t].Fill(0.0);
+  }
+  dst->back() = dlast;
 }
 
 }  // namespace dbaugur::models

@@ -32,12 +32,43 @@ nn::Matrix BatchTargets(const std::vector<ts::WindowSample>& samples,
                         const std::vector<size_t>& idx, size_t begin,
                         size_t count);
 
+// Into-variants reuse the destination's buffer so training loops can hold one
+// batch workspace across all batches of an epoch instead of reallocating.
+
+/// BatchWindows writing into an existing matrix.
+void BatchWindowsInto(const std::vector<ts::WindowSample>& samples,
+                      const std::vector<size_t>& idx, size_t begin,
+                      size_t count, nn::Matrix* out);
+
+/// BatchTargets writing into an existing matrix.
+void BatchTargetsInto(const std::vector<ts::WindowSample>& samples,
+                      const std::vector<size_t>& idx, size_t begin,
+                      size_t count, nn::Matrix* out);
+
 /// Converts a [batch, T] matrix into a time-major sequence of [batch, 1]
 /// matrices for recurrent layers.
 std::vector<nn::Matrix> ToTimeMajor(const nn::Matrix& batch);
 
+/// ToTimeMajor writing into an existing sequence (per-step buffers reused).
+void ToTimeMajorInto(const nn::Matrix& batch, std::vector<nn::Matrix>* xs);
+
 /// Converts a [batch, T] matrix into a [batch, 1 channel, T] tensor for
 /// convolutional layers.
 nn::Tensor3 ToTensor3(const nn::Matrix& batch);
+
+/// ToTensor3 writing into an existing tensor.
+void ToTensor3Into(const nn::Matrix& batch, nn::Tensor3* out);
+
+/// dst = xs ++ [tail], reusing dst's buffers (a plain `dst = xs;
+/// dst.push_back(tail)` would free and reallocate every batch). Used to build
+/// the discriminator's length-(T+1) real/fake sequences.
+void CopySequenceWithTail(const std::vector<nn::Matrix>& xs,
+                          const nn::Matrix& tail,
+                          std::vector<nn::Matrix>* dst);
+
+/// Zero gradient sequence with only the last step set to `dlast`
+/// (no-attention ablation path of the WFGAN backward).
+void LastStepGradSequence(const nn::Matrix& dlast, size_t steps, size_t batch,
+                          size_t hidden, std::vector<nn::Matrix>* dst);
 
 }  // namespace dbaugur::models

@@ -52,30 +52,33 @@ Status TcnForecaster::TrainEpoch() {
   std::vector<nn::Param> params = AllParams();
   for (size_t begin = 0; begin < order.size(); begin += opts_.batch_size) {
     size_t count = std::min(opts_.batch_size, order.size() - begin);
-    nn::Matrix xb = BatchWindows(train_samples_, order, begin, count);
-    nn::Matrix y = BatchTargets(train_samples_, order, begin, count);
-    nn::Tensor3 t = ToTensor3(xb);
-    for (auto& b : blocks_) t = b->Forward(t);
+    BatchWindowsInto(train_samples_, order, begin, count, &xb_);
+    BatchTargetsInto(train_samples_, order, begin, count, &y_);
+    ToTensor3Into(xb_, &t_in_);
+    // Chain block workspaces by reference; each block owns its output.
+    const nn::Tensor3* t = &t_in_;
+    for (auto& b : blocks_) t = &b->Forward(*t);
     // Head reads the final time step across channels.
-    size_t last = t.time() - 1;
-    nn::Matrix feats(count, tcn_opts_.channels);
+    size_t last = t->time() - 1;
+    feats_.Resize(count, tcn_opts_.channels);
     for (size_t r = 0; r < count; ++r) {
       for (size_t c = 0; c < tcn_opts_.channels; ++c) {
-        feats(r, c) = t(r, c, last);
+        feats_(r, c) = (*t)(r, c, last);
       }
     }
-    nn::Matrix pred = head_.Forward(feats);
-    nn::Matrix grad;
-    nn::MSELoss(pred, y, &grad);
+    const nn::Matrix& pred = head_.Forward(feats_);
+    nn::MSELoss(pred, y_, &grad_);
     for (auto& p : params) p.grad->Fill(0.0);
-    nn::Matrix dfeats = head_.Backward(grad);
-    nn::Tensor3 dt(count, tcn_opts_.channels, t.time());
+    const nn::Matrix& dfeats = head_.Backward(grad_);
+    dt_.Resize(count, tcn_opts_.channels, t->time());
+    dt_.Fill(0.0);
     for (size_t r = 0; r < count; ++r) {
       for (size_t c = 0; c < tcn_opts_.channels; ++c) {
-        dt(r, c, last) = dfeats(r, c);
+        dt_(r, c, last) = dfeats(r, c);
       }
     }
-    for (size_t b = blocks_.size(); b-- > 0;) dt = blocks_[b]->Backward(dt);
+    const nn::Tensor3* dt = &dt_;
+    for (size_t b = blocks_.size(); b-- > 0;) dt = &blocks_[b]->Backward(*dt);
     nn::ClipGradNorm(params, opts_.grad_clip);
     adam_.Step(params);
   }
@@ -91,15 +94,18 @@ Status TcnForecaster::Fit(const std::vector<double>& series) {
   return Status::OK();
 }
 
-nn::Matrix TcnForecaster::ForwardBatch(const nn::Matrix& xb) const {
-  nn::Tensor3 t = ToTensor3(xb);
-  for (auto& b : blocks_) t = b->Forward(t);
-  size_t last = t.time() - 1;
-  nn::Matrix feats(xb.rows(), tcn_opts_.channels);
+const nn::Matrix& TcnForecaster::ForwardBatch(const nn::Matrix& xb) const {
+  ToTensor3Into(xb, &t_in_);
+  const nn::Tensor3* t = &t_in_;
+  for (auto& b : blocks_) t = &b->Forward(*t);
+  size_t last = t->time() - 1;
+  feats_.Resize(xb.rows(), tcn_opts_.channels);
   for (size_t r = 0; r < xb.rows(); ++r) {
-    for (size_t c = 0; c < tcn_opts_.channels; ++c) feats(r, c) = t(r, c, last);
+    for (size_t c = 0; c < tcn_opts_.channels; ++c) {
+      feats_(r, c) = (*t)(r, c, last);
+    }
   }
-  return head_.Forward(feats);
+  return head_.Forward(feats_);
 }
 
 StatusOr<double> TcnForecaster::Predict(
@@ -112,7 +118,7 @@ StatusOr<double> TcnForecaster::Predict(
   for (size_t j = 0; j < window.size(); ++j) {
     x(0, j) = scaler_.Transform(window[j]);
   }
-  nn::Matrix pred = ForwardBatch(x);
+  const nn::Matrix& pred = ForwardBatch(x);
   return scaler_.Inverse(pred(0, 0));
 }
 

@@ -43,7 +43,7 @@ class TcnForecaster : public Forecaster {
   size_t ReceptiveField() const;
 
  private:
-  nn::Matrix ForwardBatch(const nn::Matrix& xb) const;
+  const nn::Matrix& ForwardBatch(const nn::Matrix& xb) const;
   std::vector<nn::Param> AllParams() const;
 
   ForecasterOptions opts_;
@@ -54,6 +54,9 @@ class TcnForecaster : public Forecaster {
   nn::Adam adam_;
   ts::MinMaxScaler scaler_;
   std::vector<ts::WindowSample> train_samples_;
+  // Batch workspaces reused across batches (mutable: Predict is const).
+  mutable nn::Matrix xb_, y_, grad_, feats_;
+  mutable nn::Tensor3 t_in_, dt_;
   bool fitted_ = false;
 };
 

@@ -41,45 +41,41 @@ std::vector<nn::Param> WfganForecaster::DiscriminatorParams() const {
   return params;
 }
 
-nn::Matrix WfganForecaster::GeneratorForward(
+const nn::Matrix& WfganForecaster::GeneratorForward(
     const std::vector<nn::Matrix>& xs) const {
-  std::vector<nn::Matrix> hs = g_lstm_.ForwardSequence(xs);
-  nn::Matrix context =
+  const std::vector<nn::Matrix>& hs = g_lstm_.ForwardSequence(xs);
+  const nn::Matrix& context =
       gan_.use_attention ? g_attn_.Forward(hs) : hs.back();
   return g_head_.Forward(context);
 }
 
 void WfganForecaster::GeneratorBackward(const nn::Matrix& grad_pred,
                                         size_t steps, size_t batch) const {
-  nn::Matrix dcontext = g_head_.Backward(grad_pred);
+  const nn::Matrix& dcontext = g_head_.Backward(grad_pred);
   if (gan_.use_attention) {
-    std::vector<nn::Matrix> grad_hs = g_attn_.Backward(dcontext);
-    g_lstm_.BackwardSequence(grad_hs);
+    g_lstm_.BackwardSequence(g_attn_.Backward(dcontext));
   } else {
-    std::vector<nn::Matrix> grad_hs(steps, nn::Matrix(batch, gan_.hidden));
-    grad_hs.back() = dcontext;
-    g_lstm_.BackwardSequence(grad_hs);
+    LastStepGradSequence(dcontext, steps, batch, gan_.hidden, &g_grad_hs_);
+    g_lstm_.BackwardSequence(g_grad_hs_);
   }
 }
 
-nn::Matrix WfganForecaster::DiscriminatorForward(
+const nn::Matrix& WfganForecaster::DiscriminatorForward(
     const std::vector<nn::Matrix>& xs) const {
-  std::vector<nn::Matrix> hs = d_lstm_.ForwardSequence(xs);
-  nn::Matrix context =
+  const std::vector<nn::Matrix>& hs = d_lstm_.ForwardSequence(xs);
+  const nn::Matrix& context =
       gan_.use_attention ? d_attn_.Forward(hs) : hs.back();
   return d_head_.Forward(context);
 }
 
-std::vector<nn::Matrix> WfganForecaster::DiscriminatorBackward(
+const std::vector<nn::Matrix>& WfganForecaster::DiscriminatorBackward(
     const nn::Matrix& grad_logit, size_t steps, size_t batch) const {
-  nn::Matrix dcontext = d_head_.Backward(grad_logit);
+  const nn::Matrix& dcontext = d_head_.Backward(grad_logit);
   if (gan_.use_attention) {
-    std::vector<nn::Matrix> grad_hs = d_attn_.Backward(dcontext);
-    return d_lstm_.BackwardSequence(grad_hs);
+    return d_lstm_.BackwardSequence(d_attn_.Backward(dcontext));
   }
-  std::vector<nn::Matrix> grad_hs(steps, nn::Matrix(batch, gan_.hidden));
-  grad_hs.back() = dcontext;
-  return d_lstm_.BackwardSequence(grad_hs);
+  LastStepGradSequence(dcontext, steps, batch, gan_.hidden, &d_grad_hs_);
+  return d_lstm_.BackwardSequence(d_grad_hs_);
 }
 
 Status WfganForecaster::PrepareTraining(const std::vector<double>& series) {
@@ -104,31 +100,29 @@ StatusOr<WfganEpochStats> WfganForecaster::TrainEpoch() {
   size_t batches = 0;
   for (size_t begin = 0; begin < order.size(); begin += opts_.batch_size) {
     size_t count = std::min(opts_.batch_size, order.size() - begin);
-    nn::Matrix xb = BatchWindows(train_samples_, order, begin, count);
-    nn::Matrix y = BatchTargets(train_samples_, order, begin, count);
-    std::vector<nn::Matrix> xs = ToTimeMajor(xb);
+    BatchWindowsInto(train_samples_, order, begin, count, &xb_);
+    BatchTargetsInto(train_samples_, order, begin, count, &y_);
+    ToTimeMajorInto(xb_, &xs_);
 
     if (gan_.adversarial) {
       // --- D-steps (Algorithm 2, lines 5-7): fake forecasts are detached.
-      nn::Matrix fake = GeneratorForward(xs);
-      std::vector<nn::Matrix> xs_real = xs;
-      xs_real.push_back(y);
-      std::vector<nn::Matrix> xs_fake = xs;
-      xs_fake.push_back(fake);
-      nn::Matrix real_labels(count, 1, gan_.real_label);
-      nn::Matrix fake_labels(count, 1, 0.0);
+      const nn::Matrix& fake = GeneratorForward(xs_);
+      CopySequenceWithTail(xs_, y_, &xs_real_);
+      CopySequenceWithTail(xs_, fake, &xs_fake_);
+      real_labels_.Resize(count, 1);
+      real_labels_.Fill(gan_.real_label);
+      fake_labels_.Resize(count, 1);
+      fake_labels_.Fill(0.0);
       for (size_t s = 0; s < gan_.d_steps; ++s) {
         zero(dparams);
-        nn::Matrix real_logits = DiscriminatorForward(xs_real);
-        nn::Matrix grad_real;
+        const nn::Matrix& real_logits = DiscriminatorForward(xs_real_);
         double loss_real =
-            nn::BCEWithLogitsLoss(real_logits, real_labels, &grad_real);
-        DiscriminatorBackward(grad_real, xs_real.size(), count);
-        nn::Matrix fake_logits = DiscriminatorForward(xs_fake);
-        nn::Matrix grad_fake;
+            nn::BCEWithLogitsLoss(real_logits, real_labels_, &grad_real_);
+        DiscriminatorBackward(grad_real_, xs_real_.size(), count);
+        const nn::Matrix& fake_logits = DiscriminatorForward(xs_fake_);
         double loss_fake =
-            nn::BCEWithLogitsLoss(fake_logits, fake_labels, &grad_fake);
-        DiscriminatorBackward(grad_fake, xs_fake.size(), count);
+            nn::BCEWithLogitsLoss(fake_logits, fake_labels_, &grad_fake_);
+        DiscriminatorBackward(grad_fake_, xs_fake_.size(), count);
         nn::ClipGradNorm(dparams, opts_.grad_clip);
         d_adam_.Step(dparams);
         stats.d_loss += loss_real + loss_fake;
@@ -138,31 +132,30 @@ StatusOr<WfganEpochStats> WfganForecaster::TrainEpoch() {
     // --- G-steps (Algorithm 2, lines 8-10) plus the supervised MSE term.
     for (size_t s = 0; s < gan_.g_steps; ++s) {
       zero(gparams);
-      nn::Matrix fake = GeneratorForward(xs);
-      nn::Matrix grad_pred(count, 1, 0.0);
+      const nn::Matrix& fake = GeneratorForward(xs_);
+      grad_pred_.Resize(count, 1);
+      grad_pred_.Fill(0.0);
 
-      nn::Matrix mse_grad;
-      double mse = nn::MSELoss(fake, y, &mse_grad);
-      grad_pred.AddScaled(mse_grad, gan_.supervised_weight);
+      double mse = nn::MSELoss(fake, y_, &mse_grad_);
+      grad_pred_.AddScaled(mse_grad_, gan_.supervised_weight);
       stats.g_mse += mse;
 
       if (gan_.adversarial) {
-        std::vector<nn::Matrix> xs_fake = xs;
-        xs_fake.push_back(fake);
+        CopySequenceWithTail(xs_, fake, &xs_fake_);
         zero(dparams);  // D grads from this pass are discarded below.
-        nn::Matrix fake_logits = DiscriminatorForward(xs_fake);
-        nn::Matrix grad_logit;
-        double adv = gan_.saturating_g_loss
-                         ? nn::GeneratorGanLossSaturating(fake_logits, &grad_logit)
-                         : nn::GeneratorGanLoss(fake_logits, &grad_logit);
+        const nn::Matrix& fake_logits = DiscriminatorForward(xs_fake_);
+        double adv =
+            gan_.saturating_g_loss
+                ? nn::GeneratorGanLossSaturating(fake_logits, &grad_logit_)
+                : nn::GeneratorGanLoss(fake_logits, &grad_logit_);
         stats.g_adv += adv;
-        std::vector<nn::Matrix> dxs =
-            DiscriminatorBackward(grad_logit, xs_fake.size(), count);
-        grad_pred.AddScaled(dxs.back(), gan_.adversarial_weight);
+        const std::vector<nn::Matrix>& dxs =
+            DiscriminatorBackward(grad_logit_, xs_fake_.size(), count);
+        grad_pred_.AddScaled(dxs.back(), gan_.adversarial_weight);
         zero(dparams);
       }
 
-      GeneratorBackward(grad_pred, xs.size(), count);
+      GeneratorBackward(grad_pred_, xs_.size(), count);
       nn::ClipGradNorm(gparams, opts_.grad_clip);
       g_adam_.Step(gparams);
     }
@@ -197,7 +190,7 @@ StatusOr<double> WfganForecaster::Predict(
   for (size_t t = 0; t < window.size(); ++t) {
     xs[t](0, 0) = scaler_.Transform(window[t]);
   }
-  nn::Matrix pred = GeneratorForward(xs);
+  const nn::Matrix& pred = GeneratorForward(xs);
   return scaler_.Inverse(pred(0, 0));
 }
 
@@ -212,7 +205,7 @@ StatusOr<double> WfganForecaster::DiscriminatorScore(
     xs[t](0, 0) = scaler_.Transform(window[t]);
   }
   xs.back()(0, 0) = scaler_.Transform(value);
-  nn::Matrix logit = DiscriminatorForward(xs);
+  const nn::Matrix& logit = DiscriminatorForward(xs);
   return Sigmoid(logit(0, 0));
 }
 

@@ -77,17 +77,18 @@ class WfganForecaster : public Forecaster {
 
  private:
   /// Generator forward on a time-major batch; returns [batch, 1] forecasts
-  /// in scaled space.
-  nn::Matrix GeneratorForward(const std::vector<nn::Matrix>& xs) const;
+  /// in scaled space (network-owned workspace, valid until the next call).
+  const nn::Matrix& GeneratorForward(const std::vector<nn::Matrix>& xs) const;
   /// Generator backward from dLoss/dForecast.
   void GeneratorBackward(const nn::Matrix& grad_pred, size_t steps,
                          size_t batch) const;
   /// Discriminator forward on a time-major batch of length T+1.
-  nn::Matrix DiscriminatorForward(const std::vector<nn::Matrix>& xs) const;
-  /// Discriminator backward; returns dLoss/dInput per step.
-  std::vector<nn::Matrix> DiscriminatorBackward(const nn::Matrix& grad_logit,
-                                                size_t steps,
-                                                size_t batch) const;
+  const nn::Matrix& DiscriminatorForward(
+      const std::vector<nn::Matrix>& xs) const;
+  /// Discriminator backward; returns dLoss/dInput per step (network-owned
+  /// workspace, valid until the next call).
+  const std::vector<nn::Matrix>& DiscriminatorBackward(
+      const nn::Matrix& grad_logit, size_t steps, size_t batch) const;
   std::vector<nn::Param> GeneratorParams() const;
   std::vector<nn::Param> DiscriminatorParams() const;
 
@@ -106,6 +107,11 @@ class WfganForecaster : public Forecaster {
   ts::MinMaxScaler scaler_;
   std::vector<ts::WindowSample> train_samples_;
   WfganEpochStats last_stats_;
+  // Batch workspaces reused across batches (mutable: used from const paths).
+  mutable nn::Matrix xb_, y_, grad_pred_, mse_grad_, grad_real_, grad_fake_,
+      grad_logit_, real_labels_, fake_labels_;
+  mutable std::vector<nn::Matrix> xs_, xs_real_, xs_fake_;
+  mutable std::vector<nn::Matrix> g_grad_hs_, d_grad_hs_;  // no-attention path
   bool fitted_ = false;
 };
 

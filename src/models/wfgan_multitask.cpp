@@ -28,43 +28,41 @@ MultiTaskWfgan::MultiTaskWfgan(const ForecasterOptions& opts,
   }
 }
 
-nn::Matrix MultiTaskWfgan::GenForward(TaskNet& t,
-                                      const std::vector<nn::Matrix>& xs) const {
-  std::vector<nn::Matrix> hs = shared_lstm_.ForwardSequence(xs);
-  nn::Matrix context = gan_.use_attention ? t.attn->Forward(hs) : hs.back();
+const nn::Matrix& MultiTaskWfgan::GenForward(
+    TaskNet& t, const std::vector<nn::Matrix>& xs) const {
+  const std::vector<nn::Matrix>& hs = shared_lstm_.ForwardSequence(xs);
+  const nn::Matrix& context =
+      gan_.use_attention ? t.attn->Forward(hs) : hs.back();
   return t.head->Forward(context);
 }
 
 void MultiTaskWfgan::GenBackward(TaskNet& t, const nn::Matrix& grad_pred,
                                  size_t steps, size_t batch) const {
-  nn::Matrix dcontext = t.head->Backward(grad_pred);
+  const nn::Matrix& dcontext = t.head->Backward(grad_pred);
   if (gan_.use_attention) {
     shared_lstm_.BackwardSequence(t.attn->Backward(dcontext));
   } else {
-    std::vector<nn::Matrix> grad_hs(steps, nn::Matrix(batch, gan_.hidden));
-    grad_hs.back() = dcontext;
-    shared_lstm_.BackwardSequence(grad_hs);
+    LastStepGradSequence(dcontext, steps, batch, gan_.hidden, &grad_hs_);
+    shared_lstm_.BackwardSequence(grad_hs_);
   }
 }
 
-nn::Matrix MultiTaskWfgan::DiscForward(TaskNet& t,
-                                       const std::vector<nn::Matrix>& xs) const {
-  std::vector<nn::Matrix> hs = t.d_lstm->ForwardSequence(xs);
-  nn::Matrix context = gan_.use_attention ? t.d_attn->Forward(hs) : hs.back();
+const nn::Matrix& MultiTaskWfgan::DiscForward(
+    TaskNet& t, const std::vector<nn::Matrix>& xs) const {
+  const std::vector<nn::Matrix>& hs = t.d_lstm->ForwardSequence(xs);
+  const nn::Matrix& context =
+      gan_.use_attention ? t.d_attn->Forward(hs) : hs.back();
   return t.d_head->Forward(context);
 }
 
-std::vector<nn::Matrix> MultiTaskWfgan::DiscBackward(TaskNet& t,
-                                                     const nn::Matrix& grad,
-                                                     size_t steps,
-                                                     size_t batch) const {
-  nn::Matrix dcontext = t.d_head->Backward(grad);
+const std::vector<nn::Matrix>& MultiTaskWfgan::DiscBackward(
+    TaskNet& t, const nn::Matrix& grad, size_t steps, size_t batch) const {
+  const nn::Matrix& dcontext = t.d_head->Backward(grad);
   if (gan_.use_attention) {
     return t.d_lstm->BackwardSequence(t.d_attn->Backward(dcontext));
   }
-  std::vector<nn::Matrix> grad_hs(steps, nn::Matrix(batch, gan_.hidden));
-  grad_hs.back() = dcontext;
-  return t.d_lstm->BackwardSequence(grad_hs);
+  LastStepGradSequence(dcontext, steps, batch, gan_.hidden, &grad_hs_);
+  return t.d_lstm->BackwardSequence(grad_hs_);
 }
 
 std::vector<nn::Param> MultiTaskWfgan::TaskGenParams(TaskNet& t) const {
@@ -126,35 +124,34 @@ Status MultiTaskWfgan::TrainEpoch() {
   for (size_t bidx = 0; bidx < batches; ++bidx) {
     size_t begin = bidx * opts_.batch_size;
     // Per-task minibatch tensors.
-    std::array<std::vector<nn::Matrix>, 2> xs;
-    std::array<nn::Matrix, 2> ys;
     for (size_t ti = 0; ti < 2; ++ti) {
       size_t count =
           std::min(opts_.batch_size, orders[ti].size() - begin);
-      nn::Matrix xb = BatchWindows(tasks_[ti].samples, orders[ti], begin, count);
-      ys[ti] = BatchTargets(tasks_[ti].samples, orders[ti], begin, count);
-      xs[ti] = ToTimeMajor(xb);
+      BatchWindowsInto(tasks_[ti].samples, orders[ti], begin, count, &xb_);
+      BatchTargetsInto(tasks_[ti].samples, orders[ti], begin, count, &ys_[ti]);
+      ToTimeMajorInto(xb_, &xs_[ti]);
     }
 
     // D-steps per task with detached fakes.
     if (gan_.adversarial) {
       for (size_t ti = 0; ti < 2; ++ti) {
         TaskNet& t = tasks_[ti];
-        size_t count = ys[ti].rows();
-        nn::Matrix fake = GenForward(t, xs[ti]);
-        std::vector<nn::Matrix> xs_real = xs[ti];
-        xs_real.push_back(ys[ti]);
-        std::vector<nn::Matrix> xs_fake = xs[ti];
-        xs_fake.push_back(fake);
+        size_t count = ys_[ti].rows();
+        const nn::Matrix& fake = GenForward(t, xs_[ti]);
+        CopySequenceWithTail(xs_[ti], ys_[ti], &xs_real_);
+        CopySequenceWithTail(xs_[ti], fake, &xs_fake_);
         std::vector<nn::Param> dparams = DiscParams(t);
         zero(dparams);
-        nn::Matrix real_labels(count, 1, gan_.real_label);
-        nn::Matrix fake_labels(count, 1, 0.0);
-        nn::Matrix grad_real, grad_fake;
-        nn::BCEWithLogitsLoss(DiscForward(t, xs_real), real_labels, &grad_real);
-        DiscBackward(t, grad_real, xs_real.size(), count);
-        nn::BCEWithLogitsLoss(DiscForward(t, xs_fake), fake_labels, &grad_fake);
-        DiscBackward(t, grad_fake, xs_fake.size(), count);
+        real_labels_.Resize(count, 1);
+        real_labels_.Fill(gan_.real_label);
+        fake_labels_.Resize(count, 1);
+        fake_labels_.Fill(0.0);
+        nn::BCEWithLogitsLoss(DiscForward(t, xs_real_), real_labels_,
+                              &grad_real_);
+        DiscBackward(t, grad_real_, xs_real_.size(), count);
+        nn::BCEWithLogitsLoss(DiscForward(t, xs_fake_), fake_labels_,
+                              &grad_fake_);
+        DiscBackward(t, grad_fake_, xs_fake_.size(), count);
         nn::ClipGradNorm(dparams, opts_.grad_clip);
         d_adams_[ti].Step(dparams);
       }
@@ -165,29 +162,27 @@ Status MultiTaskWfgan::TrainEpoch() {
     zero(gparams);
     for (size_t ti = 0; ti < 2; ++ti) {
       TaskNet& t = tasks_[ti];
-      size_t count = ys[ti].rows();
-      nn::Matrix fake = GenForward(t, xs[ti]);
-      nn::Matrix grad_pred(count, 1, 0.0);
-      nn::Matrix mse_grad;
-      nn::MSELoss(fake, ys[ti], &mse_grad);
-      grad_pred.AddScaled(mse_grad, gan_.supervised_weight);
+      size_t count = ys_[ti].rows();
+      const nn::Matrix& fake = GenForward(t, xs_[ti]);
+      grad_pred_.Resize(count, 1);
+      grad_pred_.Fill(0.0);
+      nn::MSELoss(fake, ys_[ti], &mse_grad_);
+      grad_pred_.AddScaled(mse_grad_, gan_.supervised_weight);
       if (gan_.adversarial) {
-        std::vector<nn::Matrix> xs_fake = xs[ti];
-        xs_fake.push_back(fake);
+        CopySequenceWithTail(xs_[ti], fake, &xs_fake_);
         std::vector<nn::Param> dparams = DiscParams(t);
-        nn::Matrix grad_logit;
-        nn::Matrix fake_logits = DiscForward(t, xs_fake);
+        const nn::Matrix& fake_logits = DiscForward(t, xs_fake_);
         if (gan_.saturating_g_loss) {
-          nn::GeneratorGanLossSaturating(fake_logits, &grad_logit);
+          nn::GeneratorGanLossSaturating(fake_logits, &grad_logit_);
         } else {
-          nn::GeneratorGanLoss(fake_logits, &grad_logit);
+          nn::GeneratorGanLoss(fake_logits, &grad_logit_);
         }
-        std::vector<nn::Matrix> dxs =
-            DiscBackward(t, grad_logit, xs_fake.size(), count);
-        grad_pred.AddScaled(dxs.back(), gan_.adversarial_weight);
+        const std::vector<nn::Matrix>& dxs =
+            DiscBackward(t, grad_logit_, xs_fake_.size(), count);
+        grad_pred_.AddScaled(dxs.back(), gan_.adversarial_weight);
         zero(dparams);  // discard D grads from the G pass
       }
-      GenBackward(t, grad_pred, xs[ti].size(), count);
+      GenBackward(t, grad_pred_, xs_[ti].size(), count);
     }
     nn::ClipGradNorm(gparams, opts_.grad_clip);
     g_adam_.Step(gparams);
@@ -206,7 +201,7 @@ StatusOr<double> MultiTaskWfgan::Predict(
   for (size_t i = 0; i < window.size(); ++i) {
     xs[i](0, 0) = t.scaler.Transform(window[i]);
   }
-  nn::Matrix pred = GenForward(t, xs);
+  const nn::Matrix& pred = GenForward(t, xs);
   return t.scaler.Inverse(pred(0, 0));
 }
 

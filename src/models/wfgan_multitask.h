@@ -51,12 +51,16 @@ class MultiTaskWfgan {
     std::vector<ts::WindowSample> samples;
   };
 
-  nn::Matrix GenForward(TaskNet& t, const std::vector<nn::Matrix>& xs) const;
+  const nn::Matrix& GenForward(TaskNet& t,
+                               const std::vector<nn::Matrix>& xs) const;
   void GenBackward(TaskNet& t, const nn::Matrix& grad_pred, size_t steps,
                    size_t batch) const;
-  nn::Matrix DiscForward(TaskNet& t, const std::vector<nn::Matrix>& xs) const;
-  std::vector<nn::Matrix> DiscBackward(TaskNet& t, const nn::Matrix& grad,
-                                       size_t steps, size_t batch) const;
+  const nn::Matrix& DiscForward(TaskNet& t,
+                                const std::vector<nn::Matrix>& xs) const;
+  const std::vector<nn::Matrix>& DiscBackward(TaskNet& t,
+                                              const nn::Matrix& grad,
+                                              size_t steps,
+                                              size_t batch) const;
   std::vector<nn::Param> TaskGenParams(TaskNet& t) const;
   std::vector<nn::Param> DiscParams(TaskNet& t) const;
 
@@ -69,6 +73,12 @@ class MultiTaskWfgan {
   mutable std::array<TaskNet, 2> tasks_;
   nn::Adam g_adam_;
   std::array<nn::Adam, 2> d_adams_;
+  // Batch workspaces reused across batches (mutable: used from const paths).
+  mutable nn::Matrix xb_, grad_pred_, mse_grad_, grad_real_, grad_fake_,
+      grad_logit_, real_labels_, fake_labels_;
+  mutable std::array<nn::Matrix, 2> ys_;
+  mutable std::array<std::vector<nn::Matrix>, 2> xs_;
+  mutable std::vector<nn::Matrix> xs_real_, xs_fake_, grad_hs_;
   bool fitted_ = false;
 };
 

@@ -24,49 +24,54 @@ TemporalAttention::TemporalAttention(size_t hidden, size_t attn_dim, Rng* rng)
   XavierInit(&v_, rng);
 }
 
-Matrix TemporalAttention::Forward(const std::vector<Matrix>& hs) {
-  hs_ = hs;
+const Matrix& TemporalAttention::Forward(const std::vector<Matrix>& hs) {
   size_t steps = hs.size();
   size_t batch = steps == 0 ? 0 : hs[0].rows();
-  u_.assign(steps, Matrix());
-  Matrix scores(batch, steps);
-  for (size_t t = 0; t < steps; ++t) {
-    DBAUGUR_CHECK_EQ(hs[t].cols(), hidden_,
-                     "TemporalAttention::Forward step width");
-    DBAUGUR_CHECK_EQ(hs[t].rows(), batch,
+  // Contracts hoisted out of the step loop.
+  for (const Matrix& h : hs) {
+    DBAUGUR_CHECK_EQ(h.cols(), hidden_, "TemporalAttention::Forward step width");
+    DBAUGUR_CHECK_EQ(h.rows(), batch,
                      "TemporalAttention::Forward inconsistent batch size");
-    Matrix u = hs[t].MatMul(wa_);
+  }
+  hs_ = hs;
+  u_.resize(steps);
+  scores_.Resize(batch, steps);
+  for (size_t t = 0; t < steps; ++t) {
+    Matrix& u = u_[t];
+    u.MatMulInto(hs[t], wa_);
     u.AddRowVector(ba_);
-    u.Apply([](double x) { return std::tanh(x); });
-    Matrix s = u.MatMul(v_);  // [batch, 1]
-    for (size_t r = 0; r < batch; ++r) scores(r, t) = s(r, 0);
-    u_[t] = std::move(u);
+    double* ud = u.data();
+    for (size_t i = 0, n = u.size(); i < n; ++i) ud[i] = std::tanh(ud[i]);
+    s_.MatMulInto(u, v_);  // [batch, 1]
+    for (size_t r = 0; r < batch; ++r) scores_(r, t) = s_(r, 0);
   }
   // Row-wise softmax over time.
-  alpha_ = Matrix(batch, steps);
+  alpha_.Resize(batch, steps);
   for (size_t r = 0; r < batch; ++r) {
     double mx = -1e300;
-    for (size_t t = 0; t < steps; ++t) mx = std::max(mx, scores(r, t));
+    for (size_t t = 0; t < steps; ++t) mx = std::max(mx, scores_(r, t));
     double sum = 0.0;
     for (size_t t = 0; t < steps; ++t) {
-      alpha_(r, t) = std::exp(scores(r, t) - mx);
+      alpha_(r, t) = std::exp(scores_(r, t) - mx);
       sum += alpha_(r, t);
     }
     for (size_t t = 0; t < steps; ++t) alpha_(r, t) /= sum;
   }
-  Matrix context(batch, hidden_);
+  context_.Resize(batch, hidden_);
+  context_.Fill(0.0);
   for (size_t t = 0; t < steps; ++t) {
     for (size_t r = 0; r < batch; ++r) {
       double a = alpha_(r, t);
       const double* hrow = hs[t].row(r);
-      double* crow = context.row(r);
+      double* crow = context_.row(r);
       for (size_t j = 0; j < hidden_; ++j) crow[j] += a * hrow[j];
     }
   }
-  return context;
+  return context_;
 }
 
-std::vector<Matrix> TemporalAttention::Backward(const Matrix& grad_context) {
+const std::vector<Matrix>& TemporalAttention::Backward(
+    const Matrix& grad_context) {
   size_t steps = hs_.size();
   size_t batch = steps == 0 ? 0 : hs_[0].rows();
   if (steps > 0) {
@@ -76,50 +81,52 @@ std::vector<Matrix> TemporalAttention::Backward(const Matrix& grad_context) {
                   grad_context.rows(), "x", grad_context.cols(),
                   " does not match context ", batch, "x", hidden_);
   }
-  std::vector<Matrix> dhs(steps, Matrix(batch, hidden_));
+  dhs_.resize(steps);
 
-  // dL/dalpha_{r,t} = grad_context_r . h_t_r ; context term dh += alpha * dc.
-  Matrix dalpha(batch, steps);
+  // dL/dalpha_{r,t} = grad_context_r . h_t_r ; context term dh = alpha * dc.
+  dalpha_.Resize(batch, steps);
   for (size_t t = 0; t < steps; ++t) {
+    dhs_[t].Resize(batch, hidden_);
     for (size_t r = 0; r < batch; ++r) {
       const double* hrow = hs_[t].row(r);
       const double* crow = grad_context.row(r);
+      const double a = alpha_(r, t);
+      double* drow = dhs_[t].row(r);
       double dot = 0.0;
       for (size_t j = 0; j < hidden_; ++j) {
         dot += crow[j] * hrow[j];
-        dhs[t](r, j) += alpha_(r, t) * crow[j];
+        drow[j] = a * crow[j];
       }
-      dalpha(r, t) = dot;
+      dalpha_(r, t) = dot;
     }
   }
   // Softmax backward: ds_t = alpha_t * (dalpha_t - sum_k alpha_k dalpha_k).
-  Matrix dscore(batch, steps);
+  dscore_.Resize(batch, steps);
   for (size_t r = 0; r < batch; ++r) {
     double dot = 0.0;
-    for (size_t t = 0; t < steps; ++t) dot += alpha_(r, t) * dalpha(r, t);
+    for (size_t t = 0; t < steps; ++t) dot += alpha_(r, t) * dalpha_(r, t);
     for (size_t t = 0; t < steps; ++t) {
-      dscore(r, t) = alpha_(r, t) * (dalpha(r, t) - dot);
+      dscore_(r, t) = alpha_(r, t) * (dalpha_(r, t) - dot);
     }
   }
   // Through s_t = u_t . v and u_t = tanh(h_t Wa + ba).
   for (size_t t = 0; t < steps; ++t) {
-    Matrix ds(batch, 1);
-    for (size_t r = 0; r < batch; ++r) ds(r, 0) = dscore(r, t);
+    s_.Resize(batch, 1);
+    for (size_t r = 0; r < batch; ++r) s_(r, 0) = dscore_(r, t);
     // dv += u_t^T ds ; du = ds v^T.
-    dv_.Add(u_[t].TransposeMatMul(ds));
-    Matrix du = ds.MatMulTranspose(v_);  // [batch, attn]
+    dv_.AddTransposeMatMul(u_[t], s_);
+    du_.MatMulTransposeInto(s_, v_);  // [batch, attn]
     // Through tanh.
-    for (size_t r = 0; r < batch; ++r) {
-      for (size_t j = 0; j < attn_; ++j) {
-        double uv = u_[t](r, j);
-        du(r, j) *= 1.0 - uv * uv;
-      }
+    const double* ud = u_[t].data();
+    double* dud = du_.data();
+    for (size_t i = 0, n = du_.size(); i < n; ++i) {
+      dud[i] *= 1.0 - ud[i] * ud[i];
     }
-    dwa_.Add(hs_[t].TransposeMatMul(du));
-    dba_.Add(du.ColSum());
-    dhs[t].Add(du.MatMulTranspose(wa_));
+    dwa_.AddTransposeMatMul(hs_[t], du_);
+    dba_.AddColSumOf(du_);
+    dhs_[t].AddMatMulTranspose(du_, wa_);
   }
-  return dhs;
+  return dhs_;
 }
 
 std::vector<Param> TemporalAttention::Params() {

@@ -21,12 +21,15 @@ class TemporalAttention {
  public:
   TemporalAttention(size_t hidden, size_t attn_dim, Rng* rng);
 
-  /// Computes the context vector; caches activations for Backward.
-  Matrix Forward(const std::vector<Matrix>& hs);
+  /// Computes the context vector; caches activations for Backward. The
+  /// returned matrix is a layer-owned workspace valid until the next Forward
+  /// call; steady-state calls with the same shapes do not touch the heap.
+  const Matrix& Forward(const std::vector<Matrix>& hs);
 
   /// Given dLoss/dContext, accumulates parameter gradients and returns
-  /// dLoss/dh_t for every step.
-  std::vector<Matrix> Backward(const Matrix& grad_context);
+  /// dLoss/dh_t for every step (layer-owned workspace, valid until the next
+  /// Backward call).
+  const std::vector<Matrix>& Backward(const Matrix& grad_context);
 
   std::vector<Param> Params();
   void ZeroGrad();
@@ -45,6 +48,14 @@ class TemporalAttention {
   std::vector<Matrix> hs_;  // cached inputs
   std::vector<Matrix> u_;   // cached tanh pre-scores, per step [batch, attn]
   Matrix alpha_;            // [batch, T]
+
+  // Persistent workspaces (capacity survives across calls).
+  Matrix scores_;            // [batch, T] pre-softmax
+  Matrix context_;           // forward result
+  std::vector<Matrix> dhs_;  // backward result
+  Matrix dalpha_, dscore_;   // [batch, T]
+  Matrix s_;                 // [batch, 1] per-step score column
+  Matrix du_;                // [batch, attn]
 };
 
 }  // namespace dbaugur::nn

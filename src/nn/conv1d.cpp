@@ -27,38 +27,56 @@ CausalConv1D::CausalConv1D(size_t in_channels, size_t out_channels,
   UniformInit(&w_, rng, limit);
 }
 
-Tensor3 CausalConv1D::Forward(const Tensor3& input) {
-  DBAUGUR_CHECK_EQ(input.channels(), in_ch_,
-                   "CausalConv1D::Forward channel count");
-  input_ = input;
-  size_t batch = input.batch();
-  size_t time = input.time();
-  Tensor3 out(batch, out_ch_, time);
+void CausalConv1D::BuildColMatrix() {
+  const size_t batch = input_.batch();
+  const size_t time = input_.time();
+  col_.Resize(batch * time, in_ch_ * kernel_);
   for (size_t bi = 0; bi < batch; ++bi) {
-    for (size_t co = 0; co < out_ch_; ++co) {
-      double* olane = out.lane(bi, co);
-      const double* wrow = w_.row(co);
-      double bias = b_(0, co);
-      for (size_t t = 0; t < time; ++t) olane[t] = bias;
-      for (size_t ci = 0; ci < in_ch_; ++ci) {
-        const double* ilane = input.lane(bi, ci);
-        for (size_t j = 0; j < kernel_; ++j) {
-          double wv = wrow[ci * kernel_ + j];
-          if (wv == 0.0) continue;
-          size_t shift = (kernel_ - 1 - j) * dilation_;
-          for (size_t t = shift; t < time; ++t) {
-            olane[t] += wv * ilane[t - shift];
-          }
-        }
+    for (size_t ci = 0; ci < in_ch_; ++ci) {
+      const double* ilane = input_.lane(bi, ci);
+      for (size_t j = 0; j < kernel_; ++j) {
+        const size_t shift = (kernel_ - 1 - j) * dilation_;
+        const size_t c = ci * kernel_ + j;
+        double* base = col_.data() + bi * time * col_.cols() + c;
+        const size_t stride = col_.cols();
+        size_t t = 0;
+        for (; t < shift && t < time; ++t) base[t * stride] = 0.0;
+        for (; t < time; ++t) base[t * stride] = ilane[t - shift];
       }
     }
   }
-  return out;
 }
 
-Tensor3 CausalConv1D::Backward(const Tensor3& grad_output) {
-  size_t batch = input_.batch();
-  size_t time = input_.time();
+const Tensor3& CausalConv1D::Forward(const Tensor3& input) {
+  DBAUGUR_CHECK_EQ(input.channels(), in_ch_,
+                   "CausalConv1D::Forward channel count");
+  input_ = input;
+  const size_t batch = input.batch();
+  const size_t time = input.time();
+  // im2col: one GEMM against w_ replaces the per-tap scalar loops (and the
+  // branchy zero-weight skip) of the direct convolution.
+  BuildColMatrix();
+  out_mat_.Resize(batch * time, out_ch_);
+  const double* bias = b_.data();
+  for (size_t r = 0, n = out_mat_.rows(); r < n; ++r) {
+    double* orow = out_mat_.row(r);
+    for (size_t co = 0; co < out_ch_; ++co) orow[co] = bias[co];
+  }
+  out_mat_.AddMatMulTranspose(col_, w_);  // [B*T, OC] += col * w^T
+  out_.Resize(batch, out_ch_, time);
+  for (size_t bi = 0; bi < batch; ++bi) {
+    for (size_t co = 0; co < out_ch_; ++co) {
+      double* olane = out_.lane(bi, co);
+      const double* src = out_mat_.data() + bi * time * out_ch_ + co;
+      for (size_t t = 0; t < time; ++t) olane[t] = src[t * out_ch_];
+    }
+  }
+  return out_;
+}
+
+const Tensor3& CausalConv1D::Backward(const Tensor3& grad_output) {
+  const size_t batch = input_.batch();
+  const size_t time = input_.time();
   DBAUGUR_CHECK(grad_output.batch() == batch &&
                     grad_output.channels() == out_ch_ &&
                     grad_output.time() == time,
@@ -66,33 +84,35 @@ Tensor3 CausalConv1D::Backward(const Tensor3& grad_output) {
                 "x", grad_output.channels(), "x", grad_output.time(),
                 " does not match forward output ", batch, "x", out_ch_, "x",
                 time);
-  Tensor3 dx(batch, in_ch_, time);
+  // Gather grad_output into [B*T, OC] so dw/db/dcol are single fused passes.
+  go_mat_.Resize(batch * time, out_ch_);
   for (size_t bi = 0; bi < batch; ++bi) {
     for (size_t co = 0; co < out_ch_; ++co) {
       const double* glane = grad_output.lane(bi, co);
-      double* dwrow = dw_.row(co);
-      const double* wrow = w_.row(co);
-      double gsum = 0.0;
-      for (size_t t = 0; t < time; ++t) gsum += glane[t];
-      db_(0, co) += gsum;
-      for (size_t ci = 0; ci < in_ch_; ++ci) {
-        const double* ilane = input_.lane(bi, ci);
-        double* dxlane = dx.lane(bi, ci);
-        for (size_t j = 0; j < kernel_; ++j) {
-          size_t shift = (kernel_ - 1 - j) * dilation_;
-          double wv = wrow[ci * kernel_ + j];
-          double dwv = 0.0;
-          for (size_t t = shift; t < time; ++t) {
-            double g = glane[t];
-            dwv += g * ilane[t - shift];
-            dxlane[t - shift] += g * wv;
-          }
-          dwrow[ci * kernel_ + j] += dwv;
+      double* dst = go_mat_.data() + bi * time * out_ch_ + co;
+      for (size_t t = 0; t < time; ++t) dst[t * out_ch_] = glane[t];
+    }
+  }
+  db_.AddColSumOf(go_mat_);
+  dw_.AddTransposeMatMul(go_mat_, col_);  // [OC, IC*K] += go^T * col
+  dcol_.MatMulInto(go_mat_, w_);          // [B*T, IC*K]
+  // Scatter-add dcol back through the im2col gather (skipping the zero pad).
+  dx_.Resize(batch, in_ch_, time);
+  dx_.Fill(0.0);
+  const size_t stride = dcol_.cols();
+  for (size_t bi = 0; bi < batch; ++bi) {
+    for (size_t ci = 0; ci < in_ch_; ++ci) {
+      double* dxlane = dx_.lane(bi, ci);
+      for (size_t j = 0; j < kernel_; ++j) {
+        const size_t shift = (kernel_ - 1 - j) * dilation_;
+        const double* base = dcol_.data() + bi * time * stride + ci * kernel_ + j;
+        for (size_t t = shift; t < time; ++t) {
+          dxlane[t - shift] += base[t * stride];
         }
       }
     }
   }
-  return dx;
+  return dx_;
 }
 
 std::vector<Param> CausalConv1D::Params() {
@@ -128,7 +148,7 @@ TCNBlock::TCNBlock(size_t in_channels, size_t channels, size_t kernel,
   }
 }
 
-Tensor3 TCNBlock::Forward(const Tensor3& input) {
+const Tensor3& TCNBlock::Forward(const Tensor3& input) {
   a1_ = conv1_.Forward(input);
   ReluInPlace(&a1_);
   a2_ = conv2_.Forward(a1_);
@@ -139,20 +159,20 @@ Tensor3 TCNBlock::Forward(const Tensor3& input) {
   return out_;
 }
 
-Tensor3 TCNBlock::Backward(const Tensor3& grad_output) {
-  Tensor3 g = grad_output;
-  ReluBackward(out_, &g);
-  // Branch into conv path and skip path.
-  Tensor3 g2 = conv2_.Backward(g);
-  ReluBackward(a1_, &g2);
-  Tensor3 dx = conv1_.Backward(g2);
+const Tensor3& TCNBlock::Backward(const Tensor3& grad_output) {
+  g_ = grad_output;
+  ReluBackward(out_, &g_);
+  // Branch into conv path and skip path. The conv results are copied into
+  // block-owned workspaces because each conv reuses its own on the next call.
+  g2_ = conv2_.Backward(g_);
+  ReluBackward(a1_, &g2_);
+  dx_ = conv1_.Backward(g2_);
   if (downsample_) {
-    Tensor3 dskip = downsample_->Backward(g);
-    dx.Add(dskip);
+    dx_.Add(downsample_->Backward(g_));
   } else {
-    dx.Add(g);
+    dx_.Add(g_);
   }
-  return dx;
+  return dx_;
 }
 
 std::vector<Param> TCNBlock::Params() {

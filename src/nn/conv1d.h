@@ -24,9 +24,12 @@ class CausalConv1D {
   CausalConv1D(size_t in_channels, size_t out_channels, size_t kernel,
                size_t dilation, Rng* rng);
 
-  Tensor3 Forward(const Tensor3& input);
-  /// Accumulates parameter gradients, returns dLoss/dInput.
-  Tensor3 Backward(const Tensor3& grad_output);
+  /// Returns a layer-owned workspace valid until the next Forward call;
+  /// steady-state calls with the same shapes do not touch the heap.
+  const Tensor3& Forward(const Tensor3& input);
+  /// Accumulates parameter gradients, returns dLoss/dInput (layer-owned
+  /// workspace, valid until the next Backward call).
+  const Tensor3& Backward(const Tensor3& grad_output);
 
   std::vector<Param> Params();
 
@@ -36,11 +39,23 @@ class CausalConv1D {
   size_t dilation() const { return dilation_; }
 
  private:
+  /// Unrolls input_ into col_ ([batch*time, in_ch*kernel]) so forward and
+  /// both backward products become single GEMM calls (im2col).
+  void BuildColMatrix();
+
   size_t in_ch_, out_ch_, kernel_, dilation_;
   Matrix w_;   // [out_ch, in_ch * kernel]
   Matrix b_;   // [1, out_ch]
   Matrix dw_, db_;
   Tensor3 input_;  // cached
+
+  // Persistent workspaces (capacity survives across calls).
+  Matrix col_;      // im2col unrolled input [batch*time, in_ch*kernel]
+  Matrix out_mat_;  // forward product [batch*time, out_ch]
+  Matrix go_mat_;   // gathered grad_output [batch*time, out_ch]
+  Matrix dcol_;     // grad wrt col_ [batch*time, in_ch*kernel]
+  Tensor3 out_;     // forward result
+  Tensor3 dx_;      // backward result
 };
 
 /// TCN residual block: relu(conv2(relu(conv1(x))) + downsample(x)) where
@@ -51,8 +66,9 @@ class TCNBlock {
   TCNBlock(size_t in_channels, size_t channels, size_t kernel, size_t dilation,
            Rng* rng);
 
-  Tensor3 Forward(const Tensor3& input);
-  Tensor3 Backward(const Tensor3& grad_output);
+  /// Workspace-returning, like CausalConv1D::Forward/Backward.
+  const Tensor3& Forward(const Tensor3& input);
+  const Tensor3& Backward(const Tensor3& grad_output);
   std::vector<Param> Params();
 
  private:
@@ -60,6 +76,7 @@ class TCNBlock {
   CausalConv1D conv2_;
   std::unique_ptr<CausalConv1D> downsample_;  // null => identity skip
   Tensor3 a1_, a2_, skip_, out_;              // cached activations
+  Tensor3 g_, g2_, dx_;                       // backward workspaces
 };
 
 }  // namespace dbaugur::nn

@@ -26,29 +26,25 @@ void ApplyActivation(Activation act, Matrix* m) {
 
 void ApplyActivationGrad(Activation act, const Matrix& pre, const Matrix& post,
                          Matrix* grad) {
+  DBAUGUR_CHECK(grad->SameShape(pre) && grad->SameShape(post),
+                "ApplyActivationGrad shape mismatch");
+  const size_t n = grad->size();
+  const double* z = pre.data();
+  const double* y = post.data();
+  double* g = grad->data();
   switch (act) {
     case Activation::kIdentity:
       return;
     case Activation::kRelu:
-      for (size_t i = 0; i < grad->rows(); ++i) {
-        for (size_t j = 0; j < grad->cols(); ++j) {
-          if (pre(i, j) <= 0.0) (*grad)(i, j) = 0.0;
-        }
+      for (size_t i = 0; i < n; ++i) {
+        if (z[i] <= 0.0) g[i] = 0.0;
       }
       return;
     case Activation::kTanh:
-      for (size_t i = 0; i < grad->rows(); ++i) {
-        for (size_t j = 0; j < grad->cols(); ++j) {
-          (*grad)(i, j) *= 1.0 - post(i, j) * post(i, j);
-        }
-      }
+      for (size_t i = 0; i < n; ++i) g[i] *= 1.0 - y[i] * y[i];
       return;
     case Activation::kSigmoid:
-      for (size_t i = 0; i < grad->rows(); ++i) {
-        for (size_t j = 0; j < grad->cols(); ++j) {
-          (*grad)(i, j) *= post(i, j) * (1.0 - post(i, j));
-        }
-      }
+      for (size_t i = 0; i < n; ++i) g[i] *= y[i] * (1.0 - y[i]);
       return;
   }
 }
@@ -61,26 +57,27 @@ Dense::Dense(size_t in, size_t out, Activation act, Rng* rng)
   XavierInit(&w_, rng);
 }
 
-Matrix Dense::Forward(const Matrix& input) {
+const Matrix& Dense::Forward(const Matrix& input) {
   DBAUGUR_CHECK_EQ(input.cols(), in_, "Dense::Forward input width");
   input_ = input;
-  pre_act_ = input.MatMul(w_);
+  pre_act_.MatMulInto(input_, w_);
   pre_act_.AddRowVector(b_);
   output_ = pre_act_;
   ApplyActivation(act_, &output_);
   return output_;
 }
 
-Matrix Dense::Backward(const Matrix& grad_output) {
+const Matrix& Dense::Backward(const Matrix& grad_output) {
   DBAUGUR_CHECK(grad_output.SameShape(output_),
                 "Dense::Backward gradient shape ", grad_output.rows(), "x",
                 grad_output.cols(), " does not match forward output ",
                 output_.rows(), "x", output_.cols());
-  Matrix g = grad_output;
-  ApplyActivationGrad(act_, pre_act_, output_, &g);
-  dw_.Add(input_.TransposeMatMul(g));
-  db_.Add(g.ColSum());
-  return g.MatMulTranspose(w_);
+  g_ = grad_output;
+  ApplyActivationGrad(act_, pre_act_, output_, &g_);
+  dw_.AddTransposeMatMul(input_, g_);
+  db_.AddColSumOf(g_);
+  dx_.MatMulTransposeInto(g_, w_);
+  return dx_;
 }
 
 std::vector<Param> Dense::Params() {

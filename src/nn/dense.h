@@ -15,8 +15,8 @@ class Dense : public Layer {
  public:
   Dense(size_t in, size_t out, Activation act, Rng* rng);
 
-  Matrix Forward(const Matrix& input) override;
-  Matrix Backward(const Matrix& grad_output) override;
+  const Matrix& Forward(const Matrix& input) override;
+  const Matrix& Backward(const Matrix& grad_output) override;
   std::vector<Param> Params() override;
 
   size_t in_features() const { return in_; }
@@ -33,6 +33,8 @@ class Dense : public Layer {
   Matrix input_;       // cached for backward
   Matrix pre_act_;     // cached pre-activation (z)
   Matrix output_;      // cached post-activation
+  Matrix g_;           // workspace: activation-scaled upstream gradient
+  Matrix dx_;          // workspace: returned input gradient
 };
 
 /// Applies the activation in place and returns the result.

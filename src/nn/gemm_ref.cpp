@@ -1,0 +1,52 @@
+// Verbatim pre-PR naive GEMM kernels (see nn/gemm.h). Kept in their own
+// translation unit so they are compiled with the repo's stock Release flags:
+// they are the measurement baseline for bench/nn_kernels and must not pick up
+// the -O3 tuning applied to the fused kernels in gemm.cpp.
+
+#include "nn/gemm.h"
+
+namespace dbaugur::nn::ref {
+
+void MatMul(size_t m, size_t k, size_t n, const double* a, const double* b,
+            double* c) {
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (size_t kk = 0; kk < k; ++kk) {
+      double av = arow[kk];
+      if (av == 0.0) continue;
+      const double* brow = b + kk * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void TransposeMatMul(size_t m, size_t k, size_t n, const double* a,
+                     const double* b, double* c) {
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    const double* brow = b + i * n;
+    for (size_t kk = 0; kk < k; ++kk) {
+      double av = arow[kk];
+      if (av == 0.0) continue;
+      double* crow = c + kk * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTranspose(size_t m, size_t k, size_t p, const double* a,
+                     const double* b, double* c) {
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * p;
+    for (size_t j = 0; j < p; ++j) {
+      const double* brow = b + j * k;
+      double s = 0.0;
+      for (size_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      crow[j] = s;
+    }
+  }
+}
+
+}  // namespace dbaugur::nn::ref

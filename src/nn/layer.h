@@ -23,16 +23,21 @@ struct Param {
 };
 
 /// Base class for layers mapping [batch, in] -> [batch, out].
+///
+/// Forward/Backward return references to layer-owned workspaces so a
+/// steady-state training step performs no heap allocation inside layer code;
+/// the referenced matrix stays valid until the next call on the same layer.
+/// Callers that need the value beyond that must copy it.
 class Layer {
  public:
   virtual ~Layer() = default;
 
   /// Computes the output and caches whatever Backward needs.
-  virtual Matrix Forward(const Matrix& input) = 0;
+  virtual const Matrix& Forward(const Matrix& input) = 0;
 
   /// Given dLoss/dOutput, accumulates parameter gradients and returns
   /// dLoss/dInput. Must be called after Forward on the same input.
-  virtual Matrix Backward(const Matrix& grad_output) = 0;
+  virtual const Matrix& Backward(const Matrix& grad_output) = 0;
 
   /// Trainable parameters (empty for stateless layers).
   virtual std::vector<Param> Params() { return {}; }

@@ -14,7 +14,7 @@ double MSELoss(const Matrix& pred, const Matrix& target, Matrix* grad) {
   DBAUGUR_CHECK_GT(pred.size(), 0u, "MSELoss on empty matrices");
   double n = static_cast<double>(pred.size());
   double loss = 0.0;
-  if (grad != nullptr) *grad = Matrix(pred.rows(), pred.cols());
+  if (grad != nullptr) grad->Resize(pred.rows(), pred.cols());
   for (size_t i = 0; i < pred.size(); ++i) {
     double d = pred.data()[i] - target.data()[i];
     loss += d * d;
@@ -31,7 +31,7 @@ double BCEWithLogitsLoss(const Matrix& logits, const Matrix& target,
   DBAUGUR_CHECK_GT(logits.size(), 0u, "BCEWithLogitsLoss on empty matrices");
   double n = static_cast<double>(logits.size());
   double loss = 0.0;
-  if (grad != nullptr) *grad = Matrix(logits.rows(), logits.cols());
+  if (grad != nullptr) grad->Resize(logits.rows(), logits.cols());
   for (size_t i = 0; i < logits.size(); ++i) {
     double z = logits.data()[i];
     double y = target.data()[i];
@@ -47,7 +47,7 @@ double GeneratorGanLoss(const Matrix& fake_logits, Matrix* grad) {
   DBAUGUR_CHECK_GT(fake_logits.size(), 0u, "GeneratorGanLoss on empty matrix");
   double n = static_cast<double>(fake_logits.size());
   double loss = 0.0;
-  if (grad != nullptr) *grad = Matrix(fake_logits.rows(), fake_logits.cols());
+  if (grad != nullptr) grad->Resize(fake_logits.rows(), fake_logits.cols());
   for (size_t i = 0; i < fake_logits.size(); ++i) {
     double z = fake_logits.data()[i];
     // -log sigmoid(z) = log(1 + exp(-z)) computed stably.
@@ -65,7 +65,7 @@ double GeneratorGanLossSaturating(const Matrix& fake_logits, Matrix* grad) {
                    "GeneratorGanLossSaturating on empty matrix");
   double n = static_cast<double>(fake_logits.size());
   double loss = 0.0;
-  if (grad != nullptr) *grad = Matrix(fake_logits.rows(), fake_logits.cols());
+  if (grad != nullptr) grad->Resize(fake_logits.rows(), fake_logits.cols());
   for (size_t i = 0; i < fake_logits.size(); ++i) {
     double z = fake_logits.data()[i];
     loss += -std::max(z, 0.0) - std::log1p(std::exp(-std::fabs(z)));

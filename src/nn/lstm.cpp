@@ -1,6 +1,7 @@
 #include "nn/lstm.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/contracts.h"
 #include "common/math_utils.h"
@@ -26,110 +27,123 @@ LSTM::LSTM(size_t input_size, size_t hidden_size, Rng* rng)
   for (size_t j = hidden_; j < 2 * hidden_; ++j) b_(0, j) = 1.0;
 }
 
-std::vector<Matrix> LSTM::ForwardSequence(const std::vector<Matrix>& xs) {
-  cache_.clear();
-  cache_.reserve(xs.size());
-  std::vector<Matrix> hs;
-  hs.reserve(xs.size());
-  if (xs.empty()) return hs;
-  size_t batch = xs[0].rows();
-  Matrix h(batch, hidden_), c(batch, hidden_);
+const std::vector<Matrix>& LSTM::ForwardSequence(const std::vector<Matrix>& xs) {
+  const size_t steps = xs.size();
+  steps_ = steps;
+  hs_.resize(steps);
+  if (cache_.size() < steps) cache_.resize(steps);
+  if (steps == 0) return hs_;
+  const size_t batch = xs[0].rows();
+  // Contracts hoisted out of the step loop: validate the whole sequence once,
+  // then run the hot loop contract-free.
   for (const Matrix& x : xs) {
     DBAUGUR_CHECK_EQ(x.cols(), input_, "LSTM::ForwardSequence step width");
     DBAUGUR_CHECK_EQ(x.rows(), batch,
                      "LSTM::ForwardSequence inconsistent batch size");
-    StepCache sc;
-    sc.x = x;
-    sc.h_prev = h;
-    sc.c_prev = c;
-    Matrix z = x.MatMul(wx_);
-    z.Add(h.MatMul(wh_));
-    z.AddRowVector(b_);
-    sc.i = Matrix(batch, hidden_);
-    sc.f = Matrix(batch, hidden_);
-    sc.g = Matrix(batch, hidden_);
-    sc.o = Matrix(batch, hidden_);
-    for (size_t r = 0; r < batch; ++r) {
-      const double* zr = z.row(r);
-      for (size_t j = 0; j < hidden_; ++j) {
-        sc.i(r, j) = Sigmoid(zr[j]);
-        sc.f(r, j) = Sigmoid(zr[hidden_ + j]);
-        sc.g(r, j) = std::tanh(zr[2 * hidden_ + j]);
-        sc.o(r, j) = Sigmoid(zr[3 * hidden_ + j]);
-      }
-    }
-    sc.c = Matrix(batch, hidden_);
-    sc.tanh_c = Matrix(batch, hidden_);
-    Matrix h_new(batch, hidden_);
-    for (size_t r = 0; r < batch; ++r) {
-      for (size_t j = 0; j < hidden_; ++j) {
-        sc.c(r, j) = sc.f(r, j) * c(r, j) + sc.i(r, j) * sc.g(r, j);
-        sc.tanh_c(r, j) = std::tanh(sc.c(r, j));
-        h_new(r, j) = sc.o(r, j) * sc.tanh_c(r, j);
-      }
-    }
-    c = sc.c;
-    h = h_new;
-    hs.push_back(h);
-    cache_.push_back(std::move(sc));
   }
-  return hs;
+  zeros_.Resize(batch, hidden_);
+  zeros_.Fill(0.0);
+  for (size_t t = 0; t < steps; ++t) {
+    StepCache& sc = cache_[t];
+    const Matrix& h_prev = t == 0 ? zeros_ : hs_[t - 1];
+    const Matrix& c_prev = t == 0 ? zeros_ : cache_[t - 1].c;
+    sc.x = xs[t];
+    // Fused gate pre-activation: z = x Wx + h_prev Wh + b, one workspace.
+    z_.MatMulInto(sc.x, wx_);
+    z_.AddMatMul(h_prev, wh_);
+    z_.AddRowVector(b_);
+    sc.i.Resize(batch, hidden_);
+    sc.f.Resize(batch, hidden_);
+    sc.g.Resize(batch, hidden_);
+    sc.o.Resize(batch, hidden_);
+    sc.c.Resize(batch, hidden_);
+    sc.tanh_c.Resize(batch, hidden_);
+    hs_[t].Resize(batch, hidden_);
+    for (size_t r = 0; r < batch; ++r) {
+      const double* zr = z_.row(r);
+      const double* cpr = c_prev.row(r);
+      double* ir = sc.i.row(r);
+      double* fr = sc.f.row(r);
+      double* gr = sc.g.row(r);
+      double* og = sc.o.row(r);
+      double* cr = sc.c.row(r);
+      double* tr = sc.tanh_c.row(r);
+      double* hr = hs_[t].row(r);
+      for (size_t j = 0; j < hidden_; ++j) {
+        ir[j] = Sigmoid(zr[j]);
+        fr[j] = Sigmoid(zr[hidden_ + j]);
+        gr[j] = std::tanh(zr[2 * hidden_ + j]);
+        og[j] = Sigmoid(zr[3 * hidden_ + j]);
+        cr[j] = fr[j] * cpr[j] + ir[j] * gr[j];
+        tr[j] = std::tanh(cr[j]);
+        hr[j] = og[j] * tr[j];
+      }
+    }
+  }
+  return hs_;
 }
 
-std::vector<Matrix> LSTM::BackwardSequence(const std::vector<Matrix>& grad_hs) {
-  size_t steps = cache_.size();
+const std::vector<Matrix>& LSTM::BackwardSequence(
+    const std::vector<Matrix>& grad_hs) {
+  const size_t steps = steps_;
   DBAUGUR_CHECK_EQ(grad_hs.size(), steps,
                    "LSTM::BackwardSequence gradient count does not match the "
                    "cached forward pass");
-  std::vector<Matrix> dxs(steps);
-  if (steps == 0) return dxs;
-  size_t batch = cache_[0].x.rows();
-  Matrix dh_next(batch, hidden_);  // carried dL/dh from t+1
-  Matrix dc_next(batch, hidden_);  // carried dL/dc from t+1
+  dxs_.resize(steps);
+  if (steps == 0) return dxs_;
+  const size_t batch = cache_[0].x.rows();
+  for (const Matrix& g : grad_hs) {
+    DBAUGUR_CHECK(g.rows() == batch && g.cols() == hidden_,
+                  "LSTM::BackwardSequence gradient shape ", g.rows(), "x",
+                  g.cols(), " does not match hidden states ", batch, "x",
+                  hidden_);
+  }
+  dh_next_.Resize(batch, hidden_);
+  dh_next_.Fill(0.0);
+  dc_next_.Resize(batch, hidden_);
+  dc_next_.Fill(0.0);
+  dc_prev_.Resize(batch, hidden_);
+  dz_.Resize(batch, 4 * hidden_);
   for (size_t t = steps; t-- > 0;) {
     const StepCache& sc = cache_[t];
-    Matrix dh = grad_hs[t];
-    dh.Add(dh_next);
-    // h = o * tanh(c)
-    Matrix do_gate(batch, hidden_), dc(batch, hidden_);
+    const Matrix& h_prev = t == 0 ? zeros_ : hs_[t - 1];
+    const Matrix& c_prev = t == 0 ? zeros_ : cache_[t - 1].c;
+    dh_ = grad_hs[t];
+    dh_.Add(dh_next_);
+    // All element-wise gate gradients fuse into one pass producing dz and the
+    // carried cell gradient; the per-gate intermediates never materialise.
     for (size_t r = 0; r < batch; ++r) {
+      const double* dhr = dh_.row(r);
+      const double* dcn = dc_next_.row(r);
+      const double* tcr = sc.tanh_c.row(r);
+      const double* ir = sc.i.row(r);
+      const double* fr = sc.f.row(r);
+      const double* gr = sc.g.row(r);
+      const double* og = sc.o.row(r);
+      const double* cpr = c_prev.row(r);
+      double* dzr = dz_.row(r);
+      double* dcp = dc_prev_.row(r);
       for (size_t j = 0; j < hidden_; ++j) {
-        double tc = sc.tanh_c(r, j);
-        do_gate(r, j) = dh(r, j) * tc;
-        dc(r, j) = dh(r, j) * sc.o(r, j) * (1.0 - tc * tc) + dc_next(r, j);
+        const double tc = tcr[j];
+        const double iv = ir[j], fv = fr[j], gv = gr[j], ov = og[j];
+        // h = o * tanh(c); c = f * c_prev + i * g.
+        const double dov = dhr[j] * tc;
+        const double dcv = dhr[j] * ov * (1.0 - tc * tc) + dcn[j];
+        dzr[j] = dcv * gv * iv * (1.0 - iv);
+        dzr[hidden_ + j] = dcv * cpr[j] * fv * (1.0 - fv);
+        dzr[2 * hidden_ + j] = dcv * iv * (1.0 - gv * gv);
+        dzr[3 * hidden_ + j] = dov * ov * (1.0 - ov);
+        dcp[j] = dcv * fv;
       }
     }
-    // c = f * c_prev + i * g
-    Matrix di(batch, hidden_), df(batch, hidden_), dg(batch, hidden_);
-    Matrix dc_prev(batch, hidden_);
-    for (size_t r = 0; r < batch; ++r) {
-      for (size_t j = 0; j < hidden_; ++j) {
-        di(r, j) = dc(r, j) * sc.g(r, j);
-        df(r, j) = dc(r, j) * sc.c_prev(r, j);
-        dg(r, j) = dc(r, j) * sc.i(r, j);
-        dc_prev(r, j) = dc(r, j) * sc.f(r, j);
-      }
-    }
-    // Through the gate nonlinearities into the fused pre-activation dz.
-    Matrix dz(batch, 4 * hidden_);
-    for (size_t r = 0; r < batch; ++r) {
-      for (size_t j = 0; j < hidden_; ++j) {
-        double iv = sc.i(r, j), fv = sc.f(r, j), gv = sc.g(r, j),
-               ov = sc.o(r, j);
-        dz(r, j) = di(r, j) * iv * (1.0 - iv);
-        dz(r, hidden_ + j) = df(r, j) * fv * (1.0 - fv);
-        dz(r, 2 * hidden_ + j) = dg(r, j) * (1.0 - gv * gv);
-        dz(r, 3 * hidden_ + j) = do_gate(r, j) * ov * (1.0 - ov);
-      }
-    }
-    dwx_.Add(sc.x.TransposeMatMul(dz));
-    dwh_.Add(sc.h_prev.TransposeMatMul(dz));
-    db_.Add(dz.ColSum());
-    dxs[t] = dz.MatMulTranspose(wx_);
-    dh_next = dz.MatMulTranspose(wh_);
-    dc_next = dc_prev;
+    dwx_.AddTransposeMatMul(sc.x, dz_);
+    dwh_.AddTransposeMatMul(h_prev, dz_);
+    db_.AddColSumOf(dz_);
+    dxs_[t].MatMulTransposeInto(dz_, wx_);
+    dh_next_.MatMulTransposeInto(dz_, wh_);
+    std::swap(dc_next_, dc_prev_);
   }
-  return dxs;
+  return dxs_;
 }
 
 std::vector<Param> LSTM::Params() {

@@ -24,12 +24,16 @@ class LSTM {
   LSTM(size_t input_size, size_t hidden_size, Rng* rng);
 
   /// Runs the full sequence from zero initial state, caching activations for
-  /// BackwardSequence.
-  std::vector<Matrix> ForwardSequence(const std::vector<Matrix>& xs);
+  /// BackwardSequence. The returned vector is a layer-owned workspace valid
+  /// until the next ForwardSequence call; steady-state calls with the same
+  /// shapes do not touch the heap.
+  const std::vector<Matrix>& ForwardSequence(const std::vector<Matrix>& xs);
 
   /// grad_hs[t] = dLoss/dh_t (zero matrices allowed). Accumulates parameter
-  /// gradients and returns dLoss/dx_t for each step.
-  std::vector<Matrix> BackwardSequence(const std::vector<Matrix>& grad_hs);
+  /// gradients and returns dLoss/dx_t for each step (layer-owned workspace,
+  /// valid until the next BackwardSequence call).
+  const std::vector<Matrix>& BackwardSequence(
+      const std::vector<Matrix>& grad_hs);
 
   std::vector<Param> Params();
   void ZeroGrad();
@@ -38,8 +42,10 @@ class LSTM {
   size_t hidden_size() const { return hidden_; }
 
  private:
+  // h_prev/c_prev are not stored per step: backward reads hs_[t-1] /
+  // cache_[t-1].c (zeros_ at t == 0) instead of keeping copies.
   struct StepCache {
-    Matrix x, h_prev, c_prev;
+    Matrix x;           // input copy (callers may mutate theirs)
     Matrix i, f, g, o;  // gate activations, each [batch, hidden]
     Matrix c, tanh_c;
   };
@@ -50,7 +56,15 @@ class LSTM {
   Matrix wh_;  // [hidden, 4*hidden]
   Matrix b_;   // [1, 4*hidden]
   Matrix dwx_, dwh_, db_;
-  std::vector<StepCache> cache_;
+  std::vector<StepCache> cache_;  // persistent; first steps_ entries valid
+  size_t steps_ = 0;              // steps of the cached forward pass
+
+  // Persistent workspaces (capacity survives across calls).
+  std::vector<Matrix> hs_;   // per-step hidden states returned by forward
+  std::vector<Matrix> dxs_;  // per-step input grads returned by backward
+  Matrix zeros_;             // [batch, hidden] zero initial h/c
+  Matrix z_;                 // fused gate pre-activation [batch, 4*hidden]
+  Matrix dh_, dz_, dh_next_, dc_next_, dc_prev_;
 };
 
 }  // namespace dbaugur::nn

@@ -1,8 +1,11 @@
 #include "nn/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <utility>
+
+#include "nn/gemm.h"
 
 namespace dbaugur::nn {
 
@@ -44,62 +47,104 @@ void Matrix::Scale(double alpha) {
   for (double& x : data_) x *= alpha;
 }
 
+namespace {
+
+// Shape/aliasing contracts for the fused kernels, validated once at kernel
+// entry (never in inner loops — those stay DCHECK-only via operator()).
+void CheckNoAlias(const Matrix& dest, const Matrix& a, const Matrix& b,
+                  const char* op) {
+  DBAUGUR_CHECK(dest.data() != a.data() && dest.data() != b.data(),
+                op, " destination must not alias an operand");
+}
+
+}  // namespace
+
 Matrix Matrix::MatMul(const Matrix& other) const {
-  DBAUGUR_CHECK_EQ(cols_, other.rows_, "Matrix::MatMul inner dimensions");
-  Matrix out(rows_, other.cols_, 0.0);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* arow = row(i);
-    double* orow = out.row(i);
-    for (size_t k = 0; k < cols_; ++k) {
-      double a = arow[k];
-      if (a == 0.0) continue;
-      const double* brow = other.row(k);
-      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
-    }
-  }
+  Matrix out;
+  out.MatMulInto(*this, other);
   return out;
 }
 
 Matrix Matrix::TransposeMatMul(const Matrix& other) const {
-  // (this^T * other): this is (m x n), other is (m x p), result (n x p).
-  DBAUGUR_CHECK_EQ(rows_, other.rows_,
-                   "Matrix::TransposeMatMul row counts");
-  Matrix out(cols_, other.cols_, 0.0);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* arow = row(i);
-    const double* brow = other.row(i);
-    for (size_t k = 0; k < cols_; ++k) {
-      double a = arow[k];
-      if (a == 0.0) continue;
-      double* orow = out.row(k);
-      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
-    }
-  }
+  Matrix out;
+  out.TransposeMatMulInto(*this, other);
   return out;
 }
 
 Matrix Matrix::MatMulTranspose(const Matrix& other) const {
-  // (this * other^T): this is (m x n), other is (p x n), result (m x p).
-  DBAUGUR_CHECK_EQ(cols_, other.cols_,
-                   "Matrix::MatMulTranspose column counts");
-  Matrix out(rows_, other.rows_, 0.0);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* arow = row(i);
-    double* orow = out.row(i);
-    for (size_t j = 0; j < other.rows_; ++j) {
-      const double* brow = other.row(j);
-      double s = 0.0;
-      for (size_t k = 0; k < cols_; ++k) s += arow[k] * brow[k];
-      orow[j] = s;
-    }
-  }
+  Matrix out;
+  out.MatMulTransposeInto(*this, other);
   return out;
+}
+
+void Matrix::MatMulInto(const Matrix& a, const Matrix& b) {
+  DBAUGUR_CHECK_EQ(a.cols_, b.rows_, "Matrix::MatMul inner dimensions");
+  Resize(a.rows_, b.cols_);
+  CheckNoAlias(*this, a, b, "Matrix::MatMulInto");
+  GemmNN(a.rows_, a.cols_, b.cols_, a.data(), b.data(), data(), false);
+}
+
+void Matrix::AddMatMul(const Matrix& a, const Matrix& b) {
+  DBAUGUR_CHECK_EQ(a.cols_, b.rows_, "Matrix::AddMatMul inner dimensions");
+  DBAUGUR_CHECK(rows_ == a.rows_ && cols_ == b.cols_,
+                "Matrix::AddMatMul destination shape ", rows_, "x", cols_,
+                " does not match product ", a.rows_, "x", b.cols_);
+  CheckNoAlias(*this, a, b, "Matrix::AddMatMul");
+  GemmNN(a.rows_, a.cols_, b.cols_, a.data(), b.data(), data(), true);
+}
+
+void Matrix::TransposeMatMulInto(const Matrix& a, const Matrix& b) {
+  // (a^T * b): a is (m x n), b is (m x p), result (n x p).
+  DBAUGUR_CHECK_EQ(a.rows_, b.rows_, "Matrix::TransposeMatMul row counts");
+  Resize(a.cols_, b.cols_);
+  CheckNoAlias(*this, a, b, "Matrix::TransposeMatMulInto");
+  GemmTN(a.rows_, a.cols_, b.cols_, a.data(), b.data(), data(), false);
+}
+
+void Matrix::AddTransposeMatMul(const Matrix& a, const Matrix& b) {
+  DBAUGUR_CHECK_EQ(a.rows_, b.rows_, "Matrix::AddTransposeMatMul row counts");
+  DBAUGUR_CHECK(rows_ == a.cols_ && cols_ == b.cols_,
+                "Matrix::AddTransposeMatMul destination shape ", rows_, "x",
+                cols_, " does not match product ", a.cols_, "x", b.cols_);
+  CheckNoAlias(*this, a, b, "Matrix::AddTransposeMatMul");
+  GemmTN(a.rows_, a.cols_, b.cols_, a.data(), b.data(), data(), true);
+}
+
+void Matrix::MatMulTransposeInto(const Matrix& a, const Matrix& b) {
+  // (a * b^T): a is (m x n), b is (p x n), result (m x p).
+  DBAUGUR_CHECK_EQ(a.cols_, b.cols_, "Matrix::MatMulTranspose column counts");
+  Resize(a.rows_, b.rows_);
+  CheckNoAlias(*this, a, b, "Matrix::MatMulTransposeInto");
+  GemmNT(a.rows_, a.cols_, b.rows_, a.data(), b.data(), data(), false);
+}
+
+void Matrix::AddMatMulTranspose(const Matrix& a, const Matrix& b) {
+  DBAUGUR_CHECK_EQ(a.cols_, b.cols_,
+                   "Matrix::AddMatMulTranspose column counts");
+  DBAUGUR_CHECK(rows_ == a.rows_ && cols_ == b.rows_,
+                "Matrix::AddMatMulTranspose destination shape ", rows_, "x",
+                cols_, " does not match product ", a.rows_, "x", b.rows_);
+  CheckNoAlias(*this, a, b, "Matrix::AddMatMulTranspose");
+  GemmNT(a.rows_, a.cols_, b.rows_, a.data(), b.data(), data(), true);
 }
 
 Matrix Matrix::Transposed() const {
   Matrix out(cols_, rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    for (size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  // Blocked so both the read and write side stay within a few cache lines
+  // per tile instead of striding the full matrix on one side.
+  constexpr size_t kTile = 32;
+  const double* src = data();
+  double* dst = out.data();
+  for (size_t ib = 0; ib < rows_; ib += kTile) {
+    const size_t ie = std::min(rows_, ib + kTile);
+    for (size_t jb = 0; jb < cols_; jb += kTile) {
+      const size_t je = std::min(cols_, jb + kTile);
+      for (size_t i = ib; i < ie; ++i) {
+        for (size_t j = jb; j < je; ++j) {
+          dst[j * rows_ + i] = src[i * cols_ + j];
+        }
+      }
+    }
   }
   return out;
 }
@@ -114,11 +159,19 @@ void Matrix::AddRowVector(const Matrix& v) {
 
 Matrix Matrix::ColSum() const {
   Matrix out(1, cols_, 0.0);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* r = row(i);
-    for (size_t j = 0; j < cols_; ++j) out.data()[j] += r[j];
-  }
+  out.AddColSumOf(*this);
   return out;
+}
+
+void Matrix::AddColSumOf(const Matrix& other) {
+  DBAUGUR_CHECK(rows_ == 1 && cols_ == other.cols_,
+                "Matrix::AddColSumOf needs a 1x", other.cols_,
+                " destination, got ", rows_, "x", cols_);
+  double* acc = data();
+  for (size_t i = 0; i < other.rows_; ++i) {
+    const double* r = other.row(i);
+    for (size_t j = 0; j < cols_; ++j) acc[j] += r[j];
+  }
 }
 
 double Matrix::SquaredNorm() const {

@@ -1,8 +1,11 @@
 // Dense row-major matrix used throughout the neural-net substrate.
 //
-// Shapes are small (batch x hidden sizes in the tens), so a straightforward
-// cache-friendly implementation with an ikj matmul loop is plenty fast for
-// the paper's model sizes.
+// Matmuls route through the register-blocked kernels in nn/gemm.h. Every
+// product has an allocating convenience form (MatMul & friends) plus
+// into/accumulate variants (MatMulInto, AddMatMul, ...) that write into an
+// existing matrix, so training loops can run with zero steady-state heap
+// allocation: Resize() reuses the underlying buffer whenever capacity
+// suffices, exactly like std::vector.
 
 #pragma once
 
@@ -56,6 +59,15 @@ class Matrix {
   /// Sets every element to `v`.
   void Fill(double v);
 
+  /// Reshapes to rows x cols, reusing the existing buffer when its capacity
+  /// suffices (no heap traffic in steady-state training). Element values are
+  /// unspecified afterwards; callers overwrite or Fill().
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// this += other (shapes must match).
   void Add(const Matrix& other);
   /// this += alpha * other.
@@ -76,10 +88,30 @@ class Matrix {
   /// Returns the transpose.
   Matrix Transposed() const;
 
+  // Fused into/accumulate products. The destination (this) is resized as
+  // needed by the Into forms and must already have the product shape for the
+  // Add forms; it must not alias either operand (checked).
+
+  /// this = a * b.
+  void MatMulInto(const Matrix& a, const Matrix& b);
+  /// this += a * b.
+  void AddMatMul(const Matrix& a, const Matrix& b);
+  /// this = a^T * b.
+  void TransposeMatMulInto(const Matrix& a, const Matrix& b);
+  /// this += a^T * b (the dw accumulation pattern, one pass, no temporary).
+  void AddTransposeMatMul(const Matrix& a, const Matrix& b);
+  /// this = a * b^T.
+  void MatMulTransposeInto(const Matrix& a, const Matrix& b);
+  /// this += a * b^T.
+  void AddMatMulTranspose(const Matrix& a, const Matrix& b);
+
   /// Adds a row vector (1 x cols or plain cols-length matrix row) to each row.
   void AddRowVector(const Matrix& v);
   /// Column-wise sum producing a 1 x cols matrix (bias gradients).
   Matrix ColSum() const;
+  /// this (1 x n) += column-wise sum of other (m x n); fuses the
+  /// db.Add(g.ColSum()) pattern without the temporary.
+  void AddColSumOf(const Matrix& other);
 
   /// Applies f element-wise in place.
   template <typename F>
@@ -152,6 +184,15 @@ class Tensor3 {
 
   void Fill(double v);
   void Add(const Tensor3& other);
+
+  /// Reshapes, reusing the buffer when capacity suffices; element values are
+  /// unspecified afterwards (see Matrix::Resize).
+  void Resize(size_t batch, size_t channels, size_t time) {
+    batch_ = batch;
+    channels_ = channels;
+    time_ = time;
+    data_.resize(batch * channels * time);
+  }
 
   template <typename F>
   void Apply(F f) {

@@ -1,0 +1,168 @@
+// Verifies the zero-allocation contract of the layer workspaces: after a
+// warm-up pass, steady-state Forward/Backward on every layer type performs no
+// heap allocation.
+//
+// A global operator new/delete override counts allocations. This is safe to
+// do in exactly one test binary (the override is process-wide); gtest's own
+// bookkeeping allocates, so counting is explicitly scoped between
+// ResetAllocCount/AllocCount pairs with no gtest assertions in between.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/attention.h"
+#include "nn/conv1d.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/lstm.h"
+#include "nn/matrix.h"
+
+namespace {
+std::atomic<long> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dbaugur::nn {
+namespace {
+
+void ResetAllocCount() { g_alloc_count.store(0, std::memory_order_relaxed); }
+long AllocCount() { return g_alloc_count.load(std::memory_order_relaxed); }
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng->Uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+TEST(AllocTest, DenseSteadyStateIsAllocationFree) {
+  Rng rng(1);
+  Dense layer(13, 7, Activation::kTanh, &rng);
+  Matrix x = RandomMatrix(8, 13, &rng);
+  Matrix g = RandomMatrix(8, 7, &rng);
+  // Warm-up builds the workspaces.
+  layer.Forward(x);
+  layer.Backward(g);
+  ResetAllocCount();
+  for (int i = 0; i < 3; ++i) {
+    layer.Forward(x);
+    layer.Backward(g);
+  }
+  long n = AllocCount();
+  EXPECT_EQ(n, 0) << "Dense fwd/bwd allocated " << n << " times";
+}
+
+TEST(AllocTest, LstmSteadyStateIsAllocationFree) {
+  Rng rng(2);
+  LSTM lstm(3, 11, &rng);
+  std::vector<Matrix> xs;
+  std::vector<Matrix> grads;
+  for (int t = 0; t < 5; ++t) {
+    xs.push_back(RandomMatrix(4, 3, &rng));
+    grads.push_back(RandomMatrix(4, 11, &rng));
+  }
+  lstm.ForwardSequence(xs);
+  lstm.BackwardSequence(grads);
+  ResetAllocCount();
+  for (int i = 0; i < 3; ++i) {
+    lstm.ForwardSequence(xs);
+    lstm.BackwardSequence(grads);
+  }
+  long n = AllocCount();
+  EXPECT_EQ(n, 0) << "LSTM fwd/bwd allocated " << n << " times";
+}
+
+TEST(AllocTest, AttentionSteadyStateIsAllocationFree) {
+  Rng rng(3);
+  TemporalAttention attn(11, 5, &rng);
+  std::vector<Matrix> hs;
+  for (int t = 0; t < 5; ++t) hs.push_back(RandomMatrix(4, 11, &rng));
+  Matrix dc = RandomMatrix(4, 11, &rng);
+  attn.Forward(hs);
+  attn.Backward(dc);
+  ResetAllocCount();
+  for (int i = 0; i < 3; ++i) {
+    attn.Forward(hs);
+    attn.Backward(dc);
+  }
+  long n = AllocCount();
+  EXPECT_EQ(n, 0) << "attention fwd/bwd allocated " << n << " times";
+}
+
+TEST(AllocTest, ConvAndTcnBlockSteadyStateIsAllocationFree) {
+  Rng rng(4);
+  CausalConv1D conv(2, 3, 2, 2, &rng);
+  Tensor3 x(4, 2, 16);
+  for (size_t b = 0; b < 4; ++b) {
+    for (size_t c = 0; c < 2; ++c) {
+      double* lane = x.lane(b, c);
+      for (size_t t = 0; t < 16; ++t) lane[t] = rng.Uniform(-1.0, 1.0);
+    }
+  }
+  Tensor3 g(4, 3, 16, 0.5);
+  conv.Forward(x);
+  conv.Backward(g);
+  ResetAllocCount();
+  for (int i = 0; i < 3; ++i) {
+    conv.Forward(x);
+    conv.Backward(g);
+  }
+  long n = AllocCount();
+  EXPECT_EQ(n, 0) << "conv fwd/bwd allocated " << n << " times";
+
+  TCNBlock block(2, 3, 2, 1, &rng);
+  Tensor3 gb(4, 3, 16, 0.25);
+  block.Forward(x);
+  block.Backward(gb);
+  ResetAllocCount();
+  for (int i = 0; i < 3; ++i) {
+    block.Forward(x);
+    block.Backward(gb);
+  }
+  n = AllocCount();
+  EXPECT_EQ(n, 0) << "TCN block fwd/bwd allocated " << n << " times";
+}
+
+TEST(AllocTest, LossGradReuseIsAllocationFree) {
+  Rng rng(5);
+  Matrix pred = RandomMatrix(8, 1, &rng);
+  Matrix target = RandomMatrix(8, 1, &rng);
+  Matrix grad;
+  MSELoss(pred, target, &grad);  // warm-up sizes the grad buffer
+  BCEWithLogitsLoss(pred, target, &grad);
+  ResetAllocCount();
+  for (int i = 0; i < 3; ++i) {
+    MSELoss(pred, target, &grad);
+    BCEWithLogitsLoss(pred, target, &grad);
+    GeneratorGanLoss(pred, &grad);
+  }
+  long n = AllocCount();
+  EXPECT_EQ(n, 0) << "loss grads allocated " << n << " times";
+}
+
+}  // namespace
+}  // namespace dbaugur::nn

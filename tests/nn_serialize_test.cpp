@@ -1,0 +1,137 @@
+// Round-trip tests for nn/serialize.cpp through real trained models.
+//
+// Weights are stored as float32, so a serialize/deserialize round trip
+// truncates doubles. The tests therefore compare two models that both carry
+// the same truncated weights (deserializing a model's own buffer back into
+// itself makes it bit-comparable with a restored copy).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "models/lstm_forecaster.h"
+#include "models/mlp.h"
+#include "nn/serialize.h"
+
+namespace dbaugur::nn {
+namespace {
+
+std::vector<double> SyntheticSeries(size_t n) {
+  std::vector<double> s(n);
+  for (size_t i = 0; i < n; ++i) {
+    double t = static_cast<double>(i);
+    s[i] = 50.0 + 20.0 * std::sin(t * 0.3) + 5.0 * std::sin(t * 1.7);
+  }
+  return s;
+}
+
+models::ForecasterOptions SmallOptions() {
+  models::ForecasterOptions opts;
+  opts.window = 8;
+  opts.horizon = 1;
+  opts.epochs = 2;
+  opts.batch_size = 16;
+  return opts;
+}
+
+TEST(SerializeTest, MlpRoundTripRestoresForecasts) {
+  std::vector<double> series = SyntheticSeries(120);
+  models::ForecasterOptions opts = SmallOptions();
+
+  models::MlpForecaster trained(opts);
+  ASSERT_TRUE(trained.Fit(series).ok());
+  std::vector<uint8_t> buf = SerializeParams(trained.Params());
+  EXPECT_EQ(static_cast<int64_t>(buf.size()), trained.StorageBytes());
+
+  // Restore into a model with different initial weights (different seed) but
+  // the same architecture and scaler (fitted on the same series).
+  opts.seed = 7;
+  models::MlpForecaster restored(opts);
+  ASSERT_TRUE(restored.Fit(series).ok());
+  std::vector<Param> restored_params = restored.Params();
+  ASSERT_TRUE(DeserializeParams(buf, restored_params).ok());
+
+  // Truncate the trained model to float32 too, so both hold identical bits.
+  std::vector<Param> trained_params = trained.Params();
+  ASSERT_TRUE(DeserializeParams(buf, trained_params).ok());
+
+  std::vector<double> window(series.end() - static_cast<long>(opts.window),
+                             series.end());
+  auto a = trained.Predict(window);
+  auto b = restored.Predict(window);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b) << "restored MLP forecast differs from the original";
+
+  // Re-serializing the restored model reproduces the buffer byte for byte.
+  EXPECT_EQ(SerializeParams(restored.Params()), buf);
+}
+
+TEST(SerializeTest, LstmRoundTripRestoresForecasts) {
+  std::vector<double> series = SyntheticSeries(120);
+  models::ForecasterOptions opts = SmallOptions();
+  models::LstmOptions lopts;
+  lopts.hidden = 8;
+
+  models::LstmForecaster trained(opts, lopts);
+  ASSERT_TRUE(trained.Fit(series).ok());
+  std::vector<uint8_t> buf = SerializeParams(trained.Params());
+  EXPECT_EQ(static_cast<int64_t>(buf.size()), trained.StorageBytes());
+
+  opts.seed = 9;
+  models::LstmForecaster restored(opts, lopts);
+  ASSERT_TRUE(restored.Fit(series).ok());
+  std::vector<Param> restored_params = restored.Params();
+  ASSERT_TRUE(DeserializeParams(buf, restored_params).ok());
+  std::vector<Param> trained_params = trained.Params();
+  ASSERT_TRUE(DeserializeParams(buf, trained_params).ok());
+
+  std::vector<double> window(series.end() - static_cast<long>(opts.window),
+                             series.end());
+  auto a = trained.Predict(window);
+  auto b = restored.Predict(window);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b) << "restored LSTM forecast differs from the original";
+
+  EXPECT_EQ(SerializeParams(restored.Params()), buf);
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  Matrix v(2, 3, 1.5), g(2, 3);
+  std::vector<Param> params = {{&v, &g, "w"}};
+  std::vector<uint8_t> buf = SerializeParams(params);
+  buf[0] ^= 0xFF;
+  Status st = DeserializeParams(buf, params);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(SerializeTest, RejectsCountMismatch) {
+  Matrix v(2, 3, 1.5), g(2, 3);
+  Matrix v2(1, 4, 0.5), g2(1, 4);
+  std::vector<Param> both = {{&v, &g, "w"}, {&v2, &g2, "b"}};
+  std::vector<uint8_t> buf = SerializeParams(both);
+  std::vector<Param> fewer = {{&v, &g, "w"}};
+  EXPECT_FALSE(DeserializeParams(buf, fewer).ok());
+}
+
+TEST(SerializeTest, RejectsShapeMismatch) {
+  Matrix v(2, 3, 1.5), g(2, 3);
+  std::vector<Param> src = {{&v, &g, "w"}};
+  std::vector<uint8_t> buf = SerializeParams(src);
+  Matrix w(3, 2, 0.0), gw(3, 2);
+  std::vector<Param> dst = {{&w, &gw, "w"}};
+  EXPECT_FALSE(DeserializeParams(buf, dst).ok());
+}
+
+TEST(SerializeTest, RejectsTruncatedBuffer) {
+  Matrix v(4, 4, 2.0), g(4, 4);
+  std::vector<Param> params = {{&v, &g, "w"}};
+  std::vector<uint8_t> buf = SerializeParams(params);
+  buf.resize(buf.size() - 5);
+  EXPECT_FALSE(DeserializeParams(buf, params).ok());
+}
+
+}  // namespace
+}  // namespace dbaugur::nn

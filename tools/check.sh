@@ -50,6 +50,19 @@ build_and_test() {
 # --- 1. Release: the configuration users actually run. -----------------------
 build_and_test "release" build-release -DCMAKE_BUILD_TYPE=Release
 
+# --- 1b. NN kernel bench smoke: the fused-GEMM fast path must run end to end
+# and emit valid JSON (full numbers are committed as BENCH_nn_kernels.json).
+if [[ -x build-release/bench/nn_kernels ]]; then
+  note "bench/nn_kernels --smoke (Release)"
+  if ./build-release/bench/nn_kernels --smoke > /dev/null; then
+    record "nn_kernels-smoke" "OK"
+  else
+    record "nn_kernels-smoke" "FAIL"
+  fi
+else
+  record "nn_kernels-smoke" "SKIPPED (Release build failed)"
+fi
+
 # --- 2. ASan + UBSan. --------------------------------------------------------
 export UBSAN_OPTIONS="print_stacktrace=1:${UBSAN_OPTIONS:-}"
 build_and_test "asan+ubsan" build-asan \

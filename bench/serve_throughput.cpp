@@ -1,0 +1,245 @@
+// Online serving benchmark: ingest throughput and read latency under an
+// active retrain, with machine-readable output.
+//
+// Two measurements:
+//   1. ingest: N producer threads Offer() synthetic events into a
+//      TraceIngestor while one consumer drains, reporting sustained
+//      events/sec and the drop count under the bounded queue.
+//   2. reads_under_retrain: a reader hammers snapshot()->ForecastCluster()
+//      while a trainer thread runs back-to-back RetrainOnce() cycles. Every
+//      read is timed; p50/p99 come from the full distribution and the count
+//      of reads completed *while a retrain was in flight* demonstrates that
+//      the snapshot read path never blocks on training.
+//
+// Output is a single JSON object (stdout, or --out FILE). `--smoke` shrinks
+// the workload so CI can run it in seconds.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "serve/ingestor.h"
+#include "serve/service.h"
+
+namespace dbaugur::bench {
+namespace {
+
+constexpr int64_t kInterval = 600;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct IngestResult {
+  int producers = 0;
+  uint64_t events = 0;
+  uint64_t dropped = 0;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+};
+
+IngestResult RunIngestCase(bool smoke) {
+  IngestResult r;
+  r.producers = 2;
+  const uint64_t per_producer = smoke ? 50'000 : 2'000'000;
+  serve::IngestorOptions qopts;
+  qopts.capacity = 65536;
+  qopts.max_templates = 64;
+  serve::TraceIngestor queue(qopts);
+
+  std::atomic<bool> done{false};
+  std::thread consumer([&queue, &done] {
+    std::vector<serve::TraceEvent> batch;
+    while (!done.load(std::memory_order_acquire)) {
+      batch.clear();
+      if (queue.Drain(&batch) == 0) std::this_thread::yield();
+    }
+    queue.Drain(&batch);  // leftovers
+  });
+
+  double t0 = NowSeconds();
+  std::vector<std::thread> producers;
+  for (int p = 0; p < r.producers; ++p) {
+    producers.emplace_back([&queue, per_producer, p] {
+      for (uint64_t i = 0; i < per_producer; ++i) {
+        serve::TraceEvent e;
+        e.template_id = static_cast<uint32_t>(i % 8);
+        e.timestamp = static_cast<int64_t>(i / 8) * kInterval + p;
+        e.count = 1.0;
+        queue.Offer(e);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  double t1 = NowSeconds();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  r.events = queue.accepted();
+  r.dropped = queue.dropped();
+  r.seconds = t1 - t0;
+  r.events_per_sec = r.seconds > 0.0
+                         ? static_cast<double>(r.events) / r.seconds
+                         : 0.0;
+  return r;
+}
+
+struct ReadResult {
+  uint64_t reads = 0;
+  uint64_t reads_during_retrain = 0;
+  int retrains = 0;
+  double retrain_mean_ms = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+ReadResult RunReadsUnderRetrain(bool smoke) {
+  ReadResult r;
+  serve::ServeOptions opts;
+  opts.pipeline.clustering.radius = 6.0;
+  opts.pipeline.clustering.min_size = 2;
+  opts.pipeline.clustering.dtw.window = 4;
+  opts.pipeline.top_k = 3;
+  opts.pipeline.forecaster.window = smoke ? 6 : 24;
+  opts.pipeline.forecaster.horizon = 1;
+  opts.pipeline.forecaster.epochs = smoke ? 2 : 8;
+  opts.pipeline.forecaster.batch_size = 16;
+  opts.bin_interval_seconds = kInterval;
+  serve::ForecastService svc(opts);
+
+  // Seed enough history to train, then publish generation 1 synchronously.
+  const int64_t bins = smoke ? 16 : 48;
+  for (int64_t b = 0; b < bins; ++b) {
+    for (uint32_t t = 0; t < 3; ++t) {
+      double phase = static_cast<double>(b) * 0.4 + t;
+      svc.Offer({t, b * kInterval, 50.0 + 20.0 * std::sin(phase)});
+    }
+  }
+  if (!svc.RetrainOnce().ok() || svc.generation() == 0) {
+    std::fprintf(stderr, "serve_throughput: warm-up retrain failed\n");
+    return r;
+  }
+
+  const int retrain_cycles = smoke ? 2 : 6;
+  std::atomic<bool> retrain_active{false};
+  std::atomic<bool> done{false};
+  double retrain_total_s = 0.0;
+  std::thread trainer([&] {
+    for (int i = 0; i < retrain_cycles; ++i) {
+      double t0 = NowSeconds();
+      retrain_active.store(true, std::memory_order_release);
+      Status st = svc.RetrainOnce();
+      retrain_active.store(false, std::memory_order_release);
+      retrain_total_s += NowSeconds() - t0;
+      if (!st.ok()) break;
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<double> latencies_ns;
+  latencies_ns.reserve(1 << 20);
+  double sink = 0.0;
+  while (!done.load(std::memory_order_acquire)) {
+    bool in_retrain = retrain_active.load(std::memory_order_acquire);
+    double t0 = NowSeconds();
+    auto snap = svc.snapshot();
+    auto f = snap->ForecastCluster(0);
+    double t1 = NowSeconds();
+    if (f.ok()) sink += *f;
+    latencies_ns.push_back((t1 - t0) * 1e9);
+    if (in_retrain) ++r.reads_during_retrain;
+  }
+  trainer.join();
+  if (sink == 12345.6789) std::fprintf(stderr, "~");
+
+  r.reads = latencies_ns.size();
+  r.retrains = retrain_cycles;
+  r.retrain_mean_ms = retrain_total_s * 1e3 / retrain_cycles;
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  if (!latencies_ns.empty()) {
+    r.p50_ns = latencies_ns[latencies_ns.size() / 2];
+    r.p99_ns = latencies_ns[latencies_ns.size() * 99 / 100];
+  }
+  return r;
+}
+
+void WriteJson(std::FILE* out, bool smoke, const IngestResult& ing,
+               const ReadResult& rd) {
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"serve_throughput\",\n");
+  std::fprintf(out, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(out,
+               "  \"ingest\": {\"producers\": %d, \"events\": %llu, "
+               "\"dropped\": %llu, \"seconds\": %.3f, "
+               "\"events_per_sec\": %.0f},\n",
+               ing.producers, static_cast<unsigned long long>(ing.events),
+               static_cast<unsigned long long>(ing.dropped), ing.seconds,
+               ing.events_per_sec);
+  std::fprintf(out,
+               "  \"reads_under_retrain\": {\"reads\": %llu, "
+               "\"reads_during_retrain\": %llu, \"retrains\": %d, "
+               "\"retrain_mean_ms\": %.2f, \"p50_ns\": %.0f, "
+               "\"p99_ns\": %.0f}\n",
+               static_cast<unsigned long long>(rd.reads),
+               static_cast<unsigned long long>(rd.reads_during_retrain),
+               rd.retrains, rd.retrain_mean_ms, rd.p50_ns, rd.p99_ns);
+  std::fprintf(out, "}\n");
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: serve_throughput [--smoke] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  IngestResult ing = RunIngestCase(smoke);
+  std::fprintf(stderr, "ingest             %12.0f events/s  (%llu dropped)\n",
+               ing.events_per_sec,
+               static_cast<unsigned long long>(ing.dropped));
+  ReadResult rd = RunReadsUnderRetrain(smoke);
+  std::fprintf(stderr,
+               "reads_under_retrain p50 %8.0f ns  p99 %8.0f ns  "
+               "%llu reads during %d retrains\n",
+               rd.p50_ns, rd.p99_ns,
+               static_cast<unsigned long long>(rd.reads_during_retrain),
+               rd.retrains);
+  if (rd.reads_during_retrain == 0) {
+    std::fprintf(stderr,
+                 "serve_throughput: no reads completed during a retrain — "
+                 "the snapshot read path blocked on training\n");
+    return 1;
+  }
+
+  std::FILE* out = stdout;
+  if (out_path != nullptr) {
+    out = std::fopen(out_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path);
+      return 1;
+    }
+  }
+  WriteJson(out, smoke, ing, rd);
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbaugur::bench
+
+int main(int argc, char** argv) { return dbaugur::bench::Main(argc, argv); }

@@ -1,0 +1,102 @@
+#include "common/binio.h"
+
+#include <cstddef>
+#include <cstring>
+
+namespace dbaugur {
+
+void BufWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BufWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BufWriter::F64(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void BufWriter::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void BufWriter::Bytes(const std::vector<uint8_t>& b) {
+  U32(static_cast<uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+bool BufReader::U8(uint8_t* v) {
+  if (pos_ + 1 > buf_.size()) return false;
+  *v = buf_[pos_++];
+  return true;
+}
+
+bool BufReader::U32(uint32_t* v) {
+  if (pos_ + 4 > buf_.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(buf_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  }
+  pos_ += 4;
+  return true;
+}
+
+bool BufReader::U64(uint64_t* v) {
+  if (pos_ + 8 > buf_.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(buf_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  }
+  pos_ += 8;
+  return true;
+}
+
+bool BufReader::I32(int32_t* v) {
+  uint32_t u = 0;
+  if (!U32(&u)) return false;
+  *v = static_cast<int32_t>(u);
+  return true;
+}
+
+bool BufReader::I64(int64_t* v) {
+  uint64_t u = 0;
+  if (!U64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool BufReader::F64(double* v) {
+  uint64_t bits = 0;
+  if (!U64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool BufReader::Str(std::string* s) {
+  uint32_t n = 0;
+  if (!U32(&n)) return false;
+  if (pos_ + n > buf_.size()) return false;
+  s->assign(reinterpret_cast<const char*>(buf_.data()) + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool BufReader::Bytes(std::vector<uint8_t>* b) {
+  uint32_t n = 0;
+  if (!U32(&n)) return false;
+  if (pos_ + n > buf_.size()) return false;
+  b->assign(buf_.begin() + static_cast<ptrdiff_t>(pos_),
+            buf_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return true;
+}
+
+}  // namespace dbaugur

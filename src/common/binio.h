@@ -1,0 +1,61 @@
+// Little-endian byte-stream writer/reader for snapshot persistence.
+//
+// Every multi-byte scalar is written least-significant-byte first regardless
+// of host endianness, so blobs are portable across machines. The reader is
+// bounds-checked: each Get* returns false on truncation instead of reading
+// past the end, and callers turn that into a Status at the format layer.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dbaugur {
+
+/// Appends scalars/strings/blobs to a growing byte buffer.
+class BufWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  /// Bit-exact double transport (round-trips NaN payloads and -0.0).
+  void F64(double v);
+  /// u32 length prefix + raw bytes.
+  void Str(const std::string& s);
+  /// u32 length prefix + raw bytes (nested blobs, e.g. model states).
+  void Bytes(const std::vector<uint8_t>& b);
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked sequential reader over a byte buffer (not owned).
+class BufReader {
+ public:
+  explicit BufReader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  bool U8(uint8_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool I32(int32_t* v);
+  bool I64(int64_t* v);
+  bool F64(double* v);
+  bool Str(std::string* s);
+  bool Bytes(std::vector<uint8_t>* b);
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return buf_.size() - pos_; }
+  bool AtEnd() const { return pos_ == buf_.size(); }
+
+ private:
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dbaugur

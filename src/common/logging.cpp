@@ -2,11 +2,21 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace dbaugur {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+// Guards the sink pointer and every sink invocation: one message in, one
+// complete line out, with no interleaving between concurrent writers.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+LogSinkFn g_sink = nullptr;  // nullptr => default stderr sink
+void* g_sink_user = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,9 +33,28 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
+void SetLogSink(LogSinkFn sink, void* user) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  g_sink = sink;
+  g_sink_user = user;
+}
+
 namespace internal {
 void LogMessage(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[dbaugur %s] %s\n", LevelName(level), msg.c_str());
+  // Format outside the lock; emit under it in a single sink call.
+  std::string line;
+  line.reserve(msg.size() + 24);
+  line += "[dbaugur ";
+  line += LevelName(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (g_sink != nullptr) {
+    g_sink(level, line, g_sink_user);
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
 }
 }  // namespace internal
 

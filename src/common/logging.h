@@ -2,6 +2,13 @@
 //
 // Defaults to kWarn so tests and benches stay quiet; callers can raise the
 // level to trace training progress (examples do this).
+//
+// Thread safety: the serving layer logs concurrently from ingest, retrain,
+// and query threads. Each message is formatted into one complete line first
+// and then handed to the sink under a global mutex in a single write, so
+// concurrent messages can interleave only at line granularity — never within
+// a line. SetLogSink swaps the sink under the same mutex (tests capture
+// lines; the default sink writes to stderr).
 
 #pragma once
 
@@ -12,9 +19,17 @@ namespace dbaugur {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Sets the global minimum level that is emitted to stderr.
+/// Sets the global minimum level that is emitted to the sink.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Receives one complete, newline-terminated log line per message. Called
+/// under the logging mutex: implementations must not log re-entrantly.
+using LogSinkFn = void (*)(LogLevel level, const std::string& line, void* user);
+
+/// Replaces the sink (nullptr restores the default stderr sink). The swap is
+/// serialized against in-flight messages.
+void SetLogSink(LogSinkFn sink, void* user);
 
 namespace internal {
 void LogMessage(LogLevel level, const std::string& msg);

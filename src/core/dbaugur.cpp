@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "ensemble/presets.h"
+#include "nn/gemm.h"
 
 namespace dbaugur::core {
 
@@ -19,8 +21,90 @@ void DBAugurSystem::AddResourceTrace(ts::Series series) {
   resource_traces_.push_back(std::move(series));
 }
 
+StatusOr<TrainedState> BuildTrainedState(
+    const DBAugurOptions& opts, const std::vector<ts::Series>& traces) {
+  if (traces.empty()) {
+    return Status::FailedPrecondition("DBAugur: no workload traces ingested");
+  }
+  size_t len = traces[0].size();
+  for (const auto& t : traces) {
+    if (t.size() != len) {
+      return Status::InvalidArgument(
+          "DBAugur: trace length mismatch between query and resource traces "
+          "(bin resource samples at the same interval over the same range)");
+    }
+  }
+
+  TrainedState state;
+  // 1. Cluster with Descender.
+  state.descender = std::make_unique<cluster::Descender>(opts.clustering);
+  DBAUGUR_RETURN_IF_ERROR(state.descender->AddTraces(traces));
+  state.trace_cluster.resize(traces.size());
+  state.trace_proportion.resize(traces.size());
+  for (size_t i = 0; i < traces.size(); ++i) {
+    state.trace_cluster[i] = state.descender->label(i);
+    auto prop = state.descender->TraceProportion(i);
+    if (!prop.ok()) return prop.status();
+    state.trace_proportion[i] = *prop;
+  }
+
+  // 2. Fit one DBAugur ensemble per top-K cluster on its average trace.
+  // Representatives are materialized serially; the independent per-cluster
+  // ensemble fits then run on the clustering thread pool. Each ensemble is
+  // seeded and self-contained, so results are identical at any lane count.
+  // The parallel path is skipped when a global GEMM pool is installed
+  // (ThreadPool::ParallelFor is not reentrant).
+  std::vector<cluster::ClusterInfo> top = state.descender->TopKClusters(opts.top_k);
+  state.forecasts.resize(top.size());
+  for (size_t rank = 0; rank < top.size(); ++rank) {
+    auto rep = state.descender->ClusterRepresentative(top[rank].id);
+    if (!rep.ok()) return rep.status();
+    ClusterForecast& cf = state.forecasts[rank];
+    cf.cluster_id = top[rank].id;
+    cf.volume = top[rank].volume;
+    cf.member_count = top[rank].members.size();
+    cf.representative = std::move(rep).value();
+  }
+  std::vector<Status> fit_status(top.size());
+  auto fit_one = [&](size_t rank) {
+    ClusterForecast& cf = state.forecasts[rank];
+    auto model = ensemble::MakeDBAugur(opts.forecaster, opts.delta);
+    if (!model.ok()) {
+      fit_status[rank] = model.status();
+      return;
+    }
+    fit_status[rank] = (*model)->Fit(cf.representative.values());
+    if (fit_status[rank].ok()) cf.model = std::move(model).value();
+  };
+  size_t lanes = std::min(opts.clustering.threads, std::max<size_t>(top.size(), 1));
+  if (lanes > 1 && nn::GetGemmThreadPool() == nullptr) {
+    ThreadPool pool(lanes);
+    pool.ParallelFor(top.size(), 1,
+                     [&](size_t begin, size_t end) {
+                       for (size_t rank = begin; rank < end; ++rank) fit_one(rank);
+                     });
+  } else {
+    for (size_t rank = 0; rank < top.size(); ++rank) fit_one(rank);
+  }
+  for (const Status& st : fit_status) {
+    if (!st.ok()) return st;
+  }
+  return state;
+}
+
+StatusOr<double> NextClusterValue(const ClusterForecast& cf, size_t window) {
+  if (cf.representative.size() < window) {
+    return Status::FailedPrecondition(
+        "DBAugur: representative shorter than window");
+  }
+  const auto& vals = cf.representative.values();
+  std::vector<double> w(vals.end() - static_cast<ptrdiff_t>(window),
+                        vals.end());
+  return cf.model->Predict(w);
+}
+
 Status DBAugurSystem::Train() {
-  // 1. Materialize the workload collection W = W(Q) ∪ W(R).
+  // Materialize the workload collection W = W(Q) ∪ W(R).
   std::vector<ts::Series> traces;
   trace_refs_.clear();
   if (extractor_.entry_count() > 0) {
@@ -37,47 +121,12 @@ Status DBAugurSystem::Train() {
         {TraceRef::Kind::kResource, r, resource_traces_[r].name()});
     traces.push_back(resource_traces_[r]);
   }
-  if (traces.empty()) {
-    return Status::FailedPrecondition("DBAugur: no workload traces ingested");
-  }
-  size_t len = traces[0].size();
-  for (const auto& t : traces) {
-    if (t.size() != len) {
-      return Status::InvalidArgument(
-          "DBAugur: trace length mismatch between query and resource traces "
-          "(bin resource samples at the same interval over the same range)");
-    }
-  }
-
-  // 2. Cluster with Descender.
-  descender_ = std::make_unique<cluster::Descender>(opts_.clustering);
-  DBAUGUR_RETURN_IF_ERROR(descender_->AddTraces(traces));
-  trace_cluster_.resize(traces.size());
-  trace_proportion_.resize(traces.size());
-  for (size_t i = 0; i < traces.size(); ++i) {
-    trace_cluster_[i] = descender_->label(i);
-    auto prop = descender_->TraceProportion(i);
-    if (!prop.ok()) return prop.status();
-    trace_proportion_[i] = *prop;
-  }
-
-  // 3. Fit one DBAugur ensemble per top-K cluster on its average trace.
-  forecasts_.clear();
-  for (const auto& info : descender_->TopKClusters(opts_.top_k)) {
-    auto rep = descender_->ClusterRepresentative(info.id);
-    if (!rep.ok()) return rep.status();
-    auto model = ensemble::MakeDBAugur(opts_.forecaster, opts_.delta);
-    if (!model.ok()) return model.status();
-    Status st = (*model)->Fit(rep->values());
-    if (!st.ok()) return st;
-    ClusterForecast cf;
-    cf.cluster_id = info.id;
-    cf.volume = info.volume;
-    cf.member_count = info.members.size();
-    cf.representative = std::move(rep).value();
-    cf.model = std::move(model).value();
-    forecasts_.push_back(std::move(cf));
-  }
+  auto state = BuildTrainedState(opts_, traces);
+  if (!state.ok()) return state.status();
+  descender_ = std::move(state->descender);
+  forecasts_ = std::move(state->forecasts);
+  trace_cluster_ = std::move(state->trace_cluster);
+  trace_proportion_ = std::move(state->trace_proportion);
   trained_ = true;
   return Status::OK();
 }
@@ -91,14 +140,7 @@ StatusOr<double> DBAugurSystem::ForecastCluster(size_t rank) const {
   if (rank >= forecasts_.size()) {
     return Status::OutOfRange("DBAugur: cluster rank out of range");
   }
-  const ClusterForecast& cf = forecasts_[rank];
-  size_t w = opts_.forecaster.window;
-  if (cf.representative.size() < w) {
-    return Status::FailedPrecondition("DBAugur: representative shorter than window");
-  }
-  const auto& vals = cf.representative.values();
-  std::vector<double> window(vals.end() - static_cast<ptrdiff_t>(w), vals.end());
-  return cf.model->Predict(window);
+  return NextClusterValue(forecasts_[rank], opts_.forecaster.window);
 }
 
 StatusOr<double> DBAugurSystem::ForecastTrace(size_t trace_index) const {

@@ -49,6 +49,28 @@ struct ClusterForecast {
   std::unique_ptr<ensemble::TimeSensitiveEnsemble> model;
 };
 
+/// Everything the clustering + forecasting stages produce for one workload
+/// collection. DBAugurSystem::Train wraps this; the online serving layer
+/// (serve::Retrainer) builds one per retrain cycle and publishes it as an
+/// immutable snapshot.
+struct TrainedState {
+  std::unique_ptr<cluster::Descender> descender;
+  std::vector<ClusterForecast> forecasts;   ///< Top-K, descending volume.
+  std::vector<int> trace_cluster;           ///< Cluster id per trace.
+  std::vector<double> trace_proportion;     ///< Share of cluster volume.
+};
+
+/// Runs the processor + forecaster pipeline on already-materialized traces:
+/// clusters with Descender, selects the top-K clusters by volume, and fits
+/// one DBAugur ensemble per cluster on the cluster's average trace. All
+/// traces must share one length (InvalidArgument otherwise).
+StatusOr<TrainedState> BuildTrainedState(const DBAugurOptions& opts,
+                                         const std::vector<ts::Series>& traces);
+
+/// Predicts the representative trace's next value (H steps past its end):
+/// the trailing `window` values feed the cluster's ensemble.
+StatusOr<double> NextClusterValue(const ClusterForecast& cf, size_t window);
+
 class DBAugurSystem {
  public:
   explicit DBAugurSystem(const DBAugurOptions& opts) : opts_(opts) {}

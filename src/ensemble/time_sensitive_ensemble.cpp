@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/binio.h"
 #include "common/contracts.h"
 
 namespace dbaugur::ensemble {
@@ -93,6 +94,66 @@ Status TimeSensitiveEnsemble::Observe(const std::vector<double>& window,
     double e = (*preds)[i] - actual;
     gamma_[i] = ens_.delta * gamma_[i] + e * e;
   }
+  return Status::OK();
+}
+
+namespace {
+constexpr uint32_t kEnsembleStateMagic = 0xDBA6E5B1;
+}  // namespace
+
+StatusOr<std::vector<uint8_t>> TimeSensitiveEnsemble::SaveState() const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("ensemble: SaveState before Fit");
+  }
+  BufWriter w;
+  w.U32(kEnsembleStateMagic);
+  w.U32(static_cast<uint32_t>(members_.size()));
+  for (const auto& m : members_) {
+    auto state = m->SaveState();
+    if (!state.ok()) return state.status();
+    w.Str(m->name());
+    w.Bytes(*state);
+  }
+  for (double g : gamma_) w.F64(g);
+  return w.Take();
+}
+
+Status TimeSensitiveEnsemble::LoadState(const std::vector<uint8_t>& buffer) {
+  BufReader r(buffer);
+  uint32_t magic = 0, count = 0;
+  if (!r.U32(&magic) || magic != kEnsembleStateMagic) {
+    return Status::InvalidArgument("bad magic in ensemble state buffer");
+  }
+  if (!r.U32(&count) || count != members_.size()) {
+    return Status::InvalidArgument("ensemble state member count mismatch");
+  }
+  // Parse everything before mutating any member, so a truncated tail cannot
+  // leave the ensemble half-restored with stale caches.
+  std::vector<std::vector<uint8_t>> states(members_.size());
+  for (size_t i = 0; i < members_.size(); ++i) {
+    std::string member_name;
+    if (!r.Str(&member_name) || !r.Bytes(&states[i])) {
+      return Status::InvalidArgument("truncated ensemble state member section");
+    }
+    if (member_name != members_[i]->name()) {
+      return Status::InvalidArgument(
+          "ensemble state member mismatch: expected " + members_[i]->name() +
+          ", blob has " + member_name);
+    }
+  }
+  std::vector<double> gamma(members_.size(), 0.0);
+  for (double& g : gamma) {
+    if (!r.F64(&g)) {
+      return Status::InvalidArgument("truncated ensemble state gamma section");
+    }
+  }
+  for (size_t i = 0; i < members_.size(); ++i) {
+    DBAUGUR_RETURN_IF_ERROR(members_[i]->LoadState(states[i]));
+  }
+  gamma_ = std::move(gamma);
+  cached_window_.clear();
+  cached_preds_.clear();
+  fitted_ = true;
   return Status::OK();
 }
 

@@ -63,6 +63,15 @@ class TimeSensitiveEnsemble : public models::Forecaster {
   int64_t StorageBytes() const override;
   int64_t ParameterCount() const override;
 
+  /// Serializes every member's state plus the forecasting-distance histories
+  /// Γ, so a same-preset ensemble restores to identical weights and member
+  /// forecasts without retraining. Fails with Unimplemented if any member
+  /// cannot serialize (classical models).
+  StatusOr<std::vector<uint8_t>> SaveState() const override;
+  /// Restores a SaveState blob into an ensemble with the same member names
+  /// in the same order; corrupt or mismatched blobs are rejected.
+  Status LoadState(const std::vector<uint8_t>& buffer) override;
+
  private:
   StatusOr<std::vector<double>> MemberPredictions(
       const std::vector<double>& window) const;

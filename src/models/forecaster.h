@@ -47,6 +47,21 @@ class Forecaster {
 
   /// Number of trainable scalar parameters (0 for non-parametric models).
   virtual int64_t ParameterCount() const { return 0; }
+
+  /// Serializes everything Predict depends on (weights in lossless float64
+  /// plus scaler state) so a freshly constructed model with the same options
+  /// can be restored to produce bit-identical forecasts without retraining.
+  /// Default: Unimplemented (non-parametric / classical models).
+  virtual StatusOr<std::vector<uint8_t>> SaveState() const {
+    return Status::Unimplemented(name() + ": state serialization not supported");
+  }
+
+  /// Restores a SaveState blob into a model constructed with the same
+  /// options. Rejects corrupt/mismatched blobs with InvalidArgument and
+  /// leaves Predict usable afterwards (the model counts as fitted).
+  virtual Status LoadState(const std::vector<uint8_t>& /*buffer*/) {
+    return Status::Unimplemented(name() + ": state serialization not supported");
+  }
 };
 
 /// Factory signature used by benches to build fresh models per configuration.

@@ -82,6 +82,16 @@ StatusOr<double> LstmForecaster::Predict(
   return scaler_.Inverse(pred(0, 0));
 }
 
+StatusOr<std::vector<uint8_t>> LstmForecaster::SaveState() const {
+  return SerializeNeuralState({&scaler_}, Params());
+}
+
+Status LstmForecaster::LoadState(const std::vector<uint8_t>& buffer) {
+  DBAUGUR_RETURN_IF_ERROR(DeserializeNeuralState(buffer, {&scaler_}, Params()));
+  fitted_ = true;
+  return Status::OK();
+}
+
 int64_t LstmForecaster::StorageBytes() const {
   return nn::StorageBytes(Params());
 }

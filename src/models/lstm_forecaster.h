@@ -36,6 +36,10 @@ class LstmForecaster : public Forecaster {
   /// Parameter tensors in layer order (lstm, head) — used by serialization.
   std::vector<nn::Param> Params() const;
 
+  /// Lossless snapshot of weights + scaler (serve/ system snapshots).
+  StatusOr<std::vector<uint8_t>> SaveState() const override;
+  Status LoadState(const std::vector<uint8_t>& buffer) override;
+
  private:
   ForecasterOptions opts_;
   LstmOptions lstm_opts_;

@@ -78,6 +78,16 @@ StatusOr<double> MlpForecaster::Predict(
   return scaler_.Inverse(pred(0, 0));
 }
 
+StatusOr<std::vector<uint8_t>> MlpForecaster::SaveState() const {
+  return SerializeNeuralState({&scaler_}, Params());
+}
+
+Status MlpForecaster::LoadState(const std::vector<uint8_t>& buffer) {
+  DBAUGUR_RETURN_IF_ERROR(DeserializeNeuralState(buffer, {&scaler_}, Params()));
+  fitted_ = true;
+  return Status::OK();
+}
+
 int64_t MlpForecaster::StorageBytes() const {
   return nn::StorageBytes(Params());
 }

@@ -40,6 +40,10 @@ class MlpForecaster : public Forecaster {
   /// Parameter tensors in layer order (l1, l2, l3) — used by serialization.
   std::vector<nn::Param> Params() const;
 
+  /// Lossless snapshot of weights + scaler (serve/ system snapshots).
+  StatusOr<std::vector<uint8_t>> SaveState() const override;
+  Status LoadState(const std::vector<uint8_t>& buffer) override;
+
  private:
   const nn::Matrix& ForwardBatch(const nn::Matrix& x) const;
 

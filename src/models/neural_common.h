@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "models/forecaster.h"
+#include "nn/layer.h"
 #include "nn/matrix.h"
 #include "ts/scaler.h"
 #include "ts/window_dataset.h"
@@ -70,5 +71,25 @@ void CopySequenceWithTail(const std::vector<nn::Matrix>& xs,
 /// (no-attention ablation path of the WFGAN backward).
 void LastStepGradSequence(const nn::Matrix& dlast, size_t steps, size_t batch,
                           size_t hidden, std::vector<nn::Matrix>* dst);
+
+// --- Model state (scalers + weights) for snapshot persistence. -------------
+//
+// A neural model's Predict path depends on its parameter tensors and the
+// min-max scalers fitted on its training series. SerializeNeuralState packs
+// `scalers` followed by a lossless float64 nn::SerializeParamsF64 blob;
+// DeserializeNeuralState validates magic / scaler count / params (reusing
+// nn/serialize's count+shape+truncation rejection) and restores in place.
+
+/// Packs scaler states and parameter values into one self-describing blob.
+std::vector<uint8_t> SerializeNeuralState(
+    const std::vector<const ts::MinMaxScaler*>& scalers,
+    const std::vector<nn::Param>& params);
+
+/// Restores a SerializeNeuralState blob. `scalers` and `params` must match
+/// the saving model's layout; corrupt/truncated/mismatched blobs are
+/// rejected with InvalidArgument without partially applying scaler state.
+Status DeserializeNeuralState(const std::vector<uint8_t>& buffer,
+                              const std::vector<ts::MinMaxScaler*>& scalers,
+                              std::vector<nn::Param> params);
 
 }  // namespace dbaugur::models

@@ -27,7 +27,7 @@ size_t TcnForecaster::ReceptiveField() const {
   return 1 + (tcn_opts_.kernel - 1) * 2 * sum;
 }
 
-std::vector<nn::Param> TcnForecaster::AllParams() const {
+std::vector<nn::Param> TcnForecaster::Params() const {
   std::vector<nn::Param> params;
   for (auto& b : blocks_) {
     for (auto& p : b->Params()) params.push_back(p);
@@ -49,7 +49,7 @@ Status TcnForecaster::TrainEpoch() {
     return Status::FailedPrecondition("TCN: PrepareTraining not called");
   }
   std::vector<size_t> order = rng_.Permutation(train_samples_.size());
-  std::vector<nn::Param> params = AllParams();
+  std::vector<nn::Param> params = Params();
   for (size_t begin = 0; begin < order.size(); begin += opts_.batch_size) {
     size_t count = std::min(opts_.batch_size, order.size() - begin);
     BatchWindowsInto(train_samples_, order, begin, count, &xb_);
@@ -122,13 +122,23 @@ StatusOr<double> TcnForecaster::Predict(
   return scaler_.Inverse(pred(0, 0));
 }
 
+StatusOr<std::vector<uint8_t>> TcnForecaster::SaveState() const {
+  return SerializeNeuralState({&scaler_}, Params());
+}
+
+Status TcnForecaster::LoadState(const std::vector<uint8_t>& buffer) {
+  DBAUGUR_RETURN_IF_ERROR(DeserializeNeuralState(buffer, {&scaler_}, Params()));
+  fitted_ = true;
+  return Status::OK();
+}
+
 int64_t TcnForecaster::StorageBytes() const {
-  return nn::StorageBytes(AllParams());
+  return nn::StorageBytes(Params());
 }
 
 int64_t TcnForecaster::ParameterCount() const {
   int64_t n = 0;
-  for (auto& p : AllParams()) n += static_cast<int64_t>(p.value->size());
+  for (auto& p : Params()) n += static_cast<int64_t>(p.value->size());
   return n;
 }
 

@@ -42,9 +42,15 @@ class TcnForecaster : public Forecaster {
   /// Receptive field in time steps: 1 + (k-1) * 2 * sum(dilations).
   size_t ReceptiveField() const;
 
+  /// Parameter tensors in layer order (blocks, head) — used by serialization.
+  std::vector<nn::Param> Params() const;
+
+  /// Lossless snapshot of weights + scaler (serve/ system snapshots).
+  StatusOr<std::vector<uint8_t>> SaveState() const override;
+  Status LoadState(const std::vector<uint8_t>& buffer) override;
+
  private:
   const nn::Matrix& ForwardBatch(const nn::Matrix& xb) const;
-  std::vector<nn::Param> AllParams() const;
 
   ForecasterOptions opts_;
   TcnOptions tcn_opts_;

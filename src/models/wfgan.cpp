@@ -209,10 +209,24 @@ StatusOr<double> WfganForecaster::DiscriminatorScore(
   return Sigmoid(logit(0, 0));
 }
 
-int64_t WfganForecaster::StorageBytes() const {
+std::vector<nn::Param> WfganForecaster::Params() const {
   std::vector<nn::Param> params = GeneratorParams();
   for (auto& p : DiscriminatorParams()) params.push_back(p);
-  return nn::StorageBytes(params);
+  return params;
+}
+
+StatusOr<std::vector<uint8_t>> WfganForecaster::SaveState() const {
+  return SerializeNeuralState({&scaler_}, Params());
+}
+
+Status WfganForecaster::LoadState(const std::vector<uint8_t>& buffer) {
+  DBAUGUR_RETURN_IF_ERROR(DeserializeNeuralState(buffer, {&scaler_}, Params()));
+  fitted_ = true;
+  return Status::OK();
+}
+
+int64_t WfganForecaster::StorageBytes() const {
+  return nn::StorageBytes(Params());
 }
 
 int64_t WfganForecaster::ParameterCount() const {

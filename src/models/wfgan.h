@@ -75,6 +75,13 @@ class WfganForecaster : public Forecaster {
   StatusOr<double> DiscriminatorScore(const std::vector<double>& window,
                                       double value) const;
 
+  /// All parameter tensors (generator then discriminator) — serialization.
+  std::vector<nn::Param> Params() const;
+
+  /// Lossless snapshot of both networks + scaler (serve/ system snapshots).
+  StatusOr<std::vector<uint8_t>> SaveState() const override;
+  Status LoadState(const std::vector<uint8_t>& buffer) override;
+
  private:
   /// Generator forward on a time-major batch; returns [batch, 1] forecasts
   /// in scaled space (network-owned workspace, valid until the next call).

@@ -1,0 +1,115 @@
+// Streaming ingest for the online serving layer.
+//
+// Producers (query routers, log shippers) hand the service raw
+// (template_id, timestamp, count) events from many threads at once.
+// TraceIngestor is the bounded MPSC hand-off: Offer() enqueues under a short
+// critical section and never blocks — when the queue is full the event is
+// counted as dropped and the producer moves on (load shedding beats
+// backpressure for telemetry). The retrain thread periodically Drain()s the
+// queue and Fold()s the events into a TraceBinner, which accumulates
+// per-template arrival counts into fixed-interval bins exactly like the
+// offline trace::TraceExtractor does for parsed query logs.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/status.h"
+#include "ts/series.h"
+
+namespace dbaugur::serve {
+
+/// One workload observation: `count` arrivals of template `template_id`
+/// at `timestamp`. Counts are doubles so pre-aggregated sources (per-second
+/// rates, sampled logs with weights) can feed the same path.
+struct TraceEvent {
+  uint32_t template_id = 0;
+  ts::Timestamp timestamp = 0;
+  double count = 1.0;
+};
+
+/// Ingest queue configuration.
+struct IngestorOptions {
+  size_t capacity = 4096;       ///< Max buffered events before drops.
+  size_t max_templates = 4096;  ///< Events with template_id >= this drop.
+};
+
+/// Bounded multi-producer single-consumer event queue. Offer never blocks;
+/// Drain moves everything buffered to the consumer in arrival order.
+class TraceIngestor {
+ public:
+  /// Aborts (DBAUGUR_CHECK) when opts.capacity == 0.
+  explicit TraceIngestor(const IngestorOptions& opts);
+
+  /// Thread-safe, non-blocking enqueue. Returns false (and counts a drop)
+  /// when the queue is full or template_id >= max_templates.
+  bool Offer(const TraceEvent& event);
+
+  /// Moves all buffered events into *out (appended), returning how many.
+  /// Single consumer: callers serialize Drain externally.
+  size_t Drain(std::vector<TraceEvent>* out);
+
+  /// Events accepted / dropped since construction (monotonic).
+  uint64_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  size_t capacity() const { return opts_.capacity; }
+
+ private:
+  IngestorOptions opts_;
+  std::mutex mu_;
+  std::vector<TraceEvent> queue_;  // guarded by mu_
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+/// Accumulates drained events into per-template fixed-interval bins and
+/// materializes them as equal-length, zero-filled ts::Series traces (the
+/// workload collection BuildTrainedState expects). Single-threaded: owned by
+/// the retrain loop.
+class TraceBinner {
+ public:
+  /// Aborts (DBAUGUR_CHECK) when interval_seconds <= 0.
+  explicit TraceBinner(int64_t interval_seconds);
+
+  /// Adds one event's count to its template's bin
+  /// (floor(timestamp / interval)).
+  void Fold(const TraceEvent& event);
+
+  /// Number of distinct intervals between the earliest and latest bin seen
+  /// (0 before any event). This is the common length Traces() will emit.
+  size_t bin_count() const;
+
+  /// Number of distinct template ids seen.
+  size_t template_count() const { return bins_.size(); }
+
+  int64_t interval_seconds() const { return interval_; }
+
+  /// Materializes one Series per template ("template<id>"), all covering
+  /// [min_bin, max_bin] with zeros where a template had no arrivals.
+  /// FailedPrecondition before any event is folded.
+  StatusOr<std::vector<ts::Series>> Traces() const;
+
+  /// Appends the binner's full state (interval, bin range, per-template
+  /// sparse bins) to *w for service snapshots.
+  void Save(BufWriter* w) const;
+
+  /// Restores a Save blob in place; on failure the binner is unchanged.
+  Status Load(BufReader* r);
+
+ private:
+  int64_t interval_ = 600;
+  bool any_ = false;
+  int64_t min_bin_ = 0;
+  int64_t max_bin_ = 0;
+  // template id -> (bin index -> summed count); sparse so idle templates
+  // cost nothing until Traces() zero-fills.
+  std::map<uint32_t, std::map<int64_t, double>> bins_;
+};
+
+}  // namespace dbaugur::serve

@@ -1,0 +1,83 @@
+#include "serve/retrainer.h"
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dbaugur::serve {
+
+Retrainer::Retrainer(const core::DBAugurOptions& pipeline,
+                     int64_t bin_interval_seconds, size_t min_bins,
+                     uint64_t seed)
+    : pipeline_(pipeline),
+      binner_(bin_interval_seconds),
+      min_bins_(min_bins != 0
+                    ? min_bins
+                    : pipeline.forecaster.window + pipeline.forecaster.horizon +
+                          1),
+      base_seed_(seed),
+      seed_rng_(seed) {}
+
+void Retrainer::Fold(const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& e : events) binner_.Fold(e);
+}
+
+StatusOr<std::shared_ptr<const ServiceSnapshot>> Retrainer::Rebuild(
+    uint64_t generation) {
+  if (binner_.bin_count() < min_bins_) {
+    return std::shared_ptr<const ServiceSnapshot>();
+  }
+  auto traces = binner_.Traces();
+  if (!traces.ok()) return traces.status();
+  std::vector<std::string> names;
+  names.reserve(traces->size());
+  for (const ts::Series& t : *traces) names.push_back(t.name());
+
+  // One seed per completed cycle, drawn from the retrainer's own stream so
+  // cycle k trains identically on every run (and on every restart, via the
+  // fast-forward in LoadState).
+  core::DBAugurOptions opts = pipeline_;
+  opts.forecaster.seed = seed_rng_.engine()();
+
+  auto state = core::BuildTrainedState(opts, *traces);
+  if (!state.ok()) return state.status();
+  auto snap = MakeSnapshot(std::move(state).value(), names,
+                           opts.forecaster.window, generation);
+  if (!snap.ok()) return snap.status();
+  ++cycles_;
+  DBAUGUR_INFO("serve: retrain cycle " << cycles_ << " published generation "
+                                       << generation << " ("
+                                       << (*snap)->cluster_count()
+                                       << " clusters, " << names.size()
+                                       << " traces)");
+  return snap;
+}
+
+void Retrainer::SaveState(BufWriter* w) const {
+  w->U64(cycles_);
+  binner_.Save(w);
+}
+
+Status Retrainer::LoadState(BufReader* r) {
+  uint64_t cycles = 0;
+  if (!r->U64(&cycles)) {
+    return Status::InvalidArgument("Retrainer: truncated state");
+  }
+  TraceBinner binner(binner_.interval_seconds());
+  DBAUGUR_RETURN_IF_ERROR(binner.Load(r));
+  if (binner.interval_seconds() != binner_.interval_seconds()) {
+    return Status::InvalidArgument(
+        "Retrainer: saved bin interval does not match service options");
+  }
+  // Replay the seed stream so the next cycle draws the same seed the saving
+  // service would have drawn.
+  Rng rng(base_seed_);
+  for (uint64_t i = 0; i < cycles; ++i) rng.engine()();
+  binner_ = std::move(binner);
+  seed_rng_ = std::move(rng);
+  cycles_ = cycles;
+  return Status::OK();
+}
+
+}  // namespace dbaugur::serve

@@ -1,0 +1,69 @@
+// Background retraining for the forecast service.
+//
+// The Retrainer owns everything the training side of the service touches:
+// the TraceBinner accumulating drained events, the pipeline options, and a
+// deterministic seed stream. Each successful Rebuild draws one per-cycle seed
+// from the stream, runs the full offline pipeline (Descender clustering on
+// the PR-2 thread pool + per-cluster ensemble fits) via
+// core::BuildTrainedState, and returns a fresh immutable snapshot for the
+// service to publish. Restart determinism: the cycle counter is persisted,
+// and LoadState fast-forwards the seed stream past the consumed draws, so a
+// restored service's *next* retrain uses exactly the seed the original
+// service would have used.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/dbaugur.h"
+#include "serve/ingestor.h"
+#include "serve/snapshot.h"
+
+namespace dbaugur::serve {
+
+class Retrainer {
+ public:
+  /// `min_bins` is the number of complete bins required before training is
+  /// attempted; 0 selects window + horizon + 1 (the smallest workload the
+  /// sliding-window dataset builder accepts with headroom for one target).
+  Retrainer(const core::DBAugurOptions& pipeline, int64_t bin_interval_seconds,
+            size_t min_bins, uint64_t seed);
+
+  /// Folds drained ingest events into the binner.
+  void Fold(const std::vector<TraceEvent>& events);
+
+  /// Runs one full retrain over the binned traces and returns the snapshot to
+  /// publish with the given generation. Returns a null pointer (with OK
+  /// status) when fewer than min_bins bins have accumulated — not an error,
+  /// the service just keeps serving the previous snapshot. The per-cycle seed
+  /// is drawn only when training actually runs.
+  StatusOr<std::shared_ptr<const ServiceSnapshot>> Rebuild(uint64_t generation);
+
+  /// Completed training cycles (drives the deterministic seed stream).
+  uint64_t cycles() const { return cycles_; }
+  const TraceBinner& binner() const { return binner_; }
+  size_t min_bins() const { return min_bins_; }
+
+  /// Appends binner contents + cycle count to *w (part of the service blob).
+  void SaveState(BufWriter* w) const;
+
+  /// Restores a SaveState section: swaps in the saved binner and replays the
+  /// seed stream to the saved cycle count. On failure the retrainer is
+  /// unchanged.
+  Status LoadState(BufReader* r);
+
+ private:
+  core::DBAugurOptions pipeline_;
+  TraceBinner binner_;
+  size_t min_bins_;
+  uint64_t base_seed_;
+  Rng seed_rng_;
+  uint64_t cycles_ = 0;
+};
+
+}  // namespace dbaugur::serve

@@ -1,0 +1,187 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/contracts.h"
+#include "common/logging.h"
+
+namespace dbaugur::serve {
+
+namespace {
+constexpr uint32_t kServiceMagic = 0xDBA65EF0;
+constexpr uint32_t kServiceVersion = 1;
+}  // namespace
+
+ForecastService::ForecastService(const ServeOptions& opts)
+    : opts_(opts),
+      ingestor_(IngestorOptions{opts.queue_capacity, opts.max_templates}),
+      retrainer_(opts.pipeline, opts.bin_interval_seconds, opts.min_bins,
+                 opts.seed) {
+  DBAUGUR_CHECK(opts_.queue_capacity >= 1,
+                "ForecastService queue_capacity must be >= 1");
+  DBAUGUR_CHECK(opts_.retrain_interval_seconds > 0,
+                "ForecastService retrain_interval_seconds must be positive");
+  DBAUGUR_CHECK(opts_.bin_interval_seconds > 0,
+                "ForecastService bin_interval_seconds must be positive");
+  // Readers never see a null snapshot: generation 0 is "nothing trained yet".
+  Publish(std::make_shared<const ServiceSnapshot>(), 0);
+}
+
+void ForecastService::Publish(std::shared_ptr<const ServiceSnapshot> snap,
+                              uint64_t gen) {
+  // The old snapshot's refcount drop (and possible destruction) happens on
+  // this thread after the lock is released, never on a reader.
+  std::shared_ptr<const ServiceSnapshot> retired;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    retired = std::exchange(snapshot_ptr_, std::move(snap));
+  }
+  generation_.store(gen, std::memory_order_release);
+}
+
+ForecastService::~ForecastService() { Stop(); }
+
+Status ForecastService::RetrainOnce() {
+  std::lock_guard<std::mutex> lock(retrain_mu_);
+  std::vector<TraceEvent> events;
+  ingestor_.Drain(&events);
+  retrainer_.Fold(events);
+  uint64_t next_gen = generation_.load(std::memory_order_relaxed) + 1;
+  auto snap = retrainer_.Rebuild(next_gen);
+  if (!snap.ok()) {
+    retrains_failed_.fetch_add(1, std::memory_order_relaxed);
+    return snap.status();
+  }
+  if (*snap == nullptr) {
+    retrains_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  Publish(std::move(snap).value(), next_gen);
+  retrains_completed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void ForecastService::Start() {
+  if (worker_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  worker_ = std::thread([this] { RetrainLoop(); });
+}
+
+void ForecastService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  worker_ = std::thread();
+  running_.store(false, std::memory_order_release);
+}
+
+void ForecastService::RetrainLoop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stopping_) {
+    lock.unlock();
+    Status st = RetrainOnce();
+    if (!st.ok()) {
+      DBAUGUR_WARN("serve: retrain cycle failed: " << st.message());
+    }
+    lock.lock();
+    stop_cv_.wait_for(
+        lock, std::chrono::duration<double>(opts_.retrain_interval_seconds),
+        [this] { return stopping_; });
+  }
+}
+
+ServeStats ForecastService::stats() const {
+  ServeStats s;
+  s.events_accepted = ingestor_.accepted();
+  s.events_dropped = ingestor_.dropped();
+  s.retrains_completed = retrains_completed_.load(std::memory_order_relaxed);
+  s.retrains_skipped = retrains_skipped_.load(std::memory_order_relaxed);
+  s.retrains_failed = retrains_failed_.load(std::memory_order_relaxed);
+  s.generation = generation();
+  return s;
+}
+
+StatusOr<std::vector<uint8_t>> ForecastService::Save() {
+  std::lock_guard<std::mutex> lock(retrain_mu_);
+  // Fold queued events first so in-flight ingest survives the restart.
+  std::vector<TraceEvent> events;
+  ingestor_.Drain(&events);
+  retrainer_.Fold(events);
+
+  BufWriter w;
+  w.U32(kServiceMagic);
+  w.U32(kServiceVersion);
+  w.U64(generation_.load(std::memory_order_acquire));
+  BufWriter rw;
+  retrainer_.SaveState(&rw);
+  w.Bytes(rw.Take());
+  auto snap = snapshot();
+  w.U8(snap->trained() ? 1 : 0);
+  if (snap->trained()) {
+    BufWriter sw;
+    DBAUGUR_RETURN_IF_ERROR(SerializeSnapshot(*snap, &sw));
+    w.Bytes(sw.Take());
+  }
+  return w.Take();
+}
+
+Status ForecastService::Load(const std::vector<uint8_t>& blob) {
+  auto corrupt = [] {
+    return Status::InvalidArgument("serve: truncated or corrupt service blob");
+  };
+  BufReader r(blob);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!r.U32(&magic) || !r.U32(&version)) return corrupt();
+  if (magic != kServiceMagic) {
+    return Status::InvalidArgument("serve: bad service blob magic");
+  }
+  if (version != kServiceVersion) {
+    return Status::InvalidArgument("serve: unsupported service blob version");
+  }
+  uint64_t generation = 0;
+  std::vector<uint8_t> retr_bytes;
+  uint8_t trained = 0;
+  if (!r.U64(&generation) || !r.Bytes(&retr_bytes) || !r.U8(&trained)) {
+    return corrupt();
+  }
+  if (trained > 1) return corrupt();
+  std::shared_ptr<const ServiceSnapshot> snap;
+  if (trained == 1) {
+    std::vector<uint8_t> snap_bytes;
+    if (!r.Bytes(&snap_bytes)) return corrupt();
+    BufReader sr(snap_bytes);
+    auto restored = DeserializeSnapshot(opts_.pipeline, &sr);
+    if (!restored.ok()) return restored.status();
+    if (!sr.AtEnd()) return corrupt();
+    snap = std::move(restored).value();
+    if (snap->generation != generation) {
+      return Status::InvalidArgument(
+          "serve: snapshot generation does not match service header");
+    }
+  } else {
+    auto empty = std::make_shared<ServiceSnapshot>();
+    empty->generation = generation;
+    snap = empty;
+  }
+  if (!r.AtEnd()) return corrupt();
+
+  // Everything parsed and verified; apply under the retrain lock so an
+  // in-flight background cycle can't interleave with the swap.
+  std::lock_guard<std::mutex> lock(retrain_mu_);
+  BufReader rr(retr_bytes);
+  DBAUGUR_RETURN_IF_ERROR(retrainer_.LoadState(&rr));
+  if (!rr.AtEnd()) return corrupt();
+  Publish(std::move(snap), generation);
+  return Status::OK();
+}
+
+}  // namespace dbaugur::serve

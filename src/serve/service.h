@@ -1,0 +1,149 @@
+// Online forecast serving: streaming ingest + non-blocking reads + background
+// retraining + whole-service snapshots.
+//
+//   ForecastService svc(options);
+//   svc.Start();                          // background retrain loop
+//   svc.Offer({template_id, ts, count});  // any thread, never blocks
+//   auto snap = svc.snapshot();           // immutable view (pointer copy)
+//   snap->ForecastCluster(0);             // pure arithmetic, no locks
+//   auto blob = svc.Save();               // versioned full-state blob
+//   restarted.Load(*blob);                // resumes with identical forecasts
+//
+// Concurrency model: producers Offer() into the bounded ingest queue; the
+// single retrain thread drains it, re-runs the clustering + ensemble pipeline,
+// and publishes a fresh immutable ServiceSnapshot by swapping a shared_ptr
+// under a dedicated pointer-copy mutex. That mutex guards only the
+// nanosecond-scale copy/swap of the pointer — readers never hold a lock
+// across a forecast call and never contend with the retrain path, so reads
+// proceed at full speed while a retrain is in flight; they simply keep
+// seeing the previous generation until the swap. (A std::atomic<shared_ptr>
+// would make the copy itself lock-free, but libstdc++ 12's _Sp_atomic
+// predates the _GLIBCXX_TSAN annotations (GCC PR 101761) and reports false
+// races under the TSan preset this repo gates on.)
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dbaugur.h"
+#include "serve/ingestor.h"
+#include "serve/retrainer.h"
+#include "serve/snapshot.h"
+
+namespace dbaugur::serve {
+
+/// Full serving configuration.
+struct ServeOptions {
+  core::DBAugurOptions pipeline;        ///< Clustering + forecasting options.
+  size_t queue_capacity = 4096;         ///< Ingest queue bound (>= 1).
+  size_t max_templates = 4096;          ///< Reject template ids beyond this.
+  int64_t bin_interval_seconds = 600;   ///< Forecasting interval I (> 0).
+  double retrain_interval_seconds = 1.0;  ///< Background cycle period (> 0).
+  size_t min_bins = 0;                  ///< Bins before first train (0: auto).
+  uint64_t seed = 42;                   ///< Base seed for the retrain stream.
+};
+
+/// Monotonic service counters (relaxed reads; values may trail by an event).
+struct ServeStats {
+  uint64_t events_accepted = 0;
+  uint64_t events_dropped = 0;
+  uint64_t retrains_completed = 0;
+  uint64_t retrains_skipped = 0;   ///< Cycles with too little data to train.
+  uint64_t retrains_failed = 0;
+  uint64_t generation = 0;
+};
+
+class ForecastService {
+ public:
+  /// Aborts (DBAUGUR_CHECK) on out-of-range options. Publishes an empty
+  /// generation-0 snapshot so readers always have a valid pointer.
+  explicit ForecastService(const ServeOptions& opts);
+  ~ForecastService();
+  ForecastService(const ForecastService&) = delete;
+  ForecastService& operator=(const ForecastService&) = delete;
+
+  /// Thread-safe, non-blocking event ingest (see TraceIngestor::Offer).
+  bool Offer(const TraceEvent& event) { return ingestor_.Offer(event); }
+
+  /// Copies the current immutable snapshot pointer (the only work done under
+  /// snapshot_mu_). The returned pointer stays valid (and frozen) for as long
+  /// as the caller holds it, no matter how many retrains publish newer
+  /// generations meanwhile.
+  std::shared_ptr<const ServiceSnapshot> snapshot() const {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    return snapshot_ptr_;
+  }
+
+  /// Generation of the latest published snapshot (0 until first train).
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Convenience single-read forecasts against the current snapshot.
+  StatusOr<double> ForecastCluster(size_t rank) const {
+    return snapshot()->ForecastCluster(rank);
+  }
+  StatusOr<double> ForecastTrace(size_t trace_index) const {
+    return snapshot()->ForecastTrace(trace_index);
+  }
+
+  /// Runs one drain → fold → retrain → publish cycle synchronously. OK when
+  /// the cycle is skipped for lack of data (the skip is counted in stats).
+  /// Serialized against the background loop and Save/Load.
+  Status RetrainOnce();
+
+  /// Starts the background retrain thread (idempotent).
+  void Start();
+  /// Stops and joins the background thread (idempotent; called by dtor).
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ServeStats stats() const;
+
+  /// Serializes the whole service — binned history, retrain-cycle position,
+  /// and the published snapshot with every model parameter in lossless
+  /// float64 — into one versioned blob. Pending queued events are folded in
+  /// first so nothing is lost across a restart.
+  StatusOr<std::vector<uint8_t>> Save();
+
+  /// Restores a Save blob. All-or-nothing: on any validation failure the
+  /// service keeps serving its current snapshot untouched. On success the
+  /// restored snapshot (verified to reproduce its saved forecasts bit-for-
+  /// bit) is published and the retrain seed stream resumes where it left off.
+  Status Load(const std::vector<uint8_t>& blob);
+
+  const ServeOptions& options() const { return opts_; }
+
+ private:
+  void RetrainLoop();
+
+  /// Swaps in a new snapshot + generation under snapshot_mu_.
+  void Publish(std::shared_ptr<const ServiceSnapshot> snap, uint64_t gen);
+
+  ServeOptions opts_;
+  TraceIngestor ingestor_;
+  Retrainer retrainer_;               // guarded by retrain_mu_
+  std::mutex retrain_mu_;             // serializes retrain/Save/Load
+  mutable std::mutex snapshot_mu_;    // pointer copy/swap only, never work
+  std::shared_ptr<const ServiceSnapshot> snapshot_ptr_;  // guarded ^
+  std::atomic<uint64_t> generation_{0};
+
+  std::atomic<uint64_t> retrains_completed_{0};
+  std::atomic<uint64_t> retrains_skipped_{0};
+  std::atomic<uint64_t> retrains_failed_{0};
+
+  std::thread worker_;                // managed by Start/Stop (owner thread)
+  std::mutex stop_mu_;                // guards stopping_ with stop_cv_
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace dbaugur::serve

@@ -1,0 +1,171 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "ensemble/presets.h"
+
+namespace dbaugur::serve {
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0xDBA65E01;
+constexpr uint32_t kSnapshotVersion = 1;
+}  // namespace
+
+StatusOr<double> ServiceSnapshot::ForecastCluster(size_t rank) const {
+  if (!trained()) {
+    return Status::FailedPrecondition("serve: no trained snapshot published");
+  }
+  if (rank >= clusters.size()) {
+    return Status::OutOfRange("serve: cluster rank out of range");
+  }
+  return clusters[rank].next_value;
+}
+
+StatusOr<double> ServiceSnapshot::ForecastTrace(size_t trace_index) const {
+  if (!trained()) {
+    return Status::FailedPrecondition("serve: no trained snapshot published");
+  }
+  if (trace_index >= trace_cluster.size()) {
+    return Status::OutOfRange("serve: trace index out of range");
+  }
+  int cid = trace_cluster[trace_index];
+  for (const SnapshotCluster& c : clusters) {
+    if (c.cluster_id == cid) {
+      double total = c.next_value * static_cast<double>(c.member_count);
+      return total * trace_proportion[trace_index];
+    }
+  }
+  return Status::NotFound(
+      "serve: trace's cluster is outside the forecasted top-K");
+}
+
+StatusOr<std::shared_ptr<const ServiceSnapshot>> MakeSnapshot(
+    core::TrainedState state, const std::vector<std::string>& trace_names,
+    size_t window, uint64_t generation) {
+  auto snap = std::make_shared<ServiceSnapshot>();
+  snap->generation = generation;
+  snap->trace_names = trace_names;
+  snap->trace_cluster = std::move(state.trace_cluster);
+  snap->trace_proportion = std::move(state.trace_proportion);
+  snap->clusters.reserve(state.forecasts.size());
+  for (core::ClusterForecast& cf : state.forecasts) {
+    SnapshotCluster sc;
+    sc.cluster_id = cf.cluster_id;
+    sc.volume = cf.volume;
+    sc.member_count = cf.member_count;
+    auto next = core::NextClusterValue(cf, window);
+    if (!next.ok()) return next.status();
+    sc.next_value = *next;
+    sc.representative = std::move(cf.representative);
+    sc.model = std::move(cf.model);
+    snap->clusters.push_back(std::move(sc));
+  }
+  return std::shared_ptr<const ServiceSnapshot>(std::move(snap));
+}
+
+Status SerializeSnapshot(const ServiceSnapshot& snap, BufWriter* w) {
+  w->U32(kSnapshotMagic);
+  w->U32(kSnapshotVersion);
+  w->U64(snap.generation);
+  w->U64(snap.trace_names.size());
+  for (size_t i = 0; i < snap.trace_names.size(); ++i) {
+    w->Str(snap.trace_names[i]);
+    w->I32(snap.trace_cluster[i]);
+    w->F64(snap.trace_proportion[i]);
+  }
+  w->U64(snap.clusters.size());
+  for (const SnapshotCluster& c : snap.clusters) {
+    w->I32(c.cluster_id);
+    w->F64(c.volume);
+    w->U64(c.member_count);
+    w->I64(c.representative.start());
+    w->I64(c.representative.interval_seconds());
+    w->Str(c.representative.name());
+    w->U64(c.representative.size());
+    for (double v : c.representative.values()) w->F64(v);
+    w->F64(c.next_value);
+    auto model_state = c.model->SaveState();
+    if (!model_state.ok()) return model_state.status();
+    w->Bytes(*model_state);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const ServiceSnapshot>> DeserializeSnapshot(
+    const core::DBAugurOptions& opts, BufReader* r) {
+  auto corrupt = [] {
+    return Status::InvalidArgument("serve: truncated or corrupt snapshot");
+  };
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!r->U32(&magic) || !r->U32(&version)) return corrupt();
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument("serve: bad snapshot magic");
+  }
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument("serve: unsupported snapshot version");
+  }
+  auto snap = std::make_shared<ServiceSnapshot>();
+  uint64_t traces = 0;
+  if (!r->U64(&snap->generation) || !r->U64(&traces)) return corrupt();
+  snap->trace_names.reserve(traces);
+  snap->trace_cluster.reserve(traces);
+  snap->trace_proportion.reserve(traces);
+  for (uint64_t i = 0; i < traces; ++i) {
+    std::string name;
+    int32_t cid = 0;
+    double prop = 0.0;
+    if (!r->Str(&name) || !r->I32(&cid) || !r->F64(&prop)) return corrupt();
+    snap->trace_names.push_back(std::move(name));
+    snap->trace_cluster.push_back(cid);
+    snap->trace_proportion.push_back(prop);
+  }
+  uint64_t n_clusters = 0;
+  if (!r->U64(&n_clusters)) return corrupt();
+  snap->clusters.reserve(n_clusters);
+  for (uint64_t i = 0; i < n_clusters; ++i) {
+    SnapshotCluster c;
+    int32_t cid = 0;
+    uint64_t members = 0;
+    int64_t start = 0;
+    int64_t interval = 0;
+    std::string rep_name;
+    uint64_t rep_len = 0;
+    if (!r->I32(&cid) || !r->F64(&c.volume) || !r->U64(&members) ||
+        !r->I64(&start) || !r->I64(&interval) || !r->Str(&rep_name) ||
+        !r->U64(&rep_len)) {
+      return corrupt();
+    }
+    c.cluster_id = cid;
+    c.member_count = members;
+    std::vector<double> rep_values(rep_len);
+    for (uint64_t j = 0; j < rep_len; ++j) {
+      if (!r->F64(&rep_values[j])) return corrupt();
+    }
+    c.representative = ts::Series(start, interval, std::move(rep_values),
+                                  std::move(rep_name));
+    std::vector<uint8_t> model_state;
+    if (!r->F64(&c.next_value) || !r->Bytes(&model_state)) return corrupt();
+    auto model = ensemble::MakeDBAugur(opts.forecaster, opts.delta);
+    if (!model.ok()) return model.status();
+    DBAUGUR_RETURN_IF_ERROR((*model)->LoadState(model_state));
+    c.model = std::move(model).value();
+
+    // Prove the restore: the rebuilt ensemble must reproduce the forecast
+    // that was being served when the snapshot was taken, bit for bit.
+    core::ClusterForecast cf;
+    cf.representative = c.representative;
+    cf.model = std::move(c.model);
+    auto recomputed = core::NextClusterValue(cf, opts.forecaster.window);
+    c.model = std::move(cf.model);
+    if (!recomputed.ok()) return recomputed.status();
+    if (*recomputed != c.next_value) {
+      return Status::InvalidArgument(
+          "serve: restored ensemble does not reproduce the saved forecast");
+    }
+    snap->clusters.push_back(std::move(c));
+  }
+  return std::shared_ptr<const ServiceSnapshot>(std::move(snap));
+}
+
+}  // namespace dbaugur::serve

@@ -1,0 +1,94 @@
+// Immutable published state of the forecast service.
+//
+// A ServiceSnapshot is built once by the retrain thread, then published by
+// atomically swapping a shared_ptr — readers load the pointer and work with
+// a fully immutable object, so forecast reads never take a lock and never
+// block on an in-flight retrain. The snapshot carries *precomputed* next-value
+// forecasts per cluster: the ensemble Predict path uses mutable layer
+// workspaces and prediction caches, so running it from concurrent readers
+// would race. Readers instead do pure arithmetic on the frozen numbers
+// (cluster forecast × member count × trace proportion), which is race-free by
+// construction.
+//
+// Serialize/Deserialize turn a snapshot into one versioned binary section of
+// the full-service blob; restore rebuilds each cluster's ensemble from its
+// lossless float64 state and verifies the stored forecast reproduces
+// bit-identically, so a restarted service provably resumes with the same
+// forecasts it was serving before.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/status.h"
+#include "core/dbaugur.h"
+#include "ensemble/time_sensitive_ensemble.h"
+#include "ts/series.h"
+
+namespace dbaugur::serve {
+
+/// One forecasted cluster in a snapshot: provenance plus the frozen forecast.
+struct SnapshotCluster {
+  int cluster_id = 0;
+  double volume = 0.0;
+  size_t member_count = 0;
+  ts::Series representative;
+  /// Trained ensemble, kept for the *next* retrain warm start and for
+  /// persistence. Readers must not call into it (mutable caches); they use
+  /// next_value below.
+  std::unique_ptr<ensemble::TimeSensitiveEnsemble> model;
+  /// Precomputed forecast of the representative's next value.
+  double next_value = 0.0;
+};
+
+/// Immutable published state: everything a forecast read needs. Instances are
+/// only ever handed out as shared_ptr<const ServiceSnapshot>.
+class ServiceSnapshot {
+ public:
+  /// Monotonic publish counter; 0 is the empty pre-training snapshot.
+  uint64_t generation = 0;
+  /// Name of each trace in the last trained workload collection.
+  std::vector<std::string> trace_names;
+  /// Cluster id per trace (parallel to trace_names).
+  std::vector<int> trace_cluster;
+  /// Trace's share of its cluster's volume (parallel to trace_names).
+  std::vector<double> trace_proportion;
+  /// Top-K clusters, descending volume.
+  std::vector<SnapshotCluster> clusters;
+
+  bool trained() const { return !clusters.empty(); }
+  size_t cluster_count() const { return clusters.size(); }
+  size_t trace_count() const { return trace_names.size(); }
+
+  /// Precomputed next value for the rank-th largest cluster.
+  /// FailedPrecondition before training, OutOfRange for bad rank.
+  StatusOr<double> ForecastCluster(size_t rank) const;
+
+  /// Next value for trace i: cluster forecast scaled to the cluster total and
+  /// then by the trace's volume proportion (paper §IV-C). NotFound when the
+  /// trace's cluster is outside the top-K.
+  StatusOr<double> ForecastTrace(size_t trace_index) const;
+};
+
+/// Builds a snapshot from a trained pipeline state, precomputing each
+/// cluster's next value with core::NextClusterValue. Consumes `state`.
+StatusOr<std::shared_ptr<const ServiceSnapshot>> MakeSnapshot(
+    core::TrainedState state, const std::vector<std::string>& trace_names,
+    size_t window, uint64_t generation);
+
+/// Appends the snapshot's persistent fields (everything except the Descender,
+/// which the retrainer rebuilds from the binner) to *w.
+Status SerializeSnapshot(const ServiceSnapshot& snap, BufWriter* w);
+
+/// Restores a SerializeSnapshot section. `opts` must match the saving
+/// service's pipeline options (ensembles are reconstructed from them before
+/// loading weights). Rejects corrupt blobs and any cluster whose restored
+/// ensemble does not reproduce the stored forecast bit-for-bit.
+StatusOr<std::shared_ptr<const ServiceSnapshot>> DeserializeSnapshot(
+    const core::DBAugurOptions& opts, BufReader* r);
+
+}  // namespace dbaugur::serve

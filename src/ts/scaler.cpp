@@ -16,6 +16,16 @@ Status MinMaxScaler::Fit(const std::vector<double>& v) {
   return Status::OK();
 }
 
+Status MinMaxScaler::Restore(double lo, double hi) {
+  if (!(lo <= hi)) {  // also rejects NaN bounds
+    return Status::InvalidArgument("MinMaxScaler: invalid restored range");
+  }
+  min_ = lo;
+  max_ = hi;
+  fitted_ = true;
+  return Status::OK();
+}
+
 double MinMaxScaler::Transform(double x) const {
   double range = max_ - min_;
   if (range <= 0.0) return 0.5;

@@ -21,6 +21,10 @@ class MinMaxScaler {
   std::vector<double> Transform(const std::vector<double>& v) const;
   std::vector<double> Inverse(const std::vector<double>& v) const;
 
+  /// Restores a previously fitted range (snapshot load path). `lo > hi` is
+  /// rejected; `lo == hi` reproduces the constant-series behavior.
+  Status Restore(double lo, double hi);
+
   bool fitted() const { return fitted_; }
   double min() const { return min_; }
   double max() const { return max_; }

@@ -4,10 +4,14 @@
 
 #include <atomic>
 #include <cmath>
+#include <mutex>
 #include <numeric>
 #include <set>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/math_utils.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -241,6 +245,64 @@ TEST(ThreadPoolTest, SubmitAndWaitRunsAllTasks) {
   }
   pool.Wait();
   EXPECT_EQ(sum.load(), 5050);
+}
+
+// Sink capturing complete lines; the logging layer calls it under its mutex,
+// but the capture keeps its own lock so the test doesn't rely on that.
+struct LineCapture {
+  std::mutex mu;
+  std::vector<std::string> lines;
+  static void Sink(LogLevel, const std::string& line, void* user) {
+    auto* self = static_cast<LineCapture*>(user);
+    std::lock_guard<std::mutex> lock(self->mu);
+    self->lines.push_back(line);
+  }
+};
+
+TEST(LoggingTest, ConcurrentWritersNeverInterleaveWithinALine) {
+  LineCapture capture;
+  SetLogSink(&LineCapture::Sink, &capture);
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        DBAUGUR_INFO("writer " << t << " message " << i << " payload "
+                               << "xxxxxxxxxxxxxxxx");
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  SetLogLevel(prev);
+  SetLogSink(nullptr, nullptr);
+
+  ASSERT_EQ(capture.lines.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  for (const std::string& line : capture.lines) {
+    // Each delivered line is exactly one well-formed message: correct
+    // prefix, one trailing newline, the full payload intact.
+    EXPECT_EQ(line.rfind("[dbaugur INFO] writer ", 0), 0u) << line;
+    EXPECT_EQ(line.find('\n'), line.size() - 1) << line;
+    EXPECT_NE(line.find("payload xxxxxxxxxxxxxxxx"), std::string::npos)
+        << line;
+  }
+}
+
+TEST(LoggingTest, NullSinkRestoresDefaultAndLevelFilters) {
+  LineCapture capture;
+  SetLogSink(&LineCapture::Sink, &capture);
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  DBAUGUR_DEBUG("should be filtered");
+  DBAUGUR_WARN("should pass");
+  SetLogLevel(prev);
+  SetLogSink(nullptr, nullptr);
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_EQ(capture.lines[0], "[dbaugur WARN] should pass\n");
 }
 
 TEST(ThreadPoolTest, PoolIsReusableAcrossParallelForCalls) {

@@ -186,6 +186,75 @@ TEST(PresetsTest, QB5000HasPaperMembers) {
   EXPECT_EQ((*ens)->name(), "FixedEnsemble");
 }
 
+TEST(EnsembleTest, SaveStateBeforeFitFails) {
+  auto ens = MakeDBAugur(SmallOpts());
+  ASSERT_TRUE(ens.ok());
+  EXPECT_FALSE((*ens)->SaveState().ok());
+}
+
+TEST(EnsembleTest, StateRoundTripRestoresForecastsAndWeights) {
+  models::ForecasterOptions opts = SmallOpts();
+  opts.epochs = 2;
+  Rng rng(7);
+  std::vector<double> series(80);
+  for (size_t i = 0; i < series.size(); ++i) {
+    series[i] = 10 + 5 * std::sin(static_cast<double>(i) * 0.4) +
+                rng.Gaussian(0, 0.1);
+  }
+  auto ens = MakeDBAugur(opts);
+  ASSERT_TRUE(ens.ok());
+  ASSERT_TRUE((*ens)->Fit(series).ok());
+  // Accumulate some error history so Γ is non-trivial.
+  std::vector<double> w(series.end() - 8, series.end());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*ens)->Predict(w).ok());
+    ASSERT_TRUE((*ens)->Observe(w, series.back() + i).ok());
+  }
+  auto blob = (*ens)->SaveState();
+  ASSERT_TRUE(blob.ok());
+
+  auto restored = MakeDBAugur(opts);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE((*restored)->LoadState(*blob).ok());
+  // Γ histories (and hence weights) restore exactly.
+  EXPECT_EQ((*ens)->Distances(), (*restored)->Distances());
+  EXPECT_EQ((*ens)->CurrentWeights(), (*restored)->CurrentWeights());
+  // Forecasts are bit-identical (float64 member states).
+  auto a = (*ens)->Predict(w);
+  auto b = (*restored)->Predict(w);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(EnsembleTest, LoadStateRejectsCorruptAndMismatchedBlobs) {
+  models::ForecasterOptions opts = SmallOpts();
+  opts.epochs = 1;
+  std::vector<double> series(60, 5.0);
+  for (size_t i = 0; i < series.size(); ++i) {
+    series[i] += std::sin(static_cast<double>(i));
+  }
+  auto ens = MakeDBAugur(opts);
+  ASSERT_TRUE(ens.ok());
+  ASSERT_TRUE((*ens)->Fit(series).ok());
+  auto blob = (*ens)->SaveState();
+  ASSERT_TRUE(blob.ok());
+
+  auto target = MakeDBAugur(opts);
+  ASSERT_TRUE(target.ok());
+  // Bad magic.
+  std::vector<uint8_t> bad = *blob;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE((*target)->LoadState(bad).ok());
+  // Truncated.
+  std::vector<uint8_t> cut(blob->begin(), blob->begin() + 12);
+  EXPECT_FALSE((*target)->LoadState(cut).ok());
+  // Member-name mismatch: byte 12 is the first character of the first
+  // member's name (after magic, count, and the name's length prefix).
+  std::vector<uint8_t> renamed = *blob;
+  renamed[12] ^= 0x01;
+  EXPECT_FALSE((*target)->LoadState(renamed).ok());
+}
+
 TEST(PresetsTest, EndToEndOnSine) {
   models::ForecasterOptions opts;
   opts.window = 24;

@@ -260,6 +260,37 @@ TEST(MultiTaskWfganTest, SharedTrunkIsCounted) {
   EXPECT_GT(mtl.ParameterCount(), 2 * mtl.SharedParameterCount());
 }
 
+TEST(MultiTaskWfganTest, StateRoundTripRestoresBothTasksExactly) {
+  auto query = SineSeries(200, 48.0, 0.1, 47);
+  std::vector<double> resource(query.size());
+  for (size_t i = 0; i < query.size(); ++i) resource[i] = 0.3 + 0.04 * query[i];
+  ForecasterOptions opts = FastOpts(1);
+  opts.epochs = 2;
+  MultiTaskWfgan mtl(opts, WfganOptions{});
+  ASSERT_TRUE(mtl.Fit(query, resource).ok());
+  auto blob = mtl.SaveState();
+  ASSERT_TRUE(blob.ok());
+
+  MultiTaskWfgan restored(opts, WfganOptions{});
+  ASSERT_TRUE(restored.LoadState(*blob).ok());
+  std::vector<double> qw(query.end() - 24, query.end());
+  std::vector<double> rw(resource.end() - 24, resource.end());
+  auto qa = mtl.Predict(WorkloadTask::kQuery, qw);
+  auto qb = restored.Predict(WorkloadTask::kQuery, qw);
+  auto ra = mtl.Predict(WorkloadTask::kResource, rw);
+  auto rb = restored.Predict(WorkloadTask::kResource, rw);
+  ASSERT_TRUE(qa.ok() && qb.ok() && ra.ok() && rb.ok());
+  EXPECT_EQ(*qa, *qb);  // float64 state: bit-identical, not merely close
+  EXPECT_EQ(*ra, *rb);
+
+  // Corrupt blobs leave the target usable and un-fitted.
+  MultiTaskWfgan fresh(opts, WfganOptions{});
+  std::vector<uint8_t> cut(blob->begin(), blob->begin() + 16);
+  EXPECT_FALSE(fresh.LoadState(cut).ok());
+  EXPECT_EQ(fresh.Predict(WorkloadTask::kQuery, qw).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST(MultiTaskWfganTest, PredictBeforeFitFails) {
   ForecasterOptions opts = FastOpts(1);
   MultiTaskWfgan mtl(opts, WfganOptions{});

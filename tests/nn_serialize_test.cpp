@@ -12,6 +12,8 @@
 
 #include "models/lstm_forecaster.h"
 #include "models/mlp.h"
+#include "models/tcn.h"
+#include "models/wfgan.h"
 #include "nn/serialize.h"
 
 namespace dbaugur::nn {
@@ -131,6 +133,93 @@ TEST(SerializeTest, RejectsTruncatedBuffer) {
   std::vector<uint8_t> buf = SerializeParams(params);
   buf.resize(buf.size() - 5);
   EXPECT_FALSE(DeserializeParams(buf, params).ok());
+}
+
+TEST(SerializeTest, F64RoundTripIsBitExact) {
+  // Values chosen to lose bits under a float32 round trip.
+  Matrix v(2, 2);
+  v(0, 0) = 1.0 / 3.0;
+  v(0, 1) = 1e-300;
+  v(1, 0) = -0.0;
+  v(1, 1) = 123456789.123456789;
+  Matrix g(2, 2);
+  std::vector<Param> src = {{&v, &g, "w"}};
+  std::vector<uint8_t> f64 = SerializeParamsF64(src);
+
+  Matrix w(2, 2, 0.0), gw(2, 2);
+  std::vector<Param> dst = {{&w, &gw, "w"}};
+  ASSERT_TRUE(DeserializeParams(f64, dst).ok());  // dispatches on magic
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(w(r, c), v(r, c)) << r << "," << c;
+    }
+  }
+  // The float32 format loses precision on the same values.
+  std::vector<uint8_t> f32 = SerializeParams(src);
+  Matrix w32(2, 2, 0.0), gw32(2, 2);
+  std::vector<Param> dst32 = {{&w32, &gw32, "w"}};
+  ASSERT_TRUE(DeserializeParams(f32, dst32).ok());
+  EXPECT_NE(w32(0, 1), v(0, 1));  // 1e-300 underflows float32
+}
+
+TEST(SerializeTest, F64RejectsTruncationAndShapeMismatch) {
+  Matrix v(3, 3, 0.25), g(3, 3);
+  std::vector<Param> src = {{&v, &g, "w"}};
+  std::vector<uint8_t> buf = SerializeParamsF64(src);
+  std::vector<uint8_t> cut = buf;
+  cut.resize(cut.size() - 3);
+  EXPECT_FALSE(DeserializeParams(cut, src).ok());
+  Matrix w(3, 2, 0.0), gw(3, 2);
+  std::vector<Param> bad = {{&w, &gw, "w"}};
+  EXPECT_FALSE(DeserializeParams(buf, bad).ok());
+}
+
+// Model-level state round trips: every ensemble member must restore to
+// bit-identical forecasts from SaveState/LoadState (float64 + scalers).
+template <typename Model>
+void ExpectStateRoundTripBitExact(const models::ForecasterOptions& opts) {
+  std::vector<double> series = SyntheticSeries(120);
+  Model model(opts);
+  ASSERT_TRUE(model.Fit(series).ok());
+  auto blob = model.SaveState();
+  ASSERT_TRUE(blob.ok());
+
+  Model restored(opts);
+  ASSERT_TRUE(restored.LoadState(*blob).ok());
+  std::vector<double> w(series.end() - static_cast<ptrdiff_t>(opts.window),
+                        series.end());
+  auto a = model.Predict(w);
+  auto b = restored.Predict(w);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+
+  // Corruption is rejected and the target stays un-fitted.
+  Model fresh(opts);
+  std::vector<uint8_t> bad = *blob;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(fresh.LoadState(bad).ok());
+  EXPECT_FALSE(fresh.Predict(w).ok());
+}
+
+TEST(ModelStateTest, MlpRoundTripBitExact) {
+  models::ForecasterOptions opts = SmallOptions();
+  ExpectStateRoundTripBitExact<models::MlpForecaster>(opts);
+}
+
+TEST(ModelStateTest, LstmRoundTripBitExact) {
+  models::ForecasterOptions opts = SmallOptions();
+  ExpectStateRoundTripBitExact<models::LstmForecaster>(opts);
+}
+
+TEST(ModelStateTest, TcnRoundTripBitExact) {
+  models::ForecasterOptions opts = SmallOptions();
+  ExpectStateRoundTripBitExact<models::TcnForecaster>(opts);
+}
+
+TEST(ModelStateTest, WfganRoundTripBitExact) {
+  models::ForecasterOptions opts = SmallOptions();
+  opts.epochs = 1;  // GAN epochs are the slow part; weights is what we test
+  ExpectStateRoundTripBitExact<models::WfganForecaster>(opts);
 }
 
 }  // namespace

@@ -1,0 +1,332 @@
+// Online serving tests: ingest queue semantics, binning, snapshot publication
+// and generation/staleness rules, full-service save/load with bit-identical
+// forecasts, and a concurrent producers + readers + retrainer smoke that the
+// sanitizer presets (ASan/TSan) exercise.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "serve/ingestor.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+
+namespace dbaugur::serve {
+namespace {
+
+constexpr int64_t kInterval = 600;
+
+ServeOptions FastOptions() {
+  ServeOptions o;
+  o.pipeline.clustering.radius = 6.0;
+  o.pipeline.clustering.min_size = 2;
+  o.pipeline.clustering.dtw.window = 4;
+  o.pipeline.top_k = 3;
+  o.pipeline.forecaster.window = 6;
+  o.pipeline.forecaster.horizon = 1;
+  o.pipeline.forecaster.epochs = 2;  // serving smoke, not accuracy
+  o.pipeline.forecaster.batch_size = 8;
+  o.bin_interval_seconds = kInterval;
+  o.queue_capacity = 4096;
+  o.retrain_interval_seconds = 0.005;
+  return o;
+}
+
+/// Offers `bins` bins of synthetic arrivals for `templates` templates,
+/// starting at bin index `first_bin`. Every event lands in-queue (asserted).
+void OfferBins(ForecastService* svc, uint32_t templates, int64_t first_bin,
+               int64_t bins) {
+  for (int64_t b = first_bin; b < first_bin + bins; ++b) {
+    for (uint32_t t = 0; t < templates; ++t) {
+      double phase = static_cast<double>(b) * 0.4 + t;
+      TraceEvent e;
+      e.template_id = t;
+      e.timestamp = b * kInterval + 30;
+      e.count = 50.0 + 20.0 * std::sin(phase);
+      ASSERT_TRUE(svc->Offer(e));
+    }
+  }
+}
+
+TEST(TraceIngestorTest, OfferDrainPreservesEventsInOrder) {
+  TraceIngestor q(IngestorOptions{16, 64});
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.Offer({i, static_cast<ts::Timestamp>(i * 10), 2.0}));
+  }
+  std::vector<TraceEvent> out;
+  EXPECT_EQ(q.Drain(&out), 5u);
+  ASSERT_EQ(out.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(out[i].template_id, i);
+  EXPECT_EQ(q.accepted(), 5u);
+  EXPECT_EQ(q.dropped(), 0u);
+  // Queue is empty again.
+  out.clear();
+  EXPECT_EQ(q.Drain(&out), 0u);
+}
+
+TEST(TraceIngestorTest, DropsWhenFullAndOnBadTemplateId) {
+  TraceIngestor q(IngestorOptions{2, 8});
+  EXPECT_TRUE(q.Offer({0, 0, 1.0}));
+  EXPECT_TRUE(q.Offer({1, 0, 1.0}));
+  EXPECT_FALSE(q.Offer({2, 0, 1.0}));     // full
+  EXPECT_FALSE(q.Offer({99, 0, 1.0}));    // template_id >= max_templates
+  EXPECT_EQ(q.accepted(), 2u);
+  EXPECT_EQ(q.dropped(), 2u);
+  // Draining frees capacity.
+  std::vector<TraceEvent> out;
+  q.Drain(&out);
+  EXPECT_TRUE(q.Offer({3, 0, 1.0}));
+}
+
+TEST(TraceBinnerTest, FoldsIntoAlignedZeroFilledTraces) {
+  TraceBinner binner(kInterval);
+  // Template 0 active in bins 2 and 4; template 7 only in bin 3.
+  binner.Fold({0, 2 * kInterval + 1, 3.0});
+  binner.Fold({0, 2 * kInterval + 500, 2.0});  // same bin, accumulates
+  binner.Fold({0, 4 * kInterval, 1.0});
+  binner.Fold({7, 3 * kInterval + 10, 5.0});
+  EXPECT_EQ(binner.bin_count(), 3u);  // bins 2..4
+  EXPECT_EQ(binner.template_count(), 2u);
+
+  auto traces = binner.Traces();
+  ASSERT_TRUE(traces.ok());
+  ASSERT_EQ(traces->size(), 2u);
+  const ts::Series& t0 = (*traces)[0];
+  EXPECT_EQ(t0.name(), "template0");
+  EXPECT_EQ(t0.start(), 2 * kInterval);
+  EXPECT_EQ(t0.interval_seconds(), kInterval);
+  ASSERT_EQ(t0.size(), 3u);
+  EXPECT_DOUBLE_EQ(t0[0], 5.0);
+  EXPECT_DOUBLE_EQ(t0[1], 0.0);  // zero-filled gap
+  EXPECT_DOUBLE_EQ(t0[2], 1.0);
+  const ts::Series& t7 = (*traces)[1];
+  EXPECT_EQ(t7.name(), "template7");
+  EXPECT_DOUBLE_EQ(t7[1], 5.0);
+}
+
+TEST(TraceBinnerTest, StateRoundTripAndTruncationRejection) {
+  TraceBinner binner(kInterval);
+  binner.Fold({1, 5 * kInterval, 4.0});
+  binner.Fold({2, 9 * kInterval, 8.0});
+  BufWriter w;
+  binner.Save(&w);
+  std::vector<uint8_t> blob = w.Take();
+
+  TraceBinner restored(kInterval);
+  BufReader r(blob);
+  ASSERT_TRUE(restored.Load(&r).ok());
+  EXPECT_EQ(restored.bin_count(), binner.bin_count());
+  EXPECT_EQ(restored.template_count(), binner.template_count());
+  auto a = binner.Traces();
+  auto b = restored.Traces();
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].values(), (*b)[i].values());
+  }
+
+  // Truncation leaves the destination untouched.
+  std::vector<uint8_t> cut(blob.begin(), blob.begin() + 10);
+  TraceBinner untouched(kInterval);
+  untouched.Fold({3, 0, 1.0});
+  BufReader cr(cut);
+  EXPECT_FALSE(untouched.Load(&cr).ok());
+  EXPECT_EQ(untouched.template_count(), 1u);
+}
+
+TEST(ForecastServiceTest, EmptySnapshotBeforeTraining) {
+  ForecastService svc(FastOptions());
+  auto snap = svc.snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->generation, 0u);
+  EXPECT_FALSE(snap->trained());
+  EXPECT_EQ(svc.ForecastCluster(0).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Not enough data: the cycle is a skip, not an error.
+  ASSERT_TRUE(svc.RetrainOnce().ok());
+  EXPECT_EQ(svc.generation(), 0u);
+  EXPECT_EQ(svc.stats().retrains_skipped, 1u);
+}
+
+TEST(ForecastServiceTest, PublishesGenerationsAndKeepsOldSnapshotsFrozen) {
+  ForecastService svc(FastOptions());
+  OfferBins(&svc, 3, 0, 16);
+  ASSERT_TRUE(svc.RetrainOnce().ok());
+  EXPECT_EQ(svc.generation(), 1u);
+  auto gen1 = svc.snapshot();
+  ASSERT_TRUE(gen1->trained());
+  EXPECT_EQ(gen1->trace_count(), 3u);
+  auto f1 = gen1->ForecastCluster(0);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_TRUE(std::isfinite(*f1));
+
+  // New data, new generation; a reader still holding gen1 sees it unchanged.
+  OfferBins(&svc, 3, 16, 8);
+  ASSERT_TRUE(svc.RetrainOnce().ok());
+  EXPECT_EQ(svc.generation(), 2u);
+  auto gen2 = svc.snapshot();
+  EXPECT_EQ(gen2->generation, 2u);
+  EXPECT_EQ(gen1->generation, 1u);
+  auto f1_again = gen1->ForecastCluster(0);
+  ASSERT_TRUE(f1_again.ok());
+  EXPECT_EQ(*f1_again, *f1);
+
+  // Trace-level forecasts scale the cluster forecast; every trace resolves.
+  for (size_t i = 0; i < gen2->trace_count(); ++i) {
+    auto ft = gen2->ForecastTrace(i);
+    if (ft.ok()) EXPECT_TRUE(std::isfinite(*ft));
+  }
+  ServeStats st = svc.stats();
+  EXPECT_EQ(st.retrains_completed, 2u);
+  EXPECT_EQ(st.events_dropped, 0u);
+}
+
+TEST(ForecastServiceTest, SaveLoadRoundTripServesIdenticalForecasts) {
+  ForecastService svc(FastOptions());
+  OfferBins(&svc, 3, 0, 16);
+  ASSERT_TRUE(svc.RetrainOnce().ok());
+  auto blob = svc.Save();
+  ASSERT_TRUE(blob.ok());
+
+  ForecastService restored(FastOptions());
+  ASSERT_TRUE(restored.Load(*blob).ok());
+  EXPECT_EQ(restored.generation(), svc.generation());
+  auto a = svc.snapshot();
+  auto b = restored.snapshot();
+  ASSERT_EQ(a->cluster_count(), b->cluster_count());
+  for (size_t rank = 0; rank < a->cluster_count(); ++rank) {
+    auto fa = a->ForecastCluster(rank);
+    auto fb = b->ForecastCluster(rank);
+    ASSERT_TRUE(fa.ok() && fb.ok());
+    EXPECT_EQ(*fa, *fb);  // bit-identical, not merely close
+  }
+  ASSERT_EQ(a->trace_count(), b->trace_count());
+  for (size_t i = 0; i < a->trace_count(); ++i) {
+    auto fa = a->ForecastTrace(i);
+    auto fb = b->ForecastTrace(i);
+    ASSERT_EQ(fa.ok(), fb.ok());
+    if (fa.ok()) EXPECT_EQ(*fa, *fb);
+  }
+
+  // The retrain seed stream resumed where it left off: retraining both
+  // services on the same (persisted) history yields identical forecasts.
+  ASSERT_TRUE(svc.RetrainOnce().ok());
+  ASSERT_TRUE(restored.RetrainOnce().ok());
+  EXPECT_EQ(svc.generation(), restored.generation());
+  auto a2 = svc.snapshot();
+  auto b2 = restored.snapshot();
+  ASSERT_EQ(a2->cluster_count(), b2->cluster_count());
+  for (size_t rank = 0; rank < a2->cluster_count(); ++rank) {
+    auto fa = a2->ForecastCluster(rank);
+    auto fb = b2->ForecastCluster(rank);
+    ASSERT_TRUE(fa.ok() && fb.ok());
+    EXPECT_EQ(*fa, *fb);
+  }
+}
+
+TEST(ForecastServiceTest, LoadRejectsCorruptBlobsAndKeepsServing) {
+  ForecastService svc(FastOptions());
+  OfferBins(&svc, 2, 0, 12);
+  ASSERT_TRUE(svc.RetrainOnce().ok());
+  auto blob = svc.Save();
+  ASSERT_TRUE(blob.ok());
+  auto before = svc.snapshot();
+  auto f_before = before->ForecastCluster(0);
+  ASSERT_TRUE(f_before.ok());
+
+  // Bad magic.
+  std::vector<uint8_t> bad = *blob;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(svc.Load(bad).ok());
+  // Truncated.
+  std::vector<uint8_t> cut(blob->begin(),
+                           blob->begin() + static_cast<long>(blob->size() / 2));
+  EXPECT_FALSE(svc.Load(cut).ok());
+  // Nudge the stored cluster-0 forecast by one ulp: the restored ensemble
+  // then no longer reproduces it and the bit-identity check must reject.
+  std::vector<uint8_t> flipped = *blob;
+  uint8_t pattern[8];
+  std::memcpy(pattern, &*f_before, sizeof(pattern));
+  auto it = std::search(flipped.begin(), flipped.end(), std::begin(pattern),
+                        std::end(pattern));
+  ASSERT_NE(it, flipped.end());
+  *it ^= 0x01;
+  EXPECT_FALSE(svc.Load(flipped).ok());
+
+  // The service never stopped serving its original snapshot.
+  EXPECT_EQ(svc.generation(), 1u);
+  auto f_after = svc.ForecastCluster(0);
+  ASSERT_TRUE(f_after.ok());
+  EXPECT_EQ(*f_after, *f_before);
+
+  // The pristine blob still loads.
+  EXPECT_TRUE(svc.Load(*blob).ok());
+}
+
+TEST(ForecastServiceTest, ConcurrentProducersReadersAndRetrainerSmoke) {
+  ServeOptions opts = FastOptions();
+  opts.pipeline.forecaster.window = 4;
+  opts.pipeline.forecaster.epochs = 1;
+  ForecastService svc(opts);
+  // Seed enough history that the first background cycle can train.
+  OfferBins(&svc, 2, 0, 10);
+  svc.Start();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  // Small thread counts: this must stay fast under TSan on a 1-core CI box.
+  std::thread producers[2];
+  for (int p = 0; p < 2; ++p) {
+    producers[p] = std::thread([&svc, &stop, p] {
+      int64_t bin = 10;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (uint32_t t = 0; t < 2; ++t) {
+          svc.Offer({t, bin * kInterval + p, 1.0});
+        }
+        ++bin;
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::thread readers[2];
+  for (int q = 0; q < 2; ++q) {
+    readers[q] = std::thread([&svc, &stop, &reads] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto snap = svc.snapshot();
+        if (snap->trained()) {
+          auto f = snap->ForecastCluster(0);
+          if (f.ok()) reads.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // Wait until at least one retrain published while the others keep running.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (svc.generation() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : producers) t.join();
+  for (auto& t : readers) t.join();
+  svc.Stop();
+
+  EXPECT_GE(svc.generation(), 1u);
+  ServeStats st = svc.stats();
+  EXPECT_GE(st.retrains_completed, 1u);
+  EXPECT_GT(st.events_accepted, 0u);
+  // Start/Stop are idempotent.
+  svc.Stop();
+  svc.Start();
+  svc.Stop();
+}
+
+}  // namespace
+}  // namespace dbaugur::serve

@@ -63,6 +63,20 @@ else
   record "nn_kernels-smoke" "SKIPPED (Release build failed)"
 fi
 
+# --- 1c. Serve bench smoke: the snapshot read path must complete reads while
+# a retrain is in flight (the binary exits non-zero otherwise) and emit valid
+# JSON (full numbers are committed as BENCH_serve_throughput.json).
+if [[ -x build-release/bench/serve_throughput ]]; then
+  note "bench/serve_throughput --smoke (Release)"
+  if ./build-release/bench/serve_throughput --smoke > /dev/null; then
+    record "serve_throughput-smoke" "OK"
+  else
+    record "serve_throughput-smoke" "FAIL"
+  fi
+else
+  record "serve_throughput-smoke" "SKIPPED (Release build failed)"
+fi
+
 # --- 2. ASan + UBSan. --------------------------------------------------------
 export UBSAN_OPTIONS="print_stacktrace=1:${UBSAN_OPTIONS:-}"
 build_and_test "asan+ubsan" build-asan \

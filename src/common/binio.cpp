@@ -1,7 +1,14 @@
 #include "common/binio.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstddef>
+#include <cstdio>
 #include <cstring>
+
+#include "common/fault_injection.h"
 
 namespace dbaugur {
 
@@ -97,6 +104,213 @@ bool BufReader::Bytes(std::vector<uint8_t>* b) {
             buf_.begin() + static_cast<ptrdiff_t>(pos_ + n));
   pos_ += n;
   return true;
+}
+
+namespace {
+
+// Reflected CRC-32 lookup table for the IEEE 802.3 polynomial 0xEDB88320,
+// generated once on first use.
+const uint32_t* Crc32Table() {
+  static uint32_t table[256];
+  static bool init = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)init;
+  return table;
+}
+
+constexpr uint32_t kFileMagic = 0xDBA6F11E;
+constexpr uint32_t kFileVersion = 1;
+// magic + version + u64 payload length; CRC32 footer follows the payload.
+constexpr size_t kFileHeaderBytes = 4 + 4 + 8;
+constexpr size_t kFileFooterBytes = 4;
+
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + " failed for " + path + ": " + std::strerror(errno);
+}
+
+// Writes the whole buffer, retrying short writes. False on any write error.
+bool WriteAll(int fd, const uint8_t* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+// Reads the whole file into *out. False on open/read error.
+bool ReadAll(const std::string& path, std::vector<uint8_t>* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  out->clear();
+  uint8_t buf[1 << 16];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (r == 0) break;
+    out->insert(out->end(), buf, buf + r);
+  }
+  ::close(fd);
+  return true;
+}
+
+// Verifies one framed file image in memory; on success copies the payload to
+// *payload. Returns a describing error otherwise.
+Status VerifyFrame(const std::string& path, const std::vector<uint8_t>& image,
+                   std::vector<uint8_t>* payload) {
+  if (image.size() < kFileHeaderBytes + kFileFooterBytes) {
+    return Status::InvalidArgument(path + ": file shorter than frame header");
+  }
+  BufReader r(image);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t length = 0;
+  if (!r.U32(&magic) || !r.U32(&version) || !r.U64(&length)) {
+    return Status::InvalidArgument(path + ": truncated frame header");
+  }
+  if (magic != kFileMagic) {
+    return Status::InvalidArgument(path + ": bad file magic");
+  }
+  if (version != kFileVersion) {
+    return Status::InvalidArgument(path + ": unsupported file version");
+  }
+  if (length != image.size() - kFileHeaderBytes - kFileFooterBytes) {
+    return Status::InvalidArgument(path +
+                                   ": payload length does not match file size "
+                                   "(torn write)");
+  }
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(image[image.size() - 4 +
+                                              static_cast<size_t>(i)])
+                  << (8 * i);
+  }
+  uint32_t actual_crc = Crc32(image.data(), image.size() - kFileFooterBytes);
+  if (stored_crc != actual_crc) {
+    return Status::InvalidArgument(path + ": CRC32 mismatch (corrupt file)");
+  }
+  payload->assign(image.begin() + static_cast<ptrdiff_t>(kFileHeaderBytes),
+                  image.end() - static_cast<ptrdiff_t>(kFileFooterBytes));
+  return Status::OK();
+}
+
+// fsyncs the directory containing `path` so the renames themselves are
+// durable. Best-effort: some filesystems reject directory fsync.
+void SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t n) {
+  const uint32_t* table = Crc32Table();
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Status SaveToFile(const std::string& path, const std::vector<uint8_t>& blob) {
+  BufWriter w;
+  w.U32(kFileMagic);
+  w.U32(kFileVersion);
+  w.U64(blob.size());
+  std::vector<uint8_t> image = w.Take();
+  image.insert(image.end(), blob.begin(), blob.end());
+  uint32_t crc = Crc32(image.data(), image.size());
+  for (int i = 0; i < 4; ++i) {
+    image.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+  }
+
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::Internal(ErrnoMessage("open", tmp));
+  if (DBAUGUR_FAULT_POINT("binio.save.write")) {
+    // Simulated crash / ENOSPC mid-write: leave a torn temp file behind. The
+    // installed `path` is untouched, so last-good recovery still works.
+    WriteAll(fd, image.data(), image.size() / 2);
+    ::close(fd);
+    return Status::Internal("injected write failure for " + tmp);
+  }
+  if (!WriteAll(fd, image.data(), image.size())) {
+    Status st = Status::Internal(ErrnoMessage("write", tmp));
+    ::close(fd);
+    return st;
+  }
+  if (DBAUGUR_FAULT_POINT("binio.save.sync")) {
+    ::close(fd);
+    return Status::Internal("injected fsync failure for " + tmp);
+  }
+  if (::fsync(fd) != 0) {
+    Status st = Status::Internal(ErrnoMessage("fsync", tmp));
+    ::close(fd);
+    return st;
+  }
+  if (::close(fd) != 0) return Status::Internal(ErrnoMessage("close", tmp));
+
+  // Preserve the previous good file, then install the new one atomically.
+  // A crash between the two renames leaves only `.bak`, which LoadFromFile
+  // falls back to.
+  if (::access(path.c_str(), F_OK) == 0) {
+    if (::rename(path.c_str(), (path + ".bak").c_str()) != 0) {
+      return Status::Internal(ErrnoMessage("rename to .bak", path));
+    }
+  }
+  if (DBAUGUR_FAULT_POINT("binio.save.rename") ||
+      ::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("rename failed for " + tmp + " -> " + path);
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
+StatusOr<FileLoadResult> LoadFromFile(const std::string& path) {
+  FileLoadResult out;
+  std::vector<uint8_t> image;
+  Status primary = Status::OK();
+  if (ReadAll(path, &image)) {
+    primary = VerifyFrame(path, image, &out.blob);
+    if (primary.ok()) return out;
+  } else {
+    primary = Status::NotFound(ErrnoMessage("open/read", path));
+  }
+  const std::string bak = path + ".bak";
+  Status backup = Status::OK();
+  if (ReadAll(bak, &image)) {
+    backup = VerifyFrame(bak, image, &out.blob);
+    if (backup.ok()) {
+      out.recovered_from_backup = true;
+      return out;
+    }
+  } else {
+    backup = Status::NotFound(ErrnoMessage("open/read", bak));
+  }
+  return Status::InvalidArgument("no loadable blob: [" + primary.ToString() +
+                                 "] and [" + backup.ToString() + "]");
 }
 
 }  // namespace dbaugur

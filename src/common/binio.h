@@ -1,15 +1,23 @@
-// Little-endian byte-stream writer/reader for snapshot persistence.
+// Little-endian byte-stream writer/reader for snapshot persistence, plus
+// crash-safe blob-file I/O.
 //
 // Every multi-byte scalar is written least-significant-byte first regardless
 // of host endianness, so blobs are portable across machines. The reader is
 // bounds-checked: each Get* returns false on truncation instead of reading
 // past the end, and callers turn that into a Status at the format layer.
+//
+// SaveToFile/LoadFromFile wrap a blob in a CRC32-checked container and write
+// it with the classic crash-safe sequence (write temp → fsync → atomic
+// rename), keeping the previous good file as `<path>.bak` so a torn or
+// bit-flipped blob recovers to last-good instead of erroring out.
 
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "common/status.h"
 
 namespace dbaugur {
 
@@ -57,5 +65,28 @@ class BufReader {
   const std::vector<uint8_t>& buf_;
   size_t pos_ = 0;
 };
+
+/// CRC-32 (IEEE 802.3 / zlib polynomial, reflected) of `n` bytes.
+uint32_t Crc32(const uint8_t* data, size_t n);
+
+/// Result of LoadFromFile: the verified payload plus whether it came from the
+/// `.bak` fallback rather than the primary file.
+struct FileLoadResult {
+  std::vector<uint8_t> blob;
+  bool recovered_from_backup = false;
+};
+
+/// Writes `blob` to `path` crash-safely: the framed payload (magic, version,
+/// length, bytes, CRC32 footer) goes to `path.tmp`, is fsync'd, the previous
+/// `path` (if any) is preserved as `path.bak`, and `path.tmp` is atomically
+/// renamed into place. A crash or injected failure at any step leaves either
+/// the old `path` or its `.bak` intact and verifiable.
+Status SaveToFile(const std::string& path, const std::vector<uint8_t>& blob);
+
+/// Reads and verifies `path` (magic + declared length + CRC32). On a missing,
+/// truncated, or corrupt primary file it falls back to `path.bak`; only when
+/// both fail does it return an error describing each. Never partially
+/// succeeds: the returned blob always passed the checksum.
+StatusOr<FileLoadResult> LoadFromFile(const std::string& path);
 
 }  // namespace dbaugur

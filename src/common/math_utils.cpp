@@ -22,6 +22,13 @@ double Variance(const std::vector<double>& v) {
 
 double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
 
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  size_t mid = (v.size() - 1) / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(mid), v.end());
+  return v[mid];
+}
+
 double PearsonCorrelation(const std::vector<double>& a,
                           const std::vector<double>& b) {
   if (a.size() != b.size() || a.size() < 2) return 0.0;

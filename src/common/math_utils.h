@@ -23,6 +23,11 @@ double StdDev(const std::vector<double>& v);
 double PearsonCorrelation(const std::vector<double>& a,
                           const std::vector<double>& b);
 
+/// Median (0 for empty input). Takes a copy: selection reorders elements.
+/// Even-length inputs use the lower middle element, which keeps the result an
+/// actual sample value — what the MAD-based outlier clamp wants.
+double Median(std::vector<double> v);
+
 /// Numerically stable sigmoid.
 inline double Sigmoid(double x) {
   if (x >= 0) {

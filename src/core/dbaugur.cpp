@@ -65,16 +65,15 @@ StatusOr<TrainedState> BuildTrainedState(
     cf.member_count = top[rank].members.size();
     cf.representative = std::move(rep).value();
   }
-  std::vector<Status> fit_status(top.size());
   auto fit_one = [&](size_t rank) {
     ClusterForecast& cf = state.forecasts[rank];
     auto model = ensemble::MakeDBAugur(opts.forecaster, opts.delta);
     if (!model.ok()) {
-      fit_status[rank] = model.status();
+      cf.fit_status = model.status();
       return;
     }
-    fit_status[rank] = (*model)->Fit(cf.representative.values());
-    if (fit_status[rank].ok()) cf.model = std::move(model).value();
+    cf.fit_status = (*model)->Fit(cf.representative.values());
+    if (cf.fit_status.ok()) cf.model = std::move(model).value();
   };
   size_t lanes = std::min(opts.clustering.threads, std::max<size_t>(top.size(), 1));
   if (lanes > 1 && nn::GetGemmThreadPool() == nullptr) {
@@ -86,8 +85,10 @@ StatusOr<TrainedState> BuildTrainedState(
   } else {
     for (size_t rank = 0; rank < top.size(); ++rank) fit_one(rank);
   }
-  for (const Status& st : fit_status) {
-    if (!st.ok()) return st;
+  if (!opts.tolerate_fit_failures) {
+    for (const ClusterForecast& cf : state.forecasts) {
+      if (!cf.fit_status.ok()) return cf.fit_status;
+    }
   }
   return state;
 }

@@ -31,6 +31,11 @@ struct DBAugurOptions {
   size_t top_k = 5;                          ///< Clusters to forecast.
   models::ForecasterOptions forecaster;      ///< Shared model hyper-params.
   double delta = 0.9;                        ///< Ensemble attenuation factor.
+  /// When true, a cluster whose ensemble fails to fit does not abort
+  /// BuildTrainedState; the failure is recorded in ClusterForecast::fit_status
+  /// and the cluster's model is left null for the caller to substitute a
+  /// fallback. The serving layer uses this for per-cluster degraded mode.
+  bool tolerate_fit_failures = false;
 };
 
 /// Identifies a trace fed into the processor.
@@ -47,6 +52,10 @@ struct ClusterForecast {
   size_t member_count = 0;
   ts::Series representative;
   std::unique_ptr<ensemble::TimeSensitiveEnsemble> model;
+  /// OK when `model` fitted cleanly. Non-OK (with `model` null) only when
+  /// DBAugurOptions::tolerate_fit_failures let the pipeline continue past a
+  /// failed per-cluster fit.
+  Status fit_status = Status::OK();
 };
 
 /// Everything the clustering + forecasting stages produce for one workload

@@ -40,4 +40,11 @@ StatusOr<std::unique_ptr<TimeSensitiveEnsemble>> MakeFixedDBAugur(
   return Build(opts, ens, {"WFGAN", "TCN", "MLP"});
 }
 
+StatusOr<std::unique_ptr<TimeSensitiveEnsemble>> MakeKernelBaseline(
+    const models::ForecasterOptions& opts) {
+  EnsembleOptions ens;
+  ens.dynamic = false;  // a single member always has weight 1
+  return Build(opts, ens, {"KR"});
+}
+
 }  // namespace dbaugur::ensemble

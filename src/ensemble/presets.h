@@ -24,4 +24,11 @@ StatusOr<std::unique_ptr<TimeSensitiveEnsemble>> MakeQB5000(
 StatusOr<std::unique_ptr<TimeSensitiveEnsemble>> MakeFixedDBAugur(
     const models::ForecasterOptions& opts);
 
+/// Single-member kernel-regression "ensemble": the serving layer's degraded-
+/// mode baseline. KR predictions are kernel-weighted averages of observed
+/// targets, so they are bounded by the training data by construction — the
+/// property a fallback for a diverged adversarial fit needs.
+StatusOr<std::unique_ptr<TimeSensitiveEnsemble>> MakeKernelBaseline(
+    const models::ForecasterOptions& opts);
+
 }  // namespace dbaugur::ensemble

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/binio.h"
 #include "common/math_utils.h"
 #include "common/rng.h"
 #include "ts/window_dataset.h"
@@ -95,6 +96,75 @@ int64_t KernelRegressionForecaster::StorageBytes() const {
   // Stores the full sample table: windows plus targets, as float32.
   int64_t per_sample = static_cast<int64_t>(opts_.window + 1) * 4;
   return static_cast<int64_t>(targets_.size()) * per_sample + 16;
+}
+
+namespace {
+constexpr uint32_t kKrStateMagic = 0xDBA6AA01;
+}  // namespace
+
+StatusOr<std::vector<uint8_t>> KernelRegressionForecaster::SaveState() const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("KR: SaveState before Fit");
+  }
+  BufWriter w;
+  w.U32(kKrStateMagic);
+  w.U64(opts_.window);
+  w.F64(bandwidth_);
+  w.F64(fallback_);
+  w.U64(targets_.size());
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    for (double v : windows_[i]) w.F64(v);
+    w.F64(targets_[i]);
+  }
+  return w.Take();
+}
+
+Status KernelRegressionForecaster::LoadState(
+    const std::vector<uint8_t>& buffer) {
+  BufReader r(buffer);
+  auto corrupt = [] {
+    return Status::InvalidArgument("KR: truncated or corrupt state buffer");
+  };
+  uint32_t magic = 0;
+  uint64_t window = 0;
+  double bandwidth = 0.0;
+  double fallback = 0.0;
+  uint64_t samples = 0;
+  if (!r.U32(&magic)) return corrupt();
+  if (magic != kKrStateMagic) {
+    return Status::InvalidArgument("KR: bad state magic");
+  }
+  if (!r.U64(&window) || !r.F64(&bandwidth) || !r.F64(&fallback) ||
+      !r.U64(&samples)) {
+    return corrupt();
+  }
+  if (window != opts_.window) {
+    return Status::InvalidArgument(
+        "KR: state window length does not match model options");
+  }
+  if (!(bandwidth > 0.0) || !std::isfinite(bandwidth)) {
+    return Status::InvalidArgument("KR: state bandwidth not positive finite");
+  }
+  // A corrupt sample count must fail cleanly, not allocate gigabytes.
+  if (samples > r.remaining() / ((window + 1) * 8)) return corrupt();
+  // Parse everything before mutating, so a truncated tail leaves the model
+  // unchanged and still usable.
+  std::vector<std::vector<double>> windows(samples);
+  std::vector<double> targets(samples);
+  for (uint64_t i = 0; i < samples; ++i) {
+    windows[i].resize(window);
+    for (double& v : windows[i]) {
+      if (!r.F64(&v)) return corrupt();
+    }
+    if (!r.F64(&targets[i])) return corrupt();
+  }
+  if (!r.AtEnd()) return corrupt();
+  windows_ = std::move(windows);
+  targets_ = std::move(targets);
+  bandwidth_ = bandwidth;
+  fallback_ = fallback;
+  fitted_ = true;
+  return Status::OK();
 }
 
 }  // namespace dbaugur::models

@@ -29,6 +29,12 @@ class KernelRegressionForecaster : public Forecaster {
   std::string name() const override { return "KR"; }
   int64_t StorageBytes() const override;
 
+  /// Serializes the full sample table + bandwidth in lossless float64, so a
+  /// restored KR reproduces its forecasts bit-for-bit. (KR backs the serving
+  /// layer's degraded-mode baseline, which must survive snapshot Save/Load.)
+  StatusOr<std::vector<uint8_t>> SaveState() const override;
+  Status LoadState(const std::vector<uint8_t>& buffer) override;
+
   double bandwidth() const { return bandwidth_; }
   size_t stored_samples() const { return targets_.size(); }
 

@@ -1,8 +1,12 @@
 #include "serve/ingestor.h"
 
+#include <cmath>
+#include <limits>
+#include <string>
 #include <utility>
 
 #include "common/contracts.h"
+#include "common/fault_injection.h"
 
 namespace dbaugur::serve {
 
@@ -12,20 +16,58 @@ TraceIngestor::TraceIngestor(const IngestorOptions& opts) : opts_(opts) {
 }
 
 bool TraceIngestor::Offer(const TraceEvent& event) {
-  if (event.template_id >= opts_.max_templates) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent e = event;
+  if (DBAUGUR_FAULT_POINT("serve.ingest.corrupt")) {
+    // Garbage-row simulation: the corrupted count must be caught by the
+    // quarantine checks below, never reach the binner.
+    e.count = std::numeric_limits<double>::quiet_NaN();
+  }
+  if (e.template_id >= opts_.max_templates) {
+    dropped_template_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!std::isfinite(e.count)) {
+    dropped_nonfinite_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (e.count < 0.0) {
+    dropped_negative_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.size() >= opts_.capacity) {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (opts_.max_lateness_seconds >= 0 && any_accepted_ &&
+        e.timestamp < max_timestamp_ - opts_.max_lateness_seconds) {
+      dropped_stale_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    queue_.push_back(event);
+    if (queue_.size() >= opts_.capacity) {
+      dropped_full_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    queue_.push_back(e);
+    if (!any_accepted_ || e.timestamp > max_timestamp_) {
+      max_timestamp_ = e.timestamp;
+      any_accepted_ = true;
+    }
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+IngestDropStats TraceIngestor::drop_stats() const {
+  IngestDropStats s;
+  s.full = dropped_full_.load(std::memory_order_relaxed);
+  s.template_id = dropped_template_.load(std::memory_order_relaxed);
+  s.nonfinite = dropped_nonfinite_.load(std::memory_order_relaxed);
+  s.negative = dropped_negative_.load(std::memory_order_relaxed);
+  s.stale = dropped_stale_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t TraceIngestor::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 size_t TraceIngestor::Drain(std::vector<TraceEvent>* out) {
@@ -40,12 +82,21 @@ size_t TraceIngestor::Drain(std::vector<TraceEvent>* out) {
 }
 
 namespace {
-// Floor division so pre-epoch timestamps bin consistently.
+// Floor division so pre-epoch timestamps bin consistently. The origin is
+// fixed at the epoch: binning must not depend on the first event a
+// particular service instance happened to see, or indices would shift after
+// a Save/Load into a service with a different start (boundary events would
+// then land one bin off).
 int64_t FloorDiv(int64_t a, int64_t b) {
   int64_t q = a / b;
   if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
   return q;
 }
+
+// Upper bound on the zero-filled range Traces() will materialize. With
+// quarantine upstream this should be unreachable; it is the defense-in-depth
+// stop against a garbage timestamp turning one Series into gigabytes.
+constexpr size_t kMaxMaterializedBins = 1u << 22;  // ~4M bins per template
 }  // namespace
 
 TraceBinner::TraceBinner(int64_t interval_seconds)
@@ -54,8 +105,12 @@ TraceBinner::TraceBinner(int64_t interval_seconds)
                 interval_);
 }
 
+int64_t TraceBinner::BinIndex(ts::Timestamp timestamp) const {
+  return FloorDiv(timestamp, interval_);
+}
+
 void TraceBinner::Fold(const TraceEvent& event) {
-  int64_t bin = FloorDiv(event.timestamp, interval_);
+  int64_t bin = BinIndex(event.timestamp);
   bins_[event.template_id][bin] += event.count;
   if (!any_) {
     any_ = true;
@@ -68,7 +123,11 @@ void TraceBinner::Fold(const TraceEvent& event) {
 
 size_t TraceBinner::bin_count() const {
   if (!any_) return 0;
-  return static_cast<size_t>(max_bin_ - min_bin_ + 1);
+  // Unsigned subtraction: a pathological [min, max] spread must not be
+  // signed-overflow UB, just a huge count that Traces() refuses.
+  uint64_t diff =
+      static_cast<uint64_t>(max_bin_) - static_cast<uint64_t>(min_bin_);
+  return static_cast<size_t>(diff + 1);
 }
 
 StatusOr<std::vector<ts::Series>> TraceBinner::Traces() const {
@@ -76,6 +135,11 @@ StatusOr<std::vector<ts::Series>> TraceBinner::Traces() const {
     return Status::FailedPrecondition("TraceBinner: no events folded yet");
   }
   size_t len = bin_count();
+  if (len > kMaxMaterializedBins) {
+    return Status::FailedPrecondition(
+        "TraceBinner: bin range too large to materialize (" +
+        std::to_string(len) + " bins) — garbage timestamp in the history?");
+  }
   ts::Timestamp start = min_bin_ * interval_;
   std::vector<ts::Series> traces;
   traces.reserve(bins_.size());

@@ -37,35 +37,71 @@ struct TraceEvent {
 struct IngestorOptions {
   size_t capacity = 4096;       ///< Max buffered events before drops.
   size_t max_templates = 4096;  ///< Events with template_id >= this drop.
+  /// Quarantine bound for out-of-order timestamps: an event more than this
+  /// many seconds older than the newest timestamp already accepted is
+  /// dropped (a garbage timestamp would otherwise explode the binner's
+  /// zero-filled range). Negative disables the check.
+  int64_t max_lateness_seconds = 24 * 3600;
+};
+
+/// Per-category drop counters (each monotonic since construction).
+struct IngestDropStats {
+  uint64_t full = 0;         ///< Queue at capacity (load shedding).
+  uint64_t template_id = 0;  ///< template_id >= max_templates.
+  uint64_t nonfinite = 0;    ///< NaN / ±inf count (quarantined).
+  uint64_t negative = 0;     ///< Negative count (quarantined).
+  uint64_t stale = 0;        ///< Timestamp older than lateness bound.
+
+  uint64_t total() const {
+    return full + template_id + nonfinite + negative + stale;
+  }
+  /// Drops caused by malformed input rather than backpressure.
+  uint64_t quarantined() const { return nonfinite + negative + stale; }
 };
 
 /// Bounded multi-producer single-consumer event queue. Offer never blocks;
-/// Drain moves everything buffered to the consumer in arrival order.
+/// Drain moves everything buffered to the consumer in arrival order. Garbage
+/// input (non-finite or negative counts, wildly out-of-order timestamps) is
+/// quarantined at the door with dedicated counters so one bad producer cannot
+/// poison the training history.
 class TraceIngestor {
  public:
   /// Aborts (DBAUGUR_CHECK) when opts.capacity == 0.
   explicit TraceIngestor(const IngestorOptions& opts);
 
-  /// Thread-safe, non-blocking enqueue. Returns false (and counts a drop)
-  /// when the queue is full or template_id >= max_templates.
+  /// Thread-safe, non-blocking enqueue. Returns false (and counts the drop in
+  /// its category) when the queue is full, template_id >= max_templates, the
+  /// count is non-finite or negative, or the timestamp is staler than
+  /// max_lateness_seconds.
   bool Offer(const TraceEvent& event);
 
   /// Moves all buffered events into *out (appended), returning how many.
   /// Single consumer: callers serialize Drain externally.
   size_t Drain(std::vector<TraceEvent>* out);
 
-  /// Events accepted / dropped since construction (monotonic).
+  /// Events accepted / dropped since construction (monotonic). dropped() is
+  /// the sum over every drop category.
   uint64_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
-  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return drop_stats().total(); }
+  IngestDropStats drop_stats() const;
+
+  /// Buffered events awaiting Drain (point-in-time; takes the queue lock).
+  size_t size() const;
 
   size_t capacity() const { return opts_.capacity; }
 
  private:
   IngestorOptions opts_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::vector<TraceEvent> queue_;  // guarded by mu_
+  bool any_accepted_ = false;      // guarded by mu_
+  ts::Timestamp max_timestamp_ = 0;  // newest accepted; guarded by mu_
   std::atomic<uint64_t> accepted_{0};
-  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> dropped_full_{0};
+  std::atomic<uint64_t> dropped_template_{0};
+  std::atomic<uint64_t> dropped_nonfinite_{0};
+  std::atomic<uint64_t> dropped_negative_{0};
+  std::atomic<uint64_t> dropped_stale_{0};
 };
 
 /// Accumulates drained events into per-template fixed-interval bins and
@@ -77,8 +113,13 @@ class TraceBinner {
   /// Aborts (DBAUGUR_CHECK) when interval_seconds <= 0.
   explicit TraceBinner(int64_t interval_seconds);
 
-  /// Adds one event's count to its template's bin
-  /// (floor(timestamp / interval)).
+  /// The bin an event at `timestamp` lands in: floor(timestamp / interval).
+  /// The origin is the epoch — never the first event seen — so the mapping is
+  /// stable across Save/Load and across services whose first events differ,
+  /// including events landing exactly on a bin boundary.
+  int64_t BinIndex(ts::Timestamp timestamp) const;
+
+  /// Adds one event's count to its template's bin (BinIndex above).
   void Fold(const TraceEvent& event);
 
   /// Number of distinct intervals between the earliest and latest bin seen

@@ -1,32 +1,37 @@
 #include "serve/retrainer.h"
 
+#include <cmath>
 #include <string>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/math_utils.h"
 
 namespace dbaugur::serve {
 
 Retrainer::Retrainer(const core::DBAugurOptions& pipeline,
-                     int64_t bin_interval_seconds, size_t min_bins,
-                     uint64_t seed)
+                     const RetrainerOptions& opts)
     : pipeline_(pipeline),
-      binner_(bin_interval_seconds),
-      min_bins_(min_bins != 0
-                    ? min_bins
+      opts_(opts),
+      binner_(opts.bin_interval_seconds),
+      min_bins_(opts.min_bins != 0
+                    ? opts.min_bins
                     : pipeline.forecaster.window + pipeline.forecaster.horizon +
                           1),
-      base_seed_(seed),
-      seed_rng_(seed) {}
+      seed_rng_(opts.seed) {}
 
 void Retrainer::Fold(const std::vector<TraceEvent>& events) {
   for (const TraceEvent& e : events) binner_.Fold(e);
 }
 
 StatusOr<std::shared_ptr<const ServiceSnapshot>> Retrainer::Rebuild(
-    uint64_t generation) {
+    uint64_t generation, const ServiceSnapshot* last_good) {
   if (binner_.bin_count() < min_bins_) {
     return std::shared_ptr<const ServiceSnapshot>();
+  }
+  if (DBAUGUR_FAULT_POINT("serve.retrain.build")) {
+    return Status::Internal("serve: injected retrain failure");
   }
   auto traces = binner_.Traces();
   if (!traces.ok()) return traces.status();
@@ -34,22 +39,63 @@ StatusOr<std::shared_ptr<const ServiceSnapshot>> Retrainer::Rebuild(
   names.reserve(traces->size());
   for (const ts::Series& t : *traces) names.push_back(t.name());
 
+  // Winsorize each trace: clamp values beyond median ± k·1.4826·MAD (the
+  // Gaussian-consistent robust sigma) so one corrupt count the quarantine
+  // could not prove wrong cannot drag a whole cluster's fit. The binner keeps
+  // the raw values — the clamp is per-cycle, so late events can still refine
+  // a bin and be re-judged next cycle.
+  if (opts_.winsorize_k > 0.0) {
+    for (ts::Series& t : *traces) {
+      std::vector<double>& vals = t.mutable_values();
+      double med = Median(vals);
+      std::vector<double> dev;
+      dev.reserve(vals.size());
+      for (double v : vals) dev.push_back(std::abs(v - med));
+      double mad = Median(std::move(dev));
+      if (!(mad > 0.0)) continue;
+      double radius = opts_.winsorize_k * 1.4826 * mad;
+      double lo = med - radius, hi = med + radius;
+      uint64_t clamped = 0;
+      for (double& v : vals) {
+        if (v < lo) {
+          v = lo;
+          ++clamped;
+        } else if (v > hi) {
+          v = hi;
+          ++clamped;
+        }
+      }
+      if (clamped > 0) {
+        values_winsorized_ += clamped;
+        winsorized_by_trace_[t.name()] += clamped;
+      }
+    }
+  }
+
   // One seed per completed cycle, drawn from the retrainer's own stream so
   // cycle k trains identically on every run (and on every restart, via the
   // fast-forward in LoadState).
   core::DBAugurOptions opts = pipeline_;
   opts.forecaster.seed = seed_rng_.engine()();
+  opts.tolerate_fit_failures = true;
 
   auto state = core::BuildTrainedState(opts, *traces);
   if (!state.ok()) return state.status();
+  SnapshotFallback fb;
+  fb.opts = &opts;
+  fb.last_good = (last_good != nullptr && last_good->trained()) ? last_good
+                                                                : nullptr;
+  fb.divergence_multiple = opts_.divergence_multiple;
   auto snap = MakeSnapshot(std::move(state).value(), names,
-                           opts.forecaster.window, generation);
+                           opts.forecaster.window, generation, fb);
   if (!snap.ok()) return snap.status();
   ++cycles_;
   DBAUGUR_INFO("serve: retrain cycle " << cycles_ << " published generation "
                                        << generation << " ("
                                        << (*snap)->cluster_count()
-                                       << " clusters, " << names.size()
+                                       << " clusters, "
+                                       << (*snap)->degraded_count()
+                                       << " degraded, " << names.size()
                                        << " traces)");
   return snap;
 }
@@ -72,7 +118,7 @@ Status Retrainer::LoadState(BufReader* r) {
   }
   // Replay the seed stream so the next cycle draws the same seed the saving
   // service would have drawn.
-  Rng rng(base_seed_);
+  Rng rng(opts_.seed);
   for (uint64_t i = 0; i < cycles; ++i) rng.engine()();
   binner_ = std::move(binner);
   seed_rng_ = std::move(rng);

@@ -3,17 +3,20 @@
 // The Retrainer owns everything the training side of the service touches:
 // the TraceBinner accumulating drained events, the pipeline options, and a
 // deterministic seed stream. Each successful Rebuild draws one per-cycle seed
-// from the stream, runs the full offline pipeline (Descender clustering on
-// the PR-2 thread pool + per-cluster ensemble fits) via
-// core::BuildTrainedState, and returns a fresh immutable snapshot for the
-// service to publish. Restart determinism: the cycle counter is persisted,
-// and LoadState fast-forwards the seed stream past the consumed draws, so a
-// restored service's *next* retrain uses exactly the seed the original
-// service would have used.
+// from the stream, winsorizes the binned traces (median/MAD outlier clamp),
+// runs the full offline pipeline (Descender clustering on the PR-2 thread
+// pool + per-cluster ensemble fits) via core::BuildTrainedState, and returns
+// a fresh immutable snapshot for the service to publish — substituting a
+// last-good or kernel-baseline fallback for any cluster whose fit failed or
+// diverged (see serve/snapshot.h). Restart determinism: the cycle counter is
+// persisted, and LoadState fast-forwards the seed stream past the consumed
+// draws, so a restored service's *next* retrain uses exactly the seed the
+// original service would have used.
 
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -26,13 +29,28 @@
 
 namespace dbaugur::serve {
 
+/// Robustness knobs for the retrain path.
+struct RetrainerOptions {
+  /// Forecasting interval I (> 0).
+  int64_t bin_interval_seconds = 600;
+  /// Complete bins required before training is attempted; 0 selects
+  /// window + horizon + 1 (the smallest workload the sliding-window dataset
+  /// builder accepts with headroom for one target).
+  size_t min_bins = 0;
+  /// Base seed for the per-cycle seed stream.
+  uint64_t seed = 42;
+  /// Winsorization threshold: values beyond median ± k·1.4826·MAD are clamped
+  /// to the boundary before training. <= 0 disables. Skipped per trace when
+  /// MAD is 0 (constant or near-constant data has no robust scale).
+  double winsorize_k = 8.0;
+  /// Forecast sanity bound passed to MakeSnapshot (multiples of the
+  /// representative's observed span). <= 0 disables the range check.
+  double divergence_multiple = 10.0;
+};
+
 class Retrainer {
  public:
-  /// `min_bins` is the number of complete bins required before training is
-  /// attempted; 0 selects window + horizon + 1 (the smallest workload the
-  /// sliding-window dataset builder accepts with headroom for one target).
-  Retrainer(const core::DBAugurOptions& pipeline, int64_t bin_interval_seconds,
-            size_t min_bins, uint64_t seed);
+  Retrainer(const core::DBAugurOptions& pipeline, const RetrainerOptions& opts);
 
   /// Folds drained ingest events into the binner.
   void Fold(const std::vector<TraceEvent>& events);
@@ -41,13 +59,23 @@ class Retrainer {
   /// publish with the given generation. Returns a null pointer (with OK
   /// status) when fewer than min_bins bins have accumulated — not an error,
   /// the service just keeps serving the previous snapshot. The per-cycle seed
-  /// is drawn only when training actually runs.
-  StatusOr<std::shared_ptr<const ServiceSnapshot>> Rebuild(uint64_t generation);
+  /// is drawn only when training actually runs. `last_good` (may be null) is
+  /// the currently published snapshot; a diverged cluster falls back to its
+  /// last-good model state, or the kernel baseline on first train.
+  StatusOr<std::shared_ptr<const ServiceSnapshot>> Rebuild(
+      uint64_t generation, const ServiceSnapshot* last_good);
 
   /// Completed training cycles (drives the deterministic seed stream).
   uint64_t cycles() const { return cycles_; }
   const TraceBinner& binner() const { return binner_; }
   size_t min_bins() const { return min_bins_; }
+
+  /// Total trace values clamped by the winsorizer across all cycles.
+  uint64_t values_winsorized() const { return values_winsorized_; }
+  /// Cumulative clamp counts keyed by trace name (template / resource).
+  const std::map<std::string, uint64_t>& winsorized_by_trace() const {
+    return winsorized_by_trace_;
+  }
 
   /// Appends binner contents + cycle count to *w (part of the service blob).
   void SaveState(BufWriter* w) const;
@@ -59,11 +87,13 @@ class Retrainer {
 
  private:
   core::DBAugurOptions pipeline_;
+  RetrainerOptions opts_;
   TraceBinner binner_;
   size_t min_bins_;
-  uint64_t base_seed_;
   Rng seed_rng_;
   uint64_t cycles_ = 0;
+  uint64_t values_winsorized_ = 0;
+  std::map<std::string, uint64_t> winsorized_by_trace_;
 };
 
 }  // namespace dbaugur::serve

@@ -1,6 +1,8 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "common/contracts.h"
@@ -11,19 +13,34 @@ namespace dbaugur::serve {
 namespace {
 constexpr uint32_t kServiceMagic = 0xDBA65EF0;
 constexpr uint32_t kServiceVersion = 1;
+
+// SplitMix64 finalizer: one well-mixed word from (seed, failure ordinal),
+// with no RNG state to carry — the backoff jitter must be a pure function so
+// tests can recompute the exact schedule.
+uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 }  // namespace
 
 ForecastService::ForecastService(const ServeOptions& opts)
     : opts_(opts),
-      ingestor_(IngestorOptions{opts.queue_capacity, opts.max_templates}),
-      retrainer_(opts.pipeline, opts.bin_interval_seconds, opts.min_bins,
-                 opts.seed) {
+      ingestor_(IngestorOptions{opts.queue_capacity, opts.max_templates,
+                                opts.max_lateness_seconds}),
+      retrainer_(opts.pipeline,
+                 RetrainerOptions{opts.bin_interval_seconds, opts.min_bins,
+                                  opts.seed, opts.winsorize_k,
+                                  opts.divergence_multiple}) {
   DBAUGUR_CHECK(opts_.queue_capacity >= 1,
                 "ForecastService queue_capacity must be >= 1");
   DBAUGUR_CHECK(opts_.retrain_interval_seconds > 0,
                 "ForecastService retrain_interval_seconds must be positive");
   DBAUGUR_CHECK(opts_.bin_interval_seconds > 0,
                 "ForecastService bin_interval_seconds must be positive");
+  DBAUGUR_CHECK(opts_.max_backoff_seconds > 0,
+                "ForecastService max_backoff_seconds must be positive");
   // Readers never see a null snapshot: generation 0 is "nothing trained yet".
   Publish(std::make_shared<const ServiceSnapshot>(), 0);
 }
@@ -42,17 +59,35 @@ void ForecastService::Publish(std::shared_ptr<const ServiceSnapshot> snap,
 
 ForecastService::~ForecastService() { Stop(); }
 
+void ForecastService::RecordFailure(const Status& st) {
+  retrains_failed_.fetch_add(1, std::memory_order_relaxed);
+  consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    last_error_ = st.message();
+    last_error_cycles_ = retrainer_.cycles();  // caller holds retrain_mu_
+    last_error_generation_ = generation_.load(std::memory_order_acquire);
+  }
+  // The single log line for this failure: the backoff loop stays silent, so a
+  // persistent fault produces one record per attempt, not one per tick.
+  DBAUGUR_WARN("serve: retrain cycle failed: " << st.message());
+}
+
 Status ForecastService::RetrainOnce() {
   std::lock_guard<std::mutex> lock(retrain_mu_);
   std::vector<TraceEvent> events;
   ingestor_.Drain(&events);
   retrainer_.Fold(events);
   uint64_t next_gen = generation_.load(std::memory_order_relaxed) + 1;
-  auto snap = retrainer_.Rebuild(next_gen);
+  auto last_good = snapshot();
+  auto snap = retrainer_.Rebuild(next_gen, last_good.get());
+  values_winsorized_.store(retrainer_.values_winsorized(),
+                           std::memory_order_relaxed);
   if (!snap.ok()) {
-    retrains_failed_.fetch_add(1, std::memory_order_relaxed);
+    RecordFailure(snap.status());
     return snap.status();
   }
+  consecutive_failures_.store(0, std::memory_order_relaxed);
   if (*snap == nullptr) {
     retrains_skipped_.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
@@ -83,30 +118,92 @@ void ForecastService::Stop() {
   running_.store(false, std::memory_order_release);
 }
 
+double ForecastService::ComputeBackoffSeconds(const ServeOptions& opts,
+                                              uint64_t consecutive_failures,
+                                              uint64_t total_failures) {
+  if (consecutive_failures == 0) return opts.retrain_interval_seconds;
+  // Capped exponential: interval · 2^(failures-1). ldexp is exact, and the
+  // exponent is clamped well below double overflow before the cap applies.
+  int exp = static_cast<int>(std::min<uint64_t>(consecutive_failures - 1, 60));
+  double delay = std::ldexp(opts.retrain_interval_seconds, exp);
+  delay = std::min(delay, opts.max_backoff_seconds);
+  // Deterministic ±10% jitter keyed on (seed, failure ordinal): retries of a
+  // fleet sharing one fault de-synchronize, yet every run of the same service
+  // waits exactly the same schedule.
+  double unit =
+      static_cast<double>(Mix64(opts.seed ^ total_failures) >> 11) * 0x1.0p-53;
+  return delay * (0.9 + 0.2 * unit);
+}
+
 void ForecastService::RetrainLoop() {
   std::unique_lock<std::mutex> lock(stop_mu_);
   while (!stopping_) {
     lock.unlock();
-    Status st = RetrainOnce();
-    if (!st.ok()) {
-      DBAUGUR_WARN("serve: retrain cycle failed: " << st.message());
-    }
+    // Failures are counted, recorded, and logged inside RetrainOnce; here
+    // they only stretch the wait below.
+    (void)RetrainOnce();
+    double wait = ComputeBackoffSeconds(
+        opts_, consecutive_failures_.load(std::memory_order_relaxed),
+        retrains_failed_.load(std::memory_order_relaxed));
     lock.lock();
-    stop_cv_.wait_for(
-        lock, std::chrono::duration<double>(opts_.retrain_interval_seconds),
-        [this] { return stopping_; });
+    stop_cv_.wait_for(lock, std::chrono::duration<double>(wait),
+                      [this] { return stopping_; });
   }
 }
 
 ServeStats ForecastService::stats() const {
   ServeStats s;
   s.events_accepted = ingestor_.accepted();
-  s.events_dropped = ingestor_.dropped();
+  IngestDropStats drops = ingestor_.drop_stats();
+  s.events_dropped = drops.total();
+  s.events_quarantined = drops.quarantined();
+  s.values_winsorized = values_winsorized_.load(std::memory_order_relaxed);
   s.retrains_completed = retrains_completed_.load(std::memory_order_relaxed);
   s.retrains_skipped = retrains_skipped_.load(std::memory_order_relaxed);
   s.retrains_failed = retrains_failed_.load(std::memory_order_relaxed);
+  s.consecutive_failures =
+      consecutive_failures_.load(std::memory_order_relaxed);
   s.generation = generation();
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    s.last_error = last_error_;
+    s.last_error_cycles = last_error_cycles_;
+    s.last_error_generation = last_error_generation_;
+  }
   return s;
+}
+
+ServiceHealth ForecastService::Health() const {
+  ServiceHealth h;
+  auto snap = snapshot();
+  h.generation = snap->generation;
+  h.consecutive_failures =
+      consecutive_failures_.load(std::memory_order_relaxed);
+  h.backoff_seconds =
+      ComputeBackoffSeconds(opts_, h.consecutive_failures,
+                            retrains_failed_.load(std::memory_order_relaxed));
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    h.last_error = last_error_;
+  }
+  h.queue_depth = ingestor_.size();
+  h.events_quarantined = ingestor_.drop_stats().quarantined();
+  h.values_winsorized = values_winsorized_.load(std::memory_order_relaxed);
+  h.clusters.reserve(snap->clusters.size());
+  for (size_t rank = 0; rank < snap->clusters.size(); ++rank) {
+    const SnapshotCluster& c = snap->clusters[rank];
+    h.clusters.push_back({c.cluster_id, rank, c.degraded, c.degraded_reason});
+  }
+  if (h.consecutive_failures > 0) {
+    h.state = ServiceHealth::State::kBackoff;
+  } else if (snap->degraded_count() > 0) {
+    h.state = ServiceHealth::State::kDegraded;
+  } else if (snap->trained()) {
+    h.state = ServiceHealth::State::kHealthy;
+  } else {
+    h.state = ServiceHealth::State::kUntrained;
+  }
+  return h;
 }
 
 StatusOr<std::vector<uint8_t>> ForecastService::Save() {
@@ -182,6 +279,33 @@ Status ForecastService::Load(const std::vector<uint8_t>& blob) {
   if (!rr.AtEnd()) return corrupt();
   Publish(std::move(snap), generation);
   return Status::OK();
+}
+
+Status ForecastService::SaveToFile(const std::string& path) {
+  auto blob = Save();
+  if (!blob.ok()) return blob.status();
+  return ::dbaugur::SaveToFile(path, *blob);
+}
+
+Status ForecastService::LoadFromFile(const std::string& path,
+                                     bool* recovered) {
+  auto loaded = ::dbaugur::LoadFromFile(path);
+  if (!loaded.ok()) return loaded.status();
+  Status st = Load(loaded->blob);
+  if (st.ok()) {
+    if (recovered != nullptr) *recovered = loaded->recovered_from_backup;
+    return Status::OK();
+  }
+  // The primary frame passed its checksum but failed service-level
+  // validation; the previous good file may still restore cleanly.
+  if (!loaded->recovered_from_backup) {
+    auto bak = ::dbaugur::LoadFromFile(path + ".bak");
+    if (bak.ok() && Load(bak->blob).ok()) {
+      if (recovered != nullptr) *recovered = true;
+      return Status::OK();
+    }
+  }
+  return st;
 }
 
 }  // namespace dbaugur::serve

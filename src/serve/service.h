@@ -8,6 +8,8 @@
 //   snap->ForecastCluster(0);             // pure arithmetic, no locks
 //   auto blob = svc.Save();               // versioned full-state blob
 //   restarted.Load(*blob);                // resumes with identical forecasts
+//   svc.SaveToFile(path);                 // crash-safe on-disk checkpoint
+//   svc.Health();                         // liveness + degradation report
 //
 // Concurrency model: producers Offer() into the bounded ingest queue; the
 // single retrain thread drains it, re-runs the clustering + ensemble pipeline,
@@ -20,6 +22,13 @@
 // would make the copy itself lock-free, but libstdc++ 12's _Sp_atomic
 // predates the _GLIBCXX_TSAN annotations (GCC PR 101761) and reports false
 // races under the TSan preset this repo gates on.)
+//
+// Failure model: a failed retrain cycle never disturbs the published
+// snapshot — readers keep the previous generation. The background loop backs
+// off exponentially (capped, deterministically jittered) while failures
+// persist, logs each failure exactly once, and records it for stats()/
+// Health(). Individual diverged clusters degrade independently inside the
+// snapshot build (see serve/snapshot.h).
 
 #pragma once
 
@@ -28,6 +37,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -48,16 +58,64 @@ struct ServeOptions {
   double retrain_interval_seconds = 1.0;  ///< Background cycle period (> 0).
   size_t min_bins = 0;                  ///< Bins before first train (0: auto).
   uint64_t seed = 42;                   ///< Base seed for the retrain stream.
+  /// Events older than the newest accepted timestamp by more than this are
+  /// quarantined at ingest (negative disables; see IngestorOptions).
+  int64_t max_lateness_seconds = 24 * 3600;
+  /// Median/MAD winsorization threshold for the retrain path (<= 0 off).
+  double winsorize_k = 8.0;
+  /// Per-cluster forecast sanity bound (multiples of the representative's
+  /// observed span; <= 0 disables the range check).
+  double divergence_multiple = 10.0;
+  /// Cap on the failure backoff delay between retrain attempts (> 0).
+  double max_backoff_seconds = 60.0;
 };
 
 /// Monotonic service counters (relaxed reads; values may trail by an event).
 struct ServeStats {
   uint64_t events_accepted = 0;
-  uint64_t events_dropped = 0;
+  uint64_t events_dropped = 0;     ///< All drops, including queue-full.
+  uint64_t events_quarantined = 0; ///< Malformed drops only (bad template id,
+                                   ///< non-finite / negative count, stale).
+  uint64_t values_winsorized = 0;  ///< Trace values clamped before training.
   uint64_t retrains_completed = 0;
   uint64_t retrains_skipped = 0;   ///< Cycles with too little data to train.
   uint64_t retrains_failed = 0;
+  uint64_t consecutive_failures = 0;  ///< 0 after any successful cycle.
   uint64_t generation = 0;
+  /// Most recent retrain failure (empty message if none yet). The cycle /
+  /// generation fields say *when*: the failure was observed after
+  /// `last_error_cycles` completed cycles, while generation
+  /// `last_error_generation` was being served.
+  std::string last_error;
+  uint64_t last_error_cycles = 0;
+  uint64_t last_error_generation = 0;
+};
+
+/// Point-in-time liveness + degradation report (see Health()).
+struct ServiceHealth {
+  enum class State {
+    kUntrained,  ///< No generation published yet.
+    kHealthy,    ///< Serving, no degraded clusters, no active failures.
+    kDegraded,   ///< Serving, but >= 1 cluster is on a fallback model.
+    kBackoff,    ///< Last retrain failed; the loop is backing off.
+  };
+  struct Cluster {
+    int cluster_id = 0;
+    size_t rank = 0;          ///< Position in the top-K ordering.
+    bool degraded = false;
+    std::string reason;       ///< Empty unless degraded.
+  };
+
+  State state = State::kUntrained;
+  uint64_t generation = 0;
+  uint64_t consecutive_failures = 0;
+  /// Delay before the next retrain attempt given the current failure count.
+  double backoff_seconds = 0.0;
+  std::string last_error;     ///< Empty if no retrain has ever failed.
+  size_t queue_depth = 0;     ///< Events waiting in the ingest queue.
+  uint64_t events_quarantined = 0;
+  uint64_t values_winsorized = 0;
+  std::vector<Cluster> clusters;  ///< Per-cluster degradation flags.
 };
 
 class ForecastService {
@@ -96,6 +154,8 @@ class ForecastService {
 
   /// Runs one drain → fold → retrain → publish cycle synchronously. OK when
   /// the cycle is skipped for lack of data (the skip is counted in stats).
+  /// A failure is recorded (stats + last_error, logged once) and returned;
+  /// the published snapshot is untouched.
   /// Serialized against the background loop and Save/Load.
   Status RetrainOnce();
 
@@ -106,6 +166,17 @@ class ForecastService {
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   ServeStats stats() const;
+
+  /// Snapshot of the service's liveness and degradation state.
+  ServiceHealth Health() const;
+
+  /// The delay the background loop waits after a cycle, given the current
+  /// failure streak: retrain_interval for 0 failures, else capped exponential
+  /// backoff with a deterministic ±10% jitter keyed on (seed, total_failures).
+  /// Static and pure so tests can recompute the exact schedule.
+  static double ComputeBackoffSeconds(const ServeOptions& opts,
+                                      uint64_t consecutive_failures,
+                                      uint64_t total_failures);
 
   /// Serializes the whole service — binned history, retrain-cycle position,
   /// and the published snapshot with every model parameter in lossless
@@ -119,6 +190,16 @@ class ForecastService {
   /// bit) is published and the retrain seed stream resumes where it left off.
   Status Load(const std::vector<uint8_t>& blob);
 
+  /// Crash-safe on-disk checkpoint: Save() through common/binio's
+  /// write-temp → fsync → atomic-rename path (with CRC framing and the
+  /// previous good file kept as `.bak`).
+  Status SaveToFile(const std::string& path);
+
+  /// Restores a SaveToFile checkpoint, falling back to the `.bak` previous
+  /// good file when the primary is torn or corrupt. `recovered` (optional)
+  /// reports whether the fallback was used.
+  Status LoadFromFile(const std::string& path, bool* recovered = nullptr);
+
   const ServeOptions& options() const { return opts_; }
 
  private:
@@ -126,6 +207,9 @@ class ForecastService {
 
   /// Swaps in a new snapshot + generation under snapshot_mu_.
   void Publish(std::shared_ptr<const ServiceSnapshot> snap, uint64_t gen);
+
+  /// Records a retrain failure: counters, last_error, one WARN log line.
+  void RecordFailure(const Status& st);
 
   ServeOptions opts_;
   TraceIngestor ingestor_;
@@ -138,6 +222,13 @@ class ForecastService {
   std::atomic<uint64_t> retrains_completed_{0};
   std::atomic<uint64_t> retrains_skipped_{0};
   std::atomic<uint64_t> retrains_failed_{0};
+  std::atomic<uint64_t> consecutive_failures_{0};
+  std::atomic<uint64_t> values_winsorized_{0};
+
+  mutable std::mutex error_mu_;       // guards the last_error record
+  std::string last_error_;
+  uint64_t last_error_cycles_ = 0;
+  uint64_t last_error_generation_ = 0;
 
   std::thread worker_;                // managed by Start/Stop (owner thread)
   std::mutex stop_mu_;                // guards stopping_ with stop_cv_

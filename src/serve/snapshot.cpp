@@ -1,14 +1,73 @@
 #include "serve/snapshot.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "common/fault_injection.h"
+#include "common/logging.h"
 #include "ensemble/presets.h"
 
 namespace dbaugur::serve {
 
 namespace {
 constexpr uint32_t kSnapshotMagic = 0xDBA65E01;
-constexpr uint32_t kSnapshotVersion = 1;
+// v2 added per-cluster model_kind + degraded flag/reason.
+constexpr uint32_t kSnapshotVersion = 2;
+
+// Constructs an untrained model of the given preset kind.
+StatusOr<std::unique_ptr<ensemble::TimeSensitiveEnsemble>> BuildByKind(
+    const core::DBAugurOptions& opts, SnapshotCluster::ModelKind kind) {
+  switch (kind) {
+    case SnapshotCluster::ModelKind::kEnsemble:
+      return ensemble::MakeDBAugur(opts.forecaster, opts.delta);
+    case SnapshotCluster::ModelKind::kKernelBaseline:
+      return ensemble::MakeKernelBaseline(opts.forecaster);
+  }
+  return Status::InvalidArgument("serve: unknown snapshot model kind");
+}
+
+// Clones a trained ensemble via its lossless state round-trip. The source may
+// belong to an immutable published snapshot, so it is never mutated.
+StatusOr<std::unique_ptr<ensemble::TimeSensitiveEnsemble>> CloneModel(
+    const core::DBAugurOptions& opts, SnapshotCluster::ModelKind kind,
+    const ensemble::TimeSensitiveEnsemble& src) {
+  auto state = src.SaveState();
+  if (!state.ok()) return state.status();
+  auto clone = BuildByKind(opts, kind);
+  if (!clone.ok()) return clone.status();
+  DBAUGUR_RETURN_IF_ERROR((*clone)->LoadState(*state));
+  return std::move(clone).value();
+}
+
+// A forecast is sane when finite and within `multiple` observed spans beyond
+// the representative's min/max (multiple <= 0 checks finiteness only).
+bool ForecastSane(double value, const ts::Series& representative,
+                  double multiple) {
+  if (!std::isfinite(value)) return false;
+  if (multiple <= 0.0) return true;
+  const auto& vals = representative.values();
+  if (vals.empty()) return true;
+  auto [lo_it, hi_it] = std::minmax_element(vals.begin(), vals.end());
+  double lo = *lo_it, hi = *hi_it;
+  double span = hi - lo;
+  if (!(span > 0.0)) span = std::max(1.0, std::abs(hi));
+  return value >= lo - multiple * span && value <= hi + multiple * span;
+}
+
+// Predicts the representative's next value (same windowing as
+// core::NextClusterValue, without transferring model ownership).
+StatusOr<double> PredictNext(const ensemble::TimeSensitiveEnsemble& model,
+                             const ts::Series& representative, size_t window) {
+  const auto& vals = representative.values();
+  if (vals.size() < window) {
+    return Status::FailedPrecondition(
+        "serve: representative shorter than window");
+  }
+  std::vector<double> w(vals.end() - static_cast<ptrdiff_t>(window),
+                        vals.end());
+  return model.Predict(w);
+}
 }  // namespace
 
 StatusOr<double> ServiceSnapshot::ForecastCluster(size_t rank) const {
@@ -39,9 +98,53 @@ StatusOr<double> ServiceSnapshot::ForecastTrace(size_t trace_index) const {
       "serve: trace's cluster is outside the forecasted top-K");
 }
 
+namespace {
+// Fills `sc` with a fallback model for a cluster whose fresh fit failed or
+// diverged: first the last-good snapshot's model for the same cluster_id
+// (cloned, then revalidated on the new representative), else a freshly fit
+// kernel-regression baseline. `cause` describes the original failure.
+Status ApplyFallback(const SnapshotFallback& fb, size_t window,
+                     const std::string& cause, SnapshotCluster* sc) {
+  sc->degraded = true;
+  if (fb.last_good != nullptr) {
+    for (const SnapshotCluster& prev : fb.last_good->clusters) {
+      if (prev.cluster_id != sc->cluster_id || prev.model == nullptr) continue;
+      auto clone = CloneModel(*fb.opts, prev.model_kind, *prev.model);
+      if (!clone.ok()) break;  // unclonable last-good: fall through to KR
+      auto next = PredictNext(**clone, sc->representative, window);
+      if (next.ok() &&
+          ForecastSane(*next, sc->representative, fb.divergence_multiple)) {
+        sc->model = std::move(clone).value();
+        sc->model_kind = prev.model_kind;
+        sc->next_value = *next;
+        sc->degraded_reason =
+            cause + "; serving last-good generation " +
+            std::to_string(fb.last_good->generation) + " model";
+        return Status::OK();
+      }
+      break;  // last-good also insane on the new data: fall through to KR
+    }
+  }
+  auto baseline = ensemble::MakeKernelBaseline(fb.opts->forecaster);
+  if (!baseline.ok()) return baseline.status();
+  DBAUGUR_RETURN_IF_ERROR((*baseline)->Fit(sc->representative.values()));
+  auto next = PredictNext(**baseline, sc->representative, window);
+  if (!next.ok()) return next.status();
+  if (!std::isfinite(*next)) {
+    return Status::Internal(
+        "serve: kernel baseline produced a non-finite forecast");
+  }
+  sc->model = std::move(baseline).value();
+  sc->model_kind = SnapshotCluster::ModelKind::kKernelBaseline;
+  sc->next_value = *next;
+  sc->degraded_reason = cause + "; serving kernel-regression baseline";
+  return Status::OK();
+}
+}  // namespace
+
 StatusOr<std::shared_ptr<const ServiceSnapshot>> MakeSnapshot(
     core::TrainedState state, const std::vector<std::string>& trace_names,
-    size_t window, uint64_t generation) {
+    size_t window, uint64_t generation, const SnapshotFallback& fallback) {
   auto snap = std::make_shared<ServiceSnapshot>();
   snap->generation = generation;
   snap->trace_names = trace_names;
@@ -53,11 +156,40 @@ StatusOr<std::shared_ptr<const ServiceSnapshot>> MakeSnapshot(
     sc.cluster_id = cf.cluster_id;
     sc.volume = cf.volume;
     sc.member_count = cf.member_count;
-    auto next = core::NextClusterValue(cf, window);
-    if (!next.ok()) return next.status();
-    sc.next_value = *next;
     sc.representative = std::move(cf.representative);
-    sc.model = std::move(cf.model);
+    if (fallback.opts == nullptr) {
+      // No degraded-mode policy: any failure is the caller's problem.
+      if (!cf.fit_status.ok()) return cf.fit_status;
+      auto next = PredictNext(*cf.model, sc.representative, window);
+      if (!next.ok()) return next.status();
+      sc.next_value = *next;
+      sc.model = std::move(cf.model);
+      snap->clusters.push_back(std::move(sc));
+      continue;
+    }
+    std::string cause;
+    if (!cf.fit_status.ok()) {
+      cause = std::string("fit failed: ") + cf.fit_status.message();
+    } else {
+      auto next = PredictNext(*cf.model, sc.representative, window);
+      if (!next.ok()) {
+        cause = std::string("forecast failed: ") + next.status().message();
+      } else if (DBAUGUR_FAULT_POINT("serve.retrain.diverge")) {
+        cause = "forecast diverged (injected)";
+      } else if (!ForecastSane(*next, sc.representative,
+                               fallback.divergence_multiple)) {
+        cause = "forecast diverged: " + std::to_string(*next) +
+                " outside sane range of representative";
+      } else {
+        sc.next_value = *next;
+        sc.model = std::move(cf.model);
+        snap->clusters.push_back(std::move(sc));
+        continue;
+      }
+    }
+    DBAUGUR_RETURN_IF_ERROR(ApplyFallback(fallback, window, cause, &sc));
+    DBAUGUR_WARN("serve: cluster " << sc.cluster_id << " degraded ("
+                                   << sc.degraded_reason << ")");
     snap->clusters.push_back(std::move(sc));
   }
   return std::shared_ptr<const ServiceSnapshot>(std::move(snap));
@@ -84,6 +216,9 @@ Status SerializeSnapshot(const ServiceSnapshot& snap, BufWriter* w) {
     w->U64(c.representative.size());
     for (double v : c.representative.values()) w->F64(v);
     w->F64(c.next_value);
+    w->U8(static_cast<uint8_t>(c.model_kind));
+    w->U8(c.degraded ? 1 : 0);
+    w->Str(c.degraded_reason);
     auto model_state = c.model->SaveState();
     if (!model_state.ok()) return model_state.status();
     w->Bytes(*model_state);
@@ -144,20 +279,28 @@ StatusOr<std::shared_ptr<const ServiceSnapshot>> DeserializeSnapshot(
     }
     c.representative = ts::Series(start, interval, std::move(rep_values),
                                   std::move(rep_name));
+    uint8_t kind = 0;
+    uint8_t degraded = 0;
     std::vector<uint8_t> model_state;
-    if (!r->F64(&c.next_value) || !r->Bytes(&model_state)) return corrupt();
-    auto model = ensemble::MakeDBAugur(opts.forecaster, opts.delta);
+    if (!r->F64(&c.next_value) || !r->U8(&kind) || !r->U8(&degraded) ||
+        !r->Str(&c.degraded_reason) || !r->Bytes(&model_state)) {
+      return corrupt();
+    }
+    if (kind > static_cast<uint8_t>(SnapshotCluster::ModelKind::kKernelBaseline) ||
+        degraded > 1) {
+      return corrupt();
+    }
+    c.model_kind = static_cast<SnapshotCluster::ModelKind>(kind);
+    c.degraded = degraded == 1;
+    auto model = BuildByKind(opts, c.model_kind);
     if (!model.ok()) return model.status();
     DBAUGUR_RETURN_IF_ERROR((*model)->LoadState(model_state));
     c.model = std::move(model).value();
 
-    // Prove the restore: the rebuilt ensemble must reproduce the forecast
-    // that was being served when the snapshot was taken, bit for bit.
-    core::ClusterForecast cf;
-    cf.representative = c.representative;
-    cf.model = std::move(c.model);
-    auto recomputed = core::NextClusterValue(cf, opts.forecaster.window);
-    c.model = std::move(cf.model);
+    // Prove the restore: the rebuilt model must reproduce the forecast that
+    // was being served when the snapshot was taken, bit for bit.
+    auto recomputed =
+        PredictNext(*c.model, c.representative, opts.forecaster.window);
     if (!recomputed.ok()) return recomputed.status();
     if (*recomputed != c.next_value) {
       return Status::InvalidArgument(

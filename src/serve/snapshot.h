@@ -33,6 +33,13 @@ namespace dbaugur::serve {
 
 /// One forecasted cluster in a snapshot: provenance plus the frozen forecast.
 struct SnapshotCluster {
+  /// Which preset `model` is; persisted so deserialization reconstructs the
+  /// right architecture before loading weights.
+  enum class ModelKind : uint8_t {
+    kEnsemble = 0,        ///< Full DBAugur ensemble (WFGAN + TCN + MLP).
+    kKernelBaseline = 1,  ///< Degraded-mode kernel-regression fallback.
+  };
+
   int cluster_id = 0;
   double volume = 0.0;
   size_t member_count = 0;
@@ -43,6 +50,12 @@ struct SnapshotCluster {
   std::unique_ptr<ensemble::TimeSensitiveEnsemble> model;
   /// Precomputed forecast of the representative's next value.
   double next_value = 0.0;
+  ModelKind model_kind = ModelKind::kEnsemble;
+  /// True when this cluster's fresh fit failed or diverged and `model` is a
+  /// fallback (last-good state or the kernel baseline).
+  bool degraded = false;
+  /// Human-readable cause, empty unless degraded.
+  std::string degraded_reason;
 };
 
 /// Immutable published state: everything a forecast read needs. Instances are
@@ -63,6 +76,11 @@ class ServiceSnapshot {
   bool trained() const { return !clusters.empty(); }
   size_t cluster_count() const { return clusters.size(); }
   size_t trace_count() const { return trace_names.size(); }
+  size_t degraded_count() const {
+    size_t n = 0;
+    for (const SnapshotCluster& c : clusters) n += c.degraded ? 1 : 0;
+    return n;
+  }
 
   /// Precomputed next value for the rank-th largest cluster.
   /// FailedPrecondition before training, OutOfRange for bad rank.
@@ -74,11 +92,36 @@ class ServiceSnapshot {
   StatusOr<double> ForecastTrace(size_t trace_index) const;
 };
 
+/// Degraded-mode policy for MakeSnapshot. With `opts` null, validation and
+/// fallbacks are disabled and any per-cluster fit failure is a hard error
+/// (the pre-robustness behavior).
+struct SnapshotFallback {
+  /// Pipeline options, needed to rebuild fallback models. Must outlive the
+  /// MakeSnapshot call.
+  const core::DBAugurOptions* opts = nullptr;
+  /// Previously published snapshot whose per-cluster models serve as
+  /// last-good fallbacks (matched by cluster_id). May be null (first train).
+  const ServiceSnapshot* last_good = nullptr;
+  /// A forecast is "sane" when it is finite and within this multiple of the
+  /// representative's observed span beyond its min/max. <= 0 disables the
+  /// range check (finiteness is always required).
+  double divergence_multiple = 10.0;
+};
+
 /// Builds a snapshot from a trained pipeline state, precomputing each
 /// cluster's next value with core::NextClusterValue. Consumes `state`.
+///
+/// With a SnapshotFallback carrying non-null `opts`, each cluster's forecast
+/// is validated; a cluster whose fit failed (fit_status) or whose forecast is
+/// non-finite / outside divergence_multiple × the representative's observed
+/// range falls back to its last-good model state (cloned from `last_good`,
+/// matched by cluster_id) or, failing that, to a freshly fit
+/// kernel-regression baseline — and is marked degraded with a reason. Healthy
+/// clusters are unaffected.
 StatusOr<std::shared_ptr<const ServiceSnapshot>> MakeSnapshot(
     core::TrainedState state, const std::vector<std::string>& trace_names,
-    size_t window, uint64_t generation);
+    size_t window, uint64_t generation,
+    const SnapshotFallback& fallback = SnapshotFallback{});
 
 /// Appends the snapshot's persistent fields (everything except the Descender,
 /// which the retrainer rebuilds from the binner) to *w.

@@ -1,0 +1,627 @@
+// Fault-tolerance tests for the serving layer: deterministic fault-injection
+// schedules, retrain backoff, input quarantine + winsorization, per-cluster
+// degraded mode with last-good / kernel-baseline fallbacks, and crash-safe
+// on-disk checkpoints (torn writes, bit flips, truncation → last-good
+// recovery). The final chaos test reads DBAUGUR_FAULT_SPEC and is what the
+// check.sh fault pass drives under ASan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/fault_injection.h"
+#include "serve/ingestor.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+
+namespace dbaugur::serve {
+namespace {
+
+constexpr int64_t kInterval = 600;
+
+// Every test starts and ends with a clean fault registry, so a failed test
+// cannot leak schedules into its neighbors (or inherit the env spec the
+// check.sh chaos pass installs process-wide).
+class ServeFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Reset(); }
+  void TearDown() override { fault::Reset(); }
+};
+
+using FaultInjectionTest = ServeFaultTest;
+using BackoffTest = ServeFaultTest;
+using QuarantineTest = ServeFaultTest;
+using DegradedModeTest = ServeFaultTest;
+using CheckpointFaultTest = ServeFaultTest;
+using ServeFaultChaosTest = ServeFaultTest;
+
+ServeOptions FaultOptions() {
+  ServeOptions o;
+  // Tight clustering: each of the (deliberately dissimilar) templates forms
+  // its own cluster, so per-cluster degradation is observable at every rank.
+  o.pipeline.clustering.radius = 1.0;
+  o.pipeline.clustering.min_size = 1;
+  o.pipeline.clustering.dtw.window = 4;
+  o.pipeline.top_k = 3;
+  o.pipeline.forecaster.window = 6;
+  o.pipeline.forecaster.horizon = 1;
+  o.pipeline.forecaster.epochs = 2;
+  o.pipeline.forecaster.batch_size = 8;
+  o.bin_interval_seconds = kInterval;
+  o.queue_capacity = 8192;
+  o.retrain_interval_seconds = 0.005;
+  o.max_lateness_seconds = 2 * kInterval;
+  return o;
+}
+
+// Offers `bins` bins for `templates` templates with per-template scales far
+// enough apart that each template clusters alone (distinct, ordered volumes).
+void OfferScaledBins(ForecastService* svc, uint32_t templates,
+                     int64_t first_bin, int64_t bins) {
+  for (int64_t b = first_bin; b < first_bin + bins; ++b) {
+    for (uint32_t t = 0; t < templates; ++t) {
+      double scale = 50.0 * static_cast<double>(templates - t);
+      TraceEvent e;
+      e.template_id = t;
+      e.timestamp = b * kInterval + 30;
+      e.count = scale + 5.0 * std::sin(static_cast<double>(b) * 0.4 + t);
+      ASSERT_TRUE(svc->Offer(e));
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Fault-injection framework semantics.
+
+TEST_F(FaultInjectionTest, InactiveByDefaultAndAfterReset) {
+  EXPECT_FALSE(fault::Active());
+  EXPECT_FALSE(DBAUGUR_FAULT_POINT("test.site"));
+  ASSERT_TRUE(fault::Configure("test.site=n:1").ok());
+  EXPECT_TRUE(fault::Active());
+  fault::Reset();
+  EXPECT_FALSE(fault::Active());
+  EXPECT_FALSE(DBAUGUR_FAULT_POINT("test.site"));
+}
+
+TEST_F(FaultInjectionTest, FirstNScheduleFiresExactlyNTimes) {
+  ASSERT_TRUE(fault::Configure("test.site=n:3").ok());
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (DBAUGUR_FAULT_POINT("test.site")) ++fires;
+  }
+  EXPECT_EQ(fires, 3);
+  auto st = fault::Stats("test.site");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->hits, 10u);
+  EXPECT_EQ(st->fires, 3u);
+}
+
+TEST_F(FaultInjectionTest, AtIndicesScheduleFiresOnExactHits) {
+  ASSERT_TRUE(fault::Configure("test.site=at:0,4,5").ok());
+  std::vector<int> fired;
+  for (int i = 0; i < 8; ++i) {
+    if (DBAUGUR_FAULT_POINT("test.site")) fired.push_back(i);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 4, 5}));
+}
+
+TEST_F(FaultInjectionTest, ProbabilisticScheduleIsSeedDeterministic) {
+  auto run = [] {
+    std::vector<bool> verdicts;
+    for (int i = 0; i < 64; ++i) {
+      verdicts.push_back(DBAUGUR_FAULT_POINT("test.site"));
+    }
+    return verdicts;
+  };
+  ASSERT_TRUE(fault::Configure("test.site=p:0.5:99").ok());
+  auto first = run();
+  ASSERT_TRUE(fault::Configure("test.site=p:0.5:99").ok());
+  auto second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_GT(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_GT(std::count(first.begin(), first.end(), false), 0);
+  // A different seed yields a different (still deterministic) sequence.
+  ASSERT_TRUE(fault::Configure("test.site=p:0.5:100").ok());
+  EXPECT_NE(run(), first);
+}
+
+TEST_F(FaultInjectionTest, ParseErrorKeepsPreviousConfiguration) {
+  ASSERT_TRUE(fault::Configure("test.site=n:2").ok());
+  EXPECT_FALSE(fault::Configure("test.site=bogus:1").ok());
+  EXPECT_FALSE(fault::Configure("nonsense").ok());
+  EXPECT_FALSE(fault::Configure("test.site=p:2.0").ok());  // p out of range
+  // The n:2 schedule survived all three rejected specs.
+  EXPECT_TRUE(DBAUGUR_FAULT_POINT("test.site"));
+  EXPECT_TRUE(DBAUGUR_FAULT_POINT("test.site"));
+  EXPECT_FALSE(DBAUGUR_FAULT_POINT("test.site"));
+}
+
+TEST_F(FaultInjectionTest, MultiSiteSpecAndUnknownSiteStats) {
+  ASSERT_TRUE(fault::Configure("a.b=n:1;c.d=at:1").ok());
+  EXPECT_TRUE(DBAUGUR_FAULT_POINT("a.b"));
+  EXPECT_FALSE(DBAUGUR_FAULT_POINT("c.d"));
+  EXPECT_TRUE(DBAUGUR_FAULT_POINT("c.d"));
+  EXPECT_EQ(fault::Stats("never.hit").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(fault::AllStats().size(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Retrain failure handling: backoff schedule, last_error, Health().
+
+// Independent reimplementation of the backoff formula (SplitMix64 finalizer,
+// capped ldexp doubling, ±10% jitter) so the test pins the *schedule*, not
+// merely self-consistency.
+double ExpectedBackoff(const ServeOptions& o, uint64_t consecutive,
+                       uint64_t total) {
+  if (consecutive == 0) return o.retrain_interval_seconds;
+  int exp = static_cast<int>(std::min<uint64_t>(consecutive - 1, 60));
+  double delay =
+      std::min(std::ldexp(o.retrain_interval_seconds, exp), o.max_backoff_seconds);
+  uint64_t z = o.seed ^ total;
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  double unit = static_cast<double>(z >> 11) * 0x1.0p-53;
+  return delay * (0.9 + 0.2 * unit);
+}
+
+TEST_F(BackoffTest, ScheduleIsExactCappedAndJittered) {
+  ServeOptions o = FaultOptions();
+  o.retrain_interval_seconds = 1.0;
+  o.max_backoff_seconds = 60.0;
+  o.seed = 1234;
+  // Healthy: plain interval, no jitter.
+  EXPECT_EQ(ForecastService::ComputeBackoffSeconds(o, 0, 17), 1.0);
+  double prev_base = 0.0;
+  for (uint64_t f = 1; f <= 12; ++f) {
+    double got = ForecastService::ComputeBackoffSeconds(o, f, f);
+    EXPECT_EQ(got, ExpectedBackoff(o, f, f)) << "failure " << f;
+    double base = std::min(std::ldexp(1.0, static_cast<int>(f - 1)), 60.0);
+    // Jitter stays within ±10% of the capped exponential base...
+    EXPECT_GE(got, 0.9 * base - 1e-12);
+    EXPECT_LE(got, 1.1 * base + 1e-12);
+    // ...and the base itself never shrinks as failures accumulate.
+    EXPECT_GE(base, prev_base);
+    prev_base = base;
+  }
+  // Deep failure streaks saturate at the cap (±10%).
+  double deep = ForecastService::ComputeBackoffSeconds(o, 40, 40);
+  EXPECT_GE(deep, 0.9 * 60.0 - 1e-12);
+  EXPECT_LE(deep, 1.1 * 60.0 + 1e-12);
+  // The jitter is keyed on total_failures: the same streak length at a
+  // different point in history waits a different (deterministic) time.
+  EXPECT_NE(ForecastService::ComputeBackoffSeconds(o, 3, 3),
+            ForecastService::ComputeBackoffSeconds(o, 3, 7));
+}
+
+TEST_F(BackoffTest, FailuresAreRecordedOnceAndClearedOnSuccess) {
+  ForecastService svc(FaultOptions());
+  OfferScaledBins(&svc, 2, 0, 12);
+  ASSERT_TRUE(fault::Configure("serve.retrain.build=n:3").ok());
+
+  for (int i = 1; i <= 3; ++i) {
+    Status st = svc.RetrainOnce();
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("injected"), std::string::npos);
+    ServeStats s = svc.stats();
+    EXPECT_EQ(s.retrains_failed, static_cast<uint64_t>(i));
+    EXPECT_EQ(s.consecutive_failures, static_cast<uint64_t>(i));
+    EXPECT_NE(s.last_error.find("injected"), std::string::npos);
+    EXPECT_EQ(s.last_error_generation, 0u);  // failed before first publish
+    EXPECT_EQ(s.last_error_cycles, 0u);
+  }
+  ServiceHealth h = svc.Health();
+  EXPECT_EQ(h.state, ServiceHealth::State::kBackoff);
+  EXPECT_EQ(h.consecutive_failures, 3u);
+  EXPECT_EQ(h.backoff_seconds,
+            ForecastService::ComputeBackoffSeconds(svc.options(), 3, 3));
+
+  // The schedule is exhausted: the next cycle trains, clears the streak, and
+  // keeps the failure history (retrains_failed, last_error) for forensics.
+  ASSERT_TRUE(svc.RetrainOnce().ok());
+  ServeStats s = svc.stats();
+  EXPECT_EQ(s.retrains_completed, 1u);
+  EXPECT_EQ(s.retrains_failed, 3u);
+  EXPECT_EQ(s.consecutive_failures, 0u);
+  EXPECT_NE(s.last_error.find("injected"), std::string::npos);
+  h = svc.Health();
+  EXPECT_EQ(h.state, ServiceHealth::State::kHealthy);
+  EXPECT_EQ(h.generation, 1u);
+  EXPECT_EQ(h.backoff_seconds, svc.options().retrain_interval_seconds);
+  ASSERT_EQ(h.clusters.size(), svc.snapshot()->cluster_count());
+  for (const auto& c : h.clusters) EXPECT_FALSE(c.degraded);
+}
+
+TEST_F(BackoffTest, UntrainedHealthBeforeAnyData) {
+  ForecastService svc(FaultOptions());
+  ServiceHealth h = svc.Health();
+  EXPECT_EQ(h.state, ServiceHealth::State::kUntrained);
+  EXPECT_EQ(h.generation, 0u);
+  EXPECT_TRUE(h.last_error.empty());
+  EXPECT_TRUE(h.clusters.empty());
+}
+
+// --------------------------------------------------------------------------
+// Input quarantine + winsorization.
+
+TEST_F(QuarantineTest, GarbageBurstIsQuarantinedAndForecastsUnchanged) {
+  ServeOptions opts = FaultOptions();
+  ForecastService clean(opts);
+  ForecastService dirty(opts);
+  OfferScaledBins(&clean, 2, 0, 14);
+  OfferScaledBins(&dirty, 2, 0, 14);
+
+  // Burst of garbage at the dirty service only: NaN / inf / negative counts
+  // and a timestamp far staler than max_lateness. Every row must bounce.
+  const ts::Timestamp now = 13 * kInterval;
+  EXPECT_FALSE(dirty.Offer({0, now, std::nan("")}));
+  EXPECT_FALSE(dirty.Offer({0, now, std::numeric_limits<double>::infinity()}));
+  EXPECT_FALSE(dirty.Offer({1, now, -std::numeric_limits<double>::infinity()}));
+  EXPECT_FALSE(dirty.Offer({1, now, -3.0}));
+  EXPECT_FALSE(dirty.Offer({0, now - 10 * kInterval, 5.0}));  // stale
+  // Fault-injected corruption: the count rots to NaN inside Offer and must be
+  // caught by the same quarantine before reaching the binner.
+  ASSERT_TRUE(fault::Configure("serve.ingest.corrupt=n:2").ok());
+  EXPECT_FALSE(dirty.Offer({0, now, 7.0}));
+  EXPECT_FALSE(dirty.Offer({1, now, 7.0}));
+  fault::Reset();
+
+  ServeStats ds = dirty.stats();
+  EXPECT_EQ(ds.events_quarantined, 7u);
+  EXPECT_EQ(ds.events_dropped, 7u);
+
+  ASSERT_TRUE(clean.RetrainOnce().ok());
+  ASSERT_TRUE(dirty.RetrainOnce().ok());
+  auto a = clean.snapshot();
+  auto b = dirty.snapshot();
+  ASSERT_TRUE(a->trained());
+  ASSERT_EQ(a->cluster_count(), b->cluster_count());
+  for (size_t rank = 0; rank < a->cluster_count(); ++rank) {
+    auto fa = a->ForecastCluster(rank);
+    auto fb = b->ForecastCluster(rank);
+    ASSERT_TRUE(fa.ok() && fb.ok());
+    EXPECT_EQ(*fa, *fb);  // bit-identical: no garbage reached training
+  }
+  EXPECT_EQ(dirty.stats().values_winsorized, 0u);
+}
+
+TEST_F(QuarantineTest, FiniteOutlierIsWinsorizedBeforeTraining) {
+  ServeOptions opts = FaultOptions();
+  ForecastService svc(opts);
+  OfferScaledBins(&svc, 2, 0, 14);
+  // A finite positive spike passes the ingest quarantine (it could be a real
+  // burst; it is recent enough to clear the lateness bound) but is ~1e10× the
+  // series scale; the median/MAD clamp must pull it in before it reaches the
+  // ensemble fit.
+  ASSERT_TRUE(svc.Offer({0, 13 * kInterval + 60, 1e12}));
+  ASSERT_TRUE(svc.RetrainOnce().ok());
+  ServeStats s = svc.stats();
+  EXPECT_EQ(s.events_quarantined, 0u);
+  EXPECT_GE(s.values_winsorized, 1u);
+  auto snap = svc.snapshot();
+  ASSERT_TRUE(snap->trained());
+  EXPECT_EQ(snap->degraded_count(), 0u);
+  for (size_t rank = 0; rank < snap->cluster_count(); ++rank) {
+    auto f = snap->ForecastCluster(rank);
+    ASSERT_TRUE(f.ok());
+    EXPECT_TRUE(std::isfinite(*f));
+    EXPECT_LT(std::abs(*f), 1e6);  // nowhere near the 1e12 spike
+  }
+}
+
+// --------------------------------------------------------------------------
+// Per-cluster degraded mode.
+
+TEST_F(DegradedModeTest, DivergedClusterFallsBackToKernelBaselineFirstTrain) {
+  ServeOptions opts = FaultOptions();
+  ForecastService control(opts);
+  ForecastService faulted(opts);
+  OfferScaledBins(&control, 3, 0, 14);
+  OfferScaledBins(&faulted, 3, 0, 14);
+
+  ASSERT_TRUE(control.RetrainOnce().ok());
+  // Diverge exactly the first cluster examined by the snapshot build.
+  ASSERT_TRUE(fault::Configure("serve.retrain.diverge=at:0").ok());
+  ASSERT_TRUE(faulted.RetrainOnce().ok());
+  fault::Reset();
+
+  auto c = control.snapshot();
+  auto f = faulted.snapshot();
+  ASSERT_TRUE(c->trained() && f->trained());
+  ASSERT_EQ(c->cluster_count(), f->cluster_count());
+  ASSERT_GE(f->cluster_count(), 2u);
+  EXPECT_EQ(f->degraded_count(), 1u);
+
+  // Rank 0: degraded, on the kernel baseline (no last-good on first train),
+  // with a finite forecast inside the representative's observed range
+  // neighborhood.
+  const SnapshotCluster& d = f->clusters[0];
+  EXPECT_TRUE(d.degraded);
+  EXPECT_EQ(d.model_kind, SnapshotCluster::ModelKind::kKernelBaseline);
+  EXPECT_NE(d.degraded_reason.find("injected"), std::string::npos);
+  EXPECT_NE(d.degraded_reason.find("kernel"), std::string::npos);
+  EXPECT_TRUE(std::isfinite(d.next_value));
+
+  // Every other cluster is bit-identical to the control run.
+  for (size_t rank = 1; rank < f->cluster_count(); ++rank) {
+    EXPECT_FALSE(f->clusters[rank].degraded);
+    EXPECT_EQ(f->clusters[rank].model_kind,
+              SnapshotCluster::ModelKind::kEnsemble);
+    auto fc = c->ForecastCluster(rank);
+    auto ff = f->ForecastCluster(rank);
+    ASSERT_TRUE(fc.ok() && ff.ok());
+    EXPECT_EQ(*fc, *ff);
+  }
+
+  ServiceHealth h = faulted.Health();
+  EXPECT_EQ(h.state, ServiceHealth::State::kDegraded);
+  ASSERT_EQ(h.clusters.size(), f->cluster_count());
+  EXPECT_TRUE(h.clusters[0].degraded);
+  EXPECT_FALSE(h.clusters[1].degraded);
+
+  // A degraded snapshot round-trips: the kernel-baseline model kind is
+  // persisted and the restored service reproduces every forecast bit-for-bit.
+  auto blob = faulted.Save();
+  ASSERT_TRUE(blob.ok());
+  ForecastService restored(opts);
+  ASSERT_TRUE(restored.Load(*blob).ok());
+  auto r = restored.snapshot();
+  ASSERT_EQ(r->cluster_count(), f->cluster_count());
+  EXPECT_EQ(r->degraded_count(), 1u);
+  EXPECT_EQ(r->clusters[0].model_kind,
+            SnapshotCluster::ModelKind::kKernelBaseline);
+  EXPECT_EQ(r->clusters[0].degraded_reason, d.degraded_reason);
+  for (size_t rank = 0; rank < r->cluster_count(); ++rank) {
+    auto fr = r->ForecastCluster(rank);
+    auto ff = f->ForecastCluster(rank);
+    ASSERT_TRUE(fr.ok() && ff.ok());
+    EXPECT_EQ(*fr, *ff);
+  }
+}
+
+TEST_F(DegradedModeTest, DivergedClusterServesLastGoodModelAfterFirstTrain) {
+  ServeOptions opts = FaultOptions();
+  ForecastService svc(opts);
+  OfferScaledBins(&svc, 2, 0, 14);
+  ASSERT_TRUE(svc.RetrainOnce().ok());  // generation 1, all healthy
+  ASSERT_EQ(svc.snapshot()->degraded_count(), 0u);
+
+  OfferScaledBins(&svc, 2, 14, 4);
+  ASSERT_TRUE(fault::Configure("serve.retrain.diverge=at:0").ok());
+  ASSERT_TRUE(svc.RetrainOnce().ok());  // generation 2
+  fault::Reset();
+
+  auto snap = svc.snapshot();
+  EXPECT_EQ(snap->generation, 2u);
+  ASSERT_TRUE(snap->trained());
+  EXPECT_EQ(snap->degraded_count(), 1u);
+  const SnapshotCluster& d = snap->clusters[0];
+  EXPECT_TRUE(d.degraded);
+  // With a healthy generation 1 on the shelf, the fallback clones that model
+  // rather than dropping all the way to the kernel baseline.
+  EXPECT_EQ(d.model_kind, SnapshotCluster::ModelKind::kEnsemble);
+  EXPECT_NE(d.degraded_reason.find("last-good generation 1"),
+            std::string::npos);
+  EXPECT_TRUE(std::isfinite(d.next_value));
+
+  // Recovery: the next clean cycle re-fits everything and clears the flag.
+  OfferScaledBins(&svc, 2, 18, 2);
+  ASSERT_TRUE(svc.RetrainOnce().ok());
+  EXPECT_EQ(svc.snapshot()->degraded_count(), 0u);
+  EXPECT_EQ(svc.Health().state, ServiceHealth::State::kHealthy);
+}
+
+// --------------------------------------------------------------------------
+// Crash-safe on-disk checkpoints.
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<uint8_t>& b) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+TEST_F(CheckpointFaultTest, CorruptPrimarySweepRecoversLastGood) {
+  ServeOptions opts = FaultOptions();
+  ForecastService svc(opts);
+  const std::string path = ::testing::TempDir() + "dbaugur_ckpt_sweep.bin";
+  std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
+
+  OfferScaledBins(&svc, 2, 0, 14);
+  ASSERT_TRUE(svc.RetrainOnce().ok());
+  ASSERT_TRUE(svc.SaveToFile(path).ok());  // generation 1 → primary
+  OfferScaledBins(&svc, 2, 14, 4);
+  ASSERT_TRUE(svc.RetrainOnce().ok());
+  ASSERT_TRUE(svc.SaveToFile(path).ok());  // generation 2 → primary, 1 → .bak
+
+  const std::vector<uint8_t> pristine = ReadFileBytes(path);
+  ASSERT_GT(pristine.size(), 32u);
+
+  // Sanity: the intact primary restores generation 2 without recovery.
+  {
+    ForecastService fresh(opts);
+    bool recovered = true;
+    ASSERT_TRUE(fresh.LoadFromFile(path, &recovered).ok());
+    EXPECT_FALSE(recovered);
+    EXPECT_EQ(fresh.generation(), 2u);
+  }
+
+  ForecastService target(opts);
+  auto expect_recovers_gen1 = [&](const std::string& what) {
+    bool recovered = false;
+    Status st = target.LoadFromFile(path, &recovered);
+    ASSERT_TRUE(st.ok()) << what << ": " << st.message();
+    EXPECT_TRUE(recovered) << what;
+    EXPECT_EQ(target.generation(), 1u) << what;
+  };
+
+  // Truncations: empty file, mid-header, mid-payload, missing footer byte.
+  for (size_t len : {size_t{0}, size_t{7}, size_t{15}, pristine.size() / 2,
+                     pristine.size() - 1}) {
+    std::vector<uint8_t> cut(pristine.begin(),
+                             pristine.begin() + static_cast<long>(len));
+    WriteFileBytes(path, cut);
+    expect_recovers_gen1("truncate to " + std::to_string(len));
+  }
+
+  // Bit flips: every byte of the 16-byte header and 4-byte CRC footer, plus a
+  // stride sweep across the CRC-covered payload. Every single flip must be
+  // caught by the frame checks and recover to the .bak generation.
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < 16; ++i) positions.push_back(i);
+  for (size_t i = pristine.size() - 4; i < pristine.size(); ++i) {
+    positions.push_back(i);
+  }
+  size_t stride = std::max<size_t>(1, (pristine.size() - 20) / 64);
+  for (size_t i = 16; i + 4 < pristine.size(); i += stride) {
+    positions.push_back(i);
+  }
+  for (size_t pos : positions) {
+    std::vector<uint8_t> bad = pristine;
+    bad[pos] ^= 0x40;
+    WriteFileBytes(path, bad);
+    expect_recovers_gen1("flip byte " + std::to_string(pos));
+  }
+
+  // Both copies destroyed → a descriptive error, and the target keeps
+  // serving whatever it had (the last recovered generation).
+  WriteFileBytes(path, std::vector<uint8_t>{1, 2, 3});
+  WriteFileBytes(path + ".bak", std::vector<uint8_t>{4, 5, 6});
+  bool recovered = false;
+  EXPECT_FALSE(target.LoadFromFile(path, &recovered).ok());
+  EXPECT_EQ(target.generation(), 1u);
+
+  std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
+}
+
+TEST_F(CheckpointFaultTest, InjectedSaveFaultsNeverDamageThePreviousFile) {
+  ServeOptions opts = FaultOptions();
+  ForecastService svc(opts);
+  const std::string path = ::testing::TempDir() + "dbaugur_ckpt_faults.bin";
+  std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
+
+  OfferScaledBins(&svc, 2, 0, 14);
+  ASSERT_TRUE(svc.RetrainOnce().ok());
+  ASSERT_TRUE(svc.SaveToFile(path).ok());  // good generation-1 checkpoint
+  const std::vector<uint8_t> good = ReadFileBytes(path);
+
+  OfferScaledBins(&svc, 2, 14, 4);
+  ASSERT_TRUE(svc.RetrainOnce().ok());  // generation 2, not yet on disk
+
+  // Torn write / failed fsync abort before any rename: the installed
+  // generation-1 primary is untouched, byte for byte.
+  for (const char* site : {"binio.save.write", "binio.save.sync"}) {
+    ASSERT_TRUE(fault::Configure(std::string(site) + "=n:1").ok());
+    EXPECT_FALSE(svc.SaveToFile(path).ok()) << site;
+    fault::Reset();
+    EXPECT_EQ(ReadFileBytes(path), good) << site;
+    ForecastService fresh(opts);
+    bool recovered = true;
+    ASSERT_TRUE(fresh.LoadFromFile(path, &recovered).ok()) << site;
+    EXPECT_FALSE(recovered) << site;
+    EXPECT_EQ(fresh.generation(), 1u) << site;
+  }
+
+  // A failed final rename is the crash window between the two renames: the
+  // primary has already moved to `.bak`, and recovery serves it from there.
+  ASSERT_TRUE(fault::Configure("binio.save.rename=n:1").ok());
+  EXPECT_FALSE(svc.SaveToFile(path).ok());
+  fault::Reset();
+  {
+    ForecastService fresh(opts);
+    bool recovered = false;
+    ASSERT_TRUE(fresh.LoadFromFile(path, &recovered).ok());
+    EXPECT_TRUE(recovered);
+    EXPECT_EQ(fresh.generation(), 1u);
+    EXPECT_EQ(ReadFileBytes(path + ".bak"), good);
+  }
+
+  // With faults cleared the pending generation lands, atomically.
+  ASSERT_TRUE(svc.SaveToFile(path).ok());
+  ForecastService fresh(opts);
+  ASSERT_TRUE(fresh.LoadFromFile(path, nullptr).ok());
+  EXPECT_EQ(fresh.generation(), 2u);
+
+  std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST_F(CheckpointFaultTest, LoadFromMissingFileFails) {
+  ForecastService svc(FaultOptions());
+  Status st =
+      svc.LoadFromFile(::testing::TempDir() + "dbaugur_no_such_ckpt.bin");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(svc.generation(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Env-driven chaos storm (the check.sh fault pass sets DBAUGUR_FAULT_SPEC).
+
+TEST_F(ServeFaultChaosTest, SurvivesEnvConfiguredFaultStorm) {
+  const char* spec = std::getenv("DBAUGUR_FAULT_SPEC");
+  if (spec == nullptr || *spec == '\0') {
+    GTEST_SKIP() << "set DBAUGUR_FAULT_SPEC to run the chaos storm";
+  }
+  ASSERT_TRUE(fault::Configure(spec).ok()) << "bad DBAUGUR_FAULT_SPEC";
+
+  ServeOptions opts = FaultOptions();
+  ForecastService svc(opts);
+  // Offers may bounce under an ingest-corruption storm — that is the point —
+  // so unlike OfferScaledBins this helper tolerates rejection.
+  auto offer_bins = [&svc](int64_t first_bin, int64_t bins) {
+    for (int64_t b = first_bin; b < first_bin + bins; ++b) {
+      for (uint32_t t = 0; t < 2; ++t) {
+        double scale = 50.0 * static_cast<double>(2 - t);
+        (void)svc.Offer(
+            {t, b * kInterval + 30,
+             scale + 5.0 * std::sin(static_cast<double>(b) * 0.4 + t)});
+      }
+    }
+  };
+  offer_bins(0, 14);
+  // Drive cycles synchronously (1-core friendly) while the storm rages:
+  // failures must be recorded, never published, and never fatal.
+  int failures = 0;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    offer_bins(14 + 2 * cycle, 2);
+    if (!svc.RetrainOnce().ok()) ++failures;
+    auto snap = svc.snapshot();
+    ASSERT_NE(snap, nullptr);
+    if (snap->trained()) {
+      auto f = snap->ForecastCluster(0);
+      ASSERT_TRUE(f.ok());
+      EXPECT_TRUE(std::isfinite(*f));
+    }
+  }
+  // Once the storm clears, the service recovers to a healthy publish.
+  fault::Reset();
+  ASSERT_TRUE(svc.RetrainOnce().ok());
+  EXPECT_GE(svc.generation(), 1u);
+  ServeStats s = svc.stats();
+  EXPECT_EQ(s.retrains_failed, static_cast<uint64_t>(failures));
+  EXPECT_EQ(s.consecutive_failures, 0u);
+}
+
+}  // namespace
+}  // namespace dbaugur::serve

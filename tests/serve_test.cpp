@@ -110,6 +110,48 @@ TEST(TraceBinnerTest, FoldsIntoAlignedZeroFilledTraces) {
   EXPECT_DOUBLE_EQ(t7[1], 5.0);
 }
 
+TEST(TraceBinnerTest, BinIndexIsEpochOriginStableAcrossSaveLoad) {
+  TraceBinner binner(kInterval);
+  // Pinned absolute indices, including boundary and pre-epoch timestamps: a
+  // boundary event opens its bin, and negative timestamps floor toward -inf.
+  EXPECT_EQ(binner.BinIndex(0), 0);
+  EXPECT_EQ(binner.BinIndex(kInterval - 1), 0);
+  EXPECT_EQ(binner.BinIndex(kInterval), 1);
+  EXPECT_EQ(binner.BinIndex(7 * kInterval), 7);
+  EXPECT_EQ(binner.BinIndex(7 * kInterval - 1), 6);
+  EXPECT_EQ(binner.BinIndex(-1), -1);
+  EXPECT_EQ(binner.BinIndex(-kInterval), -1);
+  EXPECT_EQ(binner.BinIndex(-kInterval - 1), -2);
+
+  // The origin is the epoch, never the first folded event: binners with
+  // different histories — including one restored by Save/Load — must map a
+  // boundary timestamp to the same absolute bin.
+  binner.Fold({0, 5 * kInterval + 10, 1.0});
+  BufWriter w;
+  binner.Save(&w);
+  std::vector<uint8_t> blob = w.Take();
+  TraceBinner restored(kInterval);
+  BufReader r(blob);
+  ASSERT_TRUE(restored.Load(&r).ok());
+  TraceBinner fresh(kInterval);
+  fresh.Fold({0, 9 * kInterval, 1.0});  // different first event
+  const ts::Timestamp boundary = 7 * kInterval;
+  EXPECT_EQ(binner.BinIndex(boundary), 7);
+  EXPECT_EQ(restored.BinIndex(boundary), 7);
+  EXPECT_EQ(fresh.BinIndex(boundary), 7);
+
+  // And folding that boundary event lands its count in bin 7 everywhere.
+  restored.Fold({0, boundary, 2.0});
+  fresh.Fold({0, boundary, 2.0});
+  auto rt = restored.Traces();
+  auto ft = fresh.Traces();
+  ASSERT_TRUE(rt.ok() && ft.ok());
+  // restored covers bins 5..7 -> index 2; fresh covers 7..9 -> index 0.
+  EXPECT_DOUBLE_EQ((*rt)[0].values()[2], 2.0);
+  EXPECT_DOUBLE_EQ((*ft)[0].values()[0], 2.0);
+  EXPECT_DOUBLE_EQ((*ft)[0].values()[2], 1.0);  // the original bin-9 event
+}
+
 TEST(TraceBinnerTest, StateRoundTripAndTruncationRejection) {
   TraceBinner binner(kInterval);
   binner.Fold({1, 5 * kInterval, 4.0});

@@ -2,6 +2,8 @@
 # One-command correctness gate for DBAugur. Builds and tests the tree under:
 #   1. Release            (-O2 -DNDEBUG — proves DBAUGUR_CHECK survives NDEBUG)
 #   2. ASan + UBSan       (-fno-sanitize-recover=all, DCHECKs forced on)
+#   2b. Fault injection   (serve_fault suite re-run under ASan with a
+#                          DBAUGUR_FAULT_SPEC storm armed from the environment)
 #   3. TSan               (skipped with a warning if the toolchain lacks it)
 #   4. clang-tidy on src/ (skipped with a warning if clang-tidy is absent)
 #
@@ -83,6 +85,25 @@ build_and_test "asan+ubsan" build-asan \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDBAUGUR_SANITIZE=address,undefined \
   -DDBAUGUR_ENABLE_DCHECKS=ON
+
+# --- 2b. Fault injection under ASan: re-run the serve_fault suite with a
+# deterministic fault storm armed via DBAUGUR_FAULT_SPEC. This exercises the
+# env-gated chaos test (ServeFaultChaosTest, a GTEST_SKIP without the spec)
+# and proves the injected-failure recovery paths are clean under the
+# sanitizers, not just in Release. Single ctest invocation, 1-core friendly.
+if [[ -f build-asan/CTestTestfile.cmake ]]; then
+  note "fault injection (ASan): serve_fault suite with DBAUGUR_FAULT_SPEC armed"
+  fault_spec='serve.retrain.build=at:0,2;serve.retrain.diverge=at:1;serve.ingest.corrupt=p:0.05:7'
+  if DBAUGUR_FAULT_SPEC="$fault_spec" ctest --test-dir build-asan \
+      --output-on-failure -j "$JOBS" --timeout 600 \
+      -R 'FaultInjectionTest|BackoffTest|QuarantineTest|DegradedModeTest|CheckpointFaultTest|ServeFaultChaosTest'; then
+    record "fault-injection" "OK"
+  else
+    record "fault-injection" "FAIL"
+  fi
+else
+  record "fault-injection" "SKIPPED (ASan build failed)"
+fi
 
 # --- 3. TSan (if the toolchain supports it). ---------------------------------
 if [[ "$FAST" == 1 ]]; then

@@ -132,8 +132,24 @@ constexpr uint32_t kFileVersion = 1;
 constexpr size_t kFileHeaderBytes = 4 + 4 + 8;
 constexpr size_t kFileFooterBytes = 4;
 
+// strerror() hands back a static buffer and is not thread-safe
+// (concurrency-mt-unsafe) — checkpoint saves can fail concurrently from the
+// retrain thread and a caller's SaveToFile. strerror_r is safe but has two
+// signatures (XSI returns int and fills the buffer, GNU returns the message
+// pointer); overload resolution on the return type handles either libc.
+[[maybe_unused]] const char* StrerrorResult(const char* r,
+                                            const char* /*buf*/) {
+  return r;
+}
+[[maybe_unused]] const char* StrerrorResult(int /*r*/, const char* buf) {
+  return buf;
+}
+
 std::string ErrnoMessage(const std::string& op, const std::string& path) {
-  return op + " failed for " + path + ": " + std::strerror(errno);
+  char buf[256];
+  buf[0] = '\0';
+  const char* msg = StrerrorResult(strerror_r(errno, buf, sizeof(buf)), buf);
+  return op + " failed for " + path + ": " + msg;
 }
 
 // Writes the whole buffer, retrying short writes. False on any write error.

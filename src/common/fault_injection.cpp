@@ -3,9 +3,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <random>
 #include <set>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dbaugur::fault {
 
@@ -23,10 +26,10 @@ struct Schedule {
 };
 
 struct Registry {
-  std::mutex mu;
+  Mutex mu;
   // Scheduled sites plus bare counters for sites hit while active.
-  std::map<std::string, Schedule> sites;
-  bool has_schedule = false;
+  std::map<std::string, Schedule> sites DBAUGUR_GUARDED_BY(mu);
+  bool has_schedule DBAUGUR_GUARDED_BY(mu) = false;
 };
 
 Registry& GetRegistry() {
@@ -91,7 +94,9 @@ bool ParseSchedule(const std::string& body, Schedule* out) {
 // stderr directly: logging may not be constructed yet during static init.
 struct EnvInit {
   EnvInit() {
-    const char* spec = std::getenv("DBAUGUR_FAULT_SPEC");
+    // getenv is single-threaded-safe here: this runs during static init,
+    // before main() can spawn threads or call setenv.
+    const char* spec = std::getenv("DBAUGUR_FAULT_SPEC");  // NOLINT(concurrency-mt-unsafe)
     if (spec == nullptr || *spec == '\0') return;
     Status st = Configure(spec);
     if (!st.ok()) {
@@ -100,7 +105,9 @@ struct EnvInit {
     }
   }
 };
-const EnvInit g_env_init;
+// Reading the env var must happen at static-init time by design; the ctor's
+// only throw path is bad_alloc on the spec strings, where terminating is fine.
+const EnvInit g_env_init;  // NOLINT(cert-err58-cpp)
 
 }  // namespace
 
@@ -110,7 +117,7 @@ std::atomic<bool> g_active{false};
 
 bool Hit(const char* site) {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.mu);
   Schedule& s = reg.sites[site];  // creates a bare counter for unknown sites
   uint64_t index = s.stats.hits++;
   bool fire = false;
@@ -156,7 +163,7 @@ Status Configure(const std::string& spec) {
     pos = semi + 1;
   }
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.mu);
   reg.sites = std::move(parsed);
   reg.has_schedule = !reg.sites.empty();
   internal::g_active.store(reg.has_schedule, std::memory_order_release);
@@ -165,7 +172,7 @@ Status Configure(const std::string& spec) {
 
 void Reset() {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.mu);
   reg.sites.clear();
   reg.has_schedule = false;
   internal::g_active.store(false, std::memory_order_release);
@@ -173,13 +180,13 @@ void Reset() {
 
 bool Active() {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.mu);
   return reg.has_schedule;
 }
 
 StatusOr<SiteStats> Stats(const std::string& site) {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.mu);
   auto it = reg.sites.find(site);
   if (it == reg.sites.end()) {
     return Status::NotFound("fault site never configured or hit: " + site);
@@ -189,7 +196,7 @@ StatusOr<SiteStats> Stats(const std::string& site) {
 
 std::vector<std::pair<std::string, SiteStats>> AllStats() {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.mu);
   std::vector<std::pair<std::string, SiteStats>> out;
   out.reserve(reg.sites.size());
   for (const auto& [name, sched] : reg.sites) {

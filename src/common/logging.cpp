@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dbaugur {
 
@@ -11,12 +13,11 @@ std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 
 // Guards the sink pointer and every sink invocation: one message in, one
 // complete line out, with no interleaving between concurrent writers.
-std::mutex& SinkMutex() {
-  static std::mutex mu;
-  return mu;
-}
-LogSinkFn g_sink = nullptr;  // nullptr => default stderr sink
-void* g_sink_user = nullptr;
+// Mutex's constexpr constructor makes this constant-initialized, so it is
+// safe to lock even from code running during static initialization.
+Mutex g_sink_mu;
+LogSinkFn g_sink DBAUGUR_GUARDED_BY(g_sink_mu) = nullptr;  // null => stderr
+void* g_sink_user DBAUGUR_GUARDED_BY(g_sink_mu) = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -34,7 +35,7 @@ void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
 void SetLogSink(LogSinkFn sink, void* user) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(&g_sink_mu);
   g_sink = sink;
   g_sink_user = user;
 }
@@ -49,7 +50,7 @@ void LogMessage(LogLevel level, const std::string& msg) {
   line += "] ";
   line += msg;
   line += '\n';
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(&g_sink_mu);
   if (g_sink != nullptr) {
     g_sink(level, line, g_sink_user);
   } else {

@@ -1,0 +1,114 @@
+// Capability-annotated mutex / scoped-lock / condition-variable wrappers.
+//
+// Thin, zero-overhead shims over std::mutex / std::condition_variable whose
+// only job is to carry the Clang thread-safety annotations that std:: types
+// lack. Every mutex in src/serve and src/common is one of these, and every
+// field it protects is tagged DBAUGUR_GUARDED_BY, so the locking contracts
+// that used to live in comments ("guarded by mu_", "caller holds
+// retrain_mu_") are now compile errors when violated — see
+// common/thread_annotations.h for the guarantee and its limits.
+//
+// Usage:
+//
+//   class Account {
+//     Mutex mu_;
+//     int64_t balance_ DBAUGUR_GUARDED_BY(mu_) = 0;
+//    public:
+//     void Deposit(int64_t n) {
+//       MutexLock lock(&mu_);
+//       balance_ += n;          // OK: lock held for the scope
+//     }
+//     void Broken(int64_t n) {
+//       balance_ += n;          // -Werror=thread-safety under Clang
+//     }
+//   };
+//
+// Condition waits: CondVar::Wait/WaitUntil require the mutex to be held
+// (DBAUGUR_REQUIRES) and re-hold it on return, exactly like
+// std::condition_variable, but without needing a std::unique_lock — callers
+// keep using MutexLock and write the predicate loop explicitly:
+//
+//   MutexLock lock(&mu_);
+//   while (!ready_) cv_.Wait(&mu_);
+//
+// (Explicit loops instead of lambda predicates on purpose: the analysis
+// checks lambda bodies as unannotated functions, so a `[&]{ return ready_; }`
+// predicate reading a guarded field would be rejected.)
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace dbaugur {
+
+class CondVar;
+
+/// Standard exclusive mutex, annotated as a Clang capability. Constexpr
+/// constructor (inherited from std::mutex) so namespace-scope instances are
+/// constant-initialized and safe to lock during static initialization.
+class DBAUGUR_CAPABILITY("mutex") Mutex {
+ public:
+  constexpr Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DBAUGUR_ACQUIRE() { mu_.lock(); }
+  void Unlock() DBAUGUR_RELEASE() { mu_.unlock(); }
+  bool TryLock() DBAUGUR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // needs the native handle for the wait protocol
+  std::mutex mu_;
+};
+
+/// RAII scoped lock (the only way code in this repo should hold a Mutex).
+class DBAUGUR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) DBAUGUR_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() DBAUGUR_RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with Mutex. Waits atomically release the mutex
+/// and re-acquire it before returning (std::condition_variable semantics via
+/// the adopt/release protocol on the wrapped native mutex).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken). `mu` must be held; it is
+  /// released for the duration of the wait and held again on return.
+  void Wait(Mutex* mu) DBAUGUR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  /// Wait with a deadline. Returns true when the deadline passed without a
+  /// notification (timeout), false when woken. Same lock protocol as Wait.
+  bool WaitUntil(Mutex* mu, std::chrono::steady_clock::time_point deadline)
+      DBAUGUR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+    std::cv_status st = cv_.wait_until(native, deadline);
+    native.release();
+    return st == std::cv_status::timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dbaugur

@@ -78,8 +78,13 @@ class Status {
 template <typename T>
 class StatusOr {
  public:
-  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
-  StatusOr(Status status) : status_(std::move(status)) {                 // NOLINT
+  // Implicit conversion is the point of StatusOr: `return value;` must work
+  // at every call site.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+  // Likewise for errors: `return Status::Internal(...);` must work.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
     DBAUGUR_CHECK(!status_.ok(),
                   "StatusOr constructed from OK status without a value");
   }

@@ -1,0 +1,72 @@
+// Clang thread-safety (capability) analysis annotations.
+//
+// These macros wire lock-discipline contracts into the type system: which
+// mutex guards which field, which functions must (or must not) be called with
+// a lock held, and which RAII types acquire/release capabilities. Under Clang
+// with -Wthread-safety (the tree adds -Werror=thread-safety, see the
+// top-level CMakeLists.txt) a violation is a compile error; under GCC and
+// other compilers every macro expands to nothing, so the annotated code is
+// exactly the unannotated code.
+//
+// The vocabulary mirrors the standard Clang/Abseil set, prefixed DBAUGUR_ per
+// repo convention:
+//
+//   DBAUGUR_CAPABILITY("mutex")       class is a lockable capability
+//   DBAUGUR_SCOPED_CAPABILITY         RAII type acquiring in ctor / releasing
+//                                     in dtor (MutexLock)
+//   DBAUGUR_GUARDED_BY(mu)            field may only be touched with mu held
+//   DBAUGUR_PT_GUARDED_BY(mu)        *pointee* guarded; the pointer is free
+//   DBAUGUR_REQUIRES(mu, ...)         caller must already hold mu
+//   DBAUGUR_EXCLUDES(mu, ...)         caller must NOT hold mu (the function
+//                                     takes it itself; prevents self-deadlock)
+//   DBAUGUR_ACQUIRE(...) / DBAUGUR_RELEASE(...)
+//                                     function leaves with / without the lock
+//   DBAUGUR_TRY_ACQUIRE(bool, mu)     conditional acquire (try_lock)
+//   DBAUGUR_ASSERT_CAPABILITY(mu)     runtime-asserted "I hold mu" escape
+//   DBAUGUR_RETURN_CAPABILITY(mu)     accessor returning a reference to mu
+//   DBAUGUR_ACQUIRED_BEFORE/AFTER     documents lock ordering (checked only
+//                                     under -Wthread-safety-beta; kept as
+//                                     machine-readable documentation)
+//   DBAUGUR_NO_THREAD_SAFETY_ANALYSIS opt one function out — requires a
+//                                     reason comment per the lint convention
+//
+// What the analysis guarantees vs what it cannot see: it is a compile-time,
+// intra-procedural check of *annotated* mutexes and fields — it proves every
+// touch of a GUARDED_BY field happens under its mutex, but it does not model
+// std::atomic ordering, lambdas invoked on other threads, or code that opts
+// out. TSan (tools/check.sh stage 3) remains the runtime backstop for those.
+
+#pragma once
+
+// clang-tidy and SWIG-style tooling parse attributes they do not implement;
+// restrict to real Clang, where the capability analysis lives.
+#if defined(__clang__) && defined(__has_attribute)
+#define DBAUGUR_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DBAUGUR_THREAD_ANNOTATION_(x)  // no-op off-Clang
+#endif
+
+#define DBAUGUR_CAPABILITY(x) DBAUGUR_THREAD_ANNOTATION_(capability(x))
+#define DBAUGUR_SCOPED_CAPABILITY DBAUGUR_THREAD_ANNOTATION_(scoped_lockable)
+#define DBAUGUR_GUARDED_BY(x) DBAUGUR_THREAD_ANNOTATION_(guarded_by(x))
+#define DBAUGUR_PT_GUARDED_BY(x) DBAUGUR_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define DBAUGUR_REQUIRES(...) \
+  DBAUGUR_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define DBAUGUR_EXCLUDES(...) \
+  DBAUGUR_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define DBAUGUR_ACQUIRE(...) \
+  DBAUGUR_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define DBAUGUR_RELEASE(...) \
+  DBAUGUR_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define DBAUGUR_TRY_ACQUIRE(...) \
+  DBAUGUR_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define DBAUGUR_ASSERT_CAPABILITY(x) \
+  DBAUGUR_THREAD_ANNOTATION_(assert_capability(x))
+#define DBAUGUR_RETURN_CAPABILITY(x) \
+  DBAUGUR_THREAD_ANNOTATION_(lock_returned(x))
+#define DBAUGUR_ACQUIRED_BEFORE(...) \
+  DBAUGUR_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define DBAUGUR_ACQUIRED_AFTER(...) \
+  DBAUGUR_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define DBAUGUR_NO_THREAD_SAFETY_ANALYSIS \
+  DBAUGUR_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -1,8 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
+#include <utility>
 
 #include "common/contracts.h"
 
@@ -24,32 +24,34 @@ ThreadPool::ThreadPool(size_t threads) : size_(threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  // Explicit predicate loop: the thread-safety analysis can't see through a
+  // lambda predicate reading guarded fields (see common/mutex.h).
+  while (!queue_.empty() || in_flight_ != 0) idle_cv_.Wait(&mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) work_cv_.Wait(&mu_);
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -57,9 +59,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.NotifyAll();
     }
   }
 }
@@ -72,6 +74,12 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
     for (size_t b = 0; b < n; b += grain) body(b, std::min(n, b + grain));
     return;
   }
+  // The contract "one ParallelFor at a time per pool" used to be a comment;
+  // a nested call from a body would deadlock in Wait() below, so abort with
+  // a readable message instead.
+  DBAUGUR_CHECK(!in_parallel_for_.exchange(true, std::memory_order_acq_rel),
+                "ThreadPool::ParallelFor is not reentrant (nested call on the "
+                "same pool)");
   auto next = std::make_shared<std::atomic<size_t>>(0);
   // Each runner pulls chunks until the range is exhausted; `body` stays alive
   // until Wait() returns, so capturing it by reference is safe.
@@ -85,6 +93,7 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
   for (size_t i = 0; i < workers_.size(); ++i) Submit(runner);
   runner();  // the calling thread is one of the size() lanes
   Wait();
+  in_parallel_for_.store(false, std::memory_order_release);
 }
 
 }  // namespace dbaugur

@@ -5,16 +5,23 @@
 // per-index slots and merge in index order — and a pool of size 1 must run
 // everything inline on the calling thread, spawning nothing, so single-core
 // configurations behave exactly like the pre-pool code.
+//
+// Locking discipline (compile-checked under Clang, see
+// common/thread_annotations.h): mu_ guards the task queue, the in-flight
+// count, and the stop flag; ParallelFor's non-reentrancy contract is enforced
+// at runtime by a DBAUGUR_CHECK on in_parallel_for_.
 
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dbaugur {
 
@@ -35,30 +42,36 @@ class ThreadPool {
   size_t size() const { return size_; }
 
   /// Enqueues one task for a worker thread.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) DBAUGUR_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() DBAUGUR_EXCLUDES(mu_);
 
   /// Runs body(begin, end) over chunks of `grain` indices covering [0, n).
   /// Chunks are claimed dynamically (rows of a triangular sweep have uneven
   /// cost), so bodies must not depend on execution order. With size() == 1
   /// the chunks run inline, in order, on the calling thread. Not reentrant:
-  /// one ParallelFor at a time per pool.
+  /// one ParallelFor at a time per pool — nesting (a body that calls back
+  /// into ParallelFor on the same pool) aborts via DBAUGUR_CHECK instead of
+  /// deadlocking in Wait().
   void ParallelFor(size_t n, size_t grain,
-                   const std::function<void(size_t, size_t)>& body);
+                   const std::function<void(size_t, size_t)>& body)
+      DBAUGUR_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() DBAUGUR_EXCLUDES(mu_);
 
   size_t size_;
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  size_t in_flight_ = 0;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  // set in ctor, joined in dtor only
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ DBAUGUR_GUARDED_BY(mu_);
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  size_t in_flight_ DBAUGUR_GUARDED_BY(mu_) = 0;
+  bool stop_ DBAUGUR_GUARDED_BY(mu_) = false;
+  // Runtime guard for the documented non-reentrancy contract (only the
+  // worker-backed path can deadlock; the size()==1 inline path is exempt).
+  std::atomic<bool> in_parallel_for_{false};
 };
 
 }  // namespace dbaugur

@@ -35,7 +35,7 @@ bool TraceIngestor::Offer(const TraceEvent& event) {
     return false;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (opts_.max_lateness_seconds >= 0 && any_accepted_ &&
         e.timestamp < max_timestamp_ - opts_.max_lateness_seconds) {
       dropped_stale_.fetch_add(1, std::memory_order_relaxed);
@@ -66,7 +66,7 @@ IngestDropStats TraceIngestor::drop_stats() const {
 }
 
 size_t TraceIngestor::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
@@ -74,7 +74,7 @@ size_t TraceIngestor::Drain(std::vector<TraceEvent>* out) {
   std::vector<TraceEvent> batch;
   batch.reserve(opts_.capacity);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.swap(batch);
   }
   out->insert(out->end(), batch.begin(), batch.end());

@@ -15,11 +15,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "common/binio.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "ts/series.h"
 
 namespace dbaugur::serve {
@@ -73,11 +74,11 @@ class TraceIngestor {
   /// its category) when the queue is full, template_id >= max_templates, the
   /// count is non-finite or negative, or the timestamp is staler than
   /// max_lateness_seconds.
-  bool Offer(const TraceEvent& event);
+  bool Offer(const TraceEvent& event) DBAUGUR_EXCLUDES(mu_);
 
   /// Moves all buffered events into *out (appended), returning how many.
   /// Single consumer: callers serialize Drain externally.
-  size_t Drain(std::vector<TraceEvent>* out);
+  size_t Drain(std::vector<TraceEvent>* out) DBAUGUR_EXCLUDES(mu_);
 
   /// Events accepted / dropped since construction (monotonic). dropped() is
   /// the sum over every drop category.
@@ -86,16 +87,17 @@ class TraceIngestor {
   IngestDropStats drop_stats() const;
 
   /// Buffered events awaiting Drain (point-in-time; takes the queue lock).
-  size_t size() const;
+  size_t size() const DBAUGUR_EXCLUDES(mu_);
 
   size_t capacity() const { return opts_.capacity; }
 
  private:
   IngestorOptions opts_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> queue_;  // guarded by mu_
-  bool any_accepted_ = false;      // guarded by mu_
-  ts::Timestamp max_timestamp_ = 0;  // newest accepted; guarded by mu_
+  mutable Mutex mu_;
+  std::vector<TraceEvent> queue_ DBAUGUR_GUARDED_BY(mu_);
+  bool any_accepted_ DBAUGUR_GUARDED_BY(mu_) = false;
+  /// Newest accepted timestamp (lateness quarantine reference point).
+  ts::Timestamp max_timestamp_ DBAUGUR_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> dropped_full_{0};
   std::atomic<uint64_t> dropped_template_{0};

@@ -12,6 +12,13 @@
 // persisted, and LoadState fast-forwards the seed stream past the consumed
 // draws, so a restored service's *next* retrain uses exactly the seed the
 // original service would have used.
+//
+// Thread ownership: a Retrainer has no locks of its own — it is single-
+// threaded state owned by the retrain loop. That contract is enforced at the
+// owning ForecastService, where the `retrainer_` member is
+// DBAUGUR_GUARDED_BY(retrain_mu_): under Clang's -Werror=thread-safety any
+// touch of the retrainer outside the retrain/Save/Load critical section is a
+// compile error.
 
 #pragma once
 

@@ -18,10 +18,18 @@
 // nanosecond-scale copy/swap of the pointer — readers never hold a lock
 // across a forecast call and never contend with the retrain path, so reads
 // proceed at full speed while a retrain is in flight; they simply keep
-// seeing the previous generation until the swap. (A std::atomic<shared_ptr>
-// would make the copy itself lock-free, but libstdc++ 12's _Sp_atomic
-// predates the _GLIBCXX_TSAN annotations (GCC PR 101761) and reports false
-// races under the TSan preset this repo gates on.)
+// seeing the previous generation until the swap. (A `std::atomic` of
+// `shared_ptr` would make the copy itself lock-free, but libstdc++ 12's
+// _Sp_atomic predates the _GLIBCXX_TSAN annotations (GCC PR 101761) and
+// reports false races under the TSan preset this repo gates on — tools/lint.py
+// rejects the type tree-wide for that reason.)
+//
+// Every mutex below is a capability-annotated dbaugur::Mutex and every field
+// it protects carries DBAUGUR_GUARDED_BY, so the locking discipline described
+// above is compile-checked under Clang (-Werror=thread-safety), not just
+// prose: retrain_mu_ serializes the training side (and is the outermost
+// lock), snapshot_mu_ guards only the pointer swap, error_mu_ the last_error
+// record, stop_mu_ the shutdown flag, lifecycle_mu_ the worker thread object.
 //
 // Failure model: a failed retrain cycle never disturbs the published
 // snapshot — readers keep the previous generation. The background loop backs
@@ -33,15 +41,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/dbaugur.h"
 #include "serve/ingestor.h"
 #include "serve/retrainer.h"
@@ -134,8 +142,9 @@ class ForecastService {
   /// snapshot_mu_). The returned pointer stays valid (and frozen) for as long
   /// as the caller holds it, no matter how many retrains publish newer
   /// generations meanwhile.
-  std::shared_ptr<const ServiceSnapshot> snapshot() const {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
+  std::shared_ptr<const ServiceSnapshot> snapshot() const
+      DBAUGUR_EXCLUDES(snapshot_mu_) {
+    MutexLock lock(&snapshot_mu_);
     return snapshot_ptr_;
   }
 
@@ -157,12 +166,13 @@ class ForecastService {
   /// A failure is recorded (stats + last_error, logged once) and returned;
   /// the published snapshot is untouched.
   /// Serialized against the background loop and Save/Load.
-  Status RetrainOnce();
+  Status RetrainOnce() DBAUGUR_EXCLUDES(retrain_mu_);
 
-  /// Starts the background retrain thread (idempotent).
-  void Start();
+  /// Starts the background retrain thread (idempotent; thread-safe against
+  /// concurrent Start/Stop via lifecycle_mu_).
+  void Start() DBAUGUR_EXCLUDES(lifecycle_mu_);
   /// Stops and joins the background thread (idempotent; called by dtor).
-  void Stop();
+  void Stop() DBAUGUR_EXCLUDES(lifecycle_mu_);
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   ServeStats stats() const;
@@ -182,13 +192,13 @@ class ForecastService {
   /// and the published snapshot with every model parameter in lossless
   /// float64 — into one versioned blob. Pending queued events are folded in
   /// first so nothing is lost across a restart.
-  StatusOr<std::vector<uint8_t>> Save();
+  StatusOr<std::vector<uint8_t>> Save() DBAUGUR_EXCLUDES(retrain_mu_);
 
   /// Restores a Save blob. All-or-nothing: on any validation failure the
   /// service keeps serving its current snapshot untouched. On success the
   /// restored snapshot (verified to reproduce its saved forecasts bit-for-
   /// bit) is published and the retrain seed stream resumes where it left off.
-  Status Load(const std::vector<uint8_t>& blob);
+  Status Load(const std::vector<uint8_t>& blob) DBAUGUR_EXCLUDES(retrain_mu_);
 
   /// Crash-safe on-disk checkpoint: Save() through common/binio's
   /// write-temp → fsync → atomic-rename path (with CRC framing and the
@@ -203,20 +213,28 @@ class ForecastService {
   const ServeOptions& options() const { return opts_; }
 
  private:
-  void RetrainLoop();
+  void RetrainLoop() DBAUGUR_EXCLUDES(retrain_mu_, stop_mu_);
 
   /// Swaps in a new snapshot + generation under snapshot_mu_.
-  void Publish(std::shared_ptr<const ServiceSnapshot> snap, uint64_t gen);
+  void Publish(std::shared_ptr<const ServiceSnapshot> snap, uint64_t gen)
+      DBAUGUR_EXCLUDES(snapshot_mu_);
 
   /// Records a retrain failure: counters, last_error, one WARN log line.
-  void RecordFailure(const Status& st);
+  /// Reads retrainer_.cycles(), hence the retrain_mu_ requirement.
+  void RecordFailure(const Status& st) DBAUGUR_REQUIRES(retrain_mu_);
 
   ServeOptions opts_;
   TraceIngestor ingestor_;
-  Retrainer retrainer_;               // guarded by retrain_mu_
-  std::mutex retrain_mu_;             // serializes retrain/Save/Load
-  mutable std::mutex snapshot_mu_;    // pointer copy/swap only, never work
-  std::shared_ptr<const ServiceSnapshot> snapshot_ptr_;  // guarded ^
+
+  /// Serializes the whole training side: RetrainOnce, Save, Load. Outermost
+  /// lock — snapshot_mu_ and error_mu_ nest inside it, never the reverse.
+  Mutex retrain_mu_ DBAUGUR_ACQUIRED_BEFORE(snapshot_mu_, error_mu_);
+  Retrainer retrainer_ DBAUGUR_GUARDED_BY(retrain_mu_);
+
+  /// Guards only the nanosecond-scale snapshot-pointer copy/swap, never work.
+  mutable Mutex snapshot_mu_;
+  std::shared_ptr<const ServiceSnapshot> snapshot_ptr_
+      DBAUGUR_GUARDED_BY(snapshot_mu_);
   std::atomic<uint64_t> generation_{0};
 
   std::atomic<uint64_t> retrains_completed_{0};
@@ -225,15 +243,21 @@ class ForecastService {
   std::atomic<uint64_t> consecutive_failures_{0};
   std::atomic<uint64_t> values_winsorized_{0};
 
-  mutable std::mutex error_mu_;       // guards the last_error record
-  std::string last_error_;
-  uint64_t last_error_cycles_ = 0;
-  uint64_t last_error_generation_ = 0;
+  mutable Mutex error_mu_;  ///< Guards the last_error record.
+  std::string last_error_ DBAUGUR_GUARDED_BY(error_mu_);
+  uint64_t last_error_cycles_ DBAUGUR_GUARDED_BY(error_mu_) = 0;
+  uint64_t last_error_generation_ DBAUGUR_GUARDED_BY(error_mu_) = 0;
 
-  std::thread worker_;                // managed by Start/Stop (owner thread)
-  std::mutex stop_mu_;                // guards stopping_ with stop_cv_
-  std::condition_variable stop_cv_;
-  bool stopping_ = false;
+  /// Serializes Start/Stop/dtor. Previously worker_ was touched by whichever
+  /// thread called Start/Stop with no synchronization — a data race on the
+  /// std::thread object if two threads raced the calls (found by the
+  /// thread-safety sweep; see README "Static analysis").
+  Mutex lifecycle_mu_;
+  std::thread worker_ DBAUGUR_GUARDED_BY(lifecycle_mu_);
+
+  Mutex stop_mu_;  ///< Guards stopping_, paired with stop_cv_.
+  CondVar stop_cv_;
+  bool stopping_ DBAUGUR_GUARDED_BY(stop_mu_) = false;
   std::atomic<bool> running_{false};
 };
 

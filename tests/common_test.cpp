@@ -1,8 +1,10 @@
-// Unit tests for src/common: Status, Rng, math utilities, table printer.
+// Unit tests for src/common: Status, Rng, math utilities, table printer,
+// thread pool, and the annotated Mutex/CondVar wrappers.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <mutex>
 #include <numeric>
@@ -13,6 +15,7 @@
 
 #include "common/logging.h"
 #include "common/math_utils.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/table_printer.h"
@@ -314,6 +317,78 @@ TEST(ThreadPoolTest, PoolIsReusableAcrossParallelForCalls) {
     });
   }
   EXPECT_DOUBLE_EQ(std::accumulate(acc.begin(), acc.end(), 0.0), 5.0 * 64);
+}
+
+TEST(ThreadPoolDeathTest, NestedParallelForAbortsInsteadOfDeadlocking) {
+  // The non-reentrancy contract used to be prose; now it is a DBAUGUR_CHECK.
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.ParallelFor(8, 1, [&pool](size_t, size_t) {
+          pool.ParallelFor(2, 1, [](size_t, size_t) {});
+        });
+      },
+      "not reentrant");
+}
+
+// The annotated wrappers must behave exactly like the std primitives they
+// shim (common/mutex.h): mutual exclusion, timed waits, notify wakeups.
+TEST(MutexTest, MutexLockProvidesMutualExclusion) {
+  Mutex mu;
+  int counter = 0;  // deliberately unsynchronized except through mu
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(counter, kThreads * kPerThread);
+}
+
+TEST(MutexTest, TryLockReportsContention) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  EXPECT_FALSE(mu.TryLock());
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(CondVarTest, WaitUntilTimesOutWhenNeverNotified) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(&mu);
+  bool timed_out = cv.WaitUntil(
+      &mu, std::chrono::steady_clock::now() + std::chrono::milliseconds(20));
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(CondVarTest, NotifyWakesWaiterAndMutexIsReheld) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  bool observed = false;
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    observed = true;  // must hold mu again here
+  });
+  {
+    MutexLock lock(&mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  MutexLock lock(&mu);
+  EXPECT_TRUE(observed);
 }
 
 }  // namespace

@@ -1,0 +1,31 @@
+// Negative-compile fixture: MUST FAIL to build under
+// -Wthread-safety -Werror=thread-safety (Clang). The guarded counter is
+// written without holding its mutex; if this file ever compiles under the
+// thread-safety gate, the gate is not wired and the CMake check errors out.
+//
+// Excluded from the *_test.cpp glob on purpose — it is compiled only by the
+// try_compile probe in tests/CMakeLists.txt.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {  // missing DBAUGUR_REQUIRES(mu_) / MutexLock: a race
+    ++value_;
+  }
+
+ private:
+  dbaugur::Mutex mu_;
+  int value_ DBAUGUR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

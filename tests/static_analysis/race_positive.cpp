@@ -1,0 +1,30 @@
+// Positive control for the negative-compile probe: same shape as
+// race_negative.cpp but correctly locked, so it MUST COMPILE under
+// -Wthread-safety -Werror=thread-safety. If this one fails, the probe
+// toolchain is broken (wrong include path, wrong flags) rather than the gate
+// working — the CMake check distinguishes the two.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() DBAUGUR_EXCLUDES(mu_) {
+    dbaugur::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+ private:
+  dbaugur::Mutex mu_;
+  int value_ DBAUGUR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

@@ -6,11 +6,18 @@
 #                          DBAUGUR_FAULT_SPEC storm armed from the environment)
 #   3. TSan               (skipped with a warning if the toolchain lacks it)
 #   4. clang-tidy on src/ (skipped with a warning if clang-tidy is absent)
+#   5. thread-safety      (clang++ build with -Werror=thread-safety checking
+#                          the DBAUGUR_GUARDED_BY annotations; skipped with a
+#                          warning if no clang++ — set DBAUGUR_CLANG to point
+#                          at one explicitly)
+#   6. lint               (tools/lint.py project invariants + its self-tests;
+#                          skipped with a warning if python3 is absent)
 #
 # Every future perf PR must pass this script before landing (see ROADMAP.md).
 #
 # Usage: tools/check.sh [--fast]
-#   --fast  skip TSan and clang-tidy (inner-loop use; CI runs the full set)
+#   --fast  skip TSan, clang-tidy, thread-safety and lint (inner-loop use;
+#           CI runs the full set)
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -140,6 +147,56 @@ elif command -v clang-tidy > /dev/null 2>&1; then
 else
   echo "WARNING: clang-tidy not found on PATH; skipping static analysis step"
   record "clang-tidy" "SKIPPED (not installed)"
+fi
+
+# --- 5. Thread-safety gate: clang++ build with -Werror=thread-safety. --------
+# The DBAUGUR_GUARDED_BY / DBAUGUR_REQUIRES annotations (see
+# src/common/thread_annotations.h) are only checked by Clang's capability
+# analysis; GCC compiles them away. This stage proves the annotated tree is
+# race-clean *at compile time* — and the tests/static_analysis negative-compile
+# probe (run at configure) proves the gate itself rejects races.
+if [[ "$FAST" == 1 ]]; then
+  record "thread-safety" "SKIPPED (--fast)"
+else
+  CLANGXX="${DBAUGUR_CLANG:-}"
+  if [[ -z "$CLANGXX" ]]; then
+    for cand in clang++ clang++-18 clang++-17 clang++-16 clang++-15 clang++-14; do
+      if command -v "$cand" > /dev/null 2>&1; then CLANGXX="$cand"; break; fi
+    done
+  fi
+  if [[ -n "$CLANGXX" ]] && command -v "$CLANGXX" > /dev/null 2>&1; then
+    build_and_test "thread-safety" build-threadsafety \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_CXX_COMPILER="$CLANGXX"
+  else
+    echo "WARNING: no clang++ on PATH (set DBAUGUR_CLANG=/path/to/clang++);"
+    echo "         skipping the -Werror=thread-safety gate — the GUARDED_BY"
+    echo "         annotations are NOT being checked in this run."
+    record "thread-safety" "SKIPPED (clang++ not installed)"
+  fi
+fi
+
+# --- 6. Project-invariant lint (tools/lint.py). ------------------------------
+# Bans bare assert(), nondeterministic sources in src/, atomic<shared_ptr>,
+# undocumented NOLINTs, and allocation in the src/nn hot path. Self-tests run
+# first so a broken linter cannot silently pass the tree.
+if [[ "$FAST" == 1 ]]; then
+  record "lint" "SKIPPED (--fast)"
+elif command -v python3 > /dev/null 2>&1; then
+  note "lint: tools/lint.py self-tests + tree scan"
+  if python3 tests/lint_test.py 2> /dev/null; then
+    record "lint-selftest" "OK"
+  else
+    record "lint-selftest" "FAIL"
+  fi
+  if python3 tools/lint.py src tests bench; then
+    record "lint" "OK"
+  else
+    record "lint" "FAIL (fix or allowlist in tools/lint_allowlist.txt)"
+  fi
+else
+  echo "WARNING: python3 not found on PATH; skipping project-invariant lint"
+  record "lint" "SKIPPED (python3 not installed)"
 fi
 
 # --- Summary. ----------------------------------------------------------------

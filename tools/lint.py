@@ -1,0 +1,393 @@
+#!/usr/bin/env python3
+"""Project-invariant linter for DBAugur.
+
+Enforces repo-wide conventions that neither the compiler nor clang-tidy
+checks, so they cannot erode one "just this once" at a time:
+
+  bare-assert        No bare `assert(...)` anywhere in src/, tests/ or bench/.
+                     Contracts use DBAUGUR_CHECK / DBAUGUR_DCHECK, which
+                     survive -DNDEBUG and print a message. (`static_assert`
+                     and gtest ASSERT_* macros are fine.)
+  nondeterminism     No std::rand / srand / std::random_device /
+                     time(nullptr) / argless system_clock::now() in src/.
+                     Every random draw goes through common/rng.h with an
+                     explicit seed; every timestamp is passed in by the
+                     caller. This is what keeps retrain cycles replayable.
+  atomic-shared-ptr  No std::atomic<std::shared_ptr<...>> anywhere: libstdc++
+                     12's free-function implementation trips TSan (GCC PR
+                     101761). Use a mutex-guarded shared_ptr (see
+                     serve/service.h) instead.
+  nolint-discipline  Every `NOLINT` marker names the suppressed check
+                     (`// NOLINT(check-name)`) and has a reason in a comment
+                     on the same or a preceding line. Bare NOLINTs silence
+                     future, unrelated findings.
+  nn-alloc           No `new` / malloc / calloc / realloc in src/nn: the
+                     training hot path is allocation-free by design (PR 5's
+                     fused GEMM kernels); buffers come from the layer
+                     workspace arena.
+
+Exit codes: 0 clean, 1 violations found, 2 usage / IO error.
+
+False positives are suppressed through the allowlist file
+(tools/lint_allowlist.txt by default): one `<rule-id> <path>` pair per line,
+`#` comments allowed. An allowlisted (rule, file) pair skips that rule for
+that file only. Rules are applied to comment- and string-stripped source so
+that prose like "previously assert()s" never trips a code rule —
+nolint-discipline is the exception, since NOLINT markers live in comments.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SOURCE_EXTS = (".cpp", ".h", ".cc", ".hpp")
+
+# ---------------------------------------------------------------------------
+# Source preprocessing
+
+
+def strip_comments_and_strings(text):
+    """Replaces comment and string-literal contents with spaces.
+
+    Line structure is preserved (newlines survive) so reported line numbers
+    match the original file. A simple state machine is enough for the repo's
+    C++ (no raw strings with embedded quotes in tricky places, no trigraphs).
+    """
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # R"( ... )" raw string: find the matching delimiter directly.
+                if out and out[-1] == "R":
+                    m = re.match(r'R"([^(\s"\\]*)\(', text[i - 1 :])
+                    if m:
+                        delim = ")" + m.group(1) + '"'
+                        end = text.find(delim, i + len(m.group(0)) - 1)
+                        if end == -1:
+                            end = n
+                        seg = text[i : end + len(delim)]
+                        out.append("".join("\n" if ch == "\n" else " " for ch in seg))
+                        i = end + len(delim)
+                        continue
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(" ")
+            else:
+                out.append("\n" if c == "\n" else " ")
+            i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Rules. Each rule is (rule_id, applies(relpath) -> bool,
+# check(relpath, raw_text, stripped_text) -> list[(line, message)]).
+
+
+def _grep(stripped, pattern, message):
+    hits = []
+    rx = re.compile(pattern)
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        if rx.search(line):
+            hits.append((lineno, message))
+    return hits
+
+
+def in_dirs(*prefixes):
+    def applies(relpath):
+        return any(
+            relpath == p or relpath.startswith(p + os.sep) for p in prefixes
+        )
+
+    return applies
+
+
+def check_bare_assert(relpath, raw, stripped):
+    # `assert(` as a standalone token; static_assert and gtest's
+    # ASSERT_*/EXPECT_* don't match because of the identifier boundary.
+    return _grep(
+        stripped,
+        r"(?<![A-Za-z0-9_])assert\s*\(",
+        "bare assert() — use DBAUGUR_CHECK/DBAUGUR_DCHECK (common/contracts.h); "
+        "assert is stripped under -DNDEBUG",
+    )
+
+
+NONDET_PATTERNS = [
+    (r"(?<![A-Za-z0-9_])(?:std::)?rand\s*\(\s*\)", "std::rand()"),
+    (r"(?<![A-Za-z0-9_])(?:std::)?srand\s*\(", "srand()"),
+    (r"(?<![A-Za-z0-9_])(?:std::)?random_device(?![A-Za-z0-9_])",
+     "std::random_device"),
+    (r"(?<![A-Za-z0-9_])time\s*\(\s*(?:nullptr|NULL|0)\s*\)", "time(nullptr)"),
+    (r"system_clock\s*::\s*now\s*\(\s*\)", "system_clock::now()"),
+]
+
+
+def check_nondeterminism(relpath, raw, stripped):
+    hits = []
+    for pattern, what in NONDET_PATTERNS:
+        hits.extend(
+            _grep(
+                stripped,
+                pattern,
+                f"nondeterministic source {what} — draw from common/rng.h with "
+                "an explicit seed, or take the timestamp as a parameter",
+            )
+        )
+    return hits
+
+
+def check_atomic_shared_ptr(relpath, raw, stripped):
+    hits = _grep(
+        stripped,
+        r"std::atomic\s*<\s*std::shared_ptr",
+        "std::atomic<std::shared_ptr<>> trips TSan on libstdc++ 12 "
+        "(GCC PR 101761) — use a mutex-guarded shared_ptr "
+        "(see serve/service.h)",
+    )
+    # atomic_load/atomic_store on shared_ptr hit the same libstdc++ paths.
+    hits.extend(
+        _grep(
+            stripped,
+            r"std::atomic_(?:load|store|exchange|compare_exchange)\w*\s*\(\s*&?\s*\w*snapshot",
+            "free-function atomic access to shared_ptr trips TSan on "
+            "libstdc++ 12 (GCC PR 101761) — use a mutex-guarded shared_ptr",
+        )
+    )
+    return hits
+
+
+NOLINT_RX = re.compile(r"NOLINT(NEXTLINE)?(?:\(([^)]*)\))?")
+
+
+def check_nolint_discipline(relpath, raw, stripped):
+    """NOLINT must carry a check name and a nearby reason comment.
+
+    Operates on the *raw* source because NOLINT markers live in comments. A
+    reason is any comment text beyond the marker itself, on the same line or
+    one of the two preceding lines.
+    """
+    hits = []
+    lines = raw.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        for m in NOLINT_RX.finditer(line):
+            checks = m.group(2)
+            if not checks or not checks.strip():
+                hits.append(
+                    (
+                        lineno,
+                        "bare NOLINT — name the suppressed check: "
+                        "// NOLINT(check-name)",
+                    )
+                )
+                continue
+            if not _has_nolint_reason(lines, lineno, m):
+                hits.append(
+                    (
+                        lineno,
+                        f"NOLINT({checks.strip()}) without a reason — add a "
+                        "comment on the same or a preceding line saying why "
+                        "the suppression is sound",
+                    )
+                )
+    return hits
+
+
+def _has_nolint_reason(lines, lineno, match):
+    # Same line: comment text after the NOLINT(...) marker.
+    rest = lines[lineno - 1][match.end() :]
+    if re.search(r"[A-Za-z]", rest.replace("NOLINT", "")):
+        return True
+    # Preceding two lines: any comment line counts as the rationale.
+    for back in (2, 3):
+        idx = lineno - back
+        if idx < 0:
+            continue
+        prev = lines[idx].strip()
+        if (prev.startswith("//") or prev.startswith("*")) and re.search(
+            r"[A-Za-z]", prev.lstrip("/* ")
+        ):
+            return True
+    return False
+
+
+def check_nn_alloc(relpath, raw, stripped):
+    hits = _grep(
+        stripped,
+        r"(?<![A-Za-z0-9_])new(?![A-Za-z0-9_])(?!\s*\()",
+        "raw `new` in src/nn — the training hot path is allocation-free; "
+        "take buffers from the layer workspace",
+    )
+    hits.extend(
+        _grep(
+            stripped,
+            r"(?<![A-Za-z0-9_:.])(?:malloc|calloc|realloc)\s*\(",
+            "C allocation in src/nn — the training hot path is "
+            "allocation-free; take buffers from the layer workspace",
+        )
+    )
+    return hits
+
+
+RULES = [
+    ("bare-assert", in_dirs("src", "tests", "bench"), check_bare_assert),
+    ("nondeterminism", in_dirs("src"), check_nondeterminism),
+    ("atomic-shared-ptr", in_dirs("src", "tests", "bench"),
+     check_atomic_shared_ptr),
+    ("nolint-discipline", in_dirs("src", "tests", "bench"),
+     check_nolint_discipline),
+    ("nn-alloc", in_dirs(os.path.join("src", "nn")), check_nn_alloc),
+]
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+
+def load_allowlist(path):
+    """Parses `<rule-id> <path>` pairs; returns a set of (rule, relpath)."""
+    allow = set()
+    if not os.path.exists(path):
+        return allow
+    with open(path, encoding="utf-8") as f:
+        for raw_line in f:
+            line = raw_line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(
+                    f"{path}: malformed allowlist line: {raw_line.rstrip()!r} "
+                    "(expected '<rule-id> <path>')"
+                )
+            allow.add((parts[0], os.path.normpath(parts[1])))
+    return allow
+
+
+def collect_files(root, targets):
+    files = []
+    for target in targets:
+        abs_target = os.path.join(root, target)
+        if os.path.isfile(abs_target):
+            if abs_target.endswith(SOURCE_EXTS):
+                files.append(os.path.normpath(target))
+            continue
+        if not os.path.isdir(abs_target):
+            raise FileNotFoundError(f"no such file or directory: {target}")
+        for dirpath, dirnames, filenames in os.walk(abs_target):
+            dirnames.sort()
+            # Negative-compile fixtures intentionally violate invariants.
+            dirnames[:] = [d for d in dirnames if d != "static_analysis"]
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    files.append(os.path.normpath(rel))
+    return files
+
+
+def lint_tree(root, targets, allowlist):
+    violations = []
+    for relpath in collect_files(root, targets):
+        with open(os.path.join(root, relpath), encoding="utf-8") as f:
+            raw = f.read()
+        stripped = strip_comments_and_strings(raw)
+        for rule_id, applies, check in RULES:
+            if not applies(relpath):
+                continue
+            if (rule_id, relpath) in allowlist:
+                continue
+            for lineno, message in check(relpath, raw, stripped):
+                violations.append((relpath, lineno, rule_id, message))
+    return violations
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="DBAugur project-invariant linter"
+    )
+    parser.add_argument(
+        "targets", nargs="+", help="directories or files to lint, e.g. src tests"
+    )
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (targets and allowlist paths are relative to it)",
+    )
+    parser.add_argument(
+        "--allowlist",
+        default=None,
+        help="allowlist file (default: <root>/tools/lint_allowlist.txt)",
+    )
+    args = parser.parse_args(argv)
+
+    allowlist_path = args.allowlist or os.path.join(
+        args.root, "tools", "lint_allowlist.txt"
+    )
+    try:
+        allowlist = load_allowlist(allowlist_path)
+        violations = lint_tree(args.root, args.targets, allowlist)
+    except (FileNotFoundError, ValueError) as e:
+        print(f"lint: error: {e}", file=sys.stderr)
+        return 2
+
+    for relpath, lineno, rule_id, message in violations:
+        print(f"{relpath}:{lineno}: [{rule_id}] {message}")
+    if violations:
+        print(
+            f"lint: {len(violations)} violation(s); suppress known-good cases "
+            f"in {os.path.relpath(allowlist_path, args.root)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,245 @@
+// Chaos harness driver: deterministic repro, CI smoke, and open-ended soak.
+//
+// Three modes:
+//   repro:  chaos_soak --seed=N --profile=P [--full] [--replay]
+//           Runs exactly the (seed, profile) a failing test or soak printed;
+//           exits 1 with the full report if the failure reproduces.
+//   smoke:  chaos_soak --smoke
+//           A fixed mini-matrix across all four profiles plus one
+//           full-service and one replay run, with a wall-clock budget so CI
+//           notices when the harness gets slow. JSON summary on stdout.
+//   soak:   chaos_soak --soak [--seconds=S] [--start-seed=N]
+//           Randomized open-ended mode: sweeps fresh seeds (wall-clock
+//           derived unless pinned) round-robin over the profiles, mixing in
+//           full-service and replay legs, until the time budget runs out. On
+//           failure it prints the repro + a ready-to-paste corpus line,
+//           writes soak_failure.txt, and exits 1.
+//
+// A DBAUGUR_FAULT_SPEC in the environment arms the same fault storms the
+// tests use; the harness then checks conservation/invariant oracles instead
+// of exact differential equality.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "chaos/harness.h"
+
+namespace dbaugur::bench {
+namespace {
+
+using chaos::ChaosOptions;
+using chaos::ChaosReport;
+using chaos::StreamProfile;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ChaosOptions MatrixOptions(uint64_t seed, StreamProfile profile) {
+  ChaosOptions o;
+  o.stream.seed = seed;
+  o.stream.profile = profile;
+  o.stream.bins = 36;
+  o.stream.templates = 6;
+  o.stream.mean_rate = 2.5;
+  return o;
+}
+
+std::string CorpusLine(const ChaosOptions& o) {
+  std::string line = std::to_string(o.stream.seed);
+  line += " ";
+  line += chaos::ProfileName(o.stream.profile);
+  if (o.full_service) line += " full";
+  if (o.replay) line += " replay";
+  return line;
+}
+
+/// Runs one configuration; on failure prints the report and the corpus line.
+bool RunOne(const ChaosOptions& opts) {
+  const ChaosReport report = chaos::RunChaos(opts);
+  if (report.ok) return true;
+  std::fprintf(stderr, "%s\n", report.Summary().c_str());
+  std::fprintf(stderr, "corpus line: %s\n", CorpusLine(opts).c_str());
+  return false;
+}
+
+int ReproMode(uint64_t seed, StreamProfile profile, bool full, bool replay) {
+  ChaosOptions o = MatrixOptions(seed, profile);
+  o.full_service = full;
+  o.replay = replay;
+  const double t0 = NowSeconds();
+  const bool ok = RunOne(o);
+  std::printf(
+      "{\n  \"benchmark\": \"chaos_soak\",\n  \"mode\": \"repro\",\n"
+      "  \"seed\": %" PRIu64 ",\n  \"profile\": \"%s\",\n  \"ok\": %s,\n"
+      "  \"seconds\": %.3f\n}\n",
+      seed, chaos::ProfileName(profile), ok ? "true" : "false",
+      NowSeconds() - t0);
+  if (ok) std::fprintf(stderr, "chaos ok (repro %s)\n", CorpusLine(o).c_str());
+  return ok ? 0 : 1;
+}
+
+int SmokeMode() {
+  // Budget is deliberately generous (CI machines vary); the point is to fail
+  // loudly if the harness regresses from seconds to minutes.
+  constexpr double kBudgetSeconds = 120.0;
+  const double t0 = NowSeconds();
+  int runs = 0;
+  int failures = 0;
+  for (StreamProfile p : chaos::AllProfiles()) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      ++runs;
+      if (!RunOne(MatrixOptions(seed, p))) ++failures;
+    }
+  }
+  {
+    ChaosOptions o = MatrixOptions(42, StreamProfile::kSteady);
+    o.stream.bins = 28;
+    o.stream.templates = 4;
+    o.full_service = true;
+    ++runs;
+    if (!RunOne(o)) ++failures;
+  }
+  {
+    ChaosOptions o = MatrixOptions(7, StreamProfile::kTemplateChurn);
+    o.stream.bins = 24;
+    o.replay = true;
+    ++runs;
+    if (!RunOne(o)) ++failures;
+  }
+  const double seconds = NowSeconds() - t0;
+  const bool over_budget = seconds > kBudgetSeconds;
+  std::printf(
+      "{\n  \"benchmark\": \"chaos_soak\",\n  \"mode\": \"smoke\",\n"
+      "  \"runs\": %d,\n  \"failures\": %d,\n  \"seconds\": %.3f,\n"
+      "  \"budget_seconds\": %.1f\n}\n",
+      runs, failures, seconds, kBudgetSeconds);
+  std::fprintf(stderr, "chaos smoke: %d runs, %d failures, %.2fs\n", runs,
+               failures, seconds);
+  if (over_budget) {
+    std::fprintf(stderr,
+                 "chaos_soak: smoke took %.1fs, budget %.1fs — the harness "
+                 "got an order of magnitude slower\n",
+                 seconds, kBudgetSeconds);
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int SoakMode(double seconds, uint64_t start_seed, bool have_start_seed) {
+  if (!have_start_seed) {
+    // Fresh seeds every nightly run; print the start so any failure is
+    // reproducible even if the repro line were lost.
+    start_seed = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    start_seed = start_seed * 0x9E3779B97F4A7C15ULL >> 16;
+  }
+  std::fprintf(stderr,
+               "chaos soak: %.0fs budget, start seed %" PRIu64 "\n",
+               seconds, start_seed);
+  const double t0 = NowSeconds();
+  const auto profiles = chaos::AllProfiles();
+  uint64_t runs = 0;
+  while (NowSeconds() - t0 < seconds) {
+    ChaosOptions o =
+        MatrixOptions(start_seed + runs, profiles[runs % profiles.size()]);
+    // Mix the expensive legs in at a steady cadence.
+    o.full_service = runs % 7 == 3;
+    o.replay = runs % 11 == 5;
+    if (!RunOne(o)) {
+      const std::string line = CorpusLine(o);
+      std::FILE* f = std::fopen("soak_failure.txt", "w");
+      if (f != nullptr) {
+        std::fprintf(f, "%s\n", line.c_str());
+        std::fprintf(f, "%s\n", chaos::RunChaos(o).Summary().c_str());
+        std::fclose(f);
+      }
+      std::printf(
+          "{\n  \"benchmark\": \"chaos_soak\",\n  \"mode\": \"soak\",\n"
+          "  \"runs\": %" PRIu64 ",\n  \"failures\": 1,\n"
+          "  \"failing_corpus_line\": \"%s\",\n  \"seconds\": %.3f\n}\n",
+          runs + 1, line.c_str(), NowSeconds() - t0);
+      return 1;
+    }
+    ++runs;
+  }
+  std::printf(
+      "{\n  \"benchmark\": \"chaos_soak\",\n  \"mode\": \"soak\",\n"
+      "  \"runs\": %" PRIu64 ",\n  \"failures\": 0,\n  \"start_seed\": "
+      "%" PRIu64 ",\n  \"seconds\": %.3f\n}\n",
+      runs, start_seed, NowSeconds() - t0);
+  std::fprintf(stderr, "chaos soak: %" PRIu64 " runs clean in %.1fs\n", runs,
+               NowSeconds() - t0);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: chaos_soak --seed=N --profile=P [--full] [--replay]\n"
+               "       chaos_soak --smoke\n"
+               "       chaos_soak --soak [--seconds=S] [--start-seed=N]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  bool soak = false;
+  bool full = false;
+  bool replay = false;
+  bool have_seed = false;
+  bool have_start_seed = false;
+  uint64_t seed = 0;
+  uint64_t start_seed = 0;
+  double seconds = 60.0;
+  StreamProfile profile = StreamProfile::kSteady;
+  bool have_profile = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(a, "--soak") == 0) {
+      soak = true;
+    } else if (std::strcmp(a, "--full") == 0) {
+      full = true;
+    } else if (std::strcmp(a, "--replay") == 0) {
+      replay = true;
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      seed = std::strtoull(a + 7, nullptr, 10);
+      have_seed = true;
+    } else if (std::strncmp(a, "--start-seed=", 13) == 0) {
+      start_seed = std::strtoull(a + 13, nullptr, 10);
+      have_start_seed = true;
+    } else if (std::strncmp(a, "--seconds=", 10) == 0) {
+      seconds = std::strtod(a + 10, nullptr);
+    } else if (std::strncmp(a, "--profile=", 10) == 0) {
+      auto parsed = chaos::ParseProfile(a + 10);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "chaos_soak: %s\n",
+                     parsed.status().message().c_str());
+        return 2;
+      }
+      profile = *parsed;
+      have_profile = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (smoke) return SmokeMode();
+  if (soak) return SoakMode(seconds, start_seed, have_start_seed);
+  if (have_seed && have_profile) return ReproMode(seed, profile, full, replay);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace dbaugur::bench
+
+int main(int argc, char** argv) { return dbaugur::bench::Main(argc, argv); }

@@ -1,0 +1,668 @@
+#include "chaos/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chaos/oracle.h"
+#include "chaos/partition.h"
+#include "cluster/descender.h"
+#include "common/fault_injection.h"
+#include "dbsim/bustracker_db.h"
+#include "dbsim/query.h"
+#include "dbsim/replay.h"
+#include "migrate/load_balancer.h"
+#include "serve/service.h"
+#include "trace/extractor.h"
+
+namespace dbaugur::chaos {
+
+size_t MinimizeFailingPrefix(size_t n,
+                             const std::function<bool(size_t)>& fails_at) {
+  if (n == 0) return 0;
+  size_t lo = 1;
+  size_t hi = n;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (fails_at(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  // The bisection assumed a failing prefix stays failing as it grows. Verify
+  // the boundary it found; a non-monotone predicate (possible when a fault
+  // storm moves with the number of production calls) falls back to the first
+  // failing prefix by linear scan.
+  if (fails_at(lo) && (lo == 1 || !fails_at(lo - 1))) return lo;
+  for (size_t i = 1; i <= n; ++i) {
+    if (fails_at(i)) return i;
+  }
+  return n;
+}
+
+std::string FormatEventWindow(const std::vector<serve::TraceEvent>& events,
+                              size_t end, size_t max_window) {
+  if (end > events.size()) end = events.size();
+  const size_t begin = end > max_window ? end - max_window : 0;
+  std::string out = "  event window [" + std::to_string(begin) + ", " +
+                    std::to_string(end) + ") of " +
+                    std::to_string(events.size()) + ":";
+  for (size_t i = begin; i < end; ++i) {
+    const serve::TraceEvent& e = events[i];
+    out += "\n    #" + std::to_string(i) +
+           " template=" + std::to_string(e.template_id) +
+           " ts=" + std::to_string(e.timestamp) +
+           " count=" + std::to_string(e.count);
+  }
+  return out;
+}
+
+std::string ChaosReport::Summary() const {
+  if (ok) return "chaos ok (" + repro + ")";
+  std::string out = "chaos FAILURE [stage " + stage + "] " + failure;
+  out += "\n  repro: " + repro;
+  if (!window.empty()) {
+    out += "\n";
+    out += window;
+  }
+  return out;
+}
+
+namespace {
+
+Status Fail(const std::string& what) { return Status::Internal(what); }
+
+/// One chaos run; stages share state through the members below.
+class ChaosRun {
+ public:
+  explicit ChaosRun(const ChaosOptions& opts) : opts_(opts) {}
+
+  ChaosReport Run() {
+    report_.repro = "--seed=" + std::to_string(opts_.stream.seed) +
+                    " --profile=" + ProfileName(opts_.stream.profile);
+    if (opts_.full_service) report_.repro += " --full";
+    if (opts_.replay) report_.repro += " --replay";
+
+    stream_ = GenerateStream(opts_.stream);
+    if (!Stage("text", TextLeg())) return report_;
+    if (!Stage("template", TemplateLeg())) return report_;
+    if (!Stage("events", EventsLeg())) return report_;
+    if (!Stage("cluster", ClusterLeg())) return report_;
+    if (opts_.full_service && !Stage("service", ServiceLeg())) return report_;
+    if (opts_.replay && !Stage("replay", ReplayLeg())) return report_;
+    if (!Stage("migrate", MigrateLeg())) return report_;
+    return report_;
+  }
+
+ private:
+  bool Stage(const char* name, const Status& st) {
+    if (st.ok()) return true;
+    report_.ok = false;
+    report_.stage = name;
+    report_.failure = st.message();
+    return false;
+  }
+
+  // ---- text: raw log lines through the lenient + strict log parsers -------
+
+  Status TextLeg() {
+    parsed_ = trace::ParseQueryLogLenient(stream_.Text());
+    const StreamGroundTruth& t = stream_.truth;
+    if (parsed_.rejected.no_sql != t.malformed_no_sql) {
+      return Fail("log parser rejected " +
+                  std::to_string(parsed_.rejected.no_sql) +
+                  " no-SQL lines, stream injected " +
+                  std::to_string(t.malformed_no_sql));
+    }
+    if (parsed_.rejected.bad_timestamp != t.malformed_bad_timestamp) {
+      return Fail("log parser rejected " +
+                  std::to_string(parsed_.rejected.bad_timestamp) +
+                  " bad-timestamp lines, stream injected " +
+                  std::to_string(t.malformed_bad_timestamp));
+    }
+    const uint64_t want_entries = t.well_formed + t.bad_statements;
+    if (parsed_.entries.size() != want_entries) {
+      return Fail("log parser kept " + std::to_string(parsed_.entries.size()) +
+                  " entries, stream emitted " + std::to_string(want_entries) +
+                  " parseable lines");
+    }
+    if (parsed_.rejected.total() > 0 &&
+        (parsed_.first_bad_line == 0 || parsed_.first_error.empty())) {
+      return Fail("lines were rejected but first-error diagnostics are empty");
+    }
+    // Strict/lenient differential: the strict parser fails iff the lenient
+    // one rejected anything.
+    auto strict = trace::ParseQueryLog(stream_.Text());
+    if (strict.ok() != (parsed_.rejected.total() == 0)) {
+      return Fail(std::string("strict parse ") +
+                  (strict.ok() ? "succeeded" : "failed") + " but lenient saw " +
+                  std::to_string(parsed_.rejected.total()) + " rejections");
+    }
+    return Status::OK();
+  }
+
+  // ---- template: SQL2Template counts against ground truth -----------------
+
+  Status TemplateLeg() {
+    trace::ExtractionOptions xopts;
+    xopts.interval_seconds = opts_.stream.interval_seconds;
+    trace::TraceExtractor ex(xopts);
+    for (const trace::LogEntry& e : parsed_.entries) ex.IngestLenient(e);
+    const StreamGroundTruth& t = stream_.truth;
+    if (ex.rejected_statements() != t.bad_statements) {
+      return Fail("templater rejected " +
+                  std::to_string(ex.rejected_statements()) +
+                  " statements, stream injected " +
+                  std::to_string(t.bad_statements));
+    }
+    if (ex.entry_count() != t.well_formed) {
+      return Fail("templater ingested " + std::to_string(ex.entry_count()) +
+                  " statements, stream emitted " +
+                  std::to_string(t.well_formed));
+    }
+    // Aggregate by canonical template text on both sides so two grammar
+    // slots canonicalizing to the same template stay comparable.
+    std::map<std::string, int64_t> got;
+    const sql::TemplateRegistry& reg = ex.registry();
+    for (size_t id = 0; id < reg.size(); ++id) {
+      got[reg.template_text(id)] += reg.count(id);
+    }
+    std::map<std::string, int64_t> want;
+    for (size_t s = 0; s < t.template_text.size(); ++s) {
+      if (t.template_counts[s] > 0) {
+        want[t.template_text[s]] +=
+            static_cast<int64_t>(t.template_counts[s]);
+      }
+    }
+    if (got != want) {
+      for (const auto& [tmpl, n] : want) {
+        auto it = got.find(tmpl);
+        if (it == got.end()) {
+          return Fail("template never registered: \"" + tmpl + "\" (expected " +
+                      std::to_string(n) + " occurrences)");
+        }
+        if (it->second != n) {
+          return Fail("template \"" + tmpl + "\" counted " +
+                      std::to_string(it->second) + " times, stream emitted " +
+                      std::to_string(n));
+        }
+      }
+      for (const auto& [tmpl, n] : got) {
+        if (want.find(tmpl) == want.end()) {
+          return Fail("unexpected template registered: \"" + tmpl + "\" (" +
+                      std::to_string(n) + " occurrences)");
+        }
+      }
+    }
+    // Replayability cross-check: the catalog's static flag must agree with
+    // dbsim's parser on every rendered statement.
+    for (const StreamItem& item : stream_.items) {
+      if (item.kind != StreamItem::Kind::kQuery) continue;
+      const size_t sp = item.line.find(' ');
+      const std::string sql = item.line.substr(sp + 1);
+      const bool parses = dbsim::ParseQuery(sql).ok();
+      if (parses != t.replayable[item.template_index]) {
+        return Fail("slot " + std::to_string(item.template_index) +
+                    (parses ? " parses under dbsim but is marked"
+                              " non-replayable"
+                            : " is marked replayable but dbsim rejects it") +
+                    ": " + sql);
+      }
+    }
+    return Status::OK();
+  }
+
+  // ---- events: production ingest vs the sequential reference -------------
+
+  void RunProduction(size_t n, serve::TraceIngestor* ing,
+                     serve::TraceBinner* bin) const {
+    std::vector<serve::TraceEvent> drained;
+    size_t since_drain = 0;
+    for (size_t i = 0; i < n; ++i) {
+      ing->Offer(events_[i]);
+      if (++since_drain >= 256) {
+        since_drain = 0;
+        drained.clear();
+        ing->Drain(&drained);
+        for (const serve::TraceEvent& e : drained) bin->Fold(e);
+      }
+    }
+    drained.clear();
+    ing->Drain(&drained);
+    for (const serve::TraceEvent& e : drained) bin->Fold(e);
+  }
+
+  serve::IngestorOptions ProductionIngestOptions() const {
+    return serve::IngestorOptions{opts_.queue_capacity, opts_.max_templates,
+                                  opts_.max_lateness_seconds,
+                                  opts_.min_timestamp_seconds,
+                                  opts_.max_timestamp_seconds};
+  }
+
+  Status EventsLeg() {
+    events_.clear();
+    for (const StreamItem& item : stream_.items) {
+      if (item.has_event) events_.push_back(item.event);
+    }
+    if (events_.empty()) return Status::OK();
+
+    const ReferenceOptions ropts{opts_.max_templates,
+                                 opts_.max_lateness_seconds,
+                                 opts_.min_timestamp_seconds,
+                                 opts_.max_timestamp_seconds,
+                                 opts_.stream.interval_seconds};
+    ing_ = std::make_unique<serve::TraceIngestor>(ProductionIngestOptions());
+    bin_ = std::make_unique<serve::TraceBinner>(opts_.stream.interval_seconds);
+    RunProduction(events_.size(), ing_.get(), bin_.get());
+    const ReferenceResult ref = RunSequentialReference(events_, ropts);
+
+    // Exact differential when no fault storm is armed; conservation always.
+    Status diff = fault::Active()
+                      ? CheckIngestConservation(events_.size(), *ing_)
+                      : CompareIngest(ref, *ing_, *bin_);
+    if (!diff.ok()) {
+      auto fails_at = [&](size_t n) {
+        serve::TraceIngestor ing(ProductionIngestOptions());
+        serve::TraceBinner bin(opts_.stream.interval_seconds);
+        RunProduction(n, &ing, &bin);
+        const std::vector<serve::TraceEvent> prefix(events_.begin(),
+                                                    events_.begin() + n);
+        const ReferenceResult r = RunSequentialReference(prefix, ropts);
+        const Status st = fault::Active() ? CheckIngestConservation(n, ing)
+                                          : CompareIngest(r, ing, bin);
+        return !st.ok();
+      };
+      const size_t min_len = MinimizeFailingPrefix(events_.size(), fails_at);
+      report_.window = FormatEventWindow(events_, min_len);
+      return Fail(diff.message() + " (minimized to the first " +
+                  std::to_string(min_len) + " of " +
+                  std::to_string(events_.size()) + " events)");
+    }
+    if (!fault::Active()) {
+      // Ground-truth reconciliation: every event the stream injected lands in
+      // exactly the category it was built for.
+      const StreamGroundTruth& t = stream_.truth;
+      if (ref.drops.template_id != t.bad_template_events) {
+        return Fail("quarantined " + std::to_string(ref.drops.template_id) +
+                    " bad-template events, stream injected " +
+                    std::to_string(t.bad_template_events));
+      }
+      if (ref.drops.nonfinite != 0 || ref.drops.negative != 0 ||
+          ref.drops.full != 0) {
+        return Fail("clean stream hit unexpected drop categories (nonfinite " +
+                    std::to_string(ref.drops.nonfinite) + ", negative " +
+                    std::to_string(ref.drops.negative) + ", full " +
+                    std::to_string(ref.drops.full) + ")");
+      }
+      const uint64_t skew_outcomes =
+          ref.drops.pre_epoch + ref.drops.future + ref.drops.stale;
+      if (ref.accepted + skew_outcomes !=
+          t.well_formed + t.skewed_events) {
+        return Fail("accepted " + std::to_string(ref.accepted) + " + skewed " +
+                    std::to_string(skew_outcomes) +
+                    " does not reconcile with " +
+                    std::to_string(t.well_formed) + " well-formed + " +
+                    std::to_string(t.skewed_events) + " skewed events");
+      }
+    }
+    return Status::OK();
+  }
+
+  // ---- cluster: sequential AddTrace vs threaded AddTraces batch -----------
+
+  Status ClusterLeg() {
+    if (bin_ == nullptr || bin_->template_count() < 2) return Status::OK();
+    auto traces = bin_->Traces();
+    if (!traces.ok()) {
+      return Fail("binner refuses to materialize: " +
+                  traces.status().message());
+    }
+    cluster::DescenderOptions dopts;
+    dopts.radius = 6.0;
+    dopts.min_size = 2;
+    dopts.dtw.window = 4;
+    dopts.threads = 1;
+    cluster::Descender seq(dopts);
+    for (const ts::Series& tr : *traces) {
+      auto added = seq.AddTrace(tr);
+      if (!added.ok()) {
+        return Fail("sequential AddTrace failed: " + added.status().message());
+      }
+    }
+    dopts.threads = 2;
+    cluster::Descender batch(dopts);
+    Status st = batch.AddTraces(*traces);
+    if (!st.ok()) return Fail("batch AddTraces failed: " + st.message());
+
+    const size_t n = traces->size();
+    std::vector<int> seq_labels(n);
+    std::vector<int> batch_labels(n);
+    for (size_t i = 0; i < n; ++i) {
+      seq_labels[i] = seq.label(i);
+      batch_labels[i] = batch.label(i);
+      if (seq.is_core(i) != batch.is_core(i)) {
+        return Fail("core flag diverges at trace " + std::to_string(i) +
+                    ": sequential " + std::to_string(seq.is_core(i)) +
+                    ", batch " + std::to_string(batch.is_core(i)));
+      }
+    }
+    // AddTraces documents label identity with the AddTrace loop; check that
+    // first, then the relabel-invariant comparison as the weaker oracle the
+    // corpus would fall back to if the contract ever loosened.
+    for (size_t i = 0; i < n; ++i) {
+      if (seq_labels[i] != batch_labels[i]) {
+        return Fail("label diverges at trace " + std::to_string(i) +
+                    ": sequential " + std::to_string(seq_labels[i]) +
+                    ", batch " + std::to_string(batch_labels[i]));
+      }
+    }
+    std::string mismatch;
+    if (!PartitionsEquivalent(seq_labels, batch_labels, &mismatch)) {
+      return Fail("partitions not equivalent: " + mismatch);
+    }
+    return Status::OK();
+  }
+
+  // ---- service: full ForecastService with save → load → resume ------------
+
+  serve::ServeOptions MakeServeOptions() const {
+    serve::ServeOptions so;
+    so.pipeline.clustering.radius = 6.0;
+    so.pipeline.clustering.min_size = 2;
+    so.pipeline.clustering.dtw.window = 4;
+    so.pipeline.clustering.threads = 1;
+    so.pipeline.top_k = 3;
+    so.pipeline.forecaster.window = 6;
+    so.pipeline.forecaster.horizon = 1;
+    so.pipeline.forecaster.epochs = 2;  // harness smoke, not accuracy
+    so.pipeline.forecaster.batch_size = 8;
+    so.queue_capacity = opts_.queue_capacity;
+    so.max_templates = opts_.max_templates;
+    so.bin_interval_seconds = opts_.stream.interval_seconds;
+    so.retrain_interval_seconds = 0.005;
+    so.max_lateness_seconds = opts_.max_lateness_seconds;
+    so.min_timestamp_seconds = opts_.min_timestamp_seconds;
+    so.max_timestamp_seconds = opts_.max_timestamp_seconds;
+    so.seed = opts_.stream.seed;
+    return so;
+  }
+
+  /// Per-publish invariants: generation never goes backwards, no NaN/Inf
+  /// escapes the published snapshot.
+  Status ServiceInvariants(const serve::ForecastService& svc,
+                           uint64_t* last_gen) const {
+    const uint64_t gen = svc.generation();
+    if (gen < *last_gen) {
+      return Fail("snapshot generation went backwards: " +
+                  std::to_string(*last_gen) + " -> " + std::to_string(gen));
+    }
+    *last_gen = gen;
+    auto snap = svc.snapshot();
+    if (snap == nullptr) return Fail("service published a null snapshot");
+    return CheckSnapshotFinite(*snap);
+  }
+
+  /// Offers events [begin, end), retraining every `chunk` events and after
+  /// the last one; checks invariants after every retrain. Retrain failures
+  /// are tolerated (not ignored: invariants still run) only under a fault
+  /// storm, where they are the injected behavior.
+  Status FeedService(serve::ForecastService* svc, size_t begin, size_t end,
+                     size_t chunk, uint64_t* last_gen,
+                     uint64_t* offered) const {
+    size_t since = 0;
+    for (size_t i = begin; i < end; ++i) {
+      svc->Offer(events_[i]);
+      if (offered != nullptr) ++*offered;
+      if (++since >= chunk) {
+        since = 0;
+        Status st = svc->RetrainOnce();
+        if (!st.ok() && !fault::Active()) {
+          return Fail("retrain failed without a fault storm: " + st.message());
+        }
+        DBAUGUR_RETURN_IF_ERROR(ServiceInvariants(*svc, last_gen));
+      }
+    }
+    Status st = svc->RetrainOnce();
+    if (!st.ok() && !fault::Active()) {
+      return Fail("retrain failed without a fault storm: " + st.message());
+    }
+    return ServiceInvariants(*svc, last_gen);
+  }
+
+  Status ServiceLeg() {
+    if (events_.empty()) return Status::OK();
+    const serve::ServeOptions so = MakeServeOptions();
+    const size_t chunk = std::max<size_t>(1, events_.size() / 6);
+    const size_t mid = events_.size() / 2;
+
+    serve::ForecastService svc(so);
+    uint64_t last_gen = 0;
+    uint64_t offered = 0;
+    DBAUGUR_RETURN_IF_ERROR(
+        FeedService(&svc, 0, mid, chunk, &last_gen, &offered));
+    {
+      const serve::ServeStats stats = svc.stats();
+      if (stats.events_accepted + stats.events_dropped != offered) {
+        return Fail("service conservation: accepted " +
+                    std::to_string(stats.events_accepted) + " + dropped " +
+                    std::to_string(stats.events_dropped) + " != offered " +
+                    std::to_string(offered));
+      }
+    }
+
+    // Save at the midpoint, load into a second service, then feed both the
+    // identical tail with the identical retrain cadence.
+    auto blob = svc.Save();
+    if (!blob.ok()) {
+      if (fault::Active()) return Status::OK();  // injected save failure
+      return Fail("Save failed: " + blob.status().message());
+    }
+    serve::ForecastService restored(so);
+    Status load = restored.Load(*blob);
+    if (!load.ok()) {
+      if (fault::Active()) return Status::OK();  // injected load failure
+      return Fail("Load failed: " + load.message());
+    }
+    uint64_t restored_gen = restored.generation();
+    DBAUGUR_RETURN_IF_ERROR(
+        FeedService(&svc, mid, events_.size(), chunk, &last_gen, &offered));
+    DBAUGUR_RETURN_IF_ERROR(FeedService(&restored, mid, events_.size(), chunk,
+                                        &restored_gen, nullptr));
+    {
+      const serve::ServeStats stats = svc.stats();
+      if (stats.events_accepted + stats.events_dropped != offered) {
+        return Fail("service conservation after resume: accepted " +
+                    std::to_string(stats.events_accepted) + " + dropped " +
+                    std::to_string(stats.events_dropped) + " != offered " +
+                    std::to_string(offered));
+      }
+    }
+
+    // Resume equality: an uninterrupted run and a save→load→resume run must
+    // serve identical forecasts. Needs a fault-free run, and no stale-class
+    // skew in the stream: the ingestor's in-memory lateness reference is
+    // deliberately not part of the blob, so bursty-skewed streams may
+    // legitimately diverge on post-restore stale drops.
+    if (fault::Active() ||
+        opts_.stream.profile == StreamProfile::kBurstySkewed) {
+      return Status::OK();
+    }
+    auto a = svc.snapshot();
+    auto b = restored.snapshot();
+    if (a->generation != b->generation) {
+      return Fail("resume generation " + std::to_string(b->generation) +
+                  " != uninterrupted " + std::to_string(a->generation));
+    }
+    if (a->trace_names != b->trace_names) {
+      return Fail("resume trace names differ from the uninterrupted run");
+    }
+    if (a->trace_cluster != b->trace_cluster) {
+      return Fail("resume trace->cluster assignment differs from the"
+                  " uninterrupted run");
+    }
+    if (a->trace_proportion != b->trace_proportion) {
+      return Fail("resume trace proportions differ from the uninterrupted"
+                  " run");
+    }
+    if (a->clusters.size() != b->clusters.size()) {
+      return Fail("resume cluster count " +
+                  std::to_string(b->clusters.size()) + " != uninterrupted " +
+                  std::to_string(a->clusters.size()));
+    }
+    for (size_t r = 0; r < a->clusters.size(); ++r) {
+      const serve::SnapshotCluster& ca = a->clusters[r];
+      const serve::SnapshotCluster& cb = b->clusters[r];
+      if (ca.cluster_id != cb.cluster_id || ca.member_count != cb.member_count ||
+          ca.degraded != cb.degraded) {
+        return Fail("resume cluster rank " + std::to_string(r) +
+                    " provenance differs from the uninterrupted run");
+      }
+      if (ca.volume != cb.volume || ca.next_value != cb.next_value) {
+        return Fail("resume cluster rank " + std::to_string(r) +
+                    " forecast differs: next " + std::to_string(cb.next_value) +
+                    " != " + std::to_string(ca.next_value) + ", volume " +
+                    std::to_string(cb.volume) + " != " +
+                    std::to_string(ca.volume));
+      }
+    }
+    return Status::OK();
+  }
+
+  // ---- replay: dbsim execution of the replayable subset, twice ------------
+
+  Status ReplayLeg() {
+    const StreamGroundTruth& t = stream_.truth;
+    std::vector<trace::LogEntry> log;
+    for (const trace::LogEntry& e : parsed_.entries) {
+      if (dbsim::ParseQuery(e.sql).ok()) log.push_back(e);
+    }
+    uint64_t want = 0;
+    for (size_t s = 0; s < t.replayable.size(); ++s) {
+      if (t.replayable[s]) want += t.template_counts[s];
+    }
+    if (log.size() != want) {
+      return Fail("replayable subset has " + std::to_string(log.size()) +
+                  " statements, ground truth expects " + std::to_string(want));
+    }
+    if (log.empty()) return Status::OK();
+    std::stable_sort(log.begin(), log.end(),
+                     [](const trace::LogEntry& a, const trace::LogEntry& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+
+    dbsim::BusTrackerDbOptions dbo;
+    dbo.positions = 2000;
+    dbo.schedules = 3000;
+    dbo.tickets = 2000;
+    dbo.trips = 1500;
+    auto db1 = dbsim::MakeBusTrackerDatabase(dbo);
+    auto db2 = dbsim::MakeBusTrackerDatabase(dbo);
+    if (!db1.ok() || !db2.ok()) {
+      return Fail("MakeBusTrackerDatabase failed: " +
+                  (db1.ok() ? db2.status() : db1.status()).message());
+    }
+    const dbsim::ReplayOptions ropts;
+    auto s1 = dbsim::ReplayWorkload(&*db1, log, {}, ropts);
+    if (!s1.ok()) return Fail("replay failed: " + s1.status().message());
+    auto s2 = dbsim::ReplayWorkload(&*db2, log, {}, ropts);
+    if (!s2.ok()) return Fail("second replay failed: " + s2.status().message());
+    if (s1->size() != s2->size()) {
+      return Fail("replay window counts differ: " + std::to_string(s1->size()) +
+                  " vs " + std::to_string(s2->size()));
+    }
+    size_t replayed = 0;
+    for (size_t w = 0; w < s1->size(); ++w) {
+      const dbsim::WindowStats& wa = (*s1)[w];
+      const dbsim::WindowStats& wb = (*s2)[w];
+      replayed += wa.queries;
+      if (wa.start != wb.start || wa.queries != wb.queries ||
+          wa.demand_pages != wb.demand_pages ||
+          wa.throughput_qps != wb.throughput_qps ||
+          wa.avg_latency_ms != wb.avg_latency_ms) {
+        return Fail("replay window " + std::to_string(w) +
+                    " differs between identically-seeded databases");
+      }
+      if (!std::isfinite(wa.throughput_qps) ||
+          !std::isfinite(wa.avg_latency_ms) ||
+          !std::isfinite(wa.demand_pages)) {
+        return Fail("replay window " + std::to_string(w) +
+                    " has non-finite stats");
+      }
+    }
+    if (replayed != log.size()) {
+      return Fail("replay executed " + std::to_string(replayed) +
+                  " queries, the log holds " + std::to_string(log.size()));
+    }
+    return Status::OK();
+  }
+
+  // ---- migrate: deterministic rebalancing over the binned total trace -----
+
+  Status MigrateLeg() {
+    if (bin_ == nullptr || bin_->template_count() == 0) return Status::OK();
+    auto traces = bin_->Traces();
+    if (!traces.ok()) {
+      return Fail("binner refuses to materialize for migrate: " +
+                  traces.status().message());
+    }
+    const size_t len = (*traces)[0].size();
+    if (len < 8) return Status::OK();
+    std::vector<double> total(len, 0.0);
+    for (const ts::Series& tr : *traces) {
+      for (size_t b = 0; b < len; ++b) total[b] += tr[b];
+    }
+    const ts::Series base((*traces)[0].start(), opts_.stream.interval_seconds,
+                          std::move(total), "total");
+    const std::vector<ts::Series> regions =
+        migrate::MakeRotatingRegionLoads(base, 4, 0.5, 2.0);
+    const migrate::RegionPredictor perfect =
+        [&regions](size_t region, size_t period) -> StatusOr<double> {
+      return regions[region][period];
+    };
+    auto r1 = migrate::SimulateMigration(regions, 2, len / 2, perfect, 2);
+    if (!r1.ok()) return Fail("migration failed: " + r1.status().message());
+    auto r2 = migrate::SimulateMigration(regions, 2, len / 2, perfect, 2);
+    if (!r2.ok()) {
+      return Fail("second migration failed: " + r2.status().message());
+    }
+    if (r1->size() != r2->size()) {
+      return Fail("migration period counts differ: " +
+                  std::to_string(r1->size()) + " vs " +
+                  std::to_string(r2->size()));
+    }
+    for (size_t p = 0; p < r1->size(); ++p) {
+      if ((*r1)[p] != (*r2)[p]) {
+        return Fail("migration balance diverges at period " +
+                    std::to_string(p) + ": " + std::to_string((*r1)[p]) +
+                    " vs " + std::to_string((*r2)[p]));
+      }
+      if (!std::isfinite((*r1)[p]) || (*r1)[p] < 0.0) {
+        return Fail("migration balance at period " + std::to_string(p) +
+                    " is not a finite non-negative number: " +
+                    std::to_string((*r1)[p]));
+      }
+    }
+    return Status::OK();
+  }
+
+  ChaosOptions opts_;
+  ChaosReport report_;
+  GeneratedStream stream_;
+  trace::ParsedQueryLog parsed_;
+  std::vector<serve::TraceEvent> events_;
+  std::unique_ptr<serve::TraceIngestor> ing_;
+  std::unique_ptr<serve::TraceBinner> bin_;
+};
+
+}  // namespace
+
+ChaosReport RunChaos(const ChaosOptions& opts) {
+  return ChaosRun(opts).Run();
+}
+
+}  // namespace dbaugur::chaos

@@ -1,0 +1,72 @@
+// End-to-end chaos harness: generates a seeded grammar stream
+// (chaos/stream_gen.h), drives it through the full pipeline — raw text
+// through the log parser and SQL2Template, pre-parsed events through the
+// production serve ingest, clustering, optionally the whole ForecastService
+// (with save → load → resume) and the dbsim replay / migrate consumers — and
+// checks every leg against ground truth and the differential oracles
+// (chaos/oracle.h).
+//
+// Any failure yields a ChaosReport whose repro line ("--seed=N --profile=P")
+// regenerates the identical stream, plus — for event-differential failures —
+// a minimized failing prefix and the window of events around the divergence.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chaos/stream_gen.h"
+#include "serve/ingestor.h"
+
+namespace dbaugur::chaos {
+
+/// One chaos run's configuration.
+struct ChaosOptions {
+  StreamOptions stream;
+  /// Also run the ForecastService leg: chunked ingest with periodic retrains,
+  /// snapshot-finiteness + generation-monotonicity invariants, and the
+  /// save → load → resume equality oracle.
+  bool full_service = false;
+  /// Also run the dbsim replay + migrate legs over the replayable subset.
+  bool replay = false;
+  /// Production ingest settings (mirrored into the sequential reference).
+  size_t queue_capacity = 1 << 15;
+  size_t max_templates = 512;
+  int64_t max_lateness_seconds = 6 * 3600;
+  int64_t min_timestamp_seconds = 0;
+  int64_t max_timestamp_seconds = 4102444800;
+};
+
+/// Outcome of one chaos run.
+struct ChaosReport {
+  bool ok = true;
+  std::string stage;    ///< First failing stage name; empty when ok.
+  std::string failure;  ///< First failure description; empty when ok.
+  std::string repro;    ///< One-line reproducer: "--seed=N --profile=P ...".
+  std::string window;   ///< Minimized event window (events stage only).
+
+  /// One-line success, or a multi-line failure block with the repro line.
+  std::string Summary() const;
+};
+
+/// Runs the full harness once. Deterministic in ChaosOptions (and in the
+/// armed fault spec, whose site counters are process-global: arm the same
+/// spec from a fresh Configure to reproduce a fault-storm run).
+ChaosReport RunChaos(const ChaosOptions& opts);
+
+/// Smallest prefix length in [1, n] for which fails_at() returns true, given
+/// that fails_at(n) is true. Binary-searches assuming monotonicity (a failing
+/// prefix stays failing as it grows), then verifies the answer is a true
+/// boundary; if the predicate turns out non-monotone, falls back to a linear
+/// scan from the front. fails_at is invoked O(log n) times (O(n) fallback).
+size_t MinimizeFailingPrefix(size_t n,
+                             const std::function<bool(size_t)>& fails_at);
+
+/// Renders the last `max_window` events of the prefix [0, end) — the window
+/// a minimized divergence points at — one event per line.
+std::string FormatEventWindow(const std::vector<serve::TraceEvent>& events,
+                              size_t end, size_t max_window = 8);
+
+}  // namespace dbaugur::chaos

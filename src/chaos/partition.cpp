@@ -1,0 +1,48 @@
+#include "chaos/partition.h"
+
+#include <map>
+
+namespace dbaugur::chaos {
+
+bool PartitionsEquivalent(const std::vector<int>& a, const std::vector<int>& b,
+                          std::string* mismatch) {
+  if (a.size() != b.size()) {
+    if (mismatch != nullptr) {
+      *mismatch = "size mismatch: " + std::to_string(a.size()) + " vs " +
+                  std::to_string(b.size());
+    }
+    return false;
+  }
+  // A bijection must exist in both directions: each a-label maps to exactly
+  // one b-label and vice versa. One forward pass with two maps finds the
+  // first witness index on failure.
+  std::map<int, int> fwd;  // a label -> b label
+  std::map<int, int> rev;  // b label -> a label
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto [fit, finserted] = fwd.emplace(a[i], b[i]);
+    if (!finserted && fit->second != b[i]) {
+      if (mismatch != nullptr) {
+        *mismatch = "label " + std::to_string(a[i]) +
+                    " in a maps to both b-labels " +
+                    std::to_string(fit->second) + " and " +
+                    std::to_string(b[i]) + " (index " + std::to_string(i) +
+                    ")";
+      }
+      return false;
+    }
+    auto [rit, rinserted] = rev.emplace(b[i], a[i]);
+    if (!rinserted && rit->second != a[i]) {
+      if (mismatch != nullptr) {
+        *mismatch = "label " + std::to_string(b[i]) +
+                    " in b maps to both a-labels " +
+                    std::to_string(rit->second) + " and " +
+                    std::to_string(a[i]) + " (index " + std::to_string(i) +
+                    ")";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dbaugur::chaos

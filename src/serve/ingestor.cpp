@@ -34,10 +34,29 @@ bool TraceIngestor::Offer(const TraceEvent& event) {
     dropped_negative_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  // Absolute skew bounds come before the relative lateness check so a
+  // garbage timestamp is classified by *what is wrong with it*, and so a
+  // far-future event can never poison max_timestamp_ below.
+  if (opts_.min_timestamp_seconds >= 0 &&
+      e.timestamp < opts_.min_timestamp_seconds) {
+    dropped_pre_epoch_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (opts_.max_timestamp_seconds >= 0 &&
+      e.timestamp > opts_.max_timestamp_seconds) {
+    dropped_future_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   {
     MutexLock lock(&mu_);
+    // Overflow-safe cutoff: with the absolute bounds disabled,
+    // max_timestamp_ - lateness could wrap (e.g. INT64_MIN reference). A
+    // wrapped cutoff means "nothing can be stale", not UB.
+    int64_t cutoff = 0;
     if (opts_.max_lateness_seconds >= 0 && any_accepted_ &&
-        e.timestamp < max_timestamp_ - opts_.max_lateness_seconds) {
+        !__builtin_sub_overflow(max_timestamp_, opts_.max_lateness_seconds,
+                                &cutoff) &&
+        e.timestamp < cutoff) {
       dropped_stale_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
@@ -62,6 +81,8 @@ IngestDropStats TraceIngestor::drop_stats() const {
   s.nonfinite = dropped_nonfinite_.load(std::memory_order_relaxed);
   s.negative = dropped_negative_.load(std::memory_order_relaxed);
   s.stale = dropped_stale_.load(std::memory_order_relaxed);
+  s.pre_epoch = dropped_pre_epoch_.load(std::memory_order_relaxed);
+  s.future = dropped_future_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -43,6 +43,15 @@ struct IngestorOptions {
   /// dropped (a garbage timestamp would otherwise explode the binner's
   /// zero-filled range). Negative disables the check.
   int64_t max_lateness_seconds = 24 * 3600;
+  /// Absolute clock-skew bounds. Events timestamped before
+  /// min_timestamp_seconds (default: the epoch) or after
+  /// max_timestamp_seconds (default 4102444800 = 2100-01-01T00:00:00Z) are
+  /// quarantined. Without the upper bound a single far-future event would
+  /// become the lateness reference and stale-drop every honest event after
+  /// it, besides exploding the binner's zero-filled range. Negative disables
+  /// the respective check.
+  int64_t min_timestamp_seconds = 0;
+  int64_t max_timestamp_seconds = 4102444800;
 };
 
 /// Per-category drop counters (each monotonic since construction).
@@ -52,12 +61,17 @@ struct IngestDropStats {
   uint64_t nonfinite = 0;    ///< NaN / ±inf count (quarantined).
   uint64_t negative = 0;     ///< Negative count (quarantined).
   uint64_t stale = 0;        ///< Timestamp older than lateness bound.
+  uint64_t pre_epoch = 0;    ///< Timestamp before min_timestamp_seconds.
+  uint64_t future = 0;       ///< Timestamp after max_timestamp_seconds.
 
   uint64_t total() const {
-    return full + template_id + nonfinite + negative + stale;
+    return full + template_id + nonfinite + negative + stale + pre_epoch +
+           future;
   }
   /// Drops caused by malformed input rather than backpressure.
-  uint64_t quarantined() const { return nonfinite + negative + stale; }
+  uint64_t quarantined() const {
+    return nonfinite + negative + stale + pre_epoch + future;
+  }
 };
 
 /// Bounded multi-producer single-consumer event queue. Offer never blocks;
@@ -72,8 +86,10 @@ class TraceIngestor {
 
   /// Thread-safe, non-blocking enqueue. Returns false (and counts the drop in
   /// its category) when the queue is full, template_id >= max_templates, the
-  /// count is non-finite or negative, or the timestamp is staler than
-  /// max_lateness_seconds.
+  /// count is non-finite or negative, the timestamp falls outside the
+  /// absolute [min_timestamp_seconds, max_timestamp_seconds] skew bounds, or
+  /// the timestamp is staler than max_lateness_seconds. Quarantined events
+  /// never become the lateness reference.
   bool Offer(const TraceEvent& event) DBAUGUR_EXCLUDES(mu_);
 
   /// Moves all buffered events into *out (appended), returning how many.
@@ -104,6 +120,8 @@ class TraceIngestor {
   std::atomic<uint64_t> dropped_nonfinite_{0};
   std::atomic<uint64_t> dropped_negative_{0};
   std::atomic<uint64_t> dropped_stale_{0};
+  std::atomic<uint64_t> dropped_pre_epoch_{0};
+  std::atomic<uint64_t> dropped_future_{0};
 };
 
 /// Accumulates drained events into per-template fixed-interval bins and

@@ -28,7 +28,9 @@ uint64_t Mix64(uint64_t z) {
 ForecastService::ForecastService(const ServeOptions& opts)
     : opts_(opts),
       ingestor_(IngestorOptions{opts.queue_capacity, opts.max_templates,
-                                opts.max_lateness_seconds}),
+                                opts.max_lateness_seconds,
+                                opts.min_timestamp_seconds,
+                                opts.max_timestamp_seconds}),
       retrainer_(opts.pipeline,
                  RetrainerOptions{opts.bin_interval_seconds, opts.min_bins,
                                   opts.seed, opts.winsorize_k,

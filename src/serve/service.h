@@ -69,6 +69,10 @@ struct ServeOptions {
   /// Events older than the newest accepted timestamp by more than this are
   /// quarantined at ingest (negative disables; see IngestorOptions).
   int64_t max_lateness_seconds = 24 * 3600;
+  /// Absolute clock-skew bounds: events timestamped before/after these are
+  /// quarantined at ingest (negative disables; see IngestorOptions).
+  int64_t min_timestamp_seconds = 0;
+  int64_t max_timestamp_seconds = 4102444800;  ///< 2100-01-01T00:00:00Z.
   /// Median/MAD winsorization threshold for the retrain path (<= 0 off).
   double winsorize_k = 8.0;
   /// Per-cluster forecast sanity bound (multiples of the representative's

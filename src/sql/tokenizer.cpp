@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cctype>
+#include <cstdio>
 #include <unordered_set>
 
 namespace dbaugur::sql {
@@ -39,6 +40,14 @@ std::string ToLower(std::string s) {
   return s;
 }
 
+// Hex-escapes a byte for error messages so an embedded NUL / control byte /
+// non-ASCII byte is never echoed raw into logs or test output.
+std::string HexByte(unsigned char uc) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "0x%02X", uc);
+  return std::string(buf);
+}
+
 }  // namespace
 
 StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
@@ -49,6 +58,13 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
     if (std::isspace(static_cast<unsigned char>(c))) {
       ++i;
       continue;
+    }
+    // Control bytes (embedded NUL from a truncated write, terminal escapes)
+    // are rejected outright; isspace above already consumed \t \n \v \f \r.
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (uc < 0x20 || uc == 0x7F) {
+      return Status::InvalidArgument("control character " + HexByte(uc) +
+                                     " in SQL");
     }
     // Comments.
     if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
@@ -69,6 +85,12 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
       char quote = c;
       size_t start = i++;
       while (i < n) {
+        if (sql[i] == '\0') {
+          // A NUL can only come from a truncated/corrupted log line; letting
+          // it live inside a token would silently poison every later string
+          // comparison on the template.
+          return Status::InvalidArgument("NUL byte inside string literal");
+        }
         if (sql[i] == quote) {
           if (i + 1 < n && sql[i + 1] == quote) {
             i += 2;  // escaped quote
@@ -148,6 +170,10 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
       out.push_back({TokenType::kPunct, std::string(1, c)});
       ++i;
       continue;
+    }
+    if (uc >= 0x80) {
+      return Status::InvalidArgument("unexpected byte " + HexByte(uc) +
+                                     " in SQL");
     }
     return Status::InvalidArgument(std::string("unexpected character '") + c +
                                    "' in SQL");

@@ -37,7 +37,9 @@ bool IsKeyword(const std::string& upper_word);
 
 /// Tokenizes a SQL statement. Keywords are uppercased, identifiers
 /// lowercased, comments removed. Returns InvalidArgument on unterminated
-/// strings/comments or unexpected characters.
+/// strings/comments, unexpected characters, and control bytes (embedded NUL,
+/// escape sequences) — error messages hex-escape non-printable bytes so a
+/// malformed input is never echoed raw.
 StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
 
 /// Renders tokens back to a normalized single-spaced SQL string.

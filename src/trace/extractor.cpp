@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <ctime>
 #include <sstream>
@@ -15,7 +16,15 @@ StatusOr<ts::Timestamp> ParseTimestamp(const std::string& text) {
     return std::isdigit(static_cast<unsigned char>(c));
   });
   if (all_digits) {
-    return static_cast<ts::Timestamp>(std::stoll(text));
+    // from_chars instead of stoll: a digit string too long for int64
+    // ("99999999999999999999999") must be a clean InvalidArgument, not an
+    // uncaught std::out_of_range terminating the process.
+    int64_t v = 0;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+      return Status::InvalidArgument("timestamp out of range: " + text);
+    }
+    return static_cast<ts::Timestamp>(v);
   }
   // "YYYY-MM-DD HH:MM:SS" or with 'T'.
   int y, mo, d, h, mi, s;
@@ -44,11 +53,18 @@ StatusOr<ts::Timestamp> ParseTimestamp(const std::string& text) {
   return Status::InvalidArgument("unrecognized timestamp format: " + text);
 }
 
-StatusOr<std::vector<LogEntry>> ParseQueryLog(const std::string& text) {
-  std::vector<LogEntry> out;
+ParsedQueryLog ParseQueryLogLenient(const std::string& text) {
+  ParsedQueryLog out;
   std::istringstream in(text);
   std::string line;
   size_t line_no = 0;
+  auto reject = [&](uint64_t* counter, const char* what) {
+    ++*counter;
+    if (out.first_bad_line == 0) {
+      out.first_bad_line = line_no;
+      out.first_error = "log line " + std::to_string(line_no) + ": " + what;
+    }
+  };
   while (std::getline(in, line)) {
     ++line_no;
     // Trim.
@@ -60,27 +76,34 @@ StatusOr<std::vector<LogEntry>> ParseQueryLog(const std::string& text) {
     // "DATETTIME SQL" (one field).
     size_t sp1 = trimmed.find(' ');
     if (sp1 == std::string::npos) {
-      return Status::InvalidArgument("log line " + std::to_string(line_no) +
-                                     ": no SQL after timestamp");
+      reject(&out.rejected.no_sql, "no SQL after timestamp");
+      continue;
     }
     std::string first = trimmed.substr(0, sp1);
     auto t1 = ParseTimestamp(first);
     if (t1.ok()) {
-      out.push_back({*t1, trimmed.substr(sp1 + 1)});
+      out.entries.push_back({*t1, trimmed.substr(sp1 + 1)});
       continue;
     }
     size_t sp2 = trimmed.find(' ', sp1 + 1);
     if (sp2 != std::string::npos) {
       auto t2 = ParseTimestamp(trimmed.substr(0, sp2));
       if (t2.ok()) {
-        out.push_back({*t2, trimmed.substr(sp2 + 1)});
+        out.entries.push_back({*t2, trimmed.substr(sp2 + 1)});
         continue;
       }
     }
-    return Status::InvalidArgument("log line " + std::to_string(line_no) +
-                                   ": bad timestamp");
+    reject(&out.rejected.bad_timestamp, "bad timestamp");
   }
   return out;
+}
+
+StatusOr<std::vector<LogEntry>> ParseQueryLog(const std::string& text) {
+  ParsedQueryLog parsed = ParseQueryLogLenient(text);
+  if (parsed.rejected.total() > 0) {
+    return Status::InvalidArgument(parsed.first_error);
+  }
+  return std::move(parsed.entries);
 }
 
 Status TraceExtractor::Ingest(const LogEntry& entry) {
@@ -103,6 +126,13 @@ Status TraceExtractor::Ingest(const LogEntry& entry) {
   }
   ++entry_count_;
   return Status::OK();
+}
+
+bool TraceExtractor::IngestLenient(const LogEntry& entry) {
+  Status st = Ingest(entry);
+  if (st.ok()) return true;
+  ++rejected_statements_;
+  return false;
 }
 
 Status TraceExtractor::IngestLog(const std::vector<LogEntry>& entries) {

@@ -21,12 +21,36 @@ struct LogEntry {
   std::string sql;
 };
 
+/// Per-class rejection counters for lenient log parsing.
+struct LogRejectStats {
+  uint64_t no_sql = 0;         ///< Line had no statement after the timestamp.
+  uint64_t bad_timestamp = 0;  ///< Leading field(s) not a parseable timestamp.
+
+  uint64_t total() const { return no_sql + bad_timestamp; }
+};
+
+/// Result of a lenient parse: every well-formed line, plus counters for the
+/// rejected ones and the first rejection's diagnostics.
+struct ParsedQueryLog {
+  std::vector<LogEntry> entries;
+  LogRejectStats rejected;
+  size_t first_bad_line = 0;  ///< 1-based line number; 0 when nothing rejected.
+  std::string first_error;    ///< Empty when nothing rejected.
+};
+
 /// Parses "<timestamp> <sql...>" lines. The timestamp is either epoch seconds
 /// or "YYYY-MM-DD HH:MM:SS" / "YYYY-MM-DDTHH:MM:SS". Blank lines are skipped;
 /// malformed lines produce InvalidArgument with the line number.
 StatusOr<std::vector<LogEntry>> ParseQueryLog(const std::string& text);
 
-/// Parses one timestamp in the formats above.
+/// Lenient variant: malformed lines are skipped and counted per rejection
+/// class instead of failing the whole parse — the shape a log shipper needs
+/// (one truncated line must not discard the batch). ParseQueryLog is this
+/// plus "any rejection fails with the first line's error".
+ParsedQueryLog ParseQueryLogLenient(const std::string& text);
+
+/// Parses one timestamp in the formats above. Digit strings that overflow
+/// int64 are InvalidArgument (never an exception).
 StatusOr<ts::Timestamp> ParseTimestamp(const std::string& text);
 
 /// Extraction configuration.
@@ -45,6 +69,11 @@ class TraceExtractor {
   Status Ingest(const LogEntry& entry);
   Status IngestLog(const std::vector<LogEntry>& entries);
 
+  /// Lenient variant: a statement the templater rejects (tokenizer error,
+  /// embedded garbage) is counted in rejected_statements() and skipped
+  /// instead of failing — returns whether the entry was ingested.
+  bool IngestLenient(const LogEntry& entry);
+
   /// One arrival-rate Series per template id, all aligned to the same start
   /// and length (bins with no occurrences are zero).
   StatusOr<std::vector<ts::Series>> TemplateTraces() const;
@@ -54,6 +83,8 @@ class TraceExtractor {
 
   const sql::TemplateRegistry& registry() const { return registry_; }
   size_t entry_count() const { return entry_count_; }
+  /// Statements skipped by IngestLenient since construction.
+  uint64_t rejected_statements() const { return rejected_statements_; }
 
  private:
   ExtractionOptions opts_;
@@ -62,6 +93,7 @@ class TraceExtractor {
   std::vector<std::map<int64_t, double>> bins_;
   int64_t min_bin_ = 0, max_bin_ = -1;
   size_t entry_count_ = 0;
+  uint64_t rejected_statements_ = 0;
 };
 
 /// One resource-utilization sample.

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.h"
+
 namespace dbaugur::workloads {
 
 std::vector<trace::LogEntry> GenerateQueryLog(
     const std::vector<QueryTemplateSpec>& templates,
     const QueryLogOptions& opts) {
+  DBAUGUR_CHECK(opts.interval_seconds > 0,
+                "GenerateQueryLog interval_seconds must be positive, got ",
+                opts.interval_seconds);
   Rng rng(opts.seed);
   std::vector<trace::LogEntry> out;
   int64_t steps_per_day = 86400 / opts.interval_seconds;

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -368,6 +369,78 @@ TEST(ForecastServiceTest, ConcurrentProducersReadersAndRetrainerSmoke) {
   svc.Stop();
   svc.Start();
   svc.Stop();
+}
+
+// --- absolute clock-skew quarantine (pre-epoch / far-future bounds) ----------
+
+TEST(TraceIngestorTest, QuarantinesPreEpochAndFarFutureTimestamps) {
+  TraceIngestor q(IngestorOptions{16, 64});
+  EXPECT_FALSE(q.Offer({0, -1, 1.0}));                     // pre-epoch
+  EXPECT_FALSE(q.Offer({0, 4102444801, 1.0}));             // past 2100-01-01
+  EXPECT_TRUE(q.Offer({0, 0, 1.0}));                       // epoch boundary in
+  EXPECT_TRUE(q.Offer({0, 4102444800, 1.0}));              // upper boundary in
+  const IngestDropStats drops = q.drop_stats();
+  EXPECT_EQ(drops.pre_epoch, 1u);
+  EXPECT_EQ(drops.future, 1u);
+  EXPECT_EQ(drops.quarantined(), 2u);
+  EXPECT_EQ(q.accepted(), 2u);
+}
+
+TEST(TraceIngestorTest, FarFutureEventCannotPoisonTheLatenessReference) {
+  // Before the absolute bounds, one garbage far-future timestamp became the
+  // lateness reference and stale-dropped every honest event after it.
+  TraceIngestor q(IngestorOptions{16, 64});
+  EXPECT_TRUE(q.Offer({0, 1000, 1.0}));
+  EXPECT_FALSE(q.Offer({0, 4102444801, 1.0}));  // quarantined, not accepted
+  EXPECT_TRUE(q.Offer({0, 1001, 1.0}));         // still accepted
+  EXPECT_EQ(q.accepted(), 2u);
+  EXPECT_EQ(q.drop_stats().future, 1u);
+}
+
+TEST(TraceIngestorTest, Int64ExtremesWithBoundsDisabledHaveNoOverflow) {
+  // Disabling both bounds lets INT64 extremes reach the lateness check; the
+  // overflow-aware cutoff must neither trap (UBSan) nor mis-drop.
+  IngestorOptions opts{16, 64};
+  opts.max_lateness_seconds = 3600;
+  opts.min_timestamp_seconds = -1;  // disable both absolute bounds
+  opts.max_timestamp_seconds = -1;
+  TraceIngestor q(opts);
+  EXPECT_TRUE(q.Offer({0, std::numeric_limits<int64_t>::min(), 1.0}));
+  // cutoff = INT64_MIN - 3600 wraps; the overflow guard means "nothing is
+  // stale", so a later honest event is accepted, not dropped.
+  EXPECT_TRUE(q.Offer({0, 0, 1.0}));
+  EXPECT_TRUE(q.Offer({0, std::numeric_limits<int64_t>::max(), 1.0}));
+  // Now the reference is INT64_MAX: an ancient event is stale, and the
+  // subtraction INT64_MAX - 3600 is well-defined.
+  EXPECT_FALSE(q.Offer({0, 0, 1.0}));
+  EXPECT_EQ(q.drop_stats().stale, 1u);
+  EXPECT_EQ(q.accepted(), 3u);
+}
+
+TEST(TraceIngestorTest, BoundsAreConfigurable) {
+  IngestorOptions opts{16, 64};
+  opts.min_timestamp_seconds = 500;
+  opts.max_timestamp_seconds = 1000;
+  TraceIngestor q(opts);
+  EXPECT_FALSE(q.Offer({0, 499, 1.0}));
+  EXPECT_TRUE(q.Offer({0, 500, 1.0}));
+  EXPECT_TRUE(q.Offer({0, 1000, 1.0}));
+  EXPECT_FALSE(q.Offer({0, 1001, 1.0}));
+  EXPECT_EQ(q.drop_stats().pre_epoch, 1u);
+  EXPECT_EQ(q.drop_stats().future, 1u);
+}
+
+TEST(ForecastServiceTest, SkewBoundsPassThroughToIngest) {
+  ServeOptions o = FastOptions();
+  o.min_timestamp_seconds = 100;
+  o.max_timestamp_seconds = 2000;
+  ForecastService svc(o);
+  EXPECT_FALSE(svc.Offer({0, 99, 1.0}));
+  EXPECT_FALSE(svc.Offer({0, 2001, 1.0}));
+  EXPECT_TRUE(svc.Offer({0, 150, 1.0}));
+  const ServeStats stats = svc.stats();
+  EXPECT_EQ(stats.events_accepted, 1u);
+  EXPECT_EQ(stats.events_quarantined, 2u);
 }
 
 }  // namespace

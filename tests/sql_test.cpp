@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "sql/templater.h"
 #include "sql/tokenizer.h"
 
@@ -226,6 +228,64 @@ TEST(RegistryTest, CountsAndFrequencyOrder) {
   ASSERT_TRUE(found.ok());
   EXPECT_EQ(*found, 1u);
   EXPECT_FALSE(reg.Lookup("SELECT nothing").ok());
+}
+
+// --- hardening against malformed / truncated / binary-garbage input ---------
+
+TEST(TokenizerHardeningTest, RejectsControlBytesWithHexDiagnostics) {
+  std::string sql = "SELECT ";
+  sql += '\x01';
+  sql += " FROM t";
+  auto toks = Tokenize(sql);
+  ASSERT_FALSE(toks.ok());
+  EXPECT_NE(toks.status().message().find("0x01"), std::string::npos)
+      << toks.status().message();
+}
+
+TEST(TokenizerHardeningTest, RejectsEmbeddedNulByte) {
+  std::string sql = "SELECT ";
+  sql += '\0';  // a torn write, not a terminator
+  sql += "FROM tickets";
+  auto toks = Tokenize(sql);
+  ASSERT_FALSE(toks.ok());
+  EXPECT_NE(toks.status().message().find("0x00"), std::string::npos)
+      << toks.status().message();
+}
+
+TEST(TokenizerHardeningTest, RejectsNulInsideStringLiteral) {
+  std::string sql = "SELECT * FROM t WHERE note = 'a";
+  sql += '\0';
+  sql += "b'";
+  auto toks = Tokenize(sql);
+  ASSERT_FALSE(toks.ok());
+  EXPECT_NE(toks.status().message().find("NUL"), std::string::npos)
+      << toks.status().message();
+}
+
+TEST(TokenizerHardeningTest, RejectsDeleteAndHighBytes) {
+  std::string del = "SELECT a";
+  del += '\x7F';
+  EXPECT_FALSE(Tokenize(del).ok());
+  // Bytes >= 0x80 are "unexpected", reported hex-escaped instead of echoing
+  // raw binary into logs.
+  std::string high = "SELECT ";
+  high += static_cast<char>(0xC3);
+  auto toks = Tokenize(high);
+  ASSERT_FALSE(toks.ok());
+  EXPECT_NE(toks.status().message().find("0xC3"), std::string::npos)
+      << toks.status().message();
+}
+
+TEST(TokenizerHardeningTest, TabsAndNewlinesAreStillWhitespace) {
+  auto toks = Tokenize("SELECT\ta\nFROM\r\nb");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[2].text, "FROM");
+}
+
+TEST(TokenizerHardeningTest, TruncatedStatementsRejectCleanly) {
+  EXPECT_FALSE(Tokenize("SELECT * FROM t WHERE name = 'truncat").ok());
+  EXPECT_FALSE(Tokenize("SELECT * FROM t /* cut mid-comment").ok());
+  EXPECT_FALSE(Tokenize("SELECT @@rowcount").ok());
 }
 
 }  // namespace

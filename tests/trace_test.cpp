@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "trace/extractor.h"
 #include "workloads/query_log.h"
 
@@ -155,6 +157,70 @@ TEST(QueryLogGeneratorTest, EveningTemplatesPeakInEvening) {
     }
   }
   EXPECT_GT(evening, morning * 3);
+}
+
+// --- hardening: lenient log parsing and per-class rejection counters ---------
+
+TEST(TimestampTest, OverflowingDigitStringRejectedCleanly) {
+  auto ts = ParseTimestamp("99999999999999999999999");
+  ASSERT_FALSE(ts.ok());
+  EXPECT_NE(ts.status().message().find("out of range"), std::string::npos)
+      << ts.status().message();
+  // Near the boundary: INT64_MAX parses, one more digit does not.
+  EXPECT_TRUE(ParseTimestamp("9223372036854775807").ok());
+  EXPECT_FALSE(ParseTimestamp("92233720368547758070").ok());
+}
+
+TEST(ParseQueryLogLenientTest, CountsEachRejectionClass) {
+  const std::string text =
+      "100 SELECT * FROM a\n"
+      "101\n"                                        // no SQL after timestamp
+      "not-a-time SELECT * FROM b\n"                 // bad timestamp
+      "####42\n"                                     // one junk token
+      "99999999999999999999999 SELECT * FROM c\n"    // overflowing timestamp
+      "102 SELECT * FROM d\n"
+      "\n";                                          // blank lines are fine
+  ParsedQueryLog parsed = ParseQueryLogLenient(text);
+  EXPECT_EQ(parsed.entries.size(), 2u);
+  EXPECT_EQ(parsed.rejected.no_sql, 2u);
+  EXPECT_EQ(parsed.rejected.bad_timestamp, 2u);
+  EXPECT_EQ(parsed.rejected.total(), 4u);
+  EXPECT_EQ(parsed.first_bad_line, 2u);
+  EXPECT_NE(parsed.first_error.find("log line 2"), std::string::npos)
+      << parsed.first_error;
+  EXPECT_EQ(parsed.entries[0].timestamp, 100);
+  EXPECT_EQ(parsed.entries[1].timestamp, 102);
+}
+
+TEST(ParseQueryLogLenientTest, CleanLogHasNoRejections) {
+  ParsedQueryLog parsed =
+      ParseQueryLogLenient("100 SELECT 1\n2024-01-02 03:04:05 SELECT 2\n");
+  EXPECT_EQ(parsed.entries.size(), 2u);
+  EXPECT_EQ(parsed.rejected.total(), 0u);
+  EXPECT_EQ(parsed.first_bad_line, 0u);
+  EXPECT_TRUE(parsed.first_error.empty());
+}
+
+TEST(ParseQueryLogTest, StrictParseFailsWithTheFirstLenientError) {
+  const std::string text = "100 SELECT 1\nbogus SELECT 2\n";
+  auto strict = ParseQueryLog(text);
+  ASSERT_FALSE(strict.ok());
+  ParsedQueryLog lenient = ParseQueryLogLenient(text);
+  EXPECT_EQ(strict.status().message(), lenient.first_error);
+}
+
+TEST(TraceExtractorTest, IngestLenientCountsRejectedStatements) {
+  TraceExtractor ex(ExtractionOptions{});
+  EXPECT_TRUE(ex.IngestLenient({0, "SELECT * FROM t WHERE id = 1"}));
+  std::string nul_sql = "SELECT ";
+  nul_sql += '\0';
+  nul_sql += "FROM t";
+  EXPECT_FALSE(ex.IngestLenient({10, nul_sql}));
+  EXPECT_FALSE(ex.IngestLenient({20, "SELECT 'truncat"}));
+  EXPECT_TRUE(ex.IngestLenient({30, "SELECT * FROM t WHERE id = 2"}));
+  EXPECT_EQ(ex.entry_count(), 2u);
+  EXPECT_EQ(ex.rejected_statements(), 2u);
+  EXPECT_EQ(ex.registry().size(), 1u);  // both good statements share a template
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 #   2. ASan + UBSan       (-fno-sanitize-recover=all, DCHECKs forced on)
 #   2b. Fault injection   (serve_fault suite re-run under ASan with a
 #                          DBAUGUR_FAULT_SPEC storm armed from the environment)
+#   2c. Chaos harness     (end-to-end chaos slice re-run under ASan with a
+#                          fault storm armed, plus bench/chaos_soak --smoke)
 #   3. TSan               (skipped with a warning if the toolchain lacks it)
 #   4. clang-tidy on src/ (skipped with a warning if clang-tidy is absent)
 #   5. thread-safety      (clang++ build with -Werror=thread-safety checking
@@ -16,8 +18,8 @@
 # Every future perf PR must pass this script before landing (see ROADMAP.md).
 #
 # Usage: tools/check.sh [--fast]
-#   --fast  skip TSan, clang-tidy, thread-safety and lint (inner-loop use;
-#           CI runs the full set)
+#   --fast  skip the chaos stage, TSan, clang-tidy, thread-safety and lint
+#           (inner-loop use; CI runs the full set)
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -110,6 +112,38 @@ if [[ -f build-asan/CTestTestfile.cmake ]]; then
   fi
 else
   record "fault-injection" "SKIPPED (ASan build failed)"
+fi
+
+# --- 2c. Chaos harness: the grammar-driven end-to-end slice (differential
+# oracles, full-service resume equality, corpus replay) re-run under ASan with
+# the same fault storm armed, plus the Release smoke matrix of the soak
+# driver. Skipped by --fast — it overlaps the plain ASan ctest pass; the value
+# here is the storm-armed rerun.
+if [[ "$FAST" == 1 ]]; then
+  record "chaos" "SKIPPED (--fast)"
+else
+  if [[ -f build-asan/CTestTestfile.cmake ]]; then
+    note "chaos (ASan): e2e chaos slice with DBAUGUR_FAULT_SPEC armed"
+    fault_spec='serve.retrain.build=at:0,2;serve.retrain.diverge=at:1;serve.ingest.corrupt=p:0.05:7'
+    if DBAUGUR_FAULT_SPEC="$fault_spec" ctest --test-dir build-asan \
+        --output-on-failure -j "$JOBS" --timeout 600 -R 'Chaos'; then
+      record "chaos-asan" "OK"
+    else
+      record "chaos-asan" "FAIL"
+    fi
+  else
+    record "chaos-asan" "SKIPPED (ASan build failed)"
+  fi
+  if [[ -x build-release/bench/chaos_soak ]]; then
+    note "bench/chaos_soak --smoke (Release)"
+    if ./build-release/bench/chaos_soak --smoke > /dev/null; then
+      record "chaos-smoke" "OK"
+    else
+      record "chaos-smoke" "FAIL"
+    fi
+  else
+    record "chaos-smoke" "SKIPPED (Release build failed)"
+  fi
 fi
 
 # --- 3. TSan (if the toolchain supports it). ---------------------------------

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Open-ended chaos soak: build the Release tree if needed, then hammer the
+# end-to-end harness with fresh seeds until the time budget runs out.
+#
+#   tools/soak.sh                  # 60s soak
+#   tools/soak.sh --seconds=600    # 10-minute soak (nightly CI)
+#   tools/soak.sh --start-seed=N   # pin the seed sweep for reproduction
+#
+# Arm a fault storm on top with:
+#   DBAUGUR_FAULT_SPEC='serve.ingest.corrupt=p:0.05:7' tools/soak.sh
+#
+# On failure the driver prints a one-line repro (--seed=N --profile=P), writes
+# the corresponding corpus line to soak_failure.txt, and exits 1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "${BUILD_DIR}" --target bench_chaos_soak -j "$(nproc)"
+
+exec "${BUILD_DIR}/bench/chaos_soak" --soak "$@"

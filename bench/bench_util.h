@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "ensemble/presets.h"
 #include "ensemble/shared_member.h"
 #include "ensemble/time_sensitive_ensemble.h"
@@ -62,6 +63,17 @@ inline Dataset MakeAlibabaDataset(size_t days = 6) {
   d.values = agg->values();
   d.train_size = d.values.size() * 7 / 10;
   return d;
+}
+
+/// Writes the SIMD provenance fields every bench JSON carries: the host CPU's
+/// feature set and the dispatch tier the process is actually running (env
+/// caps and forced tiers included), so committed BENCH_*.json results are
+/// comparable across machines. Emits two complete `"key": "value",` lines at
+/// two-space indent.
+inline void WriteSimdProvenance(std::FILE* out) {
+  std::fprintf(out, "  \"cpu_features\": \"%s\",\n  \"simd_tier\": \"%s\",\n",
+               simd::CpuFeatures().c_str(),
+               simd::TierName(simd::ActiveTier()));
 }
 
 /// Default bench hyper-parameters (paper: window 30, lr 1e-3; epochs reduced

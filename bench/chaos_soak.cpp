@@ -27,10 +27,40 @@
 #include <cstring>
 #include <string>
 
+#include "bench_util.h"
 #include "chaos/harness.h"
 
 namespace dbaugur::bench {
 namespace {
+
+// Throughput regression net (ROADMAP: "the harness doubles as a perf
+// regression net"): --smoke fails when measured events/s collapses more than
+// 30% below this stored floor. The floor is set well under the reference
+// single-core rate with vector dispatch active, so machine-to-machine noise
+// doesn't trip it but an order-of-magnitude kernel regression does.
+// Sanitizer builds skip the check (instrumentation overhead is not a
+// regression); DBAUGUR_CHAOS_FLOOR=<events/s> overrides it (0 disables).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DBAUGUR_CHAOS_SANITIZED 1
+#endif
+#if !defined(DBAUGUR_CHAOS_SANITIZED) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define DBAUGUR_CHAOS_SANITIZED 1
+#endif
+#endif
+
+double SmokeEventsPerSecFloor() {
+#if defined(DBAUGUR_CHAOS_SANITIZED)
+  double floor = 0.0;
+#else
+  double floor = 20000.0;
+#endif
+  if (const char* env = std::getenv("DBAUGUR_CHAOS_FLOOR")) {
+    floor = std::strtod(env, nullptr);
+  }
+  return floor;
+}
 
 using chaos::ChaosOptions;
 using chaos::ChaosReport;
@@ -62,8 +92,11 @@ std::string CorpusLine(const ChaosOptions& o) {
 }
 
 /// Runs one configuration; on failure prints the report and the corpus line.
-bool RunOne(const ChaosOptions& opts) {
+/// Accumulates the run's parsed-event count into *events_out when given, so
+/// the smoke/soak modes can report throughput.
+bool RunOne(const ChaosOptions& opts, uint64_t* events_out = nullptr) {
   const ChaosReport report = chaos::RunChaos(opts);
+  if (events_out != nullptr) *events_out += report.events;
   if (report.ok) return true;
   std::fprintf(stderr, "%s\n", report.Summary().c_str());
   std::fprintf(stderr, "corpus line: %s\n", CorpusLine(opts).c_str());
@@ -76,8 +109,10 @@ int ReproMode(uint64_t seed, StreamProfile profile, bool full, bool replay) {
   o.replay = replay;
   const double t0 = NowSeconds();
   const bool ok = RunOne(o);
+  std::printf("{\n");
+  WriteSimdProvenance(stdout);
   std::printf(
-      "{\n  \"benchmark\": \"chaos_soak\",\n  \"mode\": \"repro\",\n"
+      "  \"benchmark\": \"chaos_soak\",\n  \"mode\": \"repro\",\n"
       "  \"seed\": %" PRIu64 ",\n  \"profile\": \"%s\",\n  \"ok\": %s,\n"
       "  \"seconds\": %.3f\n}\n",
       seed, chaos::ProfileName(profile), ok ? "true" : "false",
@@ -93,10 +128,11 @@ int SmokeMode() {
   const double t0 = NowSeconds();
   int runs = 0;
   int failures = 0;
+  uint64_t events = 0;
   for (StreamProfile p : chaos::AllProfiles()) {
     for (uint64_t seed = 1; seed <= 3; ++seed) {
       ++runs;
-      if (!RunOne(MatrixOptions(seed, p))) ++failures;
+      if (!RunOne(MatrixOptions(seed, p), &events)) ++failures;
     }
   }
   {
@@ -105,29 +141,48 @@ int SmokeMode() {
     o.stream.templates = 4;
     o.full_service = true;
     ++runs;
-    if (!RunOne(o)) ++failures;
+    if (!RunOne(o, &events)) ++failures;
   }
   {
     ChaosOptions o = MatrixOptions(7, StreamProfile::kTemplateChurn);
     o.stream.bins = 24;
     o.replay = true;
     ++runs;
-    if (!RunOne(o)) ++failures;
+    if (!RunOne(o, &events)) ++failures;
   }
   const double seconds = NowSeconds() - t0;
   const bool over_budget = seconds > kBudgetSeconds;
+  const double events_per_sec =
+      seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0;
+  const double floor = SmokeEventsPerSecFloor();
+  // >30% collapse below the stored floor fails the smoke: the floor already
+  // sits well under the reference rate, so tripping 0.7× of it means the
+  // pipeline lost most of its throughput, not that the machine is slow.
+  const bool under_floor = floor > 0.0 && events_per_sec < 0.7 * floor;
+  std::printf("{\n");
+  WriteSimdProvenance(stdout);
   std::printf(
-      "{\n  \"benchmark\": \"chaos_soak\",\n  \"mode\": \"smoke\",\n"
-      "  \"runs\": %d,\n  \"failures\": %d,\n  \"seconds\": %.3f,\n"
-      "  \"budget_seconds\": %.1f\n}\n",
-      runs, failures, seconds, kBudgetSeconds);
-  std::fprintf(stderr, "chaos smoke: %d runs, %d failures, %.2fs\n", runs,
-               failures, seconds);
+      "  \"benchmark\": \"chaos_soak\",\n  \"mode\": \"smoke\",\n"
+      "  \"runs\": %d,\n  \"failures\": %d,\n  \"events\": %" PRIu64 ",\n"
+      "  \"events_per_sec\": %.1f,\n  \"events_per_sec_floor\": %.1f,\n"
+      "  \"seconds\": %.3f,\n  \"budget_seconds\": %.1f\n}\n",
+      runs, failures, events, events_per_sec, floor, seconds, kBudgetSeconds);
+  std::fprintf(stderr,
+               "chaos smoke: %d runs, %d failures, %.2fs, %.0f events/s\n",
+               runs, failures, seconds, events_per_sec);
   if (over_budget) {
     std::fprintf(stderr,
                  "chaos_soak: smoke took %.1fs, budget %.1fs — the harness "
                  "got an order of magnitude slower\n",
                  seconds, kBudgetSeconds);
+    return 1;
+  }
+  if (under_floor) {
+    std::fprintf(stderr,
+                 "chaos_soak: smoke throughput %.0f events/s is more than "
+                 "30%% below the stored floor %.0f events/s — a perf "
+                 "regression, not noise (override: DBAUGUR_CHAOS_FLOOR)\n",
+                 events_per_sec, floor);
     return 1;
   }
   return failures == 0 ? 0 : 1;
@@ -147,13 +202,16 @@ int SoakMode(double seconds, uint64_t start_seed, bool have_start_seed) {
   const double t0 = NowSeconds();
   const auto profiles = chaos::AllProfiles();
   uint64_t runs = 0;
+  uint64_t events = 0;
   while (NowSeconds() - t0 < seconds) {
     ChaosOptions o =
         MatrixOptions(start_seed + runs, profiles[runs % profiles.size()]);
     // Mix the expensive legs in at a steady cadence.
     o.full_service = runs % 7 == 3;
     o.replay = runs % 11 == 5;
-    if (!RunOne(o)) {
+    const double iter_t0 = NowSeconds();
+    uint64_t iter_events = 0;
+    if (!RunOne(o, &iter_events)) {
       const std::string line = CorpusLine(o);
       std::FILE* f = std::fopen("soak_failure.txt", "w");
       if (f != nullptr) {
@@ -161,22 +219,39 @@ int SoakMode(double seconds, uint64_t start_seed, bool have_start_seed) {
         std::fprintf(f, "%s\n", chaos::RunChaos(o).Summary().c_str());
         std::fclose(f);
       }
+      std::printf("{\n");
+      WriteSimdProvenance(stdout);
       std::printf(
-          "{\n  \"benchmark\": \"chaos_soak\",\n  \"mode\": \"soak\",\n"
+          "  \"benchmark\": \"chaos_soak\",\n  \"mode\": \"soak\",\n"
           "  \"runs\": %" PRIu64 ",\n  \"failures\": 1,\n"
           "  \"failing_corpus_line\": \"%s\",\n  \"seconds\": %.3f\n}\n",
           runs + 1, line.c_str(), NowSeconds() - t0);
       return 1;
     }
+    events += iter_events;
+    const double iter_s = NowSeconds() - iter_t0;
+    std::fprintf(stderr,
+                 "soak run %" PRIu64 " (%s): %" PRIu64
+                 " events, %.0f events/s\n",
+                 runs, CorpusLine(o).c_str(), iter_events,
+                 iter_s > 0.0 ? static_cast<double>(iter_events) / iter_s
+                              : 0.0);
     ++runs;
   }
+  const double total_s = NowSeconds() - t0;
+  std::printf("{\n");
+  WriteSimdProvenance(stdout);
   std::printf(
-      "{\n  \"benchmark\": \"chaos_soak\",\n  \"mode\": \"soak\",\n"
+      "  \"benchmark\": \"chaos_soak\",\n  \"mode\": \"soak\",\n"
       "  \"runs\": %" PRIu64 ",\n  \"failures\": 0,\n  \"start_seed\": "
-      "%" PRIu64 ",\n  \"seconds\": %.3f\n}\n",
-      runs, start_seed, NowSeconds() - t0);
-  std::fprintf(stderr, "chaos soak: %" PRIu64 " runs clean in %.1fs\n", runs,
-               NowSeconds() - t0);
+      "%" PRIu64 ",\n  \"events\": %" PRIu64 ",\n"
+      "  \"events_per_sec\": %.1f,\n  \"seconds\": %.3f\n}\n",
+      runs, start_seed, events,
+      total_s > 0.0 ? static_cast<double>(events) / total_s : 0.0, total_s);
+  std::fprintf(stderr,
+               "chaos soak: %" PRIu64 " runs clean in %.1fs, %.0f events/s\n",
+               runs, total_s,
+               total_s > 0.0 ? static_cast<double>(events) / total_s : 0.0);
   return 0;
 }
 

@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/fault_injection.h"
 #include "serve/ingestor.h"
 #include "serve/service.h"
@@ -241,6 +242,7 @@ void WriteJson(std::FILE* out, bool smoke, const IngestResult& ing,
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"benchmark\": \"serve_throughput\",\n");
   std::fprintf(out, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  WriteSimdProvenance(out);
   std::fprintf(out,
                "  \"ingest\": {\"producers\": %d, \"events\": %llu, "
                "\"dropped\": %llu, \"seconds\": %.3f, "

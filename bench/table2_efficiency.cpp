@@ -63,14 +63,11 @@ double TimeInference(const models::Forecaster& model, const Dataset& ds) {
   return Seconds(t0, Clock::now()) / kReps * 1000.0;
 }
 
-// Clustering-stage efficiency: the core::DBAugurSystem batch ingest (one
-// AddTraces per Train) against a sequential AddTrace loop over the same
-// seeded traces, with the pruning telemetry now threaded up from Descender.
-void ClusteringEfficiency() {
+std::vector<ts::Series> MakeWarpedTraces(size_t members) {
   std::vector<ts::Series> traces;
   for (int fam = 0; fam < 4; ++fam) {
     workloads::WarpedFamilyOptions wopts;
-    wopts.members = 10;
+    wopts.members = members;
     wopts.max_shift = 2.0;
     wopts.phase = fam * 2.0 * M_PI / 4.0;
     wopts.seed = 400 + static_cast<uint64_t>(fam);
@@ -78,13 +75,19 @@ void ClusteringEfficiency() {
       traces.push_back(std::move(s));
     }
   }
+  return traces;
+}
+
+// Clustering-stage efficiency: the core::DBAugurSystem batch ingest (one
+// AddTraces per Train) against a sequential AddTrace loop over the same
+// seeded traces, with the pruning telemetry now threaded up from Descender.
+void ClusteringEfficiency() {
+  std::vector<ts::Series> traces = MakeWarpedTraces(/*members=*/10);
 
   cluster::DescenderOptions copts;
   copts.radius = 3.0;
   copts.min_size = 3;
   copts.dtw.window = 4;
-
-  using Clock = std::chrono::steady_clock;
 
   // Sequential baseline straight against Descender.
   cluster::DescenderOptions seq_opts = copts;
@@ -123,6 +126,54 @@ void ClusteringEfficiency() {
   std::printf(
       "(Train's wall-clock also covers model fitting; the full-DTW column is\n"
       "the clustering-only comparison — batch must be strictly lower.)\n");
+}
+
+// DTW-cascade SIMD dispatch: the identical clustering workload under the
+// forced-scalar tier vs the host's best tier. The vectorized band DTW and
+// envelope are bit-identical to the scalar DP (and LB_Keogh is admissible to
+// a few ULPs), so the cluster labels must not move; the wall-clock ratio is
+// the cascade's measured SIMD speedup.
+void DtwSimdEfficiency() {
+  std::vector<ts::Series> traces = MakeWarpedTraces(/*members=*/16);
+
+  cluster::DescenderOptions copts;
+  copts.radius = 3.0;
+  copts.min_size = 3;
+  copts.dtw.window = 4;
+  copts.threads = 1;
+
+  auto run = [&](std::vector<int>* labels) {
+    cluster::Descender d(copts);
+    auto t0 = Clock::now();
+    for (const auto& s : traces) CheckOk(d.AddTrace(s).status(), "AddTrace");
+    const double wall = Seconds(t0, Clock::now());
+    labels->clear();
+    for (size_t i = 0; i < d.trace_count(); ++i) labels->push_back(d.label(i));
+    return wall;
+  };
+
+  std::vector<int> scalar_labels, simd_labels;
+  (void)simd::ForceTier(simd::Tier::kScalar);  // scalar is always supported
+  const double scalar_s = run(&scalar_labels);
+  simd::ResetForcedTier();
+  const double simd_s = run(&simd_labels);
+
+  const bool labels_match = scalar_labels == simd_labels;
+  std::printf("\n=== DTW cascade: scalar vs SIMD dispatch (%zu traces) ===\n",
+              traces.size());
+  TablePrinter table({"tier", "wall", "speedup", "labels"});
+  table.AddRow({"scalar (forced)", TablePrinter::Fmt(scalar_s, 3) + "s",
+                "1.00x", "-"});
+  table.AddRow({simd::TierName(simd::ActiveTier()),
+                TablePrinter::Fmt(simd_s, 3) + "s",
+                TablePrinter::Fmt(simd_s > 0.0 ? scalar_s / simd_s : 0.0, 2) +
+                    "x",
+                labels_match ? "identical" : "DIVERGED"});
+  table.Print();
+  if (!labels_match) {
+    std::printf("ERROR: cluster labels changed under SIMD dispatch\n");
+    std::exit(1);
+  }
 }
 
 }  // namespace
@@ -211,5 +262,6 @@ int main() {
       "\nLR row reports the full closed-form fit (it has no epochs). WFGAN\n"
       "storage covers generator + discriminator.\n");
   ClusteringEfficiency();
+  DtwSimdEfficiency();
   return 0;
 }

@@ -249,6 +249,7 @@ class ChaosRun {
     for (const StreamItem& item : stream_.items) {
       if (item.has_event) events_.push_back(item.event);
     }
+    report_.events = events_.size();
     if (events_.empty()) return Status::OK();
 
     const ReferenceOptions ropts{opts_.max_templates,

@@ -46,6 +46,8 @@ struct ChaosReport {
   std::string failure;  ///< First failure description; empty when ok.
   std::string repro;    ///< One-line reproducer: "--seed=N --profile=P ...".
   std::string window;   ///< Minimized event window (events stage only).
+  size_t events = 0;    ///< Parsed events the run ingested (throughput
+                        ///< accounting for the soak/smoke perf net).
 
   /// One-line success, or a multi-line failure block with the repro line.
   std::string Summary() const;

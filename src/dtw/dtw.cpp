@@ -2,10 +2,66 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "common/contracts.h"
+#include "common/simd.h"
+#include "dtw/dtw_simd.h"
 
 namespace dbaugur::dtw {
+
+namespace {
+
+#if defined(DBAUGUR_SIMD_HAS_SSE2) || defined(DBAUGUR_SIMD_HAS_AVX2) || \
+    defined(DBAUGUR_SIMD_HAS_AVX512)
+#define DBAUGUR_DTW_HAS_VECTOR_TIERS 1
+
+// Dispatch table over the per-tier kernels (dtw_simd.h), mirroring
+// ActiveKernels in nn/gemm.cpp. Null means "use the scalar code below",
+// which is the untouched pre-SIMD implementation — the forced-scalar build
+// therefore runs bit-identical to it by construction.
+struct DtwKernels {
+  void (*envelope)(const double*, size_t, size_t, double*, double*);
+  double (*lb_keogh_sumsq)(const double*, const double*, const double*,
+                           size_t);
+  double (*dtw_band)(const double*, size_t, const double*, size_t, size_t,
+                     double, double*, bool*);
+};
+
+const DtwKernels* ActiveDtwKernels() {
+  switch (simd::ActiveTier()) {
+#if defined(DBAUGUR_SIMD_HAS_AVX512)
+    case simd::Tier::kAvx512: {
+      static constexpr DtwKernels k = {&tier_avx512::EnvelopeD,
+                                       &tier_avx512::LbKeoghSumSqD,
+                                       &tier_avx512::DtwBandD};
+      return &k;
+    }
+#endif
+#if defined(DBAUGUR_SIMD_HAS_AVX2)
+    case simd::Tier::kAvx2: {
+      static constexpr DtwKernels k = {&tier_avx2::EnvelopeD,
+                                       &tier_avx2::LbKeoghSumSqD,
+                                       &tier_avx2::DtwBandD};
+      return &k;
+    }
+#endif
+#if defined(DBAUGUR_SIMD_HAS_SSE2)
+    case simd::Tier::kSse2: {
+      static constexpr DtwKernels k = {&tier_sse2::EnvelopeD,
+                                       &tier_sse2::LbKeoghSumSqD,
+                                       &tier_sse2::DtwBandD};
+      return &k;
+    }
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+#endif  // any vector tier compiled
+
+}  // namespace
 
 StatusOr<double> DtwDistance(const std::vector<double>& a,
                              const std::vector<double>& b,
@@ -28,6 +84,24 @@ StatusOr<double> DtwDistance(const std::vector<double>& a,
                     "DTW band narrower than the length gap");
   double ub2 = upper_bound == kNoBound ? kNoBound : upper_bound * upper_bound;
   constexpr double kInf = std::numeric_limits<double>::infinity();
+#if defined(DBAUGUR_DTW_HAS_VECTOR_TIERS)
+  if (const DtwKernels* kern = ActiveDtwKernels(); kern != nullptr) {
+    // Anti-diagonal wavefront (dtw_simd.inc): bit-identical corner value,
+    // and its two-consecutive-diagonal abandon rule fires only when the
+    // result provably exceeds ub2 — so every return below matches the
+    // scalar DP's output exactly.
+    std::vector<double> ws(3 * (n + 3), kInf);
+    bool abandoned = false;
+    double sq = kern->dtw_band(a.data(), n, b.data(), m, w, ub2, ws.data(),
+                               &abandoned);
+    if (abandoned) return kInf;  // early abandon
+    if (sq == kInf) {
+      return Status::Internal("DTW: band excluded the alignment corner");
+    }
+    if (ub2 != kNoBound && sq > ub2) return kInf;
+    return std::sqrt(sq);
+  }
+#endif
   // Two-row DP over the band.
   std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
   prev[0] = 0.0;
@@ -61,6 +135,14 @@ Envelope BuildEnvelope(const std::vector<double>& seq, int window) {
   Envelope env;
   env.lower.resize(n);
   env.upper.resize(n);
+#if defined(DBAUGUR_DTW_HAS_VECTOR_TIERS)
+  if (const DtwKernels* kern = ActiveDtwKernels();
+      kern != nullptr && n != 0) {
+    // Exact sliding min/max — bit-identical to the loop below on any tier.
+    kern->envelope(seq.data(), n, w, env.lower.data(), env.upper.data());
+    return env;
+  }
+#endif
   for (size_t i = 0; i < n; ++i) {
     size_t lo = i > w ? i - w : 0;
     size_t hi = std::min(n - 1, i + w);
@@ -79,6 +161,15 @@ double LbKeogh(const std::vector<double>& query, const Envelope& cand_env) {
   DBAUGUR_DCHECK_EQ(cand_env.lower.size(), cand_env.upper.size(),
                     "LbKeogh: malformed envelope");
   if (query.size() != cand_env.lower.size()) return 0.0;
+#if defined(DBAUGUR_DTW_HAS_VECTOR_TIERS)
+  if (const DtwKernels* kern = ActiveDtwKernels(); kern != nullptr) {
+    // W-partial-sum reduction: a few ULP from the scalar sum (admissibility
+    // is preserved to that tolerance; see dtw_simd.h).
+    return std::sqrt(kern->lb_keogh_sumsq(query.data(), cand_env.lower.data(),
+                                          cand_env.upper.data(),
+                                          query.size()));
+  }
+#endif
   double s = 0.0;
   for (size_t i = 0; i < query.size(); ++i) {
     double q = query[i];

@@ -1,0 +1,16 @@
+// AVX2+FMA tier for the DTW cascade kernels. Compiled with -mavx2 -mfma
+// -ffp-contract=off (explicit Fmadd only — no compiler-formed contractions;
+// see src/CMakeLists.txt).
+
+#include "common/simd.h"
+
+#if defined(DBAUGUR_SIMD_HAS_AVX2)
+
+#if !defined(__AVX2__) || !defined(__FMA__)
+#error "dtw/simd_tier_avx2.cpp must be compiled with -mavx2 -mfma"
+#endif
+
+#define DBAUGUR_DTW_TIER_NS tier_avx2
+#include "dtw/dtw_simd.inc"
+
+#endif  // DBAUGUR_SIMD_HAS_AVX2

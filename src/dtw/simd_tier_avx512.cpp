@@ -1,0 +1,19 @@
+// AVX-512 tier for the DTW cascade kernels. Compiled with -mavx512f
+// -mavx512dq -mavx512vl -ffp-contract=off (see src/CMakeLists.txt).
+//
+// Everything here lives in dtw::tier_avx512 with internal helpers in an
+// anonymous namespace, so no AVX-512 codegen can be ODR-merged into symbols
+// reachable on narrower hosts.
+
+#include "common/simd.h"
+
+#if defined(DBAUGUR_SIMD_HAS_AVX512)
+
+#if !defined(__AVX512F__) || !defined(__AVX512DQ__) || !defined(__AVX512VL__)
+#error "dtw/simd_tier_avx512.cpp must be compiled with -mavx512f -mavx512dq -mavx512vl"
+#endif
+
+#define DBAUGUR_DTW_TIER_NS tier_avx512
+#include "dtw/dtw_simd.inc"
+
+#endif  // DBAUGUR_SIMD_HAS_AVX512

@@ -1,0 +1,15 @@
+// SSE2 tier for the DTW cascade kernels. Compiled with baseline x86-64
+// flags plus -ffp-contract=off (no FMA on this tier; see src/CMakeLists.txt).
+
+#include "common/simd.h"
+
+#if defined(DBAUGUR_SIMD_HAS_SSE2)
+
+#if !defined(__SSE2__)
+#error "dtw/simd_tier_sse2.cpp must be compiled for an SSE2 target"
+#endif
+
+#define DBAUGUR_DTW_TIER_NS tier_sse2
+#include "dtw/dtw_simd.inc"
+
+#endif  // DBAUGUR_SIMD_HAS_SSE2

@@ -1,5 +1,8 @@
 // MLP forecaster (the paper's short-term "local view" model): two hidden
 // layers of 32 and 16 ReLU units over the raw condition window.
+//
+// Supports both training precisions (ForecasterOptions::precision) via one
+// Core<double> or Core<float> — see lstm_forecaster.h for the pattern.
 
 #pragma once
 
@@ -25,6 +28,7 @@ class MlpForecaster : public Forecaster {
   MlpForecaster(const ForecasterOptions& opts, const MlpOptions& mlp);
   explicit MlpForecaster(const ForecasterOptions& opts)
       : MlpForecaster(opts, MlpOptions{}) {}
+  ~MlpForecaster() override;
 
   Status Fit(const std::vector<double>& series) override;
   StatusOr<double> Predict(const std::vector<double>& window) const override;
@@ -38,23 +42,28 @@ class MlpForecaster : public Forecaster {
   Status TrainEpoch();
 
   /// Parameter tensors in layer order (l1, l2, l3) — used by serialization.
+  /// Params() requires Precision::kF64, ParamsF() requires Precision::kF32
+  /// (checked).
   std::vector<nn::Param> Params() const;
+  std::vector<nn::ParamF> ParamsF() const;
 
-  /// Lossless snapshot of weights + scaler (serve/ system snapshots).
+  /// Lossless snapshot of weights + scaler (serve/ system snapshots) at
+  /// either precision.
   StatusOr<std::vector<uint8_t>> SaveState() const override;
   Status LoadState(const std::vector<uint8_t>& buffer) override;
 
  private:
-  const nn::Matrix& ForwardBatch(const nn::Matrix& x) const;
+  template <typename T>
+  struct Core;  // layers + optimizer + batch workspaces at width T
 
   ForecasterOptions opts_;
   MlpOptions mlp_;
   mutable Rng rng_;
-  mutable nn::Dense l1_, l2_, l3_;
-  nn::Adam adam_;
+  // Exactly one of the two cores is non-null, per opts_.precision.
+  std::unique_ptr<Core<double>> core64_;
+  std::unique_ptr<Core<float>> core32_;
   ts::MinMaxScaler scaler_;
   std::vector<ts::WindowSample> train_samples_;
-  nn::Matrix x_, y_, grad_;  // batch workspaces reused across batches
   bool fitted_ = false;
 };
 

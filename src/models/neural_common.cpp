@@ -1,5 +1,7 @@
 #include "models/neural_common.h"
 
+#include <utility>
+
 #include "common/binio.h"
 #include "nn/serialize.h"
 
@@ -33,25 +35,66 @@ nn::Matrix BatchTargets(const std::vector<ts::WindowSample>& samples,
   return m;
 }
 
-void BatchWindowsInto(const std::vector<ts::WindowSample>& samples,
-                      const std::vector<size_t>& idx, size_t begin,
-                      size_t count, nn::Matrix* out) {
+namespace {
+
+template <typename T>
+void BatchWindowsIntoImpl(const std::vector<ts::WindowSample>& samples,
+                          const std::vector<size_t>& idx, size_t begin,
+                          size_t count, nn::MatrixT<T>* out) {
   size_t t = samples.empty() ? 0 : samples[0].window.size();
   out->Resize(count, t);
   for (size_t r = 0; r < count; ++r) {
     const auto& w = samples[idx[begin + r]].window;
-    double* row = out->row(r);
-    for (size_t j = 0; j < t; ++j) row[j] = w[j];
+    T* row = out->row(r);
+    for (size_t j = 0; j < t; ++j) row[j] = static_cast<T>(w[j]);
   }
+}
+
+template <typename T>
+void BatchTargetsIntoImpl(const std::vector<ts::WindowSample>& samples,
+                          const std::vector<size_t>& idx, size_t begin,
+                          size_t count, nn::MatrixT<T>* out) {
+  out->Resize(count, 1);
+  for (size_t r = 0; r < count; ++r) {
+    (*out)(r, 0) = static_cast<T>(samples[idx[begin + r]].target);
+  }
+}
+
+template <typename T>
+void ToTimeMajorIntoImpl(const nn::MatrixT<T>& batch,
+                         std::vector<nn::MatrixT<T>>* xs) {
+  xs->resize(batch.cols());
+  for (size_t t = 0; t < batch.cols(); ++t) {
+    nn::MatrixT<T>& x = (*xs)[t];
+    x.Resize(batch.rows(), 1);
+    for (size_t r = 0; r < batch.rows(); ++r) x(r, 0) = batch(r, t);
+  }
+}
+
+}  // namespace
+
+void BatchWindowsInto(const std::vector<ts::WindowSample>& samples,
+                      const std::vector<size_t>& idx, size_t begin,
+                      size_t count, nn::Matrix* out) {
+  BatchWindowsIntoImpl(samples, idx, begin, count, out);
+}
+
+void BatchWindowsInto(const std::vector<ts::WindowSample>& samples,
+                      const std::vector<size_t>& idx, size_t begin,
+                      size_t count, nn::MatrixF* out) {
+  BatchWindowsIntoImpl(samples, idx, begin, count, out);
 }
 
 void BatchTargetsInto(const std::vector<ts::WindowSample>& samples,
                       const std::vector<size_t>& idx, size_t begin,
                       size_t count, nn::Matrix* out) {
-  out->Resize(count, 1);
-  for (size_t r = 0; r < count; ++r) {
-    (*out)(r, 0) = samples[idx[begin + r]].target;
-  }
+  BatchTargetsIntoImpl(samples, idx, begin, count, out);
+}
+
+void BatchTargetsInto(const std::vector<ts::WindowSample>& samples,
+                      const std::vector<size_t>& idx, size_t begin,
+                      size_t count, nn::MatrixF* out) {
+  BatchTargetsIntoImpl(samples, idx, begin, count, out);
 }
 
 std::vector<nn::Matrix> ToTimeMajor(const nn::Matrix& batch) {
@@ -61,12 +104,11 @@ std::vector<nn::Matrix> ToTimeMajor(const nn::Matrix& batch) {
 }
 
 void ToTimeMajorInto(const nn::Matrix& batch, std::vector<nn::Matrix>* xs) {
-  xs->resize(batch.cols());
-  for (size_t t = 0; t < batch.cols(); ++t) {
-    nn::Matrix& x = (*xs)[t];
-    x.Resize(batch.rows(), 1);
-    for (size_t r = 0; r < batch.rows(); ++r) x(r, 0) = batch(r, t);
-  }
+  ToTimeMajorIntoImpl(batch, xs);
+}
+
+void ToTimeMajorInto(const nn::MatrixF& batch, std::vector<nn::MatrixF>* xs) {
+  ToTimeMajorIntoImpl(batch, xs);
 }
 
 nn::Tensor3 ToTensor3(const nn::Matrix& batch) {
@@ -107,9 +149,12 @@ namespace {
 constexpr uint32_t kModelStateMagic = 0xDBA65AE1;
 }  // namespace
 
-std::vector<uint8_t> SerializeNeuralState(
+namespace {
+
+template <typename T>
+std::vector<uint8_t> SerializeNeuralStateImpl(
     const std::vector<const ts::MinMaxScaler*>& scalers,
-    const std::vector<nn::Param>& params) {
+    const std::vector<nn::ParamT<T>>& params) {
   BufWriter w;
   w.U32(kModelStateMagic);
   w.U32(static_cast<uint32_t>(scalers.size()));
@@ -122,9 +167,25 @@ std::vector<uint8_t> SerializeNeuralState(
   return w.Take();
 }
 
-Status DeserializeNeuralState(const std::vector<uint8_t>& buffer,
-                              const std::vector<ts::MinMaxScaler*>& scalers,
-                              std::vector<nn::Param> params) {
+}  // namespace
+
+std::vector<uint8_t> SerializeNeuralState(
+    const std::vector<const ts::MinMaxScaler*>& scalers,
+    const std::vector<nn::Param>& params) {
+  return SerializeNeuralStateImpl(scalers, params);
+}
+
+std::vector<uint8_t> SerializeNeuralState(
+    const std::vector<const ts::MinMaxScaler*>& scalers,
+    const std::vector<nn::ParamF>& params) {
+  return SerializeNeuralStateImpl(scalers, params);
+}
+
+template <typename T>
+static Status DeserializeNeuralStateImpl(
+    const std::vector<uint8_t>& buffer,
+    const std::vector<ts::MinMaxScaler*>& scalers,
+    std::vector<nn::ParamT<T>> params) {
   BufReader r(buffer);
   uint32_t magic = 0, nscalers = 0;
   if (!r.U32(&magic) || magic != kModelStateMagic) {
@@ -164,6 +225,18 @@ Status DeserializeNeuralState(const std::vector<uint8_t>& buffer,
     }
   }
   return Status::OK();
+}
+
+Status DeserializeNeuralState(const std::vector<uint8_t>& buffer,
+                              const std::vector<ts::MinMaxScaler*>& scalers,
+                              std::vector<nn::Param> params) {
+  return DeserializeNeuralStateImpl(buffer, scalers, std::move(params));
+}
+
+Status DeserializeNeuralState(const std::vector<uint8_t>& buffer,
+                              const std::vector<ts::MinMaxScaler*>& scalers,
+                              std::vector<nn::ParamF> params) {
+  return DeserializeNeuralStateImpl(buffer, scalers, std::move(params));
 }
 
 }  // namespace dbaugur::models

@@ -8,48 +8,51 @@
 
 namespace dbaugur::nn {
 
-void ApplyActivation(Activation act, Matrix* m) {
+template <typename T>
+void ApplyActivation(Activation act, MatrixT<T>* m) {
   switch (act) {
     case Activation::kIdentity:
       return;
     case Activation::kRelu:
-      m->Apply([](double x) { return x > 0.0 ? x : 0.0; });
+      m->Apply([](T x) { return x > T(0) ? x : T(0); });
       return;
     case Activation::kTanh:
-      m->Apply([](double x) { return std::tanh(x); });
+      m->Apply([](T x) { return std::tanh(x); });
       return;
     case Activation::kSigmoid:
-      m->Apply([](double x) { return Sigmoid(x); });
+      m->Apply([](T x) { return Sigmoid(x); });
       return;
   }
 }
 
-void ApplyActivationGrad(Activation act, const Matrix& pre, const Matrix& post,
-                         Matrix* grad) {
+template <typename T>
+void ApplyActivationGrad(Activation act, const MatrixT<T>& pre,
+                         const MatrixT<T>& post, MatrixT<T>* grad) {
   DBAUGUR_CHECK(grad->SameShape(pre) && grad->SameShape(post),
                 "ApplyActivationGrad shape mismatch");
   const size_t n = grad->size();
-  const double* z = pre.data();
-  const double* y = post.data();
-  double* g = grad->data();
+  const T* z = pre.data();
+  const T* y = post.data();
+  T* g = grad->data();
   switch (act) {
     case Activation::kIdentity:
       return;
     case Activation::kRelu:
       for (size_t i = 0; i < n; ++i) {
-        if (z[i] <= 0.0) g[i] = 0.0;
+        if (z[i] <= T(0)) g[i] = T(0);
       }
       return;
     case Activation::kTanh:
-      for (size_t i = 0; i < n; ++i) g[i] *= 1.0 - y[i] * y[i];
+      for (size_t i = 0; i < n; ++i) g[i] *= T(1) - y[i] * y[i];
       return;
     case Activation::kSigmoid:
-      for (size_t i = 0; i < n; ++i) g[i] *= y[i] * (1.0 - y[i]);
+      for (size_t i = 0; i < n; ++i) g[i] *= y[i] * (T(1) - y[i]);
       return;
   }
 }
 
-Dense::Dense(size_t in, size_t out, Activation act, Rng* rng)
+template <typename T>
+DenseT<T>::DenseT(size_t in, size_t out, Activation act, Rng* rng)
     : in_(in), out_(out), act_(act), w_(in, out), b_(1, out),
       dw_(in, out), db_(1, out) {
   DBAUGUR_CHECK(in > 0 && out > 0, "Dense layer needs positive dims, got ", in,
@@ -57,7 +60,8 @@ Dense::Dense(size_t in, size_t out, Activation act, Rng* rng)
   XavierInit(&w_, rng);
 }
 
-const Matrix& Dense::Forward(const Matrix& input) {
+template <typename T>
+const MatrixT<T>& DenseT<T>::Forward(const MatrixT<T>& input) {
   DBAUGUR_CHECK_EQ(input.cols(), in_, "Dense::Forward input width");
   input_ = input;
   pre_act_.MatMulInto(input_, w_);
@@ -67,7 +71,8 @@ const Matrix& Dense::Forward(const Matrix& input) {
   return output_;
 }
 
-const Matrix& Dense::Backward(const Matrix& grad_output) {
+template <typename T>
+const MatrixT<T>& DenseT<T>::Backward(const MatrixT<T>& grad_output) {
   DBAUGUR_CHECK(grad_output.SameShape(output_),
                 "Dense::Backward gradient shape ", grad_output.rows(), "x",
                 grad_output.cols(), " does not match forward output ",
@@ -80,8 +85,19 @@ const Matrix& Dense::Backward(const Matrix& grad_output) {
   return dx_;
 }
 
-std::vector<Param> Dense::Params() {
+template <typename T>
+std::vector<ParamT<T>> DenseT<T>::Params() {
   return {{&w_, &dw_, "dense.w"}, {&b_, &db_, "dense.b"}};
 }
+
+template class DenseT<double>;
+template class DenseT<float>;
+
+template void ApplyActivation<double>(Activation, Matrix*);
+template void ApplyActivation<float>(Activation, MatrixF*);
+template void ApplyActivationGrad<double>(Activation, const Matrix&,
+                                          const Matrix&, Matrix*);
+template void ApplyActivationGrad<float>(Activation, const MatrixF&,
+                                         const MatrixF&, MatrixF*);
 
 }  // namespace dbaugur::nn

@@ -6,14 +6,25 @@
 // pervasive "grad.Add(a.TransposeMatMul(b))" pattern into one pass with no
 // temporary matrix.
 //
-// Determinism contract: for a fixed output element the floating-point
-// accumulation order is the same as the naive textbook loop (ascending over
-// the reduction index), independent of register blocking and of the thread
-// count. Kernels parallelize only by partitioning *output rows*, and each row
-// is computed identically regardless of which thread claims it, so results
-// are bit-identical at any `threads` setting. The only intended difference
-// from the legacy kernels is the removal of their `if (a == 0.0) continue`
-// branch, which can flip the sign of a ±0.0 result but nothing else.
+// Determinism contract (per dispatch tier — see common/simd.h and the README
+// "SIMD kernels & runtime dispatch" section):
+//
+//  * Scalar tier (`DBAUGUR_SIMD=off`, non-x86 hosts): the PR-3 register-tiled
+//    kernels, unchanged. For a fixed output element the floating-point
+//    accumulation order is the same as the naive textbook loop (ascending
+//    over the reduction index), independent of register blocking and of the
+//    thread count, so results are bit-identical to nn::ref at any `threads`
+//    setting. The only intended difference from the legacy kernels is the
+//    removal of their `if (a == 0.0) continue` branch, which can flip the
+//    sign of a ±0.0 result but nothing else.
+//
+//  * Vector tiers (sse2/avx2/avx512): NN and TN keep the ascending reduction
+//    order per output element (they vectorize across output *columns*), so
+//    they differ from the scalar tier only by FMA contraction — a few ULP.
+//    NT vectorizes the reduction itself with W-wide partial sums and a
+//    horizontal reduce, which reassociates the sum; tests bound the error at
+//    a documented ULP tolerance. All tiers remain thread-count independent
+//    (parallelism still only partitions output rows).
 //
 // The pre-PR naive kernels are retained under nn::ref as the ground truth for
 // equivalence tests and as the baseline timed by bench/nn_kernels.
@@ -46,6 +57,16 @@ void GemmTN(size_t m, size_t k, size_t n, const double* a, const double* b,
 /// c (m x p) = [c +] a (m x k) * b^T, where b is (p x k).
 void GemmNT(size_t m, size_t k, size_t p, const double* a, const double* b,
             double* c, bool accumulate);
+
+/// f32 twins of the three kernels, for the per-model f32 training path.
+/// Same tiling, dispatch, pooling, and determinism contract at f32 width
+/// (twice the lanes per vector on every tier).
+void GemmNN(size_t m, size_t k, size_t n, const float* a, const float* b,
+            float* c, bool accumulate);
+void GemmTN(size_t m, size_t k, size_t n, const float* a, const float* b,
+            float* c, bool accumulate);
+void GemmNT(size_t m, size_t k, size_t p, const float* a, const float* b,
+            float* c, bool accumulate);
 
 namespace ref {
 

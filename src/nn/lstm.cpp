@@ -4,12 +4,13 @@
 #include <utility>
 
 #include "common/contracts.h"
-#include "common/math_utils.h"
 #include "nn/init.h"
+#include "nn/lstm_kernels.h"
 
 namespace dbaugur::nn {
 
-LSTM::LSTM(size_t input_size, size_t hidden_size, Rng* rng)
+template <typename T>
+LSTMT<T>::LSTMT(size_t input_size, size_t hidden_size, Rng* rng)
     : input_(input_size),
       hidden_(hidden_size),
       wx_(input_size, 4 * hidden_size),
@@ -24,10 +25,12 @@ LSTM::LSTM(size_t input_size, size_t hidden_size, Rng* rng)
   XavierInit(&wx_, rng);
   XavierInit(&wh_, rng);
   // Forget-gate bias starts at 1 so early training retains state.
-  for (size_t j = hidden_; j < 2 * hidden_; ++j) b_(0, j) = 1.0;
+  for (size_t j = hidden_; j < 2 * hidden_; ++j) b_(0, j) = T(1);
 }
 
-const std::vector<Matrix>& LSTM::ForwardSequence(const std::vector<Matrix>& xs) {
+template <typename T>
+const std::vector<MatrixT<T>>& LSTMT<T>::ForwardSequence(
+    const std::vector<MatrixT<T>>& xs) {
   const size_t steps = xs.size();
   steps_ = steps;
   hs_.resize(steps);
@@ -36,17 +39,17 @@ const std::vector<Matrix>& LSTM::ForwardSequence(const std::vector<Matrix>& xs) 
   const size_t batch = xs[0].rows();
   // Contracts hoisted out of the step loop: validate the whole sequence once,
   // then run the hot loop contract-free.
-  for (const Matrix& x : xs) {
+  for (const MatrixT<T>& x : xs) {
     DBAUGUR_CHECK_EQ(x.cols(), input_, "LSTM::ForwardSequence step width");
     DBAUGUR_CHECK_EQ(x.rows(), batch,
                      "LSTM::ForwardSequence inconsistent batch size");
   }
   zeros_.Resize(batch, hidden_);
-  zeros_.Fill(0.0);
+  zeros_.Fill(T(0));
   for (size_t t = 0; t < steps; ++t) {
     StepCache& sc = cache_[t];
-    const Matrix& h_prev = t == 0 ? zeros_ : hs_[t - 1];
-    const Matrix& c_prev = t == 0 ? zeros_ : cache_[t - 1].c;
+    const MatrixT<T>& h_prev = t == 0 ? zeros_ : hs_[t - 1];
+    const MatrixT<T>& c_prev = t == 0 ? zeros_ : cache_[t - 1].c;
     sc.x = xs[t];
     // Fused gate pre-activation: z = x Wx + h_prev Wh + b, one workspace.
     z_.MatMulInto(sc.x, wx_);
@@ -59,32 +62,17 @@ const std::vector<Matrix>& LSTM::ForwardSequence(const std::vector<Matrix>& xs) 
     sc.c.Resize(batch, hidden_);
     sc.tanh_c.Resize(batch, hidden_);
     hs_[t].Resize(batch, hidden_);
-    for (size_t r = 0; r < batch; ++r) {
-      const double* zr = z_.row(r);
-      const double* cpr = c_prev.row(r);
-      double* ir = sc.i.row(r);
-      double* fr = sc.f.row(r);
-      double* gr = sc.g.row(r);
-      double* og = sc.o.row(r);
-      double* cr = sc.c.row(r);
-      double* tr = sc.tanh_c.row(r);
-      double* hr = hs_[t].row(r);
-      for (size_t j = 0; j < hidden_; ++j) {
-        ir[j] = Sigmoid(zr[j]);
-        fr[j] = Sigmoid(zr[hidden_ + j]);
-        gr[j] = std::tanh(zr[2 * hidden_ + j]);
-        og[j] = Sigmoid(zr[3 * hidden_ + j]);
-        cr[j] = fr[j] * cpr[j] + ir[j] * gr[j];
-        tr[j] = std::tanh(cr[j]);
-        hr[j] = og[j] * tr[j];
-      }
-    }
+    // Fused element-wise gate pass, runtime-dispatched per SIMD tier.
+    LstmGatesForward(batch, hidden_, z_.data(), c_prev.data(), sc.i.data(),
+                     sc.f.data(), sc.g.data(), sc.o.data(), sc.c.data(),
+                     sc.tanh_c.data(), hs_[t].data());
   }
   return hs_;
 }
 
-const std::vector<Matrix>& LSTM::BackwardSequence(
-    const std::vector<Matrix>& grad_hs) {
+template <typename T>
+const std::vector<MatrixT<T>>& LSTMT<T>::BackwardSequence(
+    const std::vector<MatrixT<T>>& grad_hs) {
   const size_t steps = steps_;
   DBAUGUR_CHECK_EQ(grad_hs.size(), steps,
                    "LSTM::BackwardSequence gradient count does not match the "
@@ -92,50 +80,29 @@ const std::vector<Matrix>& LSTM::BackwardSequence(
   dxs_.resize(steps);
   if (steps == 0) return dxs_;
   const size_t batch = cache_[0].x.rows();
-  for (const Matrix& g : grad_hs) {
+  for (const MatrixT<T>& g : grad_hs) {
     DBAUGUR_CHECK(g.rows() == batch && g.cols() == hidden_,
                   "LSTM::BackwardSequence gradient shape ", g.rows(), "x",
                   g.cols(), " does not match hidden states ", batch, "x",
                   hidden_);
   }
   dh_next_.Resize(batch, hidden_);
-  dh_next_.Fill(0.0);
+  dh_next_.Fill(T(0));
   dc_next_.Resize(batch, hidden_);
-  dc_next_.Fill(0.0);
+  dc_next_.Fill(T(0));
   dc_prev_.Resize(batch, hidden_);
   dz_.Resize(batch, 4 * hidden_);
   for (size_t t = steps; t-- > 0;) {
     const StepCache& sc = cache_[t];
-    const Matrix& h_prev = t == 0 ? zeros_ : hs_[t - 1];
-    const Matrix& c_prev = t == 0 ? zeros_ : cache_[t - 1].c;
+    const MatrixT<T>& h_prev = t == 0 ? zeros_ : hs_[t - 1];
+    const MatrixT<T>& c_prev = t == 0 ? zeros_ : cache_[t - 1].c;
     dh_ = grad_hs[t];
     dh_.Add(dh_next_);
     // All element-wise gate gradients fuse into one pass producing dz and the
     // carried cell gradient; the per-gate intermediates never materialise.
-    for (size_t r = 0; r < batch; ++r) {
-      const double* dhr = dh_.row(r);
-      const double* dcn = dc_next_.row(r);
-      const double* tcr = sc.tanh_c.row(r);
-      const double* ir = sc.i.row(r);
-      const double* fr = sc.f.row(r);
-      const double* gr = sc.g.row(r);
-      const double* og = sc.o.row(r);
-      const double* cpr = c_prev.row(r);
-      double* dzr = dz_.row(r);
-      double* dcp = dc_prev_.row(r);
-      for (size_t j = 0; j < hidden_; ++j) {
-        const double tc = tcr[j];
-        const double iv = ir[j], fv = fr[j], gv = gr[j], ov = og[j];
-        // h = o * tanh(c); c = f * c_prev + i * g.
-        const double dov = dhr[j] * tc;
-        const double dcv = dhr[j] * ov * (1.0 - tc * tc) + dcn[j];
-        dzr[j] = dcv * gv * iv * (1.0 - iv);
-        dzr[hidden_ + j] = dcv * cpr[j] * fv * (1.0 - fv);
-        dzr[2 * hidden_ + j] = dcv * iv * (1.0 - gv * gv);
-        dzr[3 * hidden_ + j] = dov * ov * (1.0 - ov);
-        dcp[j] = dcv * fv;
-      }
-    }
+    LstmGatesBackward(batch, hidden_, dh_.data(), dc_next_.data(),
+                      sc.tanh_c.data(), sc.i.data(), sc.f.data(), sc.g.data(),
+                      sc.o.data(), c_prev.data(), dz_.data(), dc_prev_.data());
     dwx_.AddTransposeMatMul(sc.x, dz_);
     dwh_.AddTransposeMatMul(h_prev, dz_);
     db_.AddColSumOf(dz_);
@@ -146,16 +113,21 @@ const std::vector<Matrix>& LSTM::BackwardSequence(
   return dxs_;
 }
 
-std::vector<Param> LSTM::Params() {
+template <typename T>
+std::vector<ParamT<T>> LSTMT<T>::Params() {
   return {{&wx_, &dwx_, "lstm.wx"},
           {&wh_, &dwh_, "lstm.wh"},
           {&b_, &db_, "lstm.b"}};
 }
 
-void LSTM::ZeroGrad() {
-  dwx_.Fill(0.0);
-  dwh_.Fill(0.0);
-  db_.Fill(0.0);
+template <typename T>
+void LSTMT<T>::ZeroGrad() {
+  dwx_.Fill(T(0));
+  dwh_.Fill(T(0));
+  db_.Fill(T(0));
 }
+
+template class LSTMT<double>;
+template class LSTMT<float>;
 
 }  // namespace dbaugur::nn

@@ -9,82 +9,95 @@
 
 namespace dbaugur::nn {
 
-Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
+template <typename T>
+MatrixT<T>::MatrixT(size_t rows, size_t cols, std::vector<T> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
   DBAUGUR_CHECK_EQ(data_.size(), rows_ * cols_,
                    "Matrix data does not match shape ", rows_, "x", cols_);
 }
 
-void Matrix::Fill(double v) {
-  for (double& x : data_) x = v;
+template <typename T>
+void MatrixT<T>::Fill(T v) {
+  for (T& x : data_) x = v;
 }
 
-void Matrix::Add(const Matrix& other) {
+template <typename T>
+void MatrixT<T>::Add(const MatrixT& other) {
   DBAUGUR_CHECK(SameShape(other), "Matrix::Add shape mismatch: ", rows_, "x",
                 cols_, " vs ", other.rows_, "x", other.cols_);
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
 }
 
-void Matrix::AddScaled(const Matrix& other, double alpha) {
+template <typename T>
+void MatrixT<T>::AddScaled(const MatrixT& other, T alpha) {
   DBAUGUR_CHECK(SameShape(other), "Matrix::AddScaled shape mismatch: ", rows_,
                 "x", cols_, " vs ", other.rows_, "x", other.cols_);
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
 }
 
-void Matrix::Sub(const Matrix& other) {
+template <typename T>
+void MatrixT<T>::Sub(const MatrixT& other) {
   DBAUGUR_CHECK(SameShape(other), "Matrix::Sub shape mismatch: ", rows_, "x",
                 cols_, " vs ", other.rows_, "x", other.cols_);
   for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
 }
 
-void Matrix::Hadamard(const Matrix& other) {
+template <typename T>
+void MatrixT<T>::Hadamard(const MatrixT& other) {
   DBAUGUR_CHECK(SameShape(other), "Matrix::Hadamard shape mismatch: ", rows_,
                 "x", cols_, " vs ", other.rows_, "x", other.cols_);
   for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
 }
 
-void Matrix::Scale(double alpha) {
-  for (double& x : data_) x *= alpha;
+template <typename T>
+void MatrixT<T>::Scale(T alpha) {
+  for (T& x : data_) x *= alpha;
 }
 
 namespace {
 
 // Shape/aliasing contracts for the fused kernels, validated once at kernel
 // entry (never in inner loops — those stay DCHECK-only via operator()).
-void CheckNoAlias(const Matrix& dest, const Matrix& a, const Matrix& b,
-                  const char* op) {
+template <typename T>
+void CheckNoAlias(const MatrixT<T>& dest, const MatrixT<T>& a,
+                  const MatrixT<T>& b, const char* op) {
   DBAUGUR_CHECK(dest.data() != a.data() && dest.data() != b.data(),
                 op, " destination must not alias an operand");
 }
 
 }  // namespace
 
-Matrix Matrix::MatMul(const Matrix& other) const {
-  Matrix out;
+template <typename T>
+MatrixT<T> MatrixT<T>::MatMul(const MatrixT& other) const {
+  MatrixT out;
   out.MatMulInto(*this, other);
   return out;
 }
 
-Matrix Matrix::TransposeMatMul(const Matrix& other) const {
-  Matrix out;
+template <typename T>
+MatrixT<T> MatrixT<T>::TransposeMatMul(const MatrixT& other) const {
+  MatrixT out;
   out.TransposeMatMulInto(*this, other);
   return out;
 }
 
-Matrix Matrix::MatMulTranspose(const Matrix& other) const {
-  Matrix out;
+template <typename T>
+MatrixT<T> MatrixT<T>::MatMulTranspose(const MatrixT& other) const {
+  MatrixT out;
   out.MatMulTransposeInto(*this, other);
   return out;
 }
 
-void Matrix::MatMulInto(const Matrix& a, const Matrix& b) {
+template <typename T>
+void MatrixT<T>::MatMulInto(const MatrixT& a, const MatrixT& b) {
   DBAUGUR_CHECK_EQ(a.cols_, b.rows_, "Matrix::MatMul inner dimensions");
   Resize(a.rows_, b.cols_);
   CheckNoAlias(*this, a, b, "Matrix::MatMulInto");
   GemmNN(a.rows_, a.cols_, b.cols_, a.data(), b.data(), data(), false);
 }
 
-void Matrix::AddMatMul(const Matrix& a, const Matrix& b) {
+template <typename T>
+void MatrixT<T>::AddMatMul(const MatrixT& a, const MatrixT& b) {
   DBAUGUR_CHECK_EQ(a.cols_, b.rows_, "Matrix::AddMatMul inner dimensions");
   DBAUGUR_CHECK(rows_ == a.rows_ && cols_ == b.cols_,
                 "Matrix::AddMatMul destination shape ", rows_, "x", cols_,
@@ -93,7 +106,8 @@ void Matrix::AddMatMul(const Matrix& a, const Matrix& b) {
   GemmNN(a.rows_, a.cols_, b.cols_, a.data(), b.data(), data(), true);
 }
 
-void Matrix::TransposeMatMulInto(const Matrix& a, const Matrix& b) {
+template <typename T>
+void MatrixT<T>::TransposeMatMulInto(const MatrixT& a, const MatrixT& b) {
   // (a^T * b): a is (m x n), b is (m x p), result (n x p).
   DBAUGUR_CHECK_EQ(a.rows_, b.rows_, "Matrix::TransposeMatMul row counts");
   Resize(a.cols_, b.cols_);
@@ -101,7 +115,8 @@ void Matrix::TransposeMatMulInto(const Matrix& a, const Matrix& b) {
   GemmTN(a.rows_, a.cols_, b.cols_, a.data(), b.data(), data(), false);
 }
 
-void Matrix::AddTransposeMatMul(const Matrix& a, const Matrix& b) {
+template <typename T>
+void MatrixT<T>::AddTransposeMatMul(const MatrixT& a, const MatrixT& b) {
   DBAUGUR_CHECK_EQ(a.rows_, b.rows_, "Matrix::AddTransposeMatMul row counts");
   DBAUGUR_CHECK(rows_ == a.cols_ && cols_ == b.cols_,
                 "Matrix::AddTransposeMatMul destination shape ", rows_, "x",
@@ -110,7 +125,8 @@ void Matrix::AddTransposeMatMul(const Matrix& a, const Matrix& b) {
   GemmTN(a.rows_, a.cols_, b.cols_, a.data(), b.data(), data(), true);
 }
 
-void Matrix::MatMulTransposeInto(const Matrix& a, const Matrix& b) {
+template <typename T>
+void MatrixT<T>::MatMulTransposeInto(const MatrixT& a, const MatrixT& b) {
   // (a * b^T): a is (m x n), b is (p x n), result (m x p).
   DBAUGUR_CHECK_EQ(a.cols_, b.cols_, "Matrix::MatMulTranspose column counts");
   Resize(a.rows_, b.rows_);
@@ -118,7 +134,8 @@ void Matrix::MatMulTransposeInto(const Matrix& a, const Matrix& b) {
   GemmNT(a.rows_, a.cols_, b.rows_, a.data(), b.data(), data(), false);
 }
 
-void Matrix::AddMatMulTranspose(const Matrix& a, const Matrix& b) {
+template <typename T>
+void MatrixT<T>::AddMatMulTranspose(const MatrixT& a, const MatrixT& b) {
   DBAUGUR_CHECK_EQ(a.cols_, b.cols_,
                    "Matrix::AddMatMulTranspose column counts");
   DBAUGUR_CHECK(rows_ == a.rows_ && cols_ == b.rows_,
@@ -128,13 +145,14 @@ void Matrix::AddMatMulTranspose(const Matrix& a, const Matrix& b) {
   GemmNT(a.rows_, a.cols_, b.rows_, a.data(), b.data(), data(), true);
 }
 
-Matrix Matrix::Transposed() const {
-  Matrix out(cols_, rows_);
+template <typename T>
+MatrixT<T> MatrixT<T>::Transposed() const {
+  MatrixT out(cols_, rows_);
   // Blocked so both the read and write side stay within a few cache lines
   // per tile instead of striding the full matrix on one side.
   constexpr size_t kTile = 32;
-  const double* src = data();
-  double* dst = out.data();
+  const T* src = data();
+  T* dst = out.data();
   for (size_t ib = 0; ib < rows_; ib += kTile) {
     const size_t ie = std::min(rows_, ib + kTile);
     for (size_t jb = 0; jb < cols_; jb += kTile) {
@@ -149,38 +167,43 @@ Matrix Matrix::Transposed() const {
   return out;
 }
 
-void Matrix::AddRowVector(const Matrix& v) {
+template <typename T>
+void MatrixT<T>::AddRowVector(const MatrixT& v) {
   DBAUGUR_CHECK_EQ(v.size(), cols_, "Matrix::AddRowVector width mismatch");
   for (size_t i = 0; i < rows_; ++i) {
-    double* r = row(i);
+    T* r = row(i);
     for (size_t j = 0; j < cols_; ++j) r[j] += v.data_[j];
   }
 }
 
-Matrix Matrix::ColSum() const {
-  Matrix out(1, cols_, 0.0);
+template <typename T>
+MatrixT<T> MatrixT<T>::ColSum() const {
+  MatrixT out(1, cols_, T(0));
   out.AddColSumOf(*this);
   return out;
 }
 
-void Matrix::AddColSumOf(const Matrix& other) {
+template <typename T>
+void MatrixT<T>::AddColSumOf(const MatrixT& other) {
   DBAUGUR_CHECK(rows_ == 1 && cols_ == other.cols_,
                 "Matrix::AddColSumOf needs a 1x", other.cols_,
                 " destination, got ", rows_, "x", cols_);
-  double* acc = data();
+  T* acc = data();
   for (size_t i = 0; i < other.rows_; ++i) {
-    const double* r = other.row(i);
+    const T* r = other.row(i);
     for (size_t j = 0; j < cols_; ++j) acc[j] += r[j];
   }
 }
 
-double Matrix::SquaredNorm() const {
+template <typename T>
+double MatrixT<T>::SquaredNorm() const {
   double s = 0.0;
-  for (double x : data_) s += x * x;
+  for (T x : data_) s += static_cast<double>(x) * static_cast<double>(x);
   return s;
 }
 
-std::string Matrix::ToString(int precision) const {
+template <typename T>
+std::string MatrixT<T>::ToString(int precision) const {
   std::ostringstream oss;
   oss.setf(std::ios::fixed);
   oss.precision(precision);
@@ -194,6 +217,9 @@ std::string Matrix::ToString(int precision) const {
   }
   return oss.str();
 }
+
+template class MatrixT<double>;
+template class MatrixT<float>;
 
 void Tensor3::Fill(double v) {
   for (double& x : data_) x = v;

@@ -22,16 +22,18 @@ bool GetU32(const std::vector<uint8_t>& buf, size_t* pos, uint32_t* v) {
   return true;
 }
 
-std::vector<uint8_t> SerializeImpl(const std::vector<Param>& params, bool f64) {
+template <typename T>
+std::vector<uint8_t> SerializeImpl(const std::vector<ParamT<T>>& params,
+                                   bool f64) {
   std::vector<uint8_t> buf;
   PutU32(&buf, f64 ? kMagicF64 : kMagicF32);
   PutU32(&buf, static_cast<uint32_t>(params.size()));
-  for (const Param& p : params) {
+  for (const ParamT<T>& p : params) {
     PutU32(&buf, static_cast<uint32_t>(p.value->rows()));
     PutU32(&buf, static_cast<uint32_t>(p.value->cols()));
     for (size_t i = 0; i < p.value->size(); ++i) {
       if (f64) {
-        double d = p.value->data()[i];
+        double d = static_cast<double>(p.value->data()[i]);
         uint8_t bytes[8];
         std::memcpy(bytes, &d, 8);
         buf.insert(buf.end(), bytes, bytes + 8);
@@ -45,18 +47,10 @@ std::vector<uint8_t> SerializeImpl(const std::vector<Param>& params, bool f64) {
   }
   return buf;
 }
-}  // namespace
 
-std::vector<uint8_t> SerializeParams(const std::vector<Param>& params) {
-  return SerializeImpl(params, /*f64=*/false);
-}
-
-std::vector<uint8_t> SerializeParamsF64(const std::vector<Param>& params) {
-  return SerializeImpl(params, /*f64=*/true);
-}
-
-Status DeserializeParams(const std::vector<uint8_t>& buffer,
-                         std::vector<Param>& params) {
+template <typename T>
+Status DeserializeImpl(const std::vector<uint8_t>& buffer,
+                       std::vector<ParamT<T>>& params) {
   size_t pos = 0;
   uint32_t magic = 0, count = 0;
   if (!GetU32(buffer, &pos, &magic) ||
@@ -67,7 +61,7 @@ Status DeserializeParams(const std::vector<uint8_t>& buffer,
   if (!GetU32(buffer, &pos, &count) || count != params.size()) {
     return Status::InvalidArgument("parameter count mismatch");
   }
-  for (Param& p : params) {
+  for (ParamT<T>& p : params) {
     uint32_t rows = 0, cols = 0;
     if (!GetU32(buffer, &pos, &rows) || !GetU32(buffer, &pos, &cols)) {
       return Status::InvalidArgument("truncated parameter header");
@@ -83,11 +77,11 @@ Status DeserializeParams(const std::vector<uint8_t>& buffer,
       if (width == 8) {
         double d;
         std::memcpy(&d, &buffer[pos], 8);
-        p.value->data()[i] = d;
+        p.value->data()[i] = static_cast<T>(d);
       } else {
         float f;
         std::memcpy(&f, &buffer[pos], 4);
-        p.value->data()[i] = static_cast<double>(f);
+        p.value->data()[i] = static_cast<T>(f);
       }
       pos += width;
     }
@@ -95,12 +89,49 @@ Status DeserializeParams(const std::vector<uint8_t>& buffer,
   return Status::OK();
 }
 
-int64_t StorageBytes(const std::vector<Param>& params) {
+template <typename T>
+int64_t StorageBytesImpl(const std::vector<ParamT<T>>& params) {
   int64_t bytes = 8;  // magic + count
-  for (const Param& p : params) {
+  for (const ParamT<T>& p : params) {
     bytes += 8 + 4 * static_cast<int64_t>(p.value->size());
   }
   return bytes;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeParams(const std::vector<Param>& params) {
+  return SerializeImpl(params, /*f64=*/false);
+}
+
+std::vector<uint8_t> SerializeParams(const std::vector<ParamF>& params) {
+  return SerializeImpl(params, /*f64=*/false);
+}
+
+std::vector<uint8_t> SerializeParamsF64(const std::vector<Param>& params) {
+  return SerializeImpl(params, /*f64=*/true);
+}
+
+std::vector<uint8_t> SerializeParamsF64(const std::vector<ParamF>& params) {
+  return SerializeImpl(params, /*f64=*/true);
+}
+
+Status DeserializeParams(const std::vector<uint8_t>& buffer,
+                         std::vector<Param>& params) {
+  return DeserializeImpl(buffer, params);
+}
+
+Status DeserializeParams(const std::vector<uint8_t>& buffer,
+                         std::vector<ParamF>& params) {
+  return DeserializeImpl(buffer, params);
+}
+
+int64_t StorageBytes(const std::vector<Param>& params) {
+  return StorageBytesImpl(params);
+}
+
+int64_t StorageBytes(const std::vector<ParamF>& params) {
+  return StorageBytesImpl(params);
 }
 
 }  // namespace dbaugur::nn

@@ -1,0 +1,16 @@
+// AVX2+FMA tier for the nn vector kernels. Compiled with -mavx2 -mfma
+// -ffp-contract=off (explicit Fmadd only — no compiler-formed contractions;
+// see src/CMakeLists.txt).
+
+#include "common/simd.h"
+
+#if defined(DBAUGUR_SIMD_HAS_AVX2)
+
+#if !defined(__AVX2__) || !defined(__FMA__)
+#error "simd_tier_avx2.cpp must be compiled with -mavx2 -mfma"
+#endif
+
+#define DBAUGUR_NN_TIER_NS tier_avx2
+#include "nn/simd_kernels.inc"
+
+#endif  // DBAUGUR_SIMD_HAS_AVX2

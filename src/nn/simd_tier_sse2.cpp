@@ -1,0 +1,15 @@
+// SSE2 tier for the nn vector kernels. Compiled with baseline x86-64 flags
+// plus -ffp-contract=off (no FMA on this tier; see src/CMakeLists.txt).
+
+#include "common/simd.h"
+
+#if defined(DBAUGUR_SIMD_HAS_SSE2)
+
+#if !defined(__SSE2__)
+#error "simd_tier_sse2.cpp must be compiled for an SSE2 target"
+#endif
+
+#define DBAUGUR_NN_TIER_NS tier_sse2
+#include "nn/simd_kernels.inc"
+
+#endif  // DBAUGUR_SIMD_HAS_SSE2

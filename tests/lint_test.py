@@ -226,6 +226,49 @@ class LintRuleTest(unittest.TestCase):
         )
         self.assert_clean(self.repo.run("src"))
 
+    # -- raw-intrinsics -----------------------------------------------------
+
+    def test_raw_intrinsics_call_violating(self):
+        self.repo.write(
+            "src/nn/fast.cpp",
+            "#include <immintrin.h>\n"
+            "__m256d Add(__m256d a, __m256d b) { return _mm256_add_pd(a, b); }\n",
+        )
+        result = self.repo.run("src")
+        self.assert_violation(result, "raw-intrinsics", "src/nn/fast.cpp")
+        # Call, vector type, and include each fire.
+        self.assertIn("_mm* intrinsic call", result.stdout)
+        self.assertIn("vector type", result.stdout)
+        self.assertIn("intrinsics header include", result.stdout)
+
+    def test_raw_intrinsics_builtin_violating(self):
+        self.repo.write(
+            "bench/b.cpp",
+            "double F(double x) { return __builtin_ia32_sqrtsd(x); }\n",
+        )
+        self.assert_violation(
+            self.repo.run("bench"), "raw-intrinsics", "bench/b.cpp"
+        )
+
+    def test_raw_intrinsics_wrapper_header_exempt(self):
+        self.repo.write(
+            "src/common/simd.h",
+            "#include <immintrin.h>\n"
+            "inline __m128d Load(const double* p) { return _mm_loadu_pd(p); }\n",
+        )
+        self.assert_clean(self.repo.run("src"))
+
+    def test_raw_intrinsics_clean(self):
+        self.repo.write(
+            "src/nn/fast.cpp",
+            "// Words like _mm_prefix in comments and commit_mm_log() calls\n"
+            "// must not trip the token match.\n"
+            '#include "common/simd.h"\n'
+            "int commit_mm_log();\n"
+            "namespace vec = dbaugur::simd::best;\n",
+        )
+        self.assert_clean(self.repo.run("src"))
+
     # -- allowlist ----------------------------------------------------------
 
     def test_allowlist_suppresses_named_rule_and_file(self):

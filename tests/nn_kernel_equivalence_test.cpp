@@ -2,9 +2,11 @@
 //
 // The determinism contract (nn/gemm.h) says every fused/into variant matches
 // the naive reference bit-for-bit — same per-element accumulation order — at
-// any thread count. These tests exercise odd shapes (1xN, Nx1, prime dims),
-// inputs salted with exact zeros (the legacy kernels skipped zero operands),
-// and thread counts 1, 2, and 4.
+// any thread count ON THE SCALAR DISPATCH TIER (the fixture forces it; vector
+// tiers are covered by simd_gemm_test at a documented ULP tolerance). These
+// tests exercise odd shapes (1xN, Nx1, prime dims), inputs salted with exact
+// zeros (the legacy kernels skipped zero operands), and thread counts 1, 2,
+// and 4.
 
 #include <gtest/gtest.h>
 
@@ -12,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "nn/gemm.h"
 #include "nn/matrix.h"
@@ -70,7 +73,13 @@ void ForEachThreadCount(Body body, const char* what) {
 
 class KernelEquivalenceTest : public ::testing::Test {
  protected:
-  void TearDown() override { SetGemmThreadPool(nullptr); }
+  void SetUp() override {
+    ASSERT_TRUE(simd::ForceTier(simd::Tier::kScalar));
+  }
+  void TearDown() override {
+    simd::ResetForcedTier();
+    SetGemmThreadPool(nullptr);
+  }
   Rng rng_{20240817};
 };
 

@@ -1,0 +1,345 @@
+// Per-tier tests for the SIMD dispatch layer and the vectorized nn kernels.
+//
+// nn_kernel_equivalence_test pins the scalar tier bit-for-bit against the
+// pre-PR naive kernels; this file covers the vector tiers, which are allowed
+// to differ only within the documented numerics contract (nn/gemm.h,
+// nn/simd_kernels.h):
+//  * GemmNN/TN differ from scalar only by FMA contraction; GemmNT reduces
+//    with W partial sums. Both are within an error bound that scales with
+//    the reduction length and Σ|a||b| — checked against an f64 oracle here.
+//  * LSTM gate backward uses plain mul/add only: bit-identical across every
+//    tier. Forward differs only through the polynomial Exp/Sigmoid/Tanh
+//    (a few ULP of libm).
+// Every check sweeps all dispatch tiers reachable on the host, at odd/prime
+// shapes, for both element widths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simd.h"
+#include "nn/gemm.h"
+#include "nn/lstm_kernels.h"
+
+namespace dbaugur::nn {
+namespace {
+
+using simd::Tier;
+
+std::vector<Tier> HostTiers() {
+  Tier out[4];
+  int count = simd::SupportedTiers(out);
+  return std::vector<Tier>(out, out + count);
+}
+
+class TierSweepTest : public ::testing::Test {
+ protected:
+  void TearDown() override { simd::ResetForcedTier(); }
+};
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing.
+// ---------------------------------------------------------------------------
+
+TEST_F(TierSweepTest, SupportedTiersStartAtScalarAndAscend) {
+  std::vector<Tier> tiers = HostTiers();
+  ASSERT_GE(tiers.size(), 1u);
+  EXPECT_EQ(tiers.front(), Tier::kScalar);
+  for (size_t i = 1; i < tiers.size(); ++i) {
+    EXPECT_LT(static_cast<int>(tiers[i - 1]), static_cast<int>(tiers[i]));
+  }
+  EXPECT_EQ(tiers.back(), simd::MaxSupportedTier());
+}
+
+TEST_F(TierSweepTest, ForceTierPinsEverySupportedTier) {
+  for (Tier t : HostTiers()) {
+    ASSERT_TRUE(simd::ForceTier(t)) << simd::TierName(t);
+    EXPECT_EQ(simd::ActiveTier(), t) << simd::TierName(t);
+  }
+  simd::ResetForcedTier();
+  EXPECT_LE(static_cast<int>(simd::ActiveTier()),
+            static_cast<int>(simd::MaxSupportedTier()));
+}
+
+TEST_F(TierSweepTest, ForceTierRejectsUnsupportedTiers) {
+  const int max = static_cast<int>(simd::MaxSupportedTier());
+  Tier before = simd::ActiveTier();
+  for (int t = max + 1; t <= static_cast<int>(Tier::kAvx512); ++t) {
+    EXPECT_FALSE(simd::ForceTier(static_cast<Tier>(t)));
+    EXPECT_EQ(simd::ActiveTier(), before) << "rejected force must not stick";
+  }
+}
+
+TEST_F(TierSweepTest, TierNamesAreDistinct) {
+  std::vector<std::string> names;
+  for (int t = 0; t <= static_cast<int>(Tier::kAvx512); ++t) {
+    names.push_back(simd::TierName(static_cast<Tier>(t)));
+    EXPECT_FALSE(names.back().empty());
+  }
+  for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+TEST_F(TierSweepTest, CpuFeaturesMentionsEverySupportedVectorTier) {
+  std::string features = simd::CpuFeatures();
+  for (Tier t : HostTiers()) {
+    if (t == Tier::kScalar) continue;
+    EXPECT_NE(features.find(simd::TierName(t)), std::string::npos)
+        << "'" << features << "' should mention " << simd::TierName(t);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GEMM vs the f64 oracle, every tier, both widths.
+// ---------------------------------------------------------------------------
+
+struct Shape {
+  size_t m, k, n;
+};
+
+// Odd/prime shapes: below, at, and straddling every vector width in play
+// (2/4/8 f64 lanes, 4/8/16 f32 lanes), plus one multi-panel size.
+const Shape kShapes[] = {
+    {1, 1, 1}, {1, 7, 3},   {7, 1, 13},   {3, 17, 5},
+    {5, 3, 2}, {13, 7, 31}, {97, 89, 101},
+};
+
+template <typename T>
+std::vector<T> RandomVec(size_t len, Rng* rng) {
+  std::vector<T> v(len);
+  for (auto& x : v) x = static_cast<T>(rng->Uniform(-2.0, 2.0));
+  return v;
+}
+
+// Error budget for one output element: both the scalar chain and any
+// contracted/W-partial vector chain are within k·eps·Σ|a||b| of the exact
+// sum, so their difference is within twice that (plus slack for the
+// accumulate input).
+template <typename T>
+double GemmTolerance(double abs_sum, size_t k) {
+  return 4.0 * std::numeric_limits<T>::epsilon() *
+             (static_cast<double>(k) + 2.0) * abs_sum +
+         1e-300;
+}
+
+enum class Variant { kNN, kTN, kNT };
+
+const char* VariantName(Variant v) {
+  switch (v) {
+    case Variant::kNN:
+      return "GemmNN";
+    case Variant::kTN:
+      return "GemmTN";
+    default:
+      return "GemmNT";
+  }
+}
+
+// f64 oracle with per-element |a||b| sums for the tolerance. Operand layout
+// matches the variant: NN a(m x k) b(k x n); TN a(k x m)^T... (a is m x k
+// interpreted transposed exactly as the kernels do); NT b(n x k).
+template <typename T>
+void OracleAndScale(Variant v, size_t m, size_t k, size_t n,
+                    const std::vector<T>& a, const std::vector<T>& b,
+                    std::vector<double>* want, std::vector<double>* scale) {
+  want->assign(m * n, 0.0);
+  scale->assign(m * n, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double s = 0.0, abs_s = 0.0;
+      for (size_t kk = 0; kk < k; ++kk) {
+        double av, bv;
+        if (v == Variant::kNN) {
+          av = a[i * k + kk];
+          bv = b[kk * n + j];
+        } else if (v == Variant::kTN) {
+          // c = a^T * b with a (red x outM), b (red x outN): the test's
+          // (m, k, n) map onto GemmTN's (shared rows, output rows, cols)
+          // as (k, m, n) — see the call site below.
+          av = a[kk * m + i];
+          bv = b[kk * n + j];
+        } else {
+          av = a[i * k + kk];
+          bv = b[j * k + kk];
+        }
+        s += av * bv;
+        abs_s += std::fabs(av) * std::fabs(bv);
+      }
+      (*want)[i * n + j] = s;
+      (*scale)[i * n + j] = abs_s;
+    }
+  }
+}
+
+template <typename T>
+void CheckGemmVariantOnActiveTier(Variant v, const Shape& s, uint64_t seed) {
+  Rng rng(seed);
+  const size_t asize = s.m * s.k;  // NN/NT row-major a (m x k)
+  const size_t a_tn = s.k * s.m;   // TN a (k x m): reduction-major
+  std::vector<T> a =
+      RandomVec<T>(v == Variant::kTN ? a_tn : asize, &rng);
+  std::vector<T> b = RandomVec<T>(
+      v == Variant::kNT ? s.n * s.k : s.k * s.n, &rng);
+  std::vector<double> want, scale;
+  OracleAndScale<T>(v, s.m, s.k, s.n, a, b, &want, &scale);
+  for (bool accumulate : {false, true}) {
+    std::vector<T> c(s.m * s.n, T(0));
+    if (accumulate) {
+      for (size_t i = 0; i < c.size(); ++i) {
+        c[i] = static_cast<T>(rng.Uniform(-1.0, 1.0));
+      }
+    }
+    std::vector<double> base(c.begin(), c.end());
+    if (v == Variant::kNN) {
+      GemmNN(s.m, s.k, s.n, a.data(), b.data(), c.data(), accumulate);
+    } else if (v == Variant::kTN) {
+      // GemmTN's (m, k, n) are (shared rows, output rows, output cols).
+      GemmTN(s.k, s.m, s.n, a.data(), b.data(), c.data(), accumulate);
+    } else {
+      GemmNT(s.m, s.k, s.n, a.data(), b.data(), c.data(), accumulate);
+    }
+    for (size_t i = 0; i < c.size(); ++i) {
+      const double expect = want[i] + (accumulate ? base[i] : 0.0);
+      const double tol =
+          GemmTolerance<T>(scale[i] + std::fabs(base[i]), s.k) +
+          2.0 * std::numeric_limits<T>::epsilon() * std::fabs(expect);
+      ASSERT_NEAR(static_cast<double>(c[i]), expect, tol)
+          << VariantName(v) << (accumulate ? "+acc" : "") << " "
+          << (sizeof(T) == 8 ? "f64" : "f32") << " tier "
+          << simd::TierName(simd::ActiveTier()) << " shape " << s.m << "x"
+          << s.k << "x" << s.n << " flat " << i;
+    }
+  }
+}
+
+TEST_F(TierSweepTest, GemmMatchesOracleOnEveryTierAndWidth) {
+  uint64_t seed = 17;
+  for (Tier t : HostTiers()) {
+    ASSERT_TRUE(simd::ForceTier(t));
+    for (const Shape& s : kShapes) {
+      for (Variant v : {Variant::kNN, Variant::kTN, Variant::kNT}) {
+        CheckGemmVariantOnActiveTier<double>(v, s, ++seed);
+        CheckGemmVariantOnActiveTier<float>(v, s, ++seed);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused LSTM gate kernels across tiers.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+struct GateBuffers {
+  size_t batch, hidden;
+  std::vector<T> z, c_prev, ig, fg, gg, og, c, tanh_c, h;
+
+  GateBuffers(size_t b, size_t hdim, uint64_t seed) : batch(b), hidden(hdim) {
+    Rng rng(seed);
+    z = RandomVec<T>(b * 4 * hdim, &rng);
+    c_prev = RandomVec<T>(b * hdim, &rng);
+    const size_t n = b * hdim;
+    ig.assign(n, T(0));
+    fg.assign(n, T(0));
+    gg.assign(n, T(0));
+    og.assign(n, T(0));
+    c.assign(n, T(0));
+    tanh_c.assign(n, T(0));
+    h.assign(n, T(0));
+  }
+
+  void RunForward() {
+    LstmGatesForward(batch, hidden, z.data(), c_prev.data(), ig.data(),
+                     fg.data(), gg.data(), og.data(), c.data(), tanh_c.data(),
+                     h.data());
+  }
+};
+
+// Prime batch/hidden pairs so every tier has a vector body and a tail.
+const size_t kGateShapes[][2] = {{1, 1}, {3, 5}, {7, 16}, {5, 23}, {2, 61}};
+
+TEST_F(TierSweepTest, LstmForwardMatchesScalarTierWithinUlps) {
+  for (const auto& shape : kGateShapes) {
+    ASSERT_TRUE(simd::ForceTier(Tier::kScalar));
+    GateBuffers<double> ref64(shape[0], shape[1], 91);
+    ref64.RunForward();
+    GateBuffers<float> ref32(shape[0], shape[1], 92);
+    ref32.RunForward();
+    for (Tier t : HostTiers()) {
+      ASSERT_TRUE(simd::ForceTier(t));
+      GateBuffers<double> got64(shape[0], shape[1], 91);
+      got64.RunForward();
+      GateBuffers<float> got32(shape[0], shape[1], 92);
+      got32.RunForward();
+      for (size_t i = 0; i < got64.h.size(); ++i) {
+        // Gates/tanh live in [-1, 1]; c is a short plain-mul/add chain of
+        // them. The polynomial Exp is within a few ULP of libm, so absolute
+        // tolerances near the respective epsilons hold everywhere.
+        EXPECT_NEAR(got64.c[i], ref64.c[i], 1e-12) << simd::TierName(t);
+        EXPECT_NEAR(got64.h[i], ref64.h[i], 1e-12) << simd::TierName(t);
+        EXPECT_NEAR(got32.c[i], ref32.c[i], 1e-4f) << simd::TierName(t);
+        EXPECT_NEAR(got32.h[i], ref32.h[i], 1e-4f) << simd::TierName(t);
+      }
+    }
+  }
+}
+
+TEST_F(TierSweepTest, LstmBackwardBitIdenticalAcrossTiers) {
+  for (const auto& shape : kGateShapes) {
+    const size_t batch = shape[0], hidden = shape[1];
+    const size_t n = batch * hidden;
+    // One forward pass (on the scalar tier) builds self-consistent gate
+    // activations; the backward inputs are then fixed across tiers.
+    ASSERT_TRUE(simd::ForceTier(Tier::kScalar));
+    GateBuffers<double> f64(batch, hidden, 171);
+    f64.RunForward();
+    GateBuffers<float> f32(batch, hidden, 172);
+    f32.RunForward();
+    Rng rng(173);
+    std::vector<double> dh64 = RandomVec<double>(n, &rng);
+    std::vector<double> dc64 = RandomVec<double>(n, &rng);
+    std::vector<float> dh32 = RandomVec<float>(n, &rng);
+    std::vector<float> dc32 = RandomVec<float>(n, &rng);
+
+    std::vector<double> want_dz64, want_dcp64;
+    std::vector<float> want_dz32, want_dcp32;
+    bool first = true;
+    for (Tier t : HostTiers()) {
+      ASSERT_TRUE(simd::ForceTier(t));
+      std::vector<double> dz64(batch * 4 * hidden, 0.0), dcp64(n, 0.0);
+      LstmGatesBackward(batch, hidden, dh64.data(), dc64.data(),
+                        f64.tanh_c.data(), f64.ig.data(), f64.fg.data(),
+                        f64.gg.data(), f64.og.data(), f64.c_prev.data(),
+                        dz64.data(), dcp64.data());
+      std::vector<float> dz32(batch * 4 * hidden, 0.0f), dcp32(n, 0.0f);
+      LstmGatesBackward(batch, hidden, dh32.data(), dc32.data(),
+                        f32.tanh_c.data(), f32.ig.data(), f32.fg.data(),
+                        f32.gg.data(), f32.og.data(), f32.c_prev.data(),
+                        dz32.data(), dcp32.data());
+      if (first) {
+        want_dz64 = dz64;
+        want_dcp64 = dcp64;
+        want_dz32 = dz32;
+        want_dcp32 = dcp32;
+        first = false;
+        continue;
+      }
+      // Plain mul/add only, compiled with -ffp-contract=off: exact match.
+      EXPECT_EQ(dz64, want_dz64) << simd::TierName(t);
+      EXPECT_EQ(dcp64, want_dcp64) << simd::TierName(t);
+      EXPECT_EQ(dz32, want_dz32) << simd::TierName(t);
+      EXPECT_EQ(dcp32, want_dcp32) << simd::TierName(t);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbaugur::nn

@@ -63,12 +63,20 @@ build_and_test "release" build-release -DCMAKE_BUILD_TYPE=Release
 
 # --- 1b. NN kernel bench smoke: the fused-GEMM fast path must run end to end
 # and emit valid JSON (full numbers are committed as BENCH_nn_kernels.json).
+# Runs twice: once on the host's best SIMD tier, once with DBAUGUR_SIMD=off so
+# the forced-scalar dispatch path stays exercised end to end.
 if [[ -x build-release/bench/nn_kernels ]]; then
   note "bench/nn_kernels --smoke (Release)"
   if ./build-release/bench/nn_kernels --smoke > /dev/null; then
     record "nn_kernels-smoke" "OK"
   else
     record "nn_kernels-smoke" "FAIL"
+  fi
+  note "bench/nn_kernels --smoke (Release, DBAUGUR_SIMD=off)"
+  if DBAUGUR_SIMD=off ./build-release/bench/nn_kernels --smoke > /dev/null; then
+    record "nn_kernels-smoke-scalar" "OK"
+  else
+    record "nn_kernels-smoke-scalar" "FAIL"
   fi
 else
   record "nn_kernels-smoke" "SKIPPED (Release build failed)"
@@ -212,8 +220,9 @@ fi
 
 # --- 6. Project-invariant lint (tools/lint.py). ------------------------------
 # Bans bare assert(), nondeterministic sources in src/, atomic<shared_ptr>,
-# undocumented NOLINTs, and allocation in the src/nn hot path. Self-tests run
-# first so a broken linter cannot silently pass the tree.
+# undocumented NOLINTs, allocation in the src/nn hot path, and raw x86
+# intrinsics outside common/simd.h. Self-tests run first so a broken linter
+# cannot silently pass the tree.
 if [[ "$FAST" == 1 ]]; then
   record "lint" "SKIPPED (--fast)"
 elif command -v python3 > /dev/null 2>&1; then

@@ -25,6 +25,12 @@ checks, so they cannot erode one "just this once" at a time:
                      training hot path is allocation-free by design (PR 5's
                      fused GEMM kernels); buffers come from the layer
                      workspace arena.
+  raw-intrinsics     No raw x86 intrinsics (`_mm*()`, `__m128/256/512`,
+                     `__builtin_ia32_*`) or *intrin.h includes outside
+                     src/common/simd.h. All SIMD goes through the portable
+                     wrapper so the scalar tier stays a complete, testable
+                     mirror of every vector path and new ISAs are one-file
+                     ports.
 
 Exit codes: 0 clean, 1 violations found, 2 usage / IO error.
 
@@ -276,6 +282,50 @@ def check_nn_alloc(relpath, raw, stripped):
     return hits
 
 
+SIMD_WRAPPER = os.path.join("src", "common", "simd.h")
+
+INTRINSIC_PATTERNS = [
+    (r"(?<![A-Za-z0-9_])_mm(?:\d+)?_\w+\s*\(", "_mm* intrinsic call"),
+    (r"(?<![A-Za-z0-9_])__m(?:128|256|512)[a-z]*(?![A-Za-z0-9_])",
+     "__m128/__m256/__m512 vector type"),
+    (r"__builtin_ia32_\w+", "__builtin_ia32_* builtin"),
+]
+
+
+def check_raw_intrinsics(relpath, raw, stripped):
+    """Raw x86 SIMD outside the wrapper header.
+
+    The include check runs on the raw text because `#include "..."` paths are
+    string literals and would be blanked by the stripper.
+    """
+    if os.path.normpath(relpath) == SIMD_WRAPPER:
+        return []
+    hits = []
+    for pattern, what in INTRINSIC_PATTERNS:
+        hits.extend(
+            _grep(
+                stripped,
+                pattern,
+                f"raw {what} — all SIMD goes through common/simd.h "
+                "(portable wrapper with a scalar tier); see DESIGN.md",
+            )
+        )
+    include_rx = re.compile(
+        r'^\s*#\s*include\s*[<"][^<>"]*(?:mmintrin|immintrin|x86intrin'
+        r'|avxintrin|intrin)\.h[>"]'
+    )
+    for lineno, line in enumerate(raw.splitlines(), start=1):
+        if include_rx.search(line):
+            hits.append(
+                (
+                    lineno,
+                    "intrinsics header include — only common/simd.h may "
+                    "include *intrin.h",
+                )
+            )
+    return hits
+
+
 RULES = [
     ("bare-assert", in_dirs("src", "tests", "bench"), check_bare_assert),
     ("nondeterminism", in_dirs("src"), check_nondeterminism),
@@ -284,6 +334,8 @@ RULES = [
     ("nolint-discipline", in_dirs("src", "tests", "bench"),
      check_nolint_discipline),
     ("nn-alloc", in_dirs(os.path.join("src", "nn")), check_nn_alloc),
+    ("raw-intrinsics", in_dirs("src", "tests", "bench"),
+     check_raw_intrinsics),
 ]
 
 

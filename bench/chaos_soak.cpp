@@ -1,7 +1,7 @@
 // Chaos harness driver: deterministic repro, CI smoke, and open-ended soak.
 //
 // Three modes:
-//   repro:  chaos_soak --seed=N --profile=P [--full] [--replay]
+//   repro:  chaos_soak --seed=N --profile=P [--full] [--replay] [--shards=N]
 //           Runs exactly the (seed, profile) a failing test or soak printed;
 //           exits 1 with the full report if the failure reproduces.
 //   smoke:  chaos_soak --smoke
@@ -88,6 +88,9 @@ std::string CorpusLine(const ChaosOptions& o) {
   line += chaos::ProfileName(o.stream.profile);
   if (o.full_service) line += " full";
   if (o.replay) line += " replay";
+  if (o.service_shards > 1) {
+    line += " shards=" + std::to_string(o.service_shards);
+  }
   return line;
 }
 
@@ -103,10 +106,12 @@ bool RunOne(const ChaosOptions& opts, uint64_t* events_out = nullptr) {
   return false;
 }
 
-int ReproMode(uint64_t seed, StreamProfile profile, bool full, bool replay) {
+int ReproMode(uint64_t seed, StreamProfile profile, bool full, bool replay,
+              size_t shards) {
   ChaosOptions o = MatrixOptions(seed, profile);
   o.full_service = full;
   o.replay = replay;
+  o.service_shards = shards;
   const double t0 = NowSeconds();
   const bool ok = RunOne(o);
   std::printf("{\n");
@@ -147,6 +152,12 @@ int SmokeMode() {
     ChaosOptions o = MatrixOptions(7, StreamProfile::kTemplateChurn);
     o.stream.bins = 24;
     o.replay = true;
+    ++runs;
+    if (!RunOne(o, &events)) ++failures;
+  }
+  {
+    ChaosOptions o = MatrixOptions(17, StreamProfile::kSteady);
+    o.service_shards = 3;
     ++runs;
     if (!RunOne(o, &events)) ++failures;
   }
@@ -209,6 +220,7 @@ int SoakMode(double seconds, uint64_t start_seed, bool have_start_seed) {
     // Mix the expensive legs in at a steady cadence.
     o.full_service = runs % 7 == 3;
     o.replay = runs % 11 == 5;
+    if (runs % 5 == 2) o.service_shards = 2 + runs % 3;
     const double iter_t0 = NowSeconds();
     uint64_t iter_events = 0;
     if (!RunOne(o, &iter_events)) {
@@ -257,7 +269,8 @@ int SoakMode(double seconds, uint64_t start_seed, bool have_start_seed) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: chaos_soak --seed=N --profile=P [--full] [--replay]\n"
+               "usage: chaos_soak --seed=N --profile=P [--full] [--replay] "
+               "[--shards=N]\n"
                "       chaos_soak --smoke\n"
                "       chaos_soak --soak [--seconds=S] [--start-seed=N]\n");
   return 2;
@@ -272,6 +285,7 @@ int Main(int argc, char** argv) {
   bool have_start_seed = false;
   uint64_t seed = 0;
   uint64_t start_seed = 0;
+  size_t shards = 1;
   double seconds = 60.0;
   StreamProfile profile = StreamProfile::kSteady;
   bool have_profile = false;
@@ -286,6 +300,9 @@ int Main(int argc, char** argv) {
       full = true;
     } else if (std::strcmp(a, "--replay") == 0) {
       replay = true;
+    } else if (std::strncmp(a, "--shards=", 9) == 0) {
+      shards = static_cast<size_t>(std::strtoull(a + 9, nullptr, 10));
+      if (shards < 1) return Usage();
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
       seed = std::strtoull(a + 7, nullptr, 10);
       have_seed = true;
@@ -310,7 +327,9 @@ int Main(int argc, char** argv) {
 
   if (smoke) return SmokeMode();
   if (soak) return SoakMode(seconds, start_seed, have_start_seed);
-  if (have_seed && have_profile) return ReproMode(seed, profile, full, replay);
+  if (have_seed && have_profile) {
+    return ReproMode(seed, profile, full, replay, shards);
+  }
   return Usage();
 }
 

@@ -17,6 +17,7 @@
 #include "dbsim/replay.h"
 #include "migrate/load_balancer.h"
 #include "serve/service.h"
+#include "serve/sharded_service.h"
 #include "trace/extractor.h"
 
 namespace dbaugur::chaos {
@@ -87,6 +88,9 @@ class ChaosRun {
                     " --profile=" + ProfileName(opts_.stream.profile);
     if (opts_.full_service) report_.repro += " --full";
     if (opts_.replay) report_.repro += " --replay";
+    if (opts_.service_shards > 1) {
+      report_.repro += " --shards=" + std::to_string(opts_.service_shards);
+    }
 
     stream_ = GenerateStream(opts_.stream);
     if (!Stage("text", TextLeg())) return report_;
@@ -94,6 +98,9 @@ class ChaosRun {
     if (!Stage("events", EventsLeg())) return report_;
     if (!Stage("cluster", ClusterLeg())) return report_;
     if (opts_.full_service && !Stage("service", ServiceLeg())) return report_;
+    if (opts_.service_shards > 1 && !Stage("sharded", ShardedLeg())) {
+      return report_;
+    }
     if (opts_.replay && !Stage("replay", ReplayLeg())) return report_;
     if (!Stage("migrate", MigrateLeg())) return report_;
     return report_;
@@ -532,6 +539,90 @@ class ChaosRun {
       }
     }
     return Status::OK();
+  }
+
+  // ---- sharded: ShardedForecastService vs the single-stream reference -----
+
+  Status ShardedLeg() {
+    if (events_.empty()) return Status::OK();
+    serve::ShardedServeOptions sso;
+    sso.shard = MakeServeOptions();
+    sso.shard_count = opts_.service_shards;
+    serve::ShardedForecastService svc(sso);
+
+    // Same cadence as the single-service leg: retrain cycles every `chunk`
+    // events, per-shard invariants (generation monotone, snapshot finite)
+    // after every cycle.
+    const size_t chunk = std::max<size_t>(1, events_.size() / 6);
+    std::vector<uint64_t> last_gen(sso.shard_count, 0);
+    auto invariants = [&]() -> Status {
+      for (size_t s = 0; s < sso.shard_count; ++s) {
+        const uint64_t gen = svc.shard(s).generation();
+        if (gen < last_gen[s]) {
+          return Fail("shard " + std::to_string(s) +
+                      " generation went backwards: " +
+                      std::to_string(last_gen[s]) + " -> " +
+                      std::to_string(gen));
+        }
+        last_gen[s] = gen;
+        auto snap = svc.snapshot(s);
+        if (snap == nullptr) {
+          return Fail("shard " + std::to_string(s) +
+                      " published a null snapshot");
+        }
+        DBAUGUR_RETURN_IF_ERROR(CheckSnapshotFinite(*snap));
+      }
+      return Status::OK();
+    };
+    size_t since = 0;
+    for (const serve::TraceEvent& e : events_) {
+      svc.Offer(e);
+      if (++since >= chunk) {
+        since = 0;
+        (void)svc.RetrainCycle();
+        DBAUGUR_RETURN_IF_ERROR(invariants());
+      }
+    }
+    (void)svc.RetrainCycle();
+    DBAUGUR_RETURN_IF_ERROR(invariants());
+
+    // Conservation across the router: every offered event accepted or
+    // dropped by exactly one shard (holds with or without fault storms).
+    uint64_t accounted = 0;
+    for (size_t s = 0; s < sso.shard_count; ++s) {
+      accounted +=
+          svc.shard(s).events_accepted() + svc.shard(s).drop_stats().total();
+      if (!fault::Active() && svc.shard(s).retrains_failed() != 0) {
+        return Fail("shard " + std::to_string(s) +
+                    " retrain failed without a fault storm: " +
+                    svc.stats().last_error);
+      }
+    }
+    if (accounted != events_.size()) {
+      return Fail("sharded conservation: shards accounted " +
+                  std::to_string(accounted) + " events, offered " +
+                  std::to_string(events_.size()));
+    }
+
+    // Exact sharded ≡ single-stream differential. Per-shard lateness
+    // watermarks legitimately diverge from the global reference once the
+    // stream trips the stale cutoff (each shard only sees its own templates'
+    // timestamps), so the exact oracle self-gates on stale-free streams;
+    // fault storms gate it off entirely.
+    const ReferenceOptions ropts{opts_.max_templates,
+                                 opts_.max_lateness_seconds,
+                                 opts_.min_timestamp_seconds,
+                                 opts_.max_timestamp_seconds,
+                                 opts_.stream.interval_seconds};
+    const ReferenceResult ref = RunSequentialReference(events_, ropts);
+    if (fault::Active() || ref.drops.stale != 0) return Status::OK();
+    std::vector<ShardIngestView> views(sso.shard_count);
+    for (size_t s = 0; s < sso.shard_count; ++s) {
+      views[s].accepted = svc.shard(s).events_accepted();
+      views[s].drops = svc.shard(s).drop_stats();
+      views[s].bins = svc.shard(s).BinContents();
+    }
+    return CompareShardedIngest(ref, views);
   }
 
   // ---- replay: dbsim execution of the replayable subset, twice ------------

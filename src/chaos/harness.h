@@ -31,6 +31,12 @@ struct ChaosOptions {
   bool full_service = false;
   /// Also run the dbsim replay + migrate legs over the replayable subset.
   bool replay = false;
+  /// When > 1, also run the sharded-service leg: the identical event stream
+  /// through a ShardedForecastService with this many shards, checked against
+  /// the single-stream sequential reference (routing, union of per-shard
+  /// binned histories, drop-class conservation — chaos/oracle.h's
+  /// CompareShardedIngest) plus per-shard snapshot invariants.
+  size_t service_shards = 1;
   /// Production ingest settings (mirrored into the sequential reference).
   size_t queue_capacity = 1 << 15;
   size_t max_templates = 512;

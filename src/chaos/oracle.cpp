@@ -3,6 +3,8 @@
 #include <cmath>
 #include <string>
 
+#include "common/hashing.h"
+
 namespace dbaugur::chaos {
 
 namespace {
@@ -166,6 +168,89 @@ Status CheckIngestConservation(uint64_t offered,
     return Mismatch("conservation: accepted " + std::to_string(accepted) +
                     " + dropped " + std::to_string(dropped) +
                     " != offered " + std::to_string(offered));
+  }
+  return Status::OK();
+}
+
+Status CompareShardedIngest(const ReferenceResult& ref,
+                            const std::vector<ShardIngestView>& shards) {
+  uint64_t accepted = 0;
+  serve::IngestDropStats drops;
+  std::map<uint32_t, std::map<int64_t, double>> merged;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const ShardIngestView& v = shards[s];
+    accepted += v.accepted;
+    drops.full += v.drops.full;
+    drops.template_id += v.drops.template_id;
+    drops.nonfinite += v.drops.nonfinite;
+    drops.negative += v.drops.negative;
+    drops.stale += v.drops.stale;
+    drops.pre_epoch += v.drops.pre_epoch;
+    drops.future += v.drops.future;
+    for (const auto& [tmpl, bins] : v.bins) {
+      const size_t owner = ShardOfKey(tmpl, shards.size());
+      if (owner != s) {
+        return Mismatch("template " + std::to_string(tmpl) +
+                        " binned on shard " + std::to_string(s) +
+                        ", the routing hash names shard " +
+                        std::to_string(owner));
+      }
+      if (!merged.emplace(tmpl, bins).second) {
+        return Mismatch("template " + std::to_string(tmpl) +
+                        " binned on more than one shard");
+      }
+    }
+  }
+  if (drops.full != 0 || ref.drops.full != 0) {
+    return Mismatch("queue-full drops in a sharded differential run (" +
+                    std::to_string(drops.full) +
+                    ") — drain cadence too slow for the queue capacity");
+  }
+  if (ref.drops.stale != 0 || drops.stale != 0) {
+    return Mismatch(
+        "stale drops in a sharded differential run (reference " +
+        std::to_string(ref.drops.stale) + ", shards " +
+        std::to_string(drops.stale) +
+        ") — per-shard lateness watermarks make exact equality undefined");
+  }
+  if (accepted != ref.accepted) {
+    return Mismatch("sharded accepted sum " + std::to_string(accepted) +
+                    " != reference " + std::to_string(ref.accepted));
+  }
+  auto check_drop = [](const char* name, uint64_t got_n,
+                       uint64_t want) -> Status {
+    if (got_n != want) {
+      return Mismatch(std::string("sharded drop[") + name + "] sum " +
+                      std::to_string(got_n) + " != reference " +
+                      std::to_string(want));
+    }
+    return Status::OK();
+  };
+  DBAUGUR_RETURN_IF_ERROR(
+      check_drop("template_id", drops.template_id, ref.drops.template_id));
+  DBAUGUR_RETURN_IF_ERROR(
+      check_drop("nonfinite", drops.nonfinite, ref.drops.nonfinite));
+  DBAUGUR_RETURN_IF_ERROR(
+      check_drop("negative", drops.negative, ref.drops.negative));
+  DBAUGUR_RETURN_IF_ERROR(
+      check_drop("pre_epoch", drops.pre_epoch, ref.drops.pre_epoch));
+  DBAUGUR_RETURN_IF_ERROR(check_drop("future", drops.future, ref.drops.future));
+  if (merged != ref.bins) {
+    // Name the first diverging template for the repro hunt.
+    for (const auto& [tmpl, bins] : ref.bins) {
+      auto it = merged.find(tmpl);
+      if (it == merged.end()) {
+        return Mismatch("template " + std::to_string(tmpl) +
+                        " in the reference but on no shard");
+      }
+      if (it->second != bins) {
+        return Mismatch("template " + std::to_string(tmpl) +
+                        " binned history diverges between its shard and the "
+                        "reference");
+      }
+    }
+    return Mismatch("sharded union holds " + std::to_string(merged.size()) +
+                    " templates, reference " + std::to_string(ref.bins.size()));
   }
   return Status::OK();
 }

@@ -67,6 +67,27 @@ Status CompareIngest(const ReferenceResult& ref,
 Status CheckIngestConservation(uint64_t offered,
                                const serve::TraceIngestor& ingestor);
 
+/// One shard's ingest outcome, sampled after its queue fully drained.
+struct ShardIngestView {
+  uint64_t accepted = 0;
+  serve::IngestDropStats drops;
+  /// template id -> (bin -> summed count); ServiceShard::BinContents().
+  std::map<uint32_t, std::map<int64_t, double>> bins;
+};
+
+/// Exact differential check for a sharded run against the single-stream
+/// reference: every template must live on exactly the shard the routing hash
+/// names, the union of per-shard binned histories must equal the reference's
+/// bins value-for-value, the accepted counts must sum to the reference's, and
+/// every drop class must sum to the reference's class count. Valid only when
+/// per-shard state cannot legitimately diverge from the global view: no fault
+/// storm, no queue-full drops, and no stale-class drops (each shard tracks
+/// its own lateness watermark over the subset of events it sees, so a stream
+/// that trips the global stale cutoff may be accepted by a lagging shard —
+/// callers gate on ref.drops.stale == 0).
+Status CompareShardedIngest(const ReferenceResult& ref,
+                            const std::vector<ShardIngestView>& shards);
+
 /// No NaN/Inf escapes a published snapshot: cluster forecasts, volumes,
 /// representatives and trace proportions must all be finite (and proportions
 /// within [0, 1]).

@@ -1,0 +1,47 @@
+// A tiny bounded FIFO of pre-ordered work indices, shared by a fixed set of
+// worker threads. The retrain scheduler computes a deterministic priority
+// order up front (see serve/retrain_scheduler.h); workers then Pop() indices
+// in exactly that order, so "hot shards first" holds regardless of how many
+// workers drain the queue. The queue is filled once at construction and only
+// consumed afterwards — there is no producer side to synchronize.
+
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace dbaugur {
+
+/// Multi-consumer index queue: constructed full, drained concurrently.
+class IndexQueue {
+ public:
+  explicit IndexQueue(std::vector<size_t> items) : items_(std::move(items)) {}
+  IndexQueue(const IndexQueue&) = delete;
+  IndexQueue& operator=(const IndexQueue&) = delete;
+
+  /// Pops the next index in construction order into *out. Returns false when
+  /// the queue is exhausted. Thread-safe; never blocks beyond the pop itself.
+  bool Pop(size_t* out) DBAUGUR_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    if (next_ >= items_.size()) return false;
+    *out = items_[next_++];
+    return true;
+  }
+
+  /// Indices not yet popped (point-in-time; takes the lock).
+  size_t remaining() const DBAUGUR_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return items_.size() - next_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::vector<size_t> items_ DBAUGUR_GUARDED_BY(mu_);
+  size_t next_ DBAUGUR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dbaugur

@@ -23,6 +23,12 @@ void DBAugurSystem::AddResourceTrace(ts::Series series) {
 
 StatusOr<TrainedState> BuildTrainedState(
     const DBAugurOptions& opts, const std::vector<ts::Series>& traces) {
+  return BuildTrainedState(opts, traces, nullptr);
+}
+
+StatusOr<TrainedState> BuildTrainedState(const DBAugurOptions& opts,
+                                         const std::vector<ts::Series>& traces,
+                                         ThreadPool* fit_pool) {
   if (traces.empty()) {
     return Status::FailedPrecondition("DBAugur: no workload traces ingested");
   }
@@ -76,7 +82,16 @@ StatusOr<TrainedState> BuildTrainedState(
     if (cf.fit_status.ok()) cf.model = std::move(model).value();
   };
   size_t lanes = std::min(opts.clustering.threads, std::max<size_t>(top.size(), 1));
-  if (lanes > 1 && nn::GetGemmThreadPool() == nullptr) {
+  if (fit_pool != nullptr && nn::GetGemmThreadPool() == nullptr) {
+    // Caller-owned pool (one per retrain worker in the sharded service): the
+    // spawn/join cost is amortized across every shard build on this worker.
+    fit_pool->ParallelFor(top.size(), 1,
+                          [&](size_t begin, size_t end) {
+                            for (size_t rank = begin; rank < end; ++rank) {
+                              fit_one(rank);
+                            }
+                          });
+  } else if (lanes > 1 && nn::GetGemmThreadPool() == nullptr) {
     ThreadPool pool(lanes);
     pool.ParallelFor(top.size(), 1,
                      [&](size_t begin, size_t end) {

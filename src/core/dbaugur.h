@@ -22,6 +22,10 @@
 #include "trace/extractor.h"
 #include "ts/series.h"
 
+namespace dbaugur {
+class ThreadPool;
+}  // namespace dbaugur
+
 namespace dbaugur::core {
 
 /// End-to-end configuration.
@@ -75,6 +79,18 @@ struct TrainedState {
 /// traces must share one length (InvalidArgument otherwise).
 StatusOr<TrainedState> BuildTrainedState(const DBAugurOptions& opts,
                                          const std::vector<ts::Series>& traces);
+
+/// As above, but the independent per-cluster ensemble fits run on the
+/// caller-owned `fit_pool` instead of a pool constructed per call. The sharded
+/// serving layer passes one long-lived pool per retrain worker so concurrent
+/// shard builds don't each pay thread spawn/join. Null falls back to the
+/// default policy. Each ensemble is seeded and self-contained, so results are
+/// bit-identical at any lane count and on any pool. The parallel path is
+/// skipped when a global GEMM pool is installed (ThreadPool::ParallelFor is
+/// not reentrant, and the fits may run GEMMs on that pool).
+StatusOr<TrainedState> BuildTrainedState(const DBAugurOptions& opts,
+                                         const std::vector<ts::Series>& traces,
+                                         ThreadPool* fit_pool);
 
 /// Predicts the representative trace's next value (H steps past its end):
 /// the trailing `window` values feed the cluster's ensemble.

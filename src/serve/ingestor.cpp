@@ -131,8 +131,11 @@ int64_t TraceBinner::BinIndex(ts::Timestamp timestamp) const {
 }
 
 void TraceBinner::Fold(const TraceEvent& event) {
-  int64_t bin = BinIndex(event.timestamp);
-  bins_[event.template_id][bin] += event.count;
+  FoldBin(event.template_id, BinIndex(event.timestamp), event.count);
+}
+
+void TraceBinner::FoldBin(uint32_t template_id, int64_t bin, double count) {
+  bins_[template_id][bin] += count;
   if (!any_) {
     any_ = true;
     min_bin_ = max_bin_ = bin;

@@ -142,6 +142,12 @@ class TraceBinner {
   /// Adds one event's count to its template's bin (BinIndex above).
   void Fold(const TraceEvent& event);
 
+  /// Adds `count` directly to (template_id, bin) — the re-hash migration path
+  /// replays another binner's sparse bins without round-tripping through
+  /// timestamps (whose bin mapping is already applied). Maintains the same
+  /// [min_bin, max_bin] bookkeeping as Fold.
+  void FoldBin(uint32_t template_id, int64_t bin, double count);
+
   /// Number of distinct intervals between the earliest and latest bin seen
   /// (0 before any event). This is the common length Traces() will emit.
   size_t bin_count() const;
@@ -162,6 +168,13 @@ class TraceBinner {
 
   /// Restores a Save blob in place; on failure the binner is unchanged.
   Status Load(BufReader* r);
+
+  /// Sparse per-template bins (template id -> bin index -> summed count).
+  /// Read-only view for shard-count migration, which re-partitions templates
+  /// across binners by re-hashing their ids.
+  const std::map<uint32_t, std::map<int64_t, double>>& bins() const {
+    return bins_;
+  }
 
  private:
   int64_t interval_ = 600;

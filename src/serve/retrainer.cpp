@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "common/contracts.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/math_utils.h"
@@ -26,7 +27,8 @@ void Retrainer::Fold(const std::vector<TraceEvent>& events) {
 }
 
 StatusOr<std::shared_ptr<const ServiceSnapshot>> Retrainer::Rebuild(
-    uint64_t generation, const ServiceSnapshot* last_good) {
+    uint64_t generation, const ServiceSnapshot* last_good,
+    ThreadPool* fit_pool) {
   if (binner_.bin_count() < min_bins_) {
     return std::shared_ptr<const ServiceSnapshot>();
   }
@@ -79,7 +81,7 @@ StatusOr<std::shared_ptr<const ServiceSnapshot>> Retrainer::Rebuild(
   opts.forecaster.seed = seed_rng_.engine()();
   opts.tolerate_fit_failures = true;
 
-  auto state = core::BuildTrainedState(opts, *traces);
+  auto state = core::BuildTrainedState(opts, *traces, fit_pool);
   if (!state.ok()) return state.status();
   SnapshotFallback fb;
   fb.opts = &opts;
@@ -116,6 +118,13 @@ Status Retrainer::LoadState(BufReader* r) {
     return Status::InvalidArgument(
         "Retrainer: saved bin interval does not match service options");
   }
+  InstallState(std::move(binner), cycles);
+  return Status::OK();
+}
+
+void Retrainer::InstallState(TraceBinner binner, uint64_t cycles) {
+  DBAUGUR_CHECK(binner.interval_seconds() == binner_.interval_seconds(),
+                "Retrainer: InstallState interval mismatch");
   // Replay the seed stream so the next cycle draws the same seed the saving
   // service would have drawn.
   Rng rng(opts_.seed);
@@ -123,7 +132,6 @@ Status Retrainer::LoadState(BufReader* r) {
   binner_ = std::move(binner);
   seed_rng_ = std::move(rng);
   cycles_ = cycles;
-  return Status::OK();
 }
 
 }  // namespace dbaugur::serve

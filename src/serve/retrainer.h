@@ -34,6 +34,10 @@
 #include "serve/ingestor.h"
 #include "serve/snapshot.h"
 
+namespace dbaugur {
+class ThreadPool;
+}  // namespace dbaugur
+
 namespace dbaugur::serve {
 
 /// Robustness knobs for the retrain path.
@@ -69,8 +73,12 @@ class Retrainer {
   /// is drawn only when training actually runs. `last_good` (may be null) is
   /// the currently published snapshot; a diverged cluster falls back to its
   /// last-good model state, or the kernel baseline on first train.
+  /// `fit_pool` (may be null) is a caller-owned thread pool for the
+  /// per-cluster ensemble fits — the sharded service passes one per retrain
+  /// worker; results are bit-identical with or without it.
   StatusOr<std::shared_ptr<const ServiceSnapshot>> Rebuild(
-      uint64_t generation, const ServiceSnapshot* last_good);
+      uint64_t generation, const ServiceSnapshot* last_good,
+      ThreadPool* fit_pool = nullptr);
 
   /// Completed training cycles (drives the deterministic seed stream).
   uint64_t cycles() const { return cycles_; }
@@ -91,6 +99,15 @@ class Retrainer {
   /// seed stream to the saved cycle count. On failure the retrainer is
   /// unchanged.
   Status LoadState(BufReader* r);
+
+  /// Commits an already-validated state: swaps in `binner` and fast-forwards
+  /// the seed stream past `cycles` draws, exactly as LoadState would. The
+  /// sharded restore path parses and validates every shard's section first
+  /// (all-or-nothing), then installs each; shard-count migration rebuilds the
+  /// binner by re-hashing and installs it here. Aborts (DBAUGUR_CHECK) if the
+  /// binner's interval does not match this retrainer's — callers construct it
+  /// from the same options.
+  void InstallState(TraceBinner binner, uint64_t cycles);
 
  private:
   core::DBAugurOptions pipeline_;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/contracts.h"
+#include "common/hashing.h"
 #include "common/logging.h"
 
 namespace dbaugur::serve {
@@ -13,92 +14,17 @@ namespace dbaugur::serve {
 namespace {
 constexpr uint32_t kServiceMagic = 0xDBA65EF0;
 constexpr uint32_t kServiceVersion = 1;
-
-// SplitMix64 finalizer: one well-mixed word from (seed, failure ordinal),
-// with no RNG state to carry — the backoff jitter must be a pure function so
-// tests can recompute the exact schedule.
-uint64_t Mix64(uint64_t z) {
-  z += 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
 }  // namespace
 
 ForecastService::ForecastService(const ServeOptions& opts)
-    : opts_(opts),
-      ingestor_(IngestorOptions{opts.queue_capacity, opts.max_templates,
-                                opts.max_lateness_seconds,
-                                opts.min_timestamp_seconds,
-                                opts.max_timestamp_seconds}),
-      retrainer_(opts.pipeline,
-                 RetrainerOptions{opts.bin_interval_seconds, opts.min_bins,
-                                  opts.seed, opts.winsorize_k,
-                                  opts.divergence_multiple}) {
-  DBAUGUR_CHECK(opts_.queue_capacity >= 1,
-                "ForecastService queue_capacity must be >= 1");
-  DBAUGUR_CHECK(opts_.retrain_interval_seconds > 0,
+    : shard_(opts, /*shard_id=*/0) {
+  DBAUGUR_CHECK(opts.retrain_interval_seconds > 0,
                 "ForecastService retrain_interval_seconds must be positive");
-  DBAUGUR_CHECK(opts_.bin_interval_seconds > 0,
-                "ForecastService bin_interval_seconds must be positive");
-  DBAUGUR_CHECK(opts_.max_backoff_seconds > 0,
+  DBAUGUR_CHECK(opts.max_backoff_seconds > 0,
                 "ForecastService max_backoff_seconds must be positive");
-  // Readers never see a null snapshot: generation 0 is "nothing trained yet".
-  Publish(std::make_shared<const ServiceSnapshot>(), 0);
-}
-
-void ForecastService::Publish(std::shared_ptr<const ServiceSnapshot> snap,
-                              uint64_t gen) {
-  // The old snapshot's refcount drop (and possible destruction) happens on
-  // this thread after the lock is released, never on a reader.
-  std::shared_ptr<const ServiceSnapshot> retired;
-  {
-    MutexLock lock(&snapshot_mu_);
-    retired = std::exchange(snapshot_ptr_, std::move(snap));
-  }
-  generation_.store(gen, std::memory_order_release);
 }
 
 ForecastService::~ForecastService() { Stop(); }
-
-void ForecastService::RecordFailure(const Status& st) {
-  retrains_failed_.fetch_add(1, std::memory_order_relaxed);
-  consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
-  {
-    MutexLock lock(&error_mu_);
-    // retrainer_ access is legal here: DBAUGUR_REQUIRES(retrain_mu_).
-    last_error_ = st.message();
-    last_error_cycles_ = retrainer_.cycles();
-    last_error_generation_ = generation_.load(std::memory_order_acquire);
-  }
-  // The single log line for this failure: the backoff loop stays silent, so a
-  // persistent fault produces one record per attempt, not one per tick.
-  DBAUGUR_WARN("serve: retrain cycle failed: " << st.message());
-}
-
-Status ForecastService::RetrainOnce() {
-  MutexLock lock(&retrain_mu_);
-  std::vector<TraceEvent> events;
-  ingestor_.Drain(&events);
-  retrainer_.Fold(events);
-  uint64_t next_gen = generation_.load(std::memory_order_relaxed) + 1;
-  auto last_good = snapshot();
-  auto snap = retrainer_.Rebuild(next_gen, last_good.get());
-  values_winsorized_.store(retrainer_.values_winsorized(),
-                           std::memory_order_relaxed);
-  if (!snap.ok()) {
-    RecordFailure(snap.status());
-    return snap.status();
-  }
-  consecutive_failures_.store(0, std::memory_order_relaxed);
-  if (*snap == nullptr) {
-    retrains_skipped_.fetch_add(1, std::memory_order_relaxed);
-    return Status::OK();
-  }
-  Publish(std::move(snap).value(), next_gen);
-  retrains_completed_.fetch_add(1, std::memory_order_relaxed);
-  return Status::OK();
-}
 
 void ForecastService::Start() {
   MutexLock lifecycle(&lifecycle_mu_);
@@ -137,7 +63,8 @@ double ForecastService::ComputeBackoffSeconds(const ServeOptions& opts,
   delay = std::min(delay, opts.max_backoff_seconds);
   // Deterministic ±10% jitter keyed on (seed, failure ordinal): retries of a
   // fleet sharing one fault de-synchronize, yet every run of the same service
-  // waits exactly the same schedule.
+  // waits exactly the same schedule. Mix64 is a pure function (SplitMix64
+  // finalizer, common/hashing.h) so tests can recompute the exact schedule.
   double unit =
       static_cast<double>(Mix64(opts.seed ^ total_failures) >> 11) * 0x1.0p-53;
   return delay * (0.9 + 0.2 * unit);
@@ -152,9 +79,9 @@ void ForecastService::RetrainLoop() {
     // Failures are counted, recorded, and logged inside RetrainOnce; here
     // they only stretch the wait below.
     (void)RetrainOnce();
-    double wait = ComputeBackoffSeconds(
-        opts_, consecutive_failures_.load(std::memory_order_relaxed),
-        retrains_failed_.load(std::memory_order_relaxed));
+    double wait = ComputeBackoffSeconds(shard_.options(),
+                                        shard_.consecutive_failures(),
+                                        shard_.retrains_failed());
     auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -170,44 +97,18 @@ void ForecastService::RetrainLoop() {
   }
 }
 
-ServeStats ForecastService::stats() const {
-  ServeStats s;
-  s.events_accepted = ingestor_.accepted();
-  IngestDropStats drops = ingestor_.drop_stats();
-  s.events_dropped = drops.total();
-  s.events_quarantined = drops.quarantined();
-  s.values_winsorized = values_winsorized_.load(std::memory_order_relaxed);
-  s.retrains_completed = retrains_completed_.load(std::memory_order_relaxed);
-  s.retrains_skipped = retrains_skipped_.load(std::memory_order_relaxed);
-  s.retrains_failed = retrains_failed_.load(std::memory_order_relaxed);
-  s.consecutive_failures =
-      consecutive_failures_.load(std::memory_order_relaxed);
-  s.generation = generation();
-  {
-    MutexLock lock(&error_mu_);
-    s.last_error = last_error_;
-    s.last_error_cycles = last_error_cycles_;
-    s.last_error_generation = last_error_generation_;
-  }
-  return s;
-}
-
 ServiceHealth ForecastService::Health() const {
   ServiceHealth h;
   auto snap = snapshot();
+  ServeStats s = shard_.stats();
   h.generation = snap->generation;
-  h.consecutive_failures =
-      consecutive_failures_.load(std::memory_order_relaxed);
-  h.backoff_seconds =
-      ComputeBackoffSeconds(opts_, h.consecutive_failures,
-                            retrains_failed_.load(std::memory_order_relaxed));
-  {
-    MutexLock lock(&error_mu_);
-    h.last_error = last_error_;
-  }
-  h.queue_depth = ingestor_.size();
-  h.events_quarantined = ingestor_.drop_stats().quarantined();
-  h.values_winsorized = values_winsorized_.load(std::memory_order_relaxed);
+  h.consecutive_failures = s.consecutive_failures;
+  h.backoff_seconds = ComputeBackoffSeconds(
+      shard_.options(), s.consecutive_failures, s.retrains_failed);
+  h.last_error = s.last_error;
+  h.queue_depth = shard_.queue_depth();
+  h.events_quarantined = s.events_quarantined;
+  h.values_winsorized = s.values_winsorized;
   h.clusters.reserve(snap->clusters.size());
   for (size_t rank = 0; rank < snap->clusters.size(); ++rank) {
     const SnapshotCluster& c = snap->clusters[rank];
@@ -226,26 +127,10 @@ ServiceHealth ForecastService::Health() const {
 }
 
 StatusOr<std::vector<uint8_t>> ForecastService::Save() {
-  MutexLock lock(&retrain_mu_);
-  // Fold queued events first so in-flight ingest survives the restart.
-  std::vector<TraceEvent> events;
-  ingestor_.Drain(&events);
-  retrainer_.Fold(events);
-
   BufWriter w;
   w.U32(kServiceMagic);
   w.U32(kServiceVersion);
-  w.U64(generation_.load(std::memory_order_acquire));
-  BufWriter rw;
-  retrainer_.SaveState(&rw);
-  w.Bytes(rw.Take());
-  auto snap = snapshot();
-  w.U8(snap->trained() ? 1 : 0);
-  if (snap->trained()) {
-    BufWriter sw;
-    DBAUGUR_RETURN_IF_ERROR(SerializeSnapshot(*snap, &sw));
-    w.Bytes(sw.Take());
-  }
+  DBAUGUR_RETURN_IF_ERROR(shard_.SaveStateSection(&w));
   return w.Take();
 }
 
@@ -263,40 +148,13 @@ Status ForecastService::Load(const std::vector<uint8_t>& blob) {
   if (version != kServiceVersion) {
     return Status::InvalidArgument("serve: unsupported service blob version");
   }
-  uint64_t generation = 0;
-  std::vector<uint8_t> retr_bytes;
-  uint8_t trained = 0;
-  if (!r.U64(&generation) || !r.Bytes(&retr_bytes) || !r.U8(&trained)) {
-    return corrupt();
-  }
-  if (trained > 1) return corrupt();
-  std::shared_ptr<const ServiceSnapshot> snap;
-  if (trained == 1) {
-    std::vector<uint8_t> snap_bytes;
-    if (!r.Bytes(&snap_bytes)) return corrupt();
-    BufReader sr(snap_bytes);
-    auto restored = DeserializeSnapshot(opts_.pipeline, &sr);
-    if (!restored.ok()) return restored.status();
-    if (!sr.AtEnd()) return corrupt();
-    snap = std::move(restored).value();
-    if (snap->generation != generation) {
-      return Status::InvalidArgument(
-          "serve: snapshot generation does not match service header");
-    }
-  } else {
-    auto empty = std::make_shared<ServiceSnapshot>();
-    empty->generation = generation;
-    snap = empty;
-  }
-  if (!r.AtEnd()) return corrupt();
-
-  // Everything parsed and verified; apply under the retrain lock so an
+  // Everything is parsed and verified before any mutable state is touched
+  // (all-or-nothing); InstallParsedState applies under the retrain lock so an
   // in-flight background cycle can't interleave with the swap.
-  MutexLock lock(&retrain_mu_);
-  BufReader rr(retr_bytes);
-  DBAUGUR_RETURN_IF_ERROR(retrainer_.LoadState(&rr));
-  if (!rr.AtEnd()) return corrupt();
-  Publish(std::move(snap), generation);
+  auto parsed = shard_.ParseStateSection(&r);
+  if (!parsed.ok()) return parsed.status();
+  if (!r.AtEnd()) return corrupt();
+  shard_.InstallParsedState(std::move(parsed).value());
   return Status::OK();
 }
 

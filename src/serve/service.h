@@ -11,32 +11,16 @@
 //   svc.SaveToFile(path);                 // crash-safe on-disk checkpoint
 //   svc.Health();                         // liveness + degradation report
 //
-// Concurrency model: producers Offer() into the bounded ingest queue; the
-// single retrain thread drains it, re-runs the clustering + ensemble pipeline,
-// and publishes a fresh immutable ServiceSnapshot by swapping a shared_ptr
-// under a dedicated pointer-copy mutex. That mutex guards only the
-// nanosecond-scale copy/swap of the pointer — readers never hold a lock
-// across a forecast call and never contend with the retrain path, so reads
-// proceed at full speed while a retrain is in flight; they simply keep
-// seeing the previous generation until the swap. (A `std::atomic` of
-// `shared_ptr` would make the copy itself lock-free, but libstdc++ 12's
-// _Sp_atomic predates the _GLIBCXX_TSAN annotations (GCC PR 101761) and
-// reports false races under the TSan preset this repo gates on — tools/lint.py
-// rejects the type tree-wide for that reason.)
-//
-// Every mutex below is a capability-annotated dbaugur::Mutex and every field
-// it protects carries DBAUGUR_GUARDED_BY, so the locking discipline described
-// above is compile-checked under Clang (-Werror=thread-safety), not just
-// prose: retrain_mu_ serializes the training side (and is the outermost
-// lock), snapshot_mu_ guards only the pointer swap, error_mu_ the last_error
-// record, stop_mu_ the shutdown flag, lifecycle_mu_ the worker thread object.
-//
-// Failure model: a failed retrain cycle never disturbs the published
-// snapshot — readers keep the previous generation. The background loop backs
-// off exponentially (capped, deterministically jittered) while failures
-// persist, logs each failure exactly once, and records it for stats()/
-// Health(). Individual diverged clusters degrade independently inside the
-// snapshot build (see serve/snapshot.h).
+// Since the sharding refactor the queue / snapshot / retrainer state lives in
+// serve/shard.h: ForecastService is exactly one ServiceShard plus the
+// wall-clock background loop (capped exponential backoff on failure) and the
+// versioned single-blob save/load format. ShardedForecastService
+// (serve/sharded_service.h) owns N of the same shards behind a hash router
+// and a priority retrain scheduler; with shard_count = 1 it is bit-identical
+// to this class (pinned by tests/serve_shard_test.cpp). The concurrency and
+// failure model — lock-free-feeling reads, per-field DBAUGUR_GUARDED_BY
+// annotations, failed cycles never disturbing the published snapshot — is
+// documented on ServiceShard.
 
 #pragma once
 
@@ -50,85 +34,9 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
-#include "core/dbaugur.h"
-#include "serve/ingestor.h"
-#include "serve/retrainer.h"
-#include "serve/snapshot.h"
+#include "serve/shard.h"
 
 namespace dbaugur::serve {
-
-/// Full serving configuration.
-struct ServeOptions {
-  core::DBAugurOptions pipeline;        ///< Clustering + forecasting options.
-  size_t queue_capacity = 4096;         ///< Ingest queue bound (>= 1).
-  size_t max_templates = 4096;          ///< Reject template ids beyond this.
-  int64_t bin_interval_seconds = 600;   ///< Forecasting interval I (> 0).
-  double retrain_interval_seconds = 1.0;  ///< Background cycle period (> 0).
-  size_t min_bins = 0;                  ///< Bins before first train (0: auto).
-  uint64_t seed = 42;                   ///< Base seed for the retrain stream.
-  /// Events older than the newest accepted timestamp by more than this are
-  /// quarantined at ingest (negative disables; see IngestorOptions).
-  int64_t max_lateness_seconds = 24 * 3600;
-  /// Absolute clock-skew bounds: events timestamped before/after these are
-  /// quarantined at ingest (negative disables; see IngestorOptions).
-  int64_t min_timestamp_seconds = 0;
-  int64_t max_timestamp_seconds = 4102444800;  ///< 2100-01-01T00:00:00Z.
-  /// Median/MAD winsorization threshold for the retrain path (<= 0 off).
-  double winsorize_k = 8.0;
-  /// Per-cluster forecast sanity bound (multiples of the representative's
-  /// observed span; <= 0 disables the range check).
-  double divergence_multiple = 10.0;
-  /// Cap on the failure backoff delay between retrain attempts (> 0).
-  double max_backoff_seconds = 60.0;
-};
-
-/// Monotonic service counters (relaxed reads; values may trail by an event).
-struct ServeStats {
-  uint64_t events_accepted = 0;
-  uint64_t events_dropped = 0;     ///< All drops, including queue-full.
-  uint64_t events_quarantined = 0; ///< Malformed drops only (bad template id,
-                                   ///< non-finite / negative count, stale).
-  uint64_t values_winsorized = 0;  ///< Trace values clamped before training.
-  uint64_t retrains_completed = 0;
-  uint64_t retrains_skipped = 0;   ///< Cycles with too little data to train.
-  uint64_t retrains_failed = 0;
-  uint64_t consecutive_failures = 0;  ///< 0 after any successful cycle.
-  uint64_t generation = 0;
-  /// Most recent retrain failure (empty message if none yet). The cycle /
-  /// generation fields say *when*: the failure was observed after
-  /// `last_error_cycles` completed cycles, while generation
-  /// `last_error_generation` was being served.
-  std::string last_error;
-  uint64_t last_error_cycles = 0;
-  uint64_t last_error_generation = 0;
-};
-
-/// Point-in-time liveness + degradation report (see Health()).
-struct ServiceHealth {
-  enum class State {
-    kUntrained,  ///< No generation published yet.
-    kHealthy,    ///< Serving, no degraded clusters, no active failures.
-    kDegraded,   ///< Serving, but >= 1 cluster is on a fallback model.
-    kBackoff,    ///< Last retrain failed; the loop is backing off.
-  };
-  struct Cluster {
-    int cluster_id = 0;
-    size_t rank = 0;          ///< Position in the top-K ordering.
-    bool degraded = false;
-    std::string reason;       ///< Empty unless degraded.
-  };
-
-  State state = State::kUntrained;
-  uint64_t generation = 0;
-  uint64_t consecutive_failures = 0;
-  /// Delay before the next retrain attempt given the current failure count.
-  double backoff_seconds = 0.0;
-  std::string last_error;     ///< Empty if no retrain has ever failed.
-  size_t queue_depth = 0;     ///< Events waiting in the ingest queue.
-  uint64_t events_quarantined = 0;
-  uint64_t values_winsorized = 0;
-  std::vector<Cluster> clusters;  ///< Per-cluster degradation flags.
-};
 
 class ForecastService {
  public:
@@ -140,22 +48,15 @@ class ForecastService {
   ForecastService& operator=(const ForecastService&) = delete;
 
   /// Thread-safe, non-blocking event ingest (see TraceIngestor::Offer).
-  bool Offer(const TraceEvent& event) { return ingestor_.Offer(event); }
+  bool Offer(const TraceEvent& event) { return shard_.Offer(event); }
 
-  /// Copies the current immutable snapshot pointer (the only work done under
-  /// snapshot_mu_). The returned pointer stays valid (and frozen) for as long
-  /// as the caller holds it, no matter how many retrains publish newer
-  /// generations meanwhile.
-  std::shared_ptr<const ServiceSnapshot> snapshot() const
-      DBAUGUR_EXCLUDES(snapshot_mu_) {
-    MutexLock lock(&snapshot_mu_);
-    return snapshot_ptr_;
+  /// Copies the current immutable snapshot pointer; see ServiceShard.
+  std::shared_ptr<const ServiceSnapshot> snapshot() const {
+    return shard_.snapshot();
   }
 
   /// Generation of the latest published snapshot (0 until first train).
-  uint64_t generation() const {
-    return generation_.load(std::memory_order_acquire);
-  }
+  uint64_t generation() const { return shard_.generation(); }
 
   /// Convenience single-read forecasts against the current snapshot.
   StatusOr<double> ForecastCluster(size_t rank) const {
@@ -170,7 +71,7 @@ class ForecastService {
   /// A failure is recorded (stats + last_error, logged once) and returned;
   /// the published snapshot is untouched.
   /// Serialized against the background loop and Save/Load.
-  Status RetrainOnce() DBAUGUR_EXCLUDES(retrain_mu_);
+  Status RetrainOnce() { return shard_.RetrainOnce(); }
 
   /// Starts the background retrain thread (idempotent; thread-safe against
   /// concurrent Start/Stop via lifecycle_mu_).
@@ -179,7 +80,7 @@ class ForecastService {
   void Stop() DBAUGUR_EXCLUDES(lifecycle_mu_);
   bool running() const { return running_.load(std::memory_order_acquire); }
 
-  ServeStats stats() const;
+  ServeStats stats() const { return shard_.stats(); }
 
   /// Snapshot of the service's liveness and degradation state.
   ServiceHealth Health() const;
@@ -196,13 +97,13 @@ class ForecastService {
   /// and the published snapshot with every model parameter in lossless
   /// float64 — into one versioned blob. Pending queued events are folded in
   /// first so nothing is lost across a restart.
-  StatusOr<std::vector<uint8_t>> Save() DBAUGUR_EXCLUDES(retrain_mu_);
+  StatusOr<std::vector<uint8_t>> Save();
 
   /// Restores a Save blob. All-or-nothing: on any validation failure the
   /// service keeps serving its current snapshot untouched. On success the
   /// restored snapshot (verified to reproduce its saved forecasts bit-for-
   /// bit) is published and the retrain seed stream resumes where it left off.
-  Status Load(const std::vector<uint8_t>& blob) DBAUGUR_EXCLUDES(retrain_mu_);
+  Status Load(const std::vector<uint8_t>& blob);
 
   /// Crash-safe on-disk checkpoint: Save() through common/binio's
   /// write-temp → fsync → atomic-rename path (with CRC framing and the
@@ -214,43 +115,12 @@ class ForecastService {
   /// reports whether the fallback was used.
   Status LoadFromFile(const std::string& path, bool* recovered = nullptr);
 
-  const ServeOptions& options() const { return opts_; }
+  const ServeOptions& options() const { return shard_.options(); }
 
  private:
-  void RetrainLoop() DBAUGUR_EXCLUDES(retrain_mu_, stop_mu_);
+  void RetrainLoop() DBAUGUR_EXCLUDES(stop_mu_);
 
-  /// Swaps in a new snapshot + generation under snapshot_mu_.
-  void Publish(std::shared_ptr<const ServiceSnapshot> snap, uint64_t gen)
-      DBAUGUR_EXCLUDES(snapshot_mu_);
-
-  /// Records a retrain failure: counters, last_error, one WARN log line.
-  /// Reads retrainer_.cycles(), hence the retrain_mu_ requirement.
-  void RecordFailure(const Status& st) DBAUGUR_REQUIRES(retrain_mu_);
-
-  ServeOptions opts_;
-  TraceIngestor ingestor_;
-
-  /// Serializes the whole training side: RetrainOnce, Save, Load. Outermost
-  /// lock — snapshot_mu_ and error_mu_ nest inside it, never the reverse.
-  Mutex retrain_mu_ DBAUGUR_ACQUIRED_BEFORE(snapshot_mu_, error_mu_);
-  Retrainer retrainer_ DBAUGUR_GUARDED_BY(retrain_mu_);
-
-  /// Guards only the nanosecond-scale snapshot-pointer copy/swap, never work.
-  mutable Mutex snapshot_mu_;
-  std::shared_ptr<const ServiceSnapshot> snapshot_ptr_
-      DBAUGUR_GUARDED_BY(snapshot_mu_);
-  std::atomic<uint64_t> generation_{0};
-
-  std::atomic<uint64_t> retrains_completed_{0};
-  std::atomic<uint64_t> retrains_skipped_{0};
-  std::atomic<uint64_t> retrains_failed_{0};
-  std::atomic<uint64_t> consecutive_failures_{0};
-  std::atomic<uint64_t> values_winsorized_{0};
-
-  mutable Mutex error_mu_;  ///< Guards the last_error record.
-  std::string last_error_ DBAUGUR_GUARDED_BY(error_mu_);
-  uint64_t last_error_cycles_ DBAUGUR_GUARDED_BY(error_mu_) = 0;
-  uint64_t last_error_generation_ DBAUGUR_GUARDED_BY(error_mu_) = 0;
+  ServiceShard shard_;
 
   /// Serializes Start/Stop/dtor. Previously worker_ was touched by whichever
   /// thread called Start/Stop with no synchronization — a data race on the

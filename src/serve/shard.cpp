@@ -1,0 +1,215 @@
+#include "serve/shard.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/contracts.h"
+#include "common/logging.h"
+
+namespace dbaugur::serve {
+
+namespace {
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+ServiceShard::ServiceShard(const ServeOptions& opts, size_t shard_id)
+    : opts_(opts),
+      shard_id_(shard_id),
+      ingestor_(IngestorOptions{opts.queue_capacity, opts.max_templates,
+                                opts.max_lateness_seconds,
+                                opts.min_timestamp_seconds,
+                                opts.max_timestamp_seconds}),
+      retrainer_(opts.pipeline,
+                 RetrainerOptions{opts.bin_interval_seconds, opts.min_bins,
+                                  opts.seed, opts.winsorize_k,
+                                  opts.divergence_multiple}) {
+  DBAUGUR_CHECK(opts_.queue_capacity >= 1,
+                "ServiceShard queue_capacity must be >= 1");
+  DBAUGUR_CHECK(opts_.bin_interval_seconds > 0,
+                "ServiceShard bin_interval_seconds must be positive");
+  // Readers never see a null snapshot: generation 0 is "nothing trained yet".
+  Publish(std::make_shared<const ServiceSnapshot>(), 0);
+}
+
+void ServiceShard::Publish(std::shared_ptr<const ServiceSnapshot> snap,
+                           uint64_t gen) {
+  // The old snapshot's refcount drop (and possible destruction) happens on
+  // this thread after the lock is released, never on a reader.
+  std::shared_ptr<const ServiceSnapshot> retired;
+  {
+    MutexLock lock(&snapshot_mu_);
+    retired = std::exchange(snapshot_ptr_, std::move(snap));
+  }
+  generation_.store(gen, std::memory_order_release);
+  last_publish_stamp_.store(NowNanos(), std::memory_order_relaxed);
+}
+
+void ServiceShard::RecordFailure(const Status& st) {
+  retrains_failed_.fetch_add(1, std::memory_order_relaxed);
+  consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
+  {
+    MutexLock lock(&error_mu_);
+    // retrainer_ access is legal here: DBAUGUR_REQUIRES(retrain_mu_).
+    last_error_ = st.message();
+    last_error_cycles_ = retrainer_.cycles();
+    last_error_generation_ = generation_.load(std::memory_order_acquire);
+  }
+  // The single log line for this failure: the backoff machinery stays silent,
+  // so a persistent fault produces one record per attempt, not one per tick.
+  DBAUGUR_WARN("serve: shard " << shard_id_
+                               << " retrain cycle failed: " << st.message());
+}
+
+Status ServiceShard::RetrainOnce(ThreadPool* fit_pool) {
+  uint64_t t0 = NowNanos();
+  MutexLock lock(&retrain_mu_);
+  std::vector<TraceEvent> events;
+  ingestor_.Drain(&events);
+  retrainer_.Fold(events);
+  uint64_t next_gen = generation_.load(std::memory_order_relaxed) + 1;
+  auto last_good = snapshot();
+  auto snap = retrainer_.Rebuild(next_gen, last_good.get(), fit_pool);
+  values_winsorized_.store(retrainer_.values_winsorized(),
+                           std::memory_order_relaxed);
+  // The "retrain lag" a scheduler cares about: how long drained events take
+  // to reach the published snapshot. Recorded for every attempted cycle —
+  // skips and failures included — so staleness math never reads a stale 0.
+  auto record_duration = [&] {
+    last_retrain_nanos_.store(NowNanos() - t0, std::memory_order_relaxed);
+  };
+  if (!snap.ok()) {
+    RecordFailure(snap.status());
+    record_duration();
+    return snap.status();
+  }
+  consecutive_failures_.store(0, std::memory_order_relaxed);
+  if (*snap == nullptr) {
+    retrains_skipped_.fetch_add(1, std::memory_order_relaxed);
+    record_duration();
+    return Status::OK();
+  }
+  Publish(std::move(snap).value(), next_gen);
+  retrains_completed_.fetch_add(1, std::memory_order_relaxed);
+  record_duration();
+  return Status::OK();
+}
+
+double ServiceShard::last_retrain_seconds() const {
+  return static_cast<double>(
+             last_retrain_nanos_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+double ServiceShard::staleness_seconds() const {
+  uint64_t stamp = last_publish_stamp_.load(std::memory_order_relaxed);
+  if (stamp == 0) return 0.0;
+  uint64_t now = NowNanos();
+  return now > stamp ? static_cast<double>(now - stamp) * 1e-9 : 0.0;
+}
+
+ServeStats ServiceShard::stats() const {
+  ServeStats s;
+  s.events_accepted = ingestor_.accepted();
+  IngestDropStats drops = ingestor_.drop_stats();
+  s.events_dropped = drops.total();
+  s.events_quarantined = drops.quarantined();
+  s.values_winsorized = values_winsorized_.load(std::memory_order_relaxed);
+  s.retrains_completed = retrains_completed_.load(std::memory_order_relaxed);
+  s.retrains_skipped = retrains_skipped_.load(std::memory_order_relaxed);
+  s.retrains_failed = retrains_failed_.load(std::memory_order_relaxed);
+  s.consecutive_failures =
+      consecutive_failures_.load(std::memory_order_relaxed);
+  s.generation = generation();
+  {
+    MutexLock lock(&error_mu_);
+    s.last_error = last_error_;
+    s.last_error_cycles = last_error_cycles_;
+    s.last_error_generation = last_error_generation_;
+  }
+  return s;
+}
+
+Status ServiceShard::SaveStateSection(BufWriter* w) {
+  MutexLock lock(&retrain_mu_);
+  // Fold queued events first so in-flight ingest survives the restart.
+  std::vector<TraceEvent> events;
+  ingestor_.Drain(&events);
+  retrainer_.Fold(events);
+
+  w->U64(generation_.load(std::memory_order_acquire));
+  BufWriter rw;
+  retrainer_.SaveState(&rw);
+  w->Bytes(rw.Take());
+  auto snap = snapshot();
+  w->U8(snap->trained() ? 1 : 0);
+  if (snap->trained()) {
+    BufWriter sw;
+    DBAUGUR_RETURN_IF_ERROR(SerializeSnapshot(*snap, &sw));
+    w->Bytes(sw.Take());
+  }
+  return Status::OK();
+}
+
+StatusOr<ServiceShard::ParsedState> ServiceShard::ParseStateSection(
+    BufReader* r) const {
+  auto corrupt = [] {
+    return Status::InvalidArgument("serve: truncated or corrupt service blob");
+  };
+  ParsedState out;
+  std::vector<uint8_t> retr_bytes;
+  uint8_t trained = 0;
+  if (!r->U64(&out.generation) || !r->Bytes(&retr_bytes) || !r->U8(&trained)) {
+    return corrupt();
+  }
+  if (trained > 1) return corrupt();
+
+  BufReader rr(retr_bytes);
+  if (!rr.U64(&out.cycles)) return corrupt();
+  TraceBinner binner(opts_.bin_interval_seconds);
+  DBAUGUR_RETURN_IF_ERROR(binner.Load(&rr));
+  if (!rr.AtEnd()) return corrupt();
+  if (binner.interval_seconds() != opts_.bin_interval_seconds) {
+    return Status::InvalidArgument(
+        "Retrainer: saved bin interval does not match service options");
+  }
+  out.binner = std::move(binner);
+
+  if (trained == 1) {
+    std::vector<uint8_t> snap_bytes;
+    if (!r->Bytes(&snap_bytes)) return corrupt();
+    BufReader sr(snap_bytes);
+    auto restored = DeserializeSnapshot(opts_.pipeline, &sr);
+    if (!restored.ok()) return restored.status();
+    if (!sr.AtEnd()) return corrupt();
+    out.snapshot = std::move(restored).value();
+    if (out.snapshot->generation != out.generation) {
+      return Status::InvalidArgument(
+          "serve: snapshot generation does not match service header");
+    }
+  } else {
+    auto empty = std::make_shared<ServiceSnapshot>();
+    empty->generation = out.generation;
+    out.snapshot = empty;
+  }
+  return out;
+}
+
+void ServiceShard::InstallParsedState(ParsedState state) {
+  // Apply under the retrain lock so an in-flight retrain cycle can't
+  // interleave with the swap.
+  MutexLock lock(&retrain_mu_);
+  retrainer_.InstallState(std::move(state.binner), state.cycles);
+  Publish(std::move(state.snapshot), state.generation);
+}
+
+std::map<uint32_t, std::map<int64_t, double>> ServiceShard::BinContents() {
+  MutexLock lock(&retrain_mu_);
+  return retrainer_.binner().bins();
+}
+
+}  // namespace dbaugur::serve

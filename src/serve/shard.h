@@ -1,0 +1,269 @@
+// One serving shard: the single-shard unit behind both ForecastService (which
+// wraps exactly one) and ShardedForecastService (which owns N and routes by
+// template-key hash — see serve/sharded_service.h).
+//
+// A ServiceShard owns its own bounded ingest queue, TraceBinner + Retrainer
+// with an independently positioned seed stream, published immutable snapshot
+// pointer, and failure/degradation counters. Reads are a pointer copy under a
+// nanosecond-scale mutex; RetrainOnce drains, folds, retrains, and publishes.
+// Shards share no mutable state, so N shards retrain concurrently without
+// contending anywhere.
+//
+// Concurrency model (unchanged from the PR-4/5 single service, now per
+// shard): producers Offer() into the bounded ingest queue; one retrain call
+// at a time drains it, re-runs the clustering + ensemble pipeline, and
+// publishes a fresh immutable ServiceSnapshot by swapping a shared_ptr under
+// a dedicated pointer-copy mutex. That mutex guards only the nanosecond-scale
+// copy/swap of the pointer — readers never hold a lock across a forecast call
+// and never contend with the retrain path. (A `std::atomic` of `shared_ptr`
+// would make the copy itself lock-free, but libstdc++ 12's _Sp_atomic
+// predates the _GLIBCXX_TSAN annotations (GCC PR 101761) and reports false
+// races under the TSan preset this repo gates on — tools/lint.py rejects the
+// type tree-wide for that reason.)
+//
+// Every mutex below is a capability-annotated dbaugur::Mutex and every field
+// it protects carries DBAUGUR_GUARDED_BY: retrain_mu_ serializes the training
+// side (and is the outermost lock), snapshot_mu_ guards only the pointer
+// swap, error_mu_ the last_error record.
+//
+// Failure model: a failed retrain never disturbs the published snapshot —
+// readers keep the previous generation. Failures are counted per shard and
+// logged exactly once each; backoff policy lives in the owning service
+// (wall-clock backoff in ForecastService's loop, cycle-count backoff in the
+// sharded scheduler). Individual diverged clusters degrade independently
+// inside the snapshot build (see serve/snapshot.h).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/dbaugur.h"
+#include "serve/ingestor.h"
+#include "serve/retrainer.h"
+#include "serve/snapshot.h"
+
+namespace dbaugur {
+class ThreadPool;
+}  // namespace dbaugur
+
+namespace dbaugur::serve {
+
+/// Full serving configuration (per shard; a sharded service applies one
+/// ServeOptions uniformly — see ShardedServeOptions).
+struct ServeOptions {
+  core::DBAugurOptions pipeline;        ///< Clustering + forecasting options.
+  size_t queue_capacity = 4096;         ///< Ingest queue bound (>= 1).
+  size_t max_templates = 4096;          ///< Reject template ids beyond this.
+  int64_t bin_interval_seconds = 600;   ///< Forecasting interval I (> 0).
+  double retrain_interval_seconds = 1.0;  ///< Background cycle period (> 0).
+  size_t min_bins = 0;                  ///< Bins before first train (0: auto).
+  uint64_t seed = 42;                   ///< Base seed for the retrain stream.
+  /// Events older than the newest accepted timestamp by more than this are
+  /// quarantined at ingest (negative disables; see IngestorOptions).
+  int64_t max_lateness_seconds = 24 * 3600;
+  /// Absolute clock-skew bounds: events timestamped before/after these are
+  /// quarantined at ingest (negative disables; see IngestorOptions).
+  int64_t min_timestamp_seconds = 0;
+  int64_t max_timestamp_seconds = 4102444800;  ///< 2100-01-01T00:00:00Z.
+  /// Median/MAD winsorization threshold for the retrain path (<= 0 off).
+  double winsorize_k = 8.0;
+  /// Per-cluster forecast sanity bound (multiples of the representative's
+  /// observed span; <= 0 disables the range check).
+  double divergence_multiple = 10.0;
+  /// Cap on the failure backoff delay between retrain attempts (> 0).
+  double max_backoff_seconds = 60.0;
+};
+
+/// Monotonic service counters (relaxed reads; values may trail by an event).
+struct ServeStats {
+  uint64_t events_accepted = 0;
+  uint64_t events_dropped = 0;     ///< All drops, including queue-full.
+  uint64_t events_quarantined = 0; ///< Malformed drops only (bad template id,
+                                   ///< non-finite / negative count, stale).
+  uint64_t values_winsorized = 0;  ///< Trace values clamped before training.
+  uint64_t retrains_completed = 0;
+  uint64_t retrains_skipped = 0;   ///< Cycles with too little data to train.
+  uint64_t retrains_failed = 0;
+  uint64_t consecutive_failures = 0;  ///< 0 after any successful cycle.
+  uint64_t generation = 0;
+  /// Most recent retrain failure (empty message if none yet). The cycle /
+  /// generation fields say *when*: the failure was observed after
+  /// `last_error_cycles` completed cycles, while generation
+  /// `last_error_generation` was being served.
+  std::string last_error;
+  uint64_t last_error_cycles = 0;
+  uint64_t last_error_generation = 0;
+};
+
+/// Point-in-time liveness + degradation report (see Health()).
+struct ServiceHealth {
+  enum class State {
+    kUntrained,  ///< No generation published yet.
+    kHealthy,    ///< Serving, no degraded clusters, no active failures.
+    kDegraded,   ///< Serving, but >= 1 cluster is on a fallback model.
+    kBackoff,    ///< Last retrain failed; the loop is backing off.
+  };
+  struct Cluster {
+    int cluster_id = 0;
+    size_t rank = 0;          ///< Position in the top-K ordering.
+    bool degraded = false;
+    std::string reason;       ///< Empty unless degraded.
+  };
+
+  State state = State::kUntrained;
+  uint64_t generation = 0;
+  uint64_t consecutive_failures = 0;
+  /// Delay before the next retrain attempt given the current failure count.
+  double backoff_seconds = 0.0;
+  std::string last_error;     ///< Empty if no retrain has ever failed.
+  size_t queue_depth = 0;     ///< Events waiting in the ingest queue.
+  uint64_t events_quarantined = 0;
+  uint64_t values_winsorized = 0;
+  std::vector<Cluster> clusters;  ///< Per-cluster degradation flags.
+};
+
+class ServiceShard {
+ public:
+  /// Aborts (DBAUGUR_CHECK) on out-of-range options. Publishes an empty
+  /// generation-0 snapshot so readers always have a valid pointer.
+  ServiceShard(const ServeOptions& opts, size_t shard_id);
+  ServiceShard(const ServiceShard&) = delete;
+  ServiceShard& operator=(const ServiceShard&) = delete;
+
+  size_t shard_id() const { return shard_id_; }
+
+  /// Thread-safe, non-blocking event ingest (see TraceIngestor::Offer).
+  bool Offer(const TraceEvent& event) { return ingestor_.Offer(event); }
+
+  /// Copies the current immutable snapshot pointer (the only work done under
+  /// snapshot_mu_). The returned pointer stays valid (and frozen) for as long
+  /// as the caller holds it, no matter how many retrains publish newer
+  /// generations meanwhile.
+  std::shared_ptr<const ServiceSnapshot> snapshot() const
+      DBAUGUR_EXCLUDES(snapshot_mu_) {
+    MutexLock lock(&snapshot_mu_);
+    return snapshot_ptr_;
+  }
+
+  /// Generation of the latest published snapshot (0 until first train).
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Runs one drain → fold → retrain → publish cycle synchronously. OK when
+  /// the cycle is skipped for lack of data (the skip is counted in stats).
+  /// A failure is recorded (stats + last_error, logged once) and returned;
+  /// the published snapshot is untouched. Serialized against concurrent
+  /// retrains and state install via retrain_mu_. `fit_pool` (may be null) is
+  /// a caller-owned pool for the per-cluster ensemble fits.
+  Status RetrainOnce(ThreadPool* fit_pool = nullptr)
+      DBAUGUR_EXCLUDES(retrain_mu_);
+
+  ServeStats stats() const;
+
+  /// Per-shard scheduler signals / health extras (all cheap; none take
+  /// retrain_mu_, so they never block behind an in-flight rebuild).
+  size_t queue_depth() const { return ingestor_.size(); }
+  uint64_t events_accepted() const { return ingestor_.accepted(); }
+  IngestDropStats drop_stats() const { return ingestor_.drop_stats(); }
+  uint64_t retrains_failed() const {
+    return retrains_failed_.load(std::memory_order_relaxed);
+  }
+  uint64_t consecutive_failures() const {
+    return consecutive_failures_.load(std::memory_order_relaxed);
+  }
+  /// Duration of the most recent RetrainOnce call, seconds (0 before any).
+  double last_retrain_seconds() const;
+  /// Seconds since the last snapshot publish (since construction before one).
+  double staleness_seconds() const;
+
+  /// Serializes this shard's full state — binned history, retrain-cycle
+  /// position, and the published snapshot with every model parameter in
+  /// lossless float64 — appended to *w. Pending queued events are folded in
+  /// first so nothing is lost across a restart. ForecastService prefixes this
+  /// with the blob magic/version; the sharded checkpoint wraps it in its
+  /// per-shard file header. The section layout is exactly the v1 service
+  /// blob payload: U64 generation, Bytes(retrainer state), U8 trained flag,
+  /// then Bytes(snapshot) when trained.
+  Status SaveStateSection(BufWriter* w) DBAUGUR_EXCLUDES(retrain_mu_);
+
+  /// A fully parsed + validated SaveStateSection, not yet installed. Restore
+  /// is two-phase so multi-shard checkpoints are all-or-nothing: parse every
+  /// shard's section first, install only if all of them verified.
+  struct ParsedState {
+    uint64_t generation = 0;
+    uint64_t cycles = 0;               ///< Seed-stream position.
+    TraceBinner binner{1};             ///< Interval restored by parsing.
+    std::shared_ptr<const ServiceSnapshot> snapshot;  ///< Never null.
+  };
+
+  /// Parses and validates a SaveStateSection against this shard's options
+  /// (bin interval, pipeline shape, snapshot forecast reproduction) without
+  /// touching any mutable state. The reader is left positioned after the
+  /// section.
+  StatusOr<ParsedState> ParseStateSection(BufReader* r) const;
+
+  /// Commits a ParsedState: swaps in the binner, fast-forwards the seed
+  /// stream to the saved cycle count, and publishes the restored snapshot.
+  void InstallParsedState(ParsedState state) DBAUGUR_EXCLUDES(retrain_mu_);
+
+  /// Copy of the shard's binned history (template id -> bin -> summed count):
+  /// the differential-oracle surface of the chaos harness, which checks the
+  /// union of per-shard histories against a single-stream reference. Events
+  /// still queued (not yet drained by a retrain) are not included.
+  std::map<uint32_t, std::map<int64_t, double>> BinContents()
+      DBAUGUR_EXCLUDES(retrain_mu_);
+
+  const ServeOptions& options() const { return opts_; }
+
+ private:
+  /// Swaps in a new snapshot + generation under snapshot_mu_.
+  void Publish(std::shared_ptr<const ServiceSnapshot> snap, uint64_t gen)
+      DBAUGUR_EXCLUDES(snapshot_mu_);
+
+  /// Records a retrain failure: counters, last_error, one WARN log line.
+  /// Reads retrainer_.cycles(), hence the retrain_mu_ requirement.
+  void RecordFailure(const Status& st) DBAUGUR_REQUIRES(retrain_mu_);
+
+  ServeOptions opts_;
+  size_t shard_id_ = 0;
+  TraceIngestor ingestor_;
+
+  /// Serializes the whole training side: RetrainOnce, save, install.
+  /// Outermost lock — snapshot_mu_ and error_mu_ nest inside it, never the
+  /// reverse.
+  Mutex retrain_mu_ DBAUGUR_ACQUIRED_BEFORE(snapshot_mu_, error_mu_);
+  Retrainer retrainer_ DBAUGUR_GUARDED_BY(retrain_mu_);
+
+  /// Guards only the nanosecond-scale snapshot-pointer copy/swap, never work.
+  mutable Mutex snapshot_mu_;
+  std::shared_ptr<const ServiceSnapshot> snapshot_ptr_
+      DBAUGUR_GUARDED_BY(snapshot_mu_);
+  std::atomic<uint64_t> generation_{0};
+
+  std::atomic<uint64_t> retrains_completed_{0};
+  std::atomic<uint64_t> retrains_skipped_{0};
+  std::atomic<uint64_t> retrains_failed_{0};
+  std::atomic<uint64_t> consecutive_failures_{0};
+  std::atomic<uint64_t> values_winsorized_{0};
+
+  /// Monotonic-clock nanosecond stamps (steady_clock since-epoch) for the
+  /// Health() staleness / duration fields. Stamp 0 means "not yet".
+  std::atomic<uint64_t> last_retrain_nanos_{0};
+  std::atomic<uint64_t> last_publish_stamp_{0};
+
+  mutable Mutex error_mu_;  ///< Guards the last_error record.
+  std::string last_error_ DBAUGUR_GUARDED_BY(error_mu_);
+  uint64_t last_error_cycles_ DBAUGUR_GUARDED_BY(error_mu_) = 0;
+  uint64_t last_error_generation_ DBAUGUR_GUARDED_BY(error_mu_) = 0;
+};
+
+}  // namespace dbaugur::serve

@@ -1,0 +1,223 @@
+// Sharded forecast serving: N independent ServiceShards behind a
+// deterministic hash router and a priority retrain scheduler.
+//
+//   ShardedServeOptions o;
+//   o.shard = serve_options;            // applied uniformly to every shard
+//   o.shard_count = 16;
+//   ShardedForecastService svc(o);
+//   svc.Start();                        // background scheduler loop
+//   svc.Offer({template_id, ts, n});    // routed by ShardOfKey(template_id)
+//   svc.SnapshotForTemplate(id);        // same hash, lock-free-feeling read
+//   svc.RetrainCycle();                 // one scheduler cycle, synchronous
+//   svc.SaveToFiles(base);              // per-shard checkpoint + manifest
+//   svc.LoadFromFiles(base);            // all-or-nothing, migrates on
+//                                       //   shard-count change by re-hashing
+//
+// Routing: template id -> ShardOfKey(id, shard_count) (common/hashing.h), a
+// pure function of the key and the shard count — stable across runs, hosts,
+// and save/load. Every shard gets the same ServeOptions, including the same
+// base seed: shards draw from identically seeded streams at independently
+// persisted positions (cycle counters), so a shard_count=1 service is
+// bit-identical to ForecastService, and per-cluster forecasts at any shard
+// count match a single-shard run fed the same per-shard event interleavings
+// (pinned by tests/serve_shard_test.cpp).
+//
+// Retraining: each RetrainCycle samples per-shard signals (queue depth,
+// cycles waited, failure streak), asks serve/retrain_scheduler.h for a
+// deterministic priority order (traffic × staleness, starvation-bounded,
+// failure-backoff in cycles), and drains that order through up to
+// retrain_workers threads popping a shared IndexQueue — hot shards first
+// regardless of worker count. Reads are never blocked: they route to the
+// shard and copy its snapshot pointer.
+//
+// Checkpoint manifest format (all through common/binio's CRC32-framed
+// write-temp → fsync → rename path, previous good file kept as `.bak`):
+//   <base>.manifest : U32 magic, U32 version, U64 shard_count,
+//                     U64 bin_interval_seconds, U64 seed
+//   <base>.shard<i> : U32 magic, U32 version, U64 shard_count, U64 shard_id,
+//                     then the shard's v1 state section (see
+//                     ServiceShard::SaveStateSection)
+// Each file is individually crash-safe; restore is all-or-nothing in memory
+// (every file parsed and validated before any shard is touched). Because
+// shards persist independent seed-stream positions, a crash between shard
+// file writes leaves a mixed-epoch but still self-consistent checkpoint.
+//
+// Shard-count migration: loading a checkpoint written with a different
+// shard_count re-partitions the binned history by re-hashing every template
+// id into the new layout (bin-for-bin, losing no template keys — set
+// equality is pinned by test). Each migrated shard's seed-stream position is
+// the max over the old shards that contributed templates to it, so no seed
+// that already trained contributed data is replayed. Published snapshots
+// cannot be re-keyed across shard boundaries, so migration restores shards
+// untrained at generation 0; the first retrain cycle rebuilds them from the
+// migrated history.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/hashing.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "serve/retrain_scheduler.h"
+#include "serve/shard.h"
+
+namespace dbaugur::serve {
+
+struct ShardedServeOptions {
+  ServeOptions shard;        ///< Per-shard configuration (uniform).
+  size_t shard_count = 1;    ///< Number of independent shards (>= 1).
+  /// Max shards retrained per scheduler cycle (0 = every eligible shard).
+  size_t retrain_budget = 0;
+  /// Worker threads draining one cycle's schedule (>= 1).
+  size_t retrain_workers = 1;
+  /// Cycles a pending shard may wait before forced promotion (>= 1).
+  uint64_t starvation_cycles = 4;
+};
+
+/// One shard's row in Health(): identity, serving state, queue pressure,
+/// retrain recency. All point-in-time, none block behind a retrain.
+struct ShardHealth {
+  size_t shard_id = 0;
+  ServiceHealth::State state = ServiceHealth::State::kUntrained;
+  uint64_t generation = 0;
+  size_t cluster_count = 0;
+  size_t degraded_clusters = 0;
+  size_t queue_depth = 0;
+  uint64_t events_accepted = 0;
+  IngestDropStats drops;
+  uint64_t retrains_completed = 0;
+  uint64_t retrains_failed = 0;
+  uint64_t consecutive_failures = 0;
+  double last_retrain_seconds = 0.0;  ///< Duration of the last retrain.
+  double staleness_seconds = 0.0;     ///< Since the last snapshot publish.
+  uint64_t cycles_waited = 0;         ///< Scheduler cycles since last pick.
+  std::string last_error;
+};
+
+struct ShardedServiceHealth {
+  /// Worst-of aggregate: kBackoff if any shard is backing off, else
+  /// kDegraded if any cluster anywhere is degraded, else kHealthy if any
+  /// shard serves a trained snapshot, else kUntrained.
+  ServiceHealth::State state = ServiceHealth::State::kUntrained;
+  uint64_t cycles = 0;  ///< Completed scheduler cycles.
+  std::vector<ShardHealth> shards;
+};
+
+class ShardedForecastService {
+ public:
+  /// Aborts (DBAUGUR_CHECK) on out-of-range options. Every shard publishes
+  /// an empty generation-0 snapshot, so reads are valid immediately.
+  explicit ShardedForecastService(const ShardedServeOptions& opts);
+  ~ShardedForecastService();
+  ShardedForecastService(const ShardedForecastService&) = delete;
+  ShardedForecastService& operator=(const ShardedForecastService&) = delete;
+
+  size_t shard_count() const { return shards_.size(); }
+
+  /// The shard owning `template_id` (pure; same mapping Offer uses).
+  size_t ShardOf(uint32_t template_id) const {
+    return ShardOfKey(template_id, shards_.size());
+  }
+
+  /// Thread-safe, non-blocking ingest, routed to the owning shard.
+  bool Offer(const TraceEvent& event) {
+    return shards_[ShardOf(event.template_id)]->Offer(event);
+  }
+
+  /// Snapshot of one shard by id / of the shard owning a template.
+  std::shared_ptr<const ServiceSnapshot> snapshot(size_t shard_id) const {
+    return shards_[shard_id]->snapshot();
+  }
+  std::shared_ptr<const ServiceSnapshot> SnapshotForTemplate(
+      uint32_t template_id) const {
+    return shards_[ShardOf(template_id)]->snapshot();
+  }
+
+  /// Direct shard access (stats, tests, manual RetrainOnce).
+  ServiceShard& shard(size_t shard_id) { return *shards_[shard_id]; }
+  const ServiceShard& shard(size_t shard_id) const {
+    return *shards_[shard_id];
+  }
+
+  /// Runs one scheduler cycle synchronously: samples signals, schedules, and
+  /// retrains the scheduled shards (priority order) on up to retrain_workers
+  /// threads. Returns the scheduled shard ids in priority order — determinism
+  /// tests pin this. Per-shard failures are recorded in the shard's stats and
+  /// backed off in cycles by the scheduler; the cycle itself always runs to
+  /// completion. Serialized against concurrent cycles and LoadFromFiles.
+  std::vector<size_t> RetrainCycle() DBAUGUR_EXCLUDES(cycle_mu_);
+
+  /// Starts the background scheduler thread (idempotent).
+  void Start() DBAUGUR_EXCLUDES(lifecycle_mu_);
+  /// Stops and joins the background thread (idempotent; called by dtor).
+  void Stop() DBAUGUR_EXCLUDES(lifecycle_mu_);
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Completed scheduler cycles.
+  uint64_t cycles() const { return cycles_done_.load(std::memory_order_acquire); }
+
+  /// Counters summed across shards (generation is the max; the error record
+  /// is the most recently observed one by generation).
+  ServeStats stats() const;
+
+  /// Per-shard health rows + worst-of aggregate state.
+  ShardedServiceHealth Health() const DBAUGUR_EXCLUDES(cycle_mu_);
+
+  /// Writes the sharded checkpoint: one crash-safe file per shard, manifest
+  /// last (see the format comment above). Queued events are folded into each
+  /// shard's history first, so nothing is lost across a restart.
+  Status SaveToFiles(const std::string& base_path) DBAUGUR_EXCLUDES(cycle_mu_);
+
+  /// Restores a SaveToFiles checkpoint. All-or-nothing: every file is parsed
+  /// and validated before any shard is mutated. A checkpoint written with a
+  /// different shard_count is migrated by re-hashing (see above);
+  /// `migrated` (optional) reports whether that happened.
+  Status LoadFromFiles(const std::string& base_path, bool* migrated = nullptr)
+      DBAUGUR_EXCLUDES(cycle_mu_);
+
+  static std::string ManifestPath(const std::string& base_path) {
+    return base_path + ".manifest";
+  }
+  static std::string ShardPath(const std::string& base_path, size_t shard_id) {
+    return base_path + ".shard" + std::to_string(shard_id);
+  }
+
+  const ShardedServeOptions& options() const { return opts_; }
+
+ private:
+  void SchedulerLoop() DBAUGUR_EXCLUDES(cycle_mu_, stop_mu_);
+
+  ShardedServeOptions opts_;
+  /// Immutable after construction (the vector and the shard objects' *
+  /// identities; the shards synchronize internally).
+  std::vector<std::unique_ptr<ServiceShard>> shards_;
+  /// One long-lived fit pool per retrain worker (empty when the pipeline is
+  /// single-threaded). Each pool is used by exactly one worker at a time —
+  /// worker w owns fit_pools_[w] for the duration of a cycle.
+  std::vector<std::unique_ptr<ThreadPool>> fit_pools_;
+
+  /// Serializes scheduler cycles and checkpoint restore. Retrain work runs
+  /// *under* this lock (on this thread + workers); readers never take it.
+  mutable Mutex cycle_mu_;
+  std::vector<uint64_t> cycles_waited_ DBAUGUR_GUARDED_BY(cycle_mu_);
+  uint64_t cycle_counter_ DBAUGUR_GUARDED_BY(cycle_mu_) = 0;
+  std::atomic<uint64_t> cycles_done_{0};
+
+  Mutex lifecycle_mu_;  ///< Serializes Start/Stop/dtor (see ForecastService).
+  std::thread worker_ DBAUGUR_GUARDED_BY(lifecycle_mu_);
+
+  Mutex stop_mu_;  ///< Guards stopping_, paired with stop_cv_.
+  CondVar stop_cv_;
+  bool stopping_ DBAUGUR_GUARDED_BY(stop_mu_) = false;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace dbaugur::serve

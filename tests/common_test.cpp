@@ -6,7 +6,6 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <mutex>
 #include <numeric>
 #include <set>
 #include <string>
@@ -253,11 +252,11 @@ TEST(ThreadPoolTest, SubmitAndWaitRunsAllTasks) {
 // Sink capturing complete lines; the logging layer calls it under its mutex,
 // but the capture keeps its own lock so the test doesn't rely on that.
 struct LineCapture {
-  std::mutex mu;
+  Mutex mu;
   std::vector<std::string> lines;
   static void Sink(LogLevel, const std::string& line, void* user) {
     auto* self = static_cast<LineCapture*>(user);
-    std::lock_guard<std::mutex> lock(self->mu);
+    MutexLock lock(&self->mu);
     self->lines.push_back(line);
   }
 };

@@ -159,6 +159,45 @@ class LintRuleTest(unittest.TestCase):
         )
         self.assert_clean(self.repo.run("src"))
 
+    # -- raw-sync -----------------------------------------------------------
+
+    def test_raw_sync_mutex_violating(self):
+        self.repo.write(
+            "src/serve/a.cpp",
+            "#include <mutex>\n"
+            "std::mutex g_mu;\n"
+            "void F() { std::lock_guard<std::mutex> lock(g_mu); }\n",
+        )
+        self.assert_violation(self.repo.run("src"), "raw-sync", "src/serve/a.cpp")
+
+    def test_raw_sync_condition_variable_violating(self):
+        self.repo.write(
+            "tests/a_test.cpp",
+            "#include <condition_variable>\n"
+            "std::condition_variable g_cv;\n",
+        )
+        self.assert_violation(
+            self.repo.run("tests"), "raw-sync", "tests/a_test.cpp"
+        )
+
+    def test_raw_sync_wrapper_header_exempt(self):
+        self.repo.write(
+            "src/common/mutex.h",
+            "#include <mutex>\n"
+            "class Mutex { std::mutex mu_; };\n",
+        )
+        self.assert_clean(self.repo.run("src"))
+
+    def test_raw_sync_clean(self):
+        self.repo.write(
+            "src/serve/a.cpp",
+            "// A comment saying std::mutex must not trip the code rule.\n"
+            "#include \"common/mutex.h\"\n"
+            "Mutex g_mu;\n"
+            "void F() { MutexLock lock(&g_mu); }\n",
+        )
+        self.assert_clean(self.repo.run("src"))
+
     # -- nolint-discipline --------------------------------------------------
 
     def test_bare_nolint_violating(self):

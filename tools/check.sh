@@ -96,6 +96,21 @@ else
   record "serve_throughput-smoke" "SKIPPED (Release build failed)"
 fi
 
+# --- 1d. Sharded-serve bench smoke: every shard of the ShardedForecastService
+# must complete snapshot reads while its retrain cycle is in flight (the
+# binary exits non-zero if any shard's reads stall) and emit valid JSON (full
+# numbers are committed as BENCH_serve_scale.json).
+if [[ -x build-release/bench/serve_scale ]]; then
+  note "bench/serve_scale --smoke (Release)"
+  if ./build-release/bench/serve_scale --smoke > /dev/null; then
+    record "serve_scale-smoke" "OK"
+  else
+    record "serve_scale-smoke" "FAIL"
+  fi
+else
+  record "serve_scale-smoke" "SKIPPED (Release build failed)"
+fi
+
 # --- 2. ASan + UBSan. --------------------------------------------------------
 export UBSAN_OPTIONS="print_stacktrace=1:${UBSAN_OPTIONS:-}"
 build_and_test "asan+ubsan" build-asan \
@@ -220,9 +235,10 @@ fi
 
 # --- 6. Project-invariant lint (tools/lint.py). ------------------------------
 # Bans bare assert(), nondeterministic sources in src/, atomic<shared_ptr>,
-# undocumented NOLINTs, allocation in the src/nn hot path, and raw x86
-# intrinsics outside common/simd.h. Self-tests run first so a broken linter
-# cannot silently pass the tree.
+# raw std:: sync primitives outside common/mutex.h, undocumented NOLINTs,
+# allocation in the src/nn hot path, and raw x86 intrinsics outside
+# common/simd.h. Self-tests run first so a broken linter cannot silently pass
+# the tree.
 if [[ "$FAST" == 1 ]]; then
   record "lint" "SKIPPED (--fast)"
 elif command -v python3 > /dev/null 2>&1; then

@@ -17,6 +17,14 @@ checks, so they cannot erode one "just this once" at a time:
                      12's free-function implementation trips TSan (GCC PR
                      101761). Use a mutex-guarded shared_ptr (see
                      serve/service.h) instead.
+  raw-sync           No raw std:: sync primitives (std::mutex,
+                     std::condition_variable, std::lock_guard,
+                     std::unique_lock, std::scoped_lock, std::shared_mutex,
+                     std::recursive_mutex) outside src/common/mutex.h. All
+                     locking goes through dbaugur::Mutex / MutexLock /
+                     CondVar so Clang's -Werror=thread-safety capability
+                     analysis sees every acquisition (a raw lock is invisible
+                     to it and silently exempts the code it guards).
   nolint-discipline  Every `NOLINT` marker names the suppressed check
                      (`// NOLINT(check-name)`) and has a reason in a comment
                      on the same or a preceding line. Bare NOLINTs silence
@@ -210,6 +218,33 @@ def check_atomic_shared_ptr(relpath, raw, stripped):
     return hits
 
 
+MUTEX_WRAPPER = os.path.join("src", "common", "mutex.h")
+
+RAW_SYNC_RX = (
+    r"std::\s*(?:mutex|condition_variable(?:_any)?|lock_guard|unique_lock"
+    r"|scoped_lock|shared_mutex|shared_lock|recursive_mutex|timed_mutex"
+    r"|recursive_timed_mutex)(?![A-Za-z0-9_])"
+)
+
+
+def check_raw_sync(relpath, raw, stripped):
+    """Raw std:: sync primitives outside the annotated wrapper.
+
+    src/common/mutex.h is the one place allowed to touch them: it wraps them
+    in capability-annotated shims, and every other acquisition must go through
+    those shims or Clang's thread-safety analysis cannot see it.
+    """
+    if os.path.normpath(relpath) == MUTEX_WRAPPER:
+        return []
+    return _grep(
+        stripped,
+        RAW_SYNC_RX,
+        "raw std:: sync primitive — lock through dbaugur::Mutex / MutexLock / "
+        "CondVar (common/mutex.h) so the Clang thread-safety analysis sees "
+        "the acquisition",
+    )
+
+
 NOLINT_RX = re.compile(r"NOLINT(NEXTLINE)?(?:\(([^)]*)\))?")
 
 
@@ -331,6 +366,7 @@ RULES = [
     ("nondeterminism", in_dirs("src"), check_nondeterminism),
     ("atomic-shared-ptr", in_dirs("src", "tests", "bench"),
      check_atomic_shared_ptr),
+    ("raw-sync", in_dirs("src", "tests", "bench"), check_raw_sync),
     ("nolint-discipline", in_dirs("src", "tests", "bench"),
      check_nolint_discipline),
     ("nn-alloc", in_dirs(os.path.join("src", "nn")), check_nn_alloc),

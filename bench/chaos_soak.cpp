@@ -91,6 +91,15 @@ std::string CorpusLine(const ChaosOptions& o) {
   if (o.service_shards > 1) {
     line += " shards=" + std::to_string(o.service_shards);
   }
+  if (o.service_workers > 1) {
+    line += " workers=" + std::to_string(o.service_workers);
+  }
+  if (o.retrain_deadline_seconds > 0.0) {
+    line += " deadline=" + std::to_string(o.retrain_deadline_seconds);
+  }
+  if (o.retrain_budget > 0) {
+    line += " budget=" + std::to_string(o.retrain_budget);
+  }
   return line;
 }
 
@@ -107,11 +116,14 @@ bool RunOne(const ChaosOptions& opts, uint64_t* events_out = nullptr) {
 }
 
 int ReproMode(uint64_t seed, StreamProfile profile, bool full, bool replay,
-              size_t shards) {
+              size_t shards, size_t workers, double deadline, size_t budget) {
   ChaosOptions o = MatrixOptions(seed, profile);
   o.full_service = full;
   o.replay = replay;
   o.service_shards = shards;
+  o.service_workers = workers;
+  o.retrain_deadline_seconds = deadline;
+  o.retrain_budget = budget;
   const double t0 = NowSeconds();
   const bool ok = RunOne(o);
   std::printf("{\n");
@@ -158,6 +170,18 @@ int SmokeMode() {
   {
     ChaosOptions o = MatrixOptions(17, StreamProfile::kSteady);
     o.service_shards = 3;
+    ++runs;
+    if (!RunOne(o, &events)) ++failures;
+  }
+  {
+    // Concurrent retrain drain: 2 workers over 3 shards, a deadline wide
+    // enough that only a genuine hang would trip the watchdog, and a unit
+    // budget so the scheduler carries a backlog across cycles.
+    ChaosOptions o = MatrixOptions(23, StreamProfile::kBurstySkewed);
+    o.service_shards = 3;
+    o.service_workers = 2;
+    o.retrain_deadline_seconds = 30.0;
+    o.retrain_budget = 1;
     ++runs;
     if (!RunOne(o, &events)) ++failures;
   }
@@ -221,6 +245,13 @@ int SoakMode(double seconds, uint64_t start_seed, bool have_start_seed) {
     o.full_service = runs % 7 == 3;
     o.replay = runs % 11 == 5;
     if (runs % 5 == 2) o.service_shards = 2 + runs % 3;
+    // Every other sharded run also exercises the concurrent drain path
+    // (multiple workers, a generous deadline, a tight per-cycle budget).
+    if (o.service_shards > 1 && runs % 10 == 7) {
+      o.service_workers = 2;
+      o.retrain_deadline_seconds = 30.0;
+      o.retrain_budget = 1;
+    }
     const double iter_t0 = NowSeconds();
     uint64_t iter_events = 0;
     if (!RunOne(o, &iter_events)) {
@@ -270,7 +301,7 @@ int SoakMode(double seconds, uint64_t start_seed, bool have_start_seed) {
 int Usage() {
   std::fprintf(stderr,
                "usage: chaos_soak --seed=N --profile=P [--full] [--replay] "
-               "[--shards=N]\n"
+               "[--shards=N] [--workers=N] [--deadline=S] [--budget=N]\n"
                "       chaos_soak --smoke\n"
                "       chaos_soak --soak [--seconds=S] [--start-seed=N]\n");
   return 2;
@@ -286,6 +317,9 @@ int Main(int argc, char** argv) {
   uint64_t seed = 0;
   uint64_t start_seed = 0;
   size_t shards = 1;
+  size_t workers = 1;
+  double deadline = 0.0;
+  size_t budget = 0;
   double seconds = 60.0;
   StreamProfile profile = StreamProfile::kSteady;
   bool have_profile = false;
@@ -303,6 +337,13 @@ int Main(int argc, char** argv) {
     } else if (std::strncmp(a, "--shards=", 9) == 0) {
       shards = static_cast<size_t>(std::strtoull(a + 9, nullptr, 10));
       if (shards < 1) return Usage();
+    } else if (std::strncmp(a, "--workers=", 10) == 0) {
+      workers = static_cast<size_t>(std::strtoull(a + 10, nullptr, 10));
+      if (workers < 1) return Usage();
+    } else if (std::strncmp(a, "--deadline=", 11) == 0) {
+      deadline = std::strtod(a + 11, nullptr);
+    } else if (std::strncmp(a, "--budget=", 9) == 0) {
+      budget = static_cast<size_t>(std::strtoull(a + 9, nullptr, 10));
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
       seed = std::strtoull(a + 7, nullptr, 10);
       have_seed = true;
@@ -328,7 +369,8 @@ int Main(int argc, char** argv) {
   if (smoke) return SmokeMode();
   if (soak) return SoakMode(seconds, start_seed, have_start_seed);
   if (have_seed && have_profile) {
-    return ReproMode(seed, profile, full, replay, shards);
+    return ReproMode(seed, profile, full, replay, shards, workers, deadline,
+                     budget);
   }
   return Usage();
 }

@@ -15,12 +15,17 @@
 //      whole cycle) and the count of reads that completed while the retrain
 //      cycle was in flight. The run FAILS (exit 1) if any shard's reads
 //      stall (zero reads during the in-flight cycle) — the shard read path
-//      must never block on training — and, in full mode, if any shard's p99
-//      exceeds 2x the committed single-service p99.
+//      must never block on training — and, in full mode, if any leg's worst
+//      p99 exceeds 2x the single-shard p99 measured by this same process
+//      (a self-relative baseline; the committed JSON is provenance, not a
+//      gate).
 //   3. retrain lag: each shard's drain->train->publish duration; the maximum
 //      over shards is the staleness a reader can see. More shards means less
 //      history per retrain, so max lag must decrease monotonically from 1 to
 //      16 shards (enforced in full mode, where durations dwarf noise).
+//   4. worker scaling: at a fixed 16 shards the cycle is re-run with retrain
+//      worker pools of 1, 2, and 4; in full mode (on >= 4 cores) the
+//      workers=4 cycle wall time must be < 0.5x the workers=1 cycle.
 //
 // Output is a single JSON object (stdout, or --out FILE). `--smoke` shrinks
 // the template count so CI can run it in seconds.
@@ -44,8 +49,18 @@ namespace {
 
 constexpr int64_t kInterval = 600;
 constexpr size_t kShardCounts[] = {1, 4, 16, 64};
-/// Committed single-shard read budget: 2x the serve_throughput p99 (67 ns).
-constexpr double kReadP99BudgetNs = 134.0;
+/// Worker-scaling legs: fixed shard count, varying retrain worker counts.
+/// 16 shards gives each of 4 workers four retrains per cycle — enough
+/// parallel slack that the workers=4 < 0.5x workers=1 wall-time gate (full
+/// mode) measures the pool, not scheduling remainder effects.
+constexpr size_t kWorkerLegShards = 16;
+constexpr size_t kWorkerCounts[] = {1, 2, 4};
+/// Read-p99 gate: self-relative. The shard_count=1 leg measured in THIS
+/// process is the baseline; every other leg's worst shard p99 must stay
+/// within 2x of it. (The committed JSON's numbers are provenance of past
+/// runs, not a gate — a constant budget derived from another machine's run
+/// made the gate trip on hardware it never calibrated for.)
+constexpr double kReadP99BudgetMultiple = 2.0;
 
 double NowSeconds() {
   return std::chrono::duration<double>(
@@ -110,6 +125,7 @@ struct ShardReadStats {
 
 struct ConfigResult {
   size_t shard_count = 0;
+  size_t workers = 1;  ///< Retrain workers draining the measured cycle.
   size_t clusters_total = 0;
   uint64_t ingest_events = 0;
   uint64_t ingest_dropped = 0;
@@ -121,9 +137,11 @@ struct ConfigResult {
   std::vector<ShardReadStats> shards;
 };
 
-serve::ShardedServeOptions MakeOptions(const ScaleParams& p, size_t shards) {
+serve::ShardedServeOptions MakeOptions(const ScaleParams& p, size_t shards,
+                                       size_t workers) {
   serve::ShardedServeOptions so;
   so.shard_count = shards;
+  so.retrain_workers = workers;
   serve::ServeOptions& o = so.shard;
   // Tight radius + tiny band: identical patterns merge (distance 0), distinct
   // bit patterns stay apart, so cluster count tracks template count.
@@ -160,10 +178,12 @@ double OfferWave(serve::ShardedForecastService* svc, const ScaleParams& p,
   return NowSeconds() - t0;
 }
 
-ConfigResult RunConfig(const ScaleParams& p, size_t shard_count) {
+ConfigResult RunConfig(const ScaleParams& p, size_t shard_count,
+                       size_t workers = 1) {
   ConfigResult r;
   r.shard_count = shard_count;
-  serve::ShardedForecastService svc(MakeOptions(p, shard_count));
+  r.workers = workers;
+  serve::ShardedForecastService svc(MakeOptions(p, shard_count, workers));
 
   // Wave 1 + warm-up cycle: every shard publishes a trained snapshot so the
   // measured reads exercise real forecasts, and the measured cycle below is
@@ -248,21 +268,14 @@ ConfigResult RunConfig(const ScaleParams& p, size_t shard_count) {
   return r;
 }
 
-void WriteJson(std::FILE* out, bool smoke, const ScaleParams& p,
-               const std::vector<ConfigResult>& configs) {
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"benchmark\": \"serve_scale\",\n");
-  std::fprintf(out, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
-  WriteSimdProvenance(out);
-  std::fprintf(out, "  \"templates\": %zu,\n", p.templates);
-  std::fprintf(out, "  \"bins\": %lld,\n",
-               static_cast<long long>(2 * p.bins_per_wave));
-  std::fprintf(out, "  \"read_p99_budget_ns\": %.0f,\n", kReadP99BudgetNs);
-  std::fprintf(out, "  \"configs\": [\n");
+void WriteConfigs(std::FILE* out, const char* key,
+                  const std::vector<ConfigResult>& configs, bool trailing) {
+  std::fprintf(out, "  \"%s\": [\n", key);
   for (size_t c = 0; c < configs.size(); ++c) {
     const ConfigResult& r = configs[c];
     std::fprintf(out, "    {\n");
     std::fprintf(out, "      \"shard_count\": %zu,\n", r.shard_count);
+    std::fprintf(out, "      \"workers\": %zu,\n", r.workers);
     std::fprintf(out, "      \"clusters_total\": %zu,\n", r.clusters_total);
     std::fprintf(out,
                  "      \"ingest\": {\"events\": %llu, \"dropped\": %llu, "
@@ -292,7 +305,30 @@ void WriteJson(std::FILE* out, bool smoke, const ScaleParams& p,
     std::fprintf(out, "      ]\n");
     std::fprintf(out, "    }%s\n", c + 1 < configs.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "  ]%s\n", trailing ? "," : "");
+}
+
+void WriteJson(std::FILE* out, bool smoke, const ScaleParams& p,
+               double read_p99_baseline_ns,
+               const std::vector<ConfigResult>& configs,
+               const std::vector<ConfigResult>& worker_configs) {
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"serve_scale\",\n");
+  std::fprintf(out, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  WriteSimdProvenance(out);
+  std::fprintf(out, "  \"templates\": %zu,\n", p.templates);
+  std::fprintf(out, "  \"bins\": %lld,\n",
+               static_cast<long long>(2 * p.bins_per_wave));
+  // Self-relative gate provenance: the single-shard p99 measured in this
+  // process, and the multiple every other leg is held to.
+  std::fprintf(out, "  \"read_p99_baseline_ns\": %.0f,\n",
+               read_p99_baseline_ns);
+  std::fprintf(out, "  \"read_p99_budget_multiple\": %.1f,\n",
+               kReadP99BudgetMultiple);
+  WriteConfigs(out, "configs", configs, /*trailing=*/!worker_configs.empty());
+  if (!worker_configs.empty()) {
+    WriteConfigs(out, "worker_configs", worker_configs, /*trailing=*/false);
+  }
   std::fprintf(out, "}\n");
 }
 
@@ -321,28 +357,44 @@ int Main(int argc, char** argv) {
   p.bins_per_wave = smoke ? 8 : 10;
 
   std::vector<ConfigResult> configs;
-  bool stalled = false;
+  std::vector<ConfigResult> worker_configs;
+  auto run_leg = [&](size_t shard_count, size_t workers,
+                     std::vector<ConfigResult>* into) -> bool {
+    ConfigResult r = RunConfig(p, shard_count, workers);
+    std::fprintf(stderr,
+                 "shards=%-3zu workers=%zu clusters=%-7zu ingest %11.0f ev/s  "
+                 "cycle %8.4f s  max_lag %8.4f s  max_p99 %6.0f ns\n",
+                 r.shard_count, r.workers, r.clusters_total,
+                 r.ingest_events_per_sec, r.cycle_seconds, r.max_retrain_lag_s,
+                 r.max_p99_ns);
+    for (const ShardReadStats& st : r.shards) {
+      if (st.reads_during_retrain == 0) {
+        std::fprintf(stderr,
+                     "serve_scale: a shard completed zero reads during the "
+                     "in-flight retrain cycle at shard_count=%zu workers=%zu "
+                     "— the shard read path blocked on training\n",
+                     shard_count, workers);
+        return false;
+      }
+    }
+    into->push_back(std::move(r));
+    return true;
+  };
+
   for (size_t shard_count : kShardCounts) {
     if (only_shards != 0 && shard_count != only_shards) continue;
-    ConfigResult r = RunConfig(p, shard_count);
-    std::fprintf(stderr,
-                 "shards=%-3zu clusters=%-7zu ingest %11.0f ev/s  "
-                 "max_lag %8.4f s  max_p99 %6.0f ns\n",
-                 r.shard_count, r.clusters_total, r.ingest_events_per_sec,
-                 r.max_retrain_lag_s, r.max_p99_ns);
-    for (const ShardReadStats& st : r.shards) {
-      if (st.reads_during_retrain == 0) stalled = true;
-    }
-    if (stalled) {
-      std::fprintf(stderr,
-                   "serve_scale: a shard completed zero reads during the "
-                   "in-flight retrain cycle at shard_count=%zu — the shard "
-                   "read path blocked on training\n",
-                   shard_count);
-      return 1;
-    }
-    configs.push_back(std::move(r));
+    if (!run_leg(shard_count, /*workers=*/1, &configs)) return 1;
   }
+  // Worker-scaling legs: same template load at a fixed shard count, varying
+  // only the retrain worker pool. Skipped when iterating on one shard count.
+  if (only_shards == 0) {
+    for (size_t workers : kWorkerCounts) {
+      if (!run_leg(kWorkerLegShards, workers, &worker_configs)) return 1;
+    }
+  }
+
+  // Self-relative read-latency baseline: this process's shard_count=1 leg.
+  double read_p99_baseline_ns = configs.empty() ? 0.0 : configs[0].max_p99_ns;
 
   if (!smoke && only_shards == 0) {
     // Headline claims of the committed full run, enforced.
@@ -368,14 +420,42 @@ int Main(int argc, char** argv) {
         return 1;
       }
     }
-    // Sharding must not tax the read path: every shard's p99 stays within
-    // 2x the committed single-service p99 at every shard count.
-    for (const ConfigResult& r : configs) {
-      if (r.max_p99_ns > kReadP99BudgetNs) {
+    // Sharding (and concurrent retraining) must not tax the read path: every
+    // leg's worst shard p99 stays within 2x the single-shard p99 measured by
+    // THIS process — a same-machine, same-build baseline, so the gate tracks
+    // the hardware it runs on instead of a committed constant.
+    const double budget_ns = kReadP99BudgetMultiple * read_p99_baseline_ns;
+    auto check_p99 = [&](const std::vector<ConfigResult>& legs) -> bool {
+      for (const ConfigResult& r : legs) {
+        if (r.max_p99_ns > budget_ns) {
+          std::fprintf(stderr,
+                       "serve_scale: worst shard read p99 %.0f ns at "
+                       "shard_count=%zu workers=%zu exceeds %.1fx the "
+                       "single-shard baseline (%.0f ns budget)\n",
+                       r.max_p99_ns, r.shard_count, r.workers,
+                       kReadP99BudgetMultiple, budget_ns);
+          return false;
+        }
+      }
+      return true;
+    };
+    if (!check_p99(configs) || !check_p99(worker_configs)) return 1;
+    // Concurrent drain speedup: at 16 shards x 100k-scale clusters, 4 workers
+    // must finish the retrain cycle in under half the 1-worker wall time.
+    // Gated on the machine actually having >= 4 cores to parallelize over.
+    if (std::thread::hardware_concurrency() >= 4) {
+      const ConfigResult* w1 = nullptr;
+      const ConfigResult* w4 = nullptr;
+      for (const ConfigResult& r : worker_configs) {
+        if (r.workers == 1) w1 = &r;
+        if (r.workers == 4) w4 = &r;
+      }
+      if (w1 != nullptr && w4 != nullptr &&
+          w4->cycle_seconds >= 0.5 * w1->cycle_seconds) {
         std::fprintf(stderr,
-                     "serve_scale: worst shard read p99 %.0f ns at "
-                     "shard_count=%zu exceeds the %.0f ns budget\n",
-                     r.max_p99_ns, r.shard_count, kReadP99BudgetNs);
+                     "serve_scale: workers=4 retrain cycle %.4f s is not "
+                     "< 0.5x the workers=1 cycle %.4f s at %zu shards\n",
+                     w4->cycle_seconds, w1->cycle_seconds, kWorkerLegShards);
         return 1;
       }
     }
@@ -389,7 +469,7 @@ int Main(int argc, char** argv) {
       return 1;
     }
   }
-  WriteJson(out, smoke, p, configs);
+  WriteJson(out, smoke, p, read_p99_baseline_ns, configs, worker_configs);
   if (out != stdout) std::fclose(out);
   return 0;
 }

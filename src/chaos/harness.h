@@ -37,6 +37,18 @@ struct ChaosOptions {
   /// binned histories, drop-class conservation — chaos/oracle.h's
   /// CompareShardedIngest) plus per-shard snapshot invariants.
   size_t service_shards = 1;
+  /// Retrain workers for the sharded leg (>= 1). With > 1, scheduled shards
+  /// retrain concurrently; the leg's invariants (generation monotonicity,
+  /// snapshot finiteness, router conservation) must hold at any worker count.
+  size_t service_workers = 1;
+  /// Per-retrain watchdog deadline for the sharded leg; <= 0 disables. Arm
+  /// together with a `serve.retrain.hang` fault storm to exercise the
+  /// cancel → degraded-stale → recover path under chaos streams.
+  double retrain_deadline_seconds = 0.0;
+  /// Per-cycle retrain budget for the sharded leg (0 = unbounded). A small
+  /// budget plus a steady stream keeps the scheduler backlogged, driving the
+  /// overload controller through its degradation ladder.
+  size_t retrain_budget = 0;
   /// Production ingest settings (mirrored into the sequential reference).
   size_t queue_capacity = 1 << 15;
   size_t max_templates = 512;

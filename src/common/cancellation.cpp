@@ -1,0 +1,38 @@
+#include "common/cancellation.h"
+
+namespace dbaugur {
+
+void CancelToken::Cancel(const std::string& reason) {
+  MutexLock lock(&mu_);
+  // First cancel wins: a racing caller that already latched keeps its reason
+  // (the original trigger is what Health()/logs should surface). The release
+  // store happens inside the lock, after the reason is written, so a worker
+  // seeing cancelled() true reads the reason through the same mutex without
+  // racing the writer.
+  if (cancelled_.load(std::memory_order_relaxed)) return;
+  reason_ = reason;
+  cancelled_.store(true, std::memory_order_release);
+}
+
+std::string CancelToken::reason() const {
+  MutexLock lock(&mu_);
+  return reason_;
+}
+
+void CancelToken::Reset() {
+  MutexLock lock(&mu_);
+  reason_.clear();
+  cancelled_.store(false, std::memory_order_release);
+}
+
+Status CancelledStatus(const CancelToken& token, const std::string& what) {
+  std::string reason = token.reason();
+  std::string msg = what + " cancelled";
+  if (!reason.empty()) {
+    msg += ": ";
+    msg += reason;
+  }
+  return Status::Cancelled(std::move(msg));
+}
+
+}  // namespace dbaugur

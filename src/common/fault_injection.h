@@ -34,6 +34,13 @@
 //   serve.ingest.corrupt   TraceIngestor::Offer — corrupts the event's count
 //                          to NaN before validation (garbage-row simulation)
 //   serve.retrain.build    serve::Retrainer::Rebuild — fails the cycle
+//   serve.retrain.hang     serve::Retrainer::Rebuild — the cycle never
+//                          finishes until its CancelToken fires (watchdog
+//                          exercise); with no token it fails fast instead of
+//                          deadlocking the caller
+//   serve.retrain.slow     serve::Retrainer::Rebuild — stalls the cycle
+//                          ~200ms (deadline-overrun exercise), completing
+//                          normally unless cancelled first
 //   serve.retrain.diverge  snapshot build — marks one cluster's fit diverged
 //   binio.save.write       binio::SaveToFile — torn half-write, then error
 //   binio.save.sync        binio::SaveToFile — fsync failure before rename

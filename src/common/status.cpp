@@ -12,6 +12,7 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kOutOfRange: return "OutOfRange";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kCancelled: return "Cancelled";
   }
   return "Unknown";
 }

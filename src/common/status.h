@@ -23,6 +23,7 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  kCancelled,
 };
 
 /// Lightweight result type: a code plus a human-readable message.
@@ -50,6 +51,11 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// Cooperative cancellation (see common/cancellation.h): the operation was
+  /// stopped at a checkpoint before completing, leaving prior state intact.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/cancellation.h"
 #include "common/thread_pool.h"
 #include "ensemble/presets.h"
 #include "nn/gemm.h"
@@ -29,6 +30,16 @@ StatusOr<TrainedState> BuildTrainedState(
 StatusOr<TrainedState> BuildTrainedState(const DBAugurOptions& opts,
                                          const std::vector<ts::Series>& traces,
                                          ThreadPool* fit_pool) {
+  return BuildTrainedState(opts, traces, fit_pool, nullptr);
+}
+
+StatusOr<TrainedState> BuildTrainedState(const DBAugurOptions& opts,
+                                         const std::vector<ts::Series>& traces,
+                                         ThreadPool* fit_pool,
+                                         const CancelToken* cancel) {
+  if (cancel != nullptr && cancel->cancelled()) {
+    return CancelledStatus(*cancel, "DBAugur: training");
+  }
   if (traces.empty()) {
     return Status::FailedPrecondition("DBAugur: no workload traces ingested");
   }
@@ -53,6 +64,11 @@ StatusOr<TrainedState> BuildTrainedState(const DBAugurOptions& opts,
     if (!prop.ok()) return prop.status();
     state.trace_proportion[i] = *prop;
   }
+  // Clustering is the first long stage: re-check between it and the fits so
+  // a watchdog firing mid-cluster stops the build before any model trains.
+  if (cancel != nullptr && cancel->cancelled()) {
+    return CancelledStatus(*cancel, "DBAugur: training");
+  }
 
   // 2. Fit one DBAugur ensemble per top-K cluster on its average trace.
   // Representatives are materialized serially; the independent per-cluster
@@ -73,6 +89,13 @@ StatusOr<TrainedState> BuildTrainedState(const DBAugurOptions& opts,
   }
   auto fit_one = [&](size_t rank) {
     ClusterForecast& cf = state.forecasts[rank];
+    // Cluster-fit-granularity cancellation: a latched token skips every rank
+    // not yet started. Fits mid-flight finish their cluster — cancellation is
+    // cooperative, and a single ensemble fit is the polling quantum.
+    if (cancel != nullptr && cancel->cancelled()) {
+      cf.fit_status = Status::Cancelled("fit skipped: build cancelled");
+      return;
+    }
     auto model = ensemble::MakeDBAugur(opts.forecaster, opts.delta);
     if (!model.ok()) {
       cf.fit_status = model.status();
@@ -99,6 +122,12 @@ StatusOr<TrainedState> BuildTrainedState(const DBAugurOptions& opts,
                      });
   } else {
     for (size_t rank = 0; rank < top.size(); ++rank) fit_one(rank);
+  }
+  // A cancellation observed during the fits outranks tolerate_fit_failures:
+  // the caller asked the build to stop, so it must not publish a snapshot
+  // built from whatever subset of clusters happened to finish.
+  if (cancel != nullptr && cancel->cancelled()) {
+    return CancelledStatus(*cancel, "DBAugur: training");
   }
   if (!opts.tolerate_fit_failures) {
     for (const ClusterForecast& cf : state.forecasts) {

@@ -23,6 +23,7 @@
 #include "ts/series.h"
 
 namespace dbaugur {
+class CancelToken;
 class ThreadPool;
 }  // namespace dbaugur
 
@@ -91,6 +92,19 @@ StatusOr<TrainedState> BuildTrainedState(const DBAugurOptions& opts,
 StatusOr<TrainedState> BuildTrainedState(const DBAugurOptions& opts,
                                          const std::vector<ts::Series>& traces,
                                          ThreadPool* fit_pool);
+
+/// As above, plus cooperative cancellation: `cancel` (may be null) is polled
+/// at cluster-fit granularity — before clustering, between clustering and the
+/// fits, and at the top of every per-cluster ensemble fit. When the token is
+/// observed latched the build returns Status::Cancelled (code kCancelled)
+/// carrying the token's reason; any fits already running finish their current
+/// cluster, later ranks are skipped, and no partial state escapes. The serve
+/// watchdog uses this to bound how long a hung or overrunning retrain can
+/// occupy a worker (see serve/retrain_workers.h).
+StatusOr<TrainedState> BuildTrainedState(const DBAugurOptions& opts,
+                                         const std::vector<ts::Series>& traces,
+                                         ThreadPool* fit_pool,
+                                         const CancelToken* cancel);
 
 /// Predicts the representative trace's next value (H steps past its end):
 /// the trailing `window` values feed the cluster's ensemble.

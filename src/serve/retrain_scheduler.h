@@ -60,4 +60,56 @@ uint64_t BackoffCycles(uint64_t consecutive_failures);
 std::vector<size_t> ScheduleRetrains(const std::vector<ShardSignal>& signals,
                                      const RetrainSchedulerOptions& opts);
 
+/// Overload-adaptation knobs (see OverloadController).
+struct OverloadOptions {
+  /// Consecutive backlog-growth cycles before escalating one level
+  /// (0 disables adaptation entirely — level stays 0).
+  uint64_t grow_cycles = 3;
+  /// Consecutive non-growth cycles before recovering one level.
+  uint64_t drain_cycles = 2;
+  /// Ceiling on the degradation level (each level halves the budget and
+  /// doubles the cycle interval).
+  uint64_t max_level = 3;
+};
+
+/// Deterministic overload ladder for the sharded scheduler. Fed the total
+/// pending backlog (sum of shard queue depths) once per completed cycle, it
+/// tracks whether the service is keeping up: `grow_cycles` consecutive cycles
+/// of strictly growing backlog escalate one degradation level; `drain_cycles`
+/// consecutive cycles of non-growing backlog recover one. Each level halves
+/// the effective per-cycle retrain budget (never below 1) and doubles the
+/// scheduler interval (2^level), shedding retrain work before queues blow
+/// out; when lag drains the ladder walks back down to full throughput on its
+/// own. Pure state machine — no clocks, no randomness — so tests pin exact
+/// escalate/recover schedules.
+class OverloadController {
+ public:
+  explicit OverloadController(const OverloadOptions& opts) : opts_(opts) {}
+
+  /// Feeds one completed cycle's backlog sample; returns the level after the
+  /// update. Single-threaded by contract (the sharded service calls it under
+  /// cycle_mu_).
+  uint64_t Observe(uint64_t backlog);
+
+  uint64_t level() const { return level_; }
+
+  /// Budget after degradation: `base_budget` (0 = unbounded, i.e.
+  /// `shard_count`) halved once per level, floored at 1 so the scheduler
+  /// always stays work-conserving.
+  size_t DegradedBudget(size_t base_budget, size_t shard_count) const;
+
+  /// Multiplier on the retrain interval: 2^level.
+  double IntervalScale() const {
+    return static_cast<double>(uint64_t{1} << level_);
+  }
+
+ private:
+  OverloadOptions opts_;
+  uint64_t level_ = 0;
+  uint64_t growth_streak_ = 0;
+  uint64_t drain_streak_ = 0;
+  uint64_t last_backlog_ = 0;
+  bool have_last_ = false;
+};
+
 }  // namespace dbaugur::serve

@@ -1,0 +1,160 @@
+#include "serve/retrain_workers.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace dbaugur::serve {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+SteadyClock::duration SecondsToDuration(double seconds) {
+  return std::chrono::duration_cast<SteadyClock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+double DurationToSeconds(SteadyClock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+RetrainWorkerPool::RetrainWorkerPool(size_t workers) {
+  DBAUGUR_CHECK(workers >= 1, "RetrainWorkerPool needs at least one worker");
+  threads_.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+RetrainWorkerPool::~RetrainWorkerPool() {
+  {
+    MutexLock lock(&mu_);
+    // The owning service serializes RunCycle behind its cycle lock and joins
+    // its scheduler thread before destroying the pool, so no cycle can be in
+    // flight here.
+    DBAUGUR_CHECK(!cycle_active_,
+                  "RetrainWorkerPool destroyed mid-cycle");
+    stop_ = true;
+  }
+  work_cv_.NotifyAll();
+  for (std::thread& t : threads_) t.join();
+}
+
+void RetrainWorkerPool::WorkerLoop(size_t worker_idx) {
+  mu_.Lock();
+  for (;;) {
+    // Explicit predicate loop (not a wait lambda) — see common/mutex.h.
+    while (!stop_ && !(cycle_active_ && next_ < tasks_.size())) {
+      work_cv_.Wait(&mu_);
+    }
+    if (stop_) break;
+    // Claim the next task in schedule order (shared-FIFO discipline: the
+    // priority order is preserved at any worker count).
+    Task* task = tasks_[next_++].get();
+    task->state = Task::State::kRunning;
+    SteadyClock::time_point start = SteadyClock::now();
+    if (deadline_seconds_ > 0.0) {
+      task->deadline = start + SecondsToDuration(deadline_seconds_);
+      task->has_deadline = true;
+    }
+    const WorkFn* work = work_;
+    mu_.Unlock();
+    // The retrain itself runs unlocked; the token is the only channel the
+    // watchdog needs into it. The status is already recorded shard-side.
+    (void)(*work)(task->shard_id, worker_idx, &task->token);
+    SteadyClock::duration elapsed = SteadyClock::now() - start;
+    mu_.Lock();
+    task->seconds = DurationToSeconds(elapsed);
+    task->state = Task::State::kDone;
+    --remaining_;
+    // NotifyAll, not NotifyOne: the watchdog must re-evaluate deadlines on
+    // every completion, and a stopping pool may have peers waiting too.
+    done_cv_.NotifyAll();
+  }
+  mu_.Unlock();
+}
+
+RetrainCycleReport RetrainWorkerPool::RunCycle(const std::vector<size_t>& order,
+                                               double deadline_seconds,
+                                               const WorkFn& work) {
+  RetrainCycleReport report;
+  if (order.empty()) return report;
+  MutexLock lock(&mu_);
+  DBAUGUR_CHECK(!cycle_active_, "RetrainWorkerPool::RunCycle is not reentrant");
+  tasks_.clear();
+  tasks_.reserve(order.size());
+  for (size_t shard_id : order) {
+    auto task = std::make_unique<Task>();
+    task->shard_id = shard_id;
+    tasks_.push_back(std::move(task));
+  }
+  work_ = &work;
+  deadline_seconds_ = deadline_seconds;
+  next_ = 0;
+  remaining_ = tasks_.size();
+  cycle_active_ = true;
+  work_cv_.NotifyAll();
+
+  // Watchdog: supervise from the calling thread until the cycle drains. With
+  // no deadline configured this degenerates to a plain completion wait.
+  const bool watching = deadline_seconds > 0.0;
+  // Poll quantum: an idle-looking cycle still wakes this often, because a
+  // pending task may have just started and set a deadline the previous pass
+  // never saw. Bounded below at 1ms so sub-millisecond deadlines can't spin.
+  const SteadyClock::duration poll =
+      watching ? SecondsToDuration(std::max(deadline_seconds / 4.0, 1e-3))
+               : SteadyClock::duration::zero();
+  while (remaining_ > 0) {
+    if (!watching) {
+      done_cv_.Wait(&mu_);
+      continue;
+    }
+    SteadyClock::time_point now = SteadyClock::now();
+    SteadyClock::time_point wake = now + poll;
+    for (const std::unique_ptr<Task>& task : tasks_) {
+      if (task->state != Task::State::kRunning || !task->has_deadline) {
+        continue;
+      }
+      if (now >= task->deadline) {
+        if (!task->token.cancelled()) {
+          std::ostringstream reason;
+          reason << "watchdog: shard " << task->shard_id
+                 << " retrain exceeded its " << deadline_seconds
+                 << "s deadline";
+          // Cancel takes only the token's leaf mutex — workers never hold it
+          // while acquiring mu_, so latching under mu_ cannot deadlock.
+          task->token.Cancel(reason.str());
+        }
+      } else {
+        wake = std::min(wake, task->deadline);
+      }
+    }
+    done_cv_.WaitUntil(&mu_, wake);
+  }
+
+  report.tasks.reserve(tasks_.size());
+  for (const std::unique_ptr<Task>& task : tasks_) {
+    RetrainTaskResult r;
+    r.shard_id = task->shard_id;
+    r.cancelled = task->token.cancelled();
+    r.seconds = task->seconds;
+    if (r.cancelled) {
+      r.cancel_reason = task->token.reason();
+      ++report.cancelled;
+    } else {
+      ++report.completed;
+    }
+    report.tasks.push_back(std::move(r));
+  }
+  tasks_.clear();
+  work_ = nullptr;
+  cycle_active_ = false;
+  return report;
+}
+
+}  // namespace dbaugur::serve

@@ -1,15 +1,31 @@
 #include "serve/retrainer.h"
 
+#include <chrono>
 #include <cmath>
 #include <string>
+#include <thread>
 #include <utility>
 
+#include "common/cancellation.h"
 #include "common/contracts.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/math_utils.h"
 
 namespace dbaugur::serve {
+
+namespace {
+
+// Fault-sleep quantum: small enough that a watchdog cancel is observed within
+// a few milliseconds, large enough not to spin.
+constexpr auto kFaultSliceMs = std::chrono::milliseconds(2);
+
+// serve.retrain.slow holds the cycle for this long (unless cancelled first) —
+// long relative to the sub-100ms deadlines tests arm, short enough that an
+// uncancelled slow cycle doesn't stall a suite.
+constexpr int kSlowFaultSlices = 100;  // ~200ms
+
+}  // namespace
 
 Retrainer::Retrainer(const core::DBAugurOptions& pipeline,
                      const RetrainerOptions& opts)
@@ -28,12 +44,40 @@ void Retrainer::Fold(const std::vector<TraceEvent>& events) {
 
 StatusOr<std::shared_ptr<const ServiceSnapshot>> Retrainer::Rebuild(
     uint64_t generation, const ServiceSnapshot* last_good,
-    ThreadPool* fit_pool) {
+    ThreadPool* fit_pool, const CancelToken* cancel) {
   if (binner_.bin_count() < min_bins_) {
     return std::shared_ptr<const ServiceSnapshot>();
   }
+  if (cancel != nullptr && cancel->cancelled()) {
+    return CancelledStatus(*cancel, "serve: retrain");
+  }
   if (DBAUGUR_FAULT_POINT("serve.retrain.build")) {
     return Status::Internal("serve: injected retrain failure");
+  }
+  // Both stall faults sit before the per-cycle seed draw, so a cancelled hung
+  // or slow cycle leaves the seed stream untouched — restart determinism is
+  // unaffected no matter how many cycles a storm kills.
+  if (DBAUGUR_FAULT_POINT("serve.retrain.hang")) {
+    if (cancel == nullptr) {
+      // Nothing can ever cancel this cycle (no watchdog above us); hanging
+      // for real would deadlock the caller, so fail fast instead.
+      return Status::Internal(
+          "serve: injected retrain hang with no cancel token");
+    }
+    // Simulated hang: never finishes on its own. Only the watchdog's cancel
+    // releases the worker — exactly the failure mode the deadline exists for.
+    while (!cancel->cancelled()) std::this_thread::sleep_for(kFaultSliceMs);
+    return CancelledStatus(*cancel, "serve: retrain (hung)");
+  }
+  if (DBAUGUR_FAULT_POINT("serve.retrain.slow")) {
+    // Simulated overrun: the cycle eventually completes unless a deadline
+    // shorter than the stall cancels it first.
+    for (int i = 0; i < kSlowFaultSlices; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        return CancelledStatus(*cancel, "serve: retrain (slow)");
+      }
+      std::this_thread::sleep_for(kFaultSliceMs);
+    }
   }
   auto traces = binner_.Traces();
   if (!traces.ok()) return traces.status();
@@ -74,6 +118,12 @@ StatusOr<std::shared_ptr<const ServiceSnapshot>> Retrainer::Rebuild(
     }
   }
 
+  // Last pre-draw cancellation checkpoint: past this line a cancelled cycle
+  // has consumed its seed draw (like any post-draw failure).
+  if (cancel != nullptr && cancel->cancelled()) {
+    return CancelledStatus(*cancel, "serve: retrain");
+  }
+
   // One seed per completed cycle, drawn from the retrainer's own stream so
   // cycle k trains identically on every run (and on every restart, via the
   // fast-forward in LoadState).
@@ -81,7 +131,7 @@ StatusOr<std::shared_ptr<const ServiceSnapshot>> Retrainer::Rebuild(
   opts.forecaster.seed = seed_rng_.engine()();
   opts.tolerate_fit_failures = true;
 
-  auto state = core::BuildTrainedState(opts, *traces, fit_pool);
+  auto state = core::BuildTrainedState(opts, *traces, fit_pool, cancel);
   if (!state.ok()) return state.status();
   SnapshotFallback fb;
   fb.opts = &opts;

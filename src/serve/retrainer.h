@@ -35,6 +35,7 @@
 #include "serve/snapshot.h"
 
 namespace dbaugur {
+class CancelToken;
 class ThreadPool;
 }  // namespace dbaugur
 
@@ -76,9 +77,19 @@ class Retrainer {
   /// `fit_pool` (may be null) is a caller-owned thread pool for the
   /// per-cluster ensemble fits — the sharded service passes one per retrain
   /// worker; results are bit-identical with or without it.
+  ///
+  /// `cancel` (may be null) is a cooperative cancellation token polled at
+  /// cluster-fit granularity (see core::BuildTrainedState) and inside the
+  /// `serve.retrain.hang` / `serve.retrain.slow` fault sleeps. A cancelled
+  /// cycle returns Status::Cancelled with the token's reason; the binner keeps
+  /// everything folded so far and the cycle counter does not advance. A
+  /// cancellation observed before the per-cycle seed draw (fault sleeps,
+  /// trace materialization, winsorize) leaves the seed stream exactly as if
+  /// the cycle had never been attempted; one observed inside the build
+  /// consumes that cycle's draw, the same as any post-draw failure.
   StatusOr<std::shared_ptr<const ServiceSnapshot>> Rebuild(
       uint64_t generation, const ServiceSnapshot* last_good,
-      ThreadPool* fit_pool = nullptr);
+      ThreadPool* fit_pool = nullptr, const CancelToken* cancel = nullptr);
 
   /// Completed training cycles (drives the deterministic seed stream).
   uint64_t cycles() const { return cycles_; }

@@ -47,11 +47,21 @@ void ServiceShard::Publish(std::shared_ptr<const ServiceSnapshot> snap,
   }
   generation_.store(gen, std::memory_order_release);
   last_publish_stamp_.store(NowNanos(), std::memory_order_relaxed);
+  // A fresh publish supersedes any watchdog-cancelled cycle: the shard is no
+  // longer serving stale state, so drop the marker and its reason.
+  if (degraded_stale_.load(std::memory_order_relaxed)) {
+    {
+      MutexLock lock(&error_mu_);
+      stale_reason_.clear();
+    }
+    degraded_stale_.store(false, std::memory_order_release);
+  }
 }
 
 void ServiceShard::RecordFailure(const Status& st) {
   retrains_failed_.fetch_add(1, std::memory_order_relaxed);
   consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
+  last_error_stamp_.store(NowNanos(), std::memory_order_relaxed);
   {
     MutexLock lock(&error_mu_);
     // retrainer_ access is legal here: DBAUGUR_REQUIRES(retrain_mu_).
@@ -65,15 +75,19 @@ void ServiceShard::RecordFailure(const Status& st) {
                                << " retrain cycle failed: " << st.message());
 }
 
-Status ServiceShard::RetrainOnce(ThreadPool* fit_pool) {
+Status ServiceShard::RetrainOnce(ThreadPool* fit_pool,
+                                 const CancelToken* cancel) {
   uint64_t t0 = NowNanos();
   MutexLock lock(&retrain_mu_);
+  // Drain + fold before any cancellation checkpoint: even a cycle the
+  // watchdog kills instantly moves its queued events into the binner, so
+  // cancellation never loses data — the next successful cycle trains on them.
   std::vector<TraceEvent> events;
   ingestor_.Drain(&events);
   retrainer_.Fold(events);
   uint64_t next_gen = generation_.load(std::memory_order_relaxed) + 1;
   auto last_good = snapshot();
-  auto snap = retrainer_.Rebuild(next_gen, last_good.get(), fit_pool);
+  auto snap = retrainer_.Rebuild(next_gen, last_good.get(), fit_pool, cancel);
   values_winsorized_.store(retrainer_.values_winsorized(),
                            std::memory_order_relaxed);
   // The "retrain lag" a scheduler cares about: how long drained events take
@@ -84,6 +98,17 @@ Status ServiceShard::RetrainOnce(ThreadPool* fit_pool) {
   };
   if (!snap.ok()) {
     RecordFailure(snap.status());
+    if (snap.status().code() == StatusCode::kCancelled) {
+      // Cancellation is a failure (it feeds the backoff streak above) plus a
+      // staleness marker: the shard keeps serving last-good, and Health()
+      // surfaces why until the next successful publish clears it.
+      retrains_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      {
+        MutexLock elock(&error_mu_);
+        stale_reason_ = snap.status().message();
+      }
+      degraded_stale_.store(true, std::memory_order_release);
+    }
     record_duration();
     return snap.status();
   }
@@ -97,6 +122,18 @@ Status ServiceShard::RetrainOnce(ThreadPool* fit_pool) {
   retrains_completed_.fetch_add(1, std::memory_order_relaxed);
   record_duration();
   return Status::OK();
+}
+
+std::string ServiceShard::stale_reason() const {
+  MutexLock lock(&error_mu_);
+  return stale_reason_;
+}
+
+double ServiceShard::last_error_age_seconds() const {
+  uint64_t stamp = last_error_stamp_.load(std::memory_order_relaxed);
+  if (stamp == 0) return -1.0;
+  uint64_t now = NowNanos();
+  return now > stamp ? static_cast<double>(now - stamp) * 1e-9 : 0.0;
 }
 
 double ServiceShard::last_retrain_seconds() const {

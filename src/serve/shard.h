@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -164,7 +165,17 @@ class ServiceShard {
   /// the published snapshot is untouched. Serialized against concurrent
   /// retrains and state install via retrain_mu_. `fit_pool` (may be null) is
   /// a caller-owned pool for the per-cluster ensemble fits.
-  Status RetrainOnce(ThreadPool* fit_pool = nullptr)
+  ///
+  /// `cancel` (may be null) is a cooperative deadline/watchdog token (see
+  /// common/cancellation.h) polled at cluster-fit granularity. A cancelled
+  /// cycle counts as a failure — it feeds the consecutive_failures backoff
+  /// streak and retrains_cancelled — and additionally marks the shard
+  /// degraded-stale: it keeps serving the last-good snapshot, with the cancel
+  /// reason surfaced through degraded_stale()/stale_reason() until the next
+  /// successful publish clears it. Events drained before the cancellation are
+  /// already folded into the binner, so no data is lost.
+  Status RetrainOnce(ThreadPool* fit_pool = nullptr,
+                     const CancelToken* cancel = nullptr)
       DBAUGUR_EXCLUDES(retrain_mu_);
 
   ServeStats stats() const;
@@ -180,6 +191,22 @@ class ServiceShard {
   uint64_t consecutive_failures() const {
     return consecutive_failures_.load(std::memory_order_relaxed);
   }
+  /// Retrain cycles that ended in cooperative cancellation (watchdog or
+  /// deadline; a subset of retrains_failed).
+  uint64_t retrains_cancelled() const {
+    return retrains_cancelled_.load(std::memory_order_relaxed);
+  }
+  /// True while the shard serves a last-good snapshot because its most recent
+  /// retrain was cancelled mid-flight. Cleared by the next successful publish
+  /// (or state install).
+  bool degraded_stale() const {
+    return degraded_stale_.load(std::memory_order_acquire);
+  }
+  /// Why the shard is degraded-stale (empty when it is not).
+  std::string stale_reason() const DBAUGUR_EXCLUDES(error_mu_);
+  /// Seconds since the most recent retrain failure was recorded (negative
+  /// when no retrain has ever failed).
+  double last_error_age_seconds() const;
   /// Duration of the most recent RetrainOnce call, seconds (0 before any).
   double last_retrain_seconds() const;
   /// Seconds since the last snapshot publish (since construction before one).
@@ -225,9 +252,10 @@ class ServiceShard {
   const ServeOptions& options() const { return opts_; }
 
  private:
-  /// Swaps in a new snapshot + generation under snapshot_mu_.
+  /// Swaps in a new snapshot + generation under snapshot_mu_ and clears any
+  /// degraded-stale marker (the shard is fresh again).
   void Publish(std::shared_ptr<const ServiceSnapshot> snap, uint64_t gen)
-      DBAUGUR_EXCLUDES(snapshot_mu_);
+      DBAUGUR_EXCLUDES(snapshot_mu_, error_mu_);
 
   /// Records a retrain failure: counters, last_error, one WARN log line.
   /// Reads retrainer_.cycles(), hence the retrain_mu_ requirement.
@@ -252,18 +280,23 @@ class ServiceShard {
   std::atomic<uint64_t> retrains_completed_{0};
   std::atomic<uint64_t> retrains_skipped_{0};
   std::atomic<uint64_t> retrains_failed_{0};
+  std::atomic<uint64_t> retrains_cancelled_{0};
   std::atomic<uint64_t> consecutive_failures_{0};
   std::atomic<uint64_t> values_winsorized_{0};
+  /// Set when the last retrain was cancelled; cleared on the next publish.
+  std::atomic<bool> degraded_stale_{false};
 
   /// Monotonic-clock nanosecond stamps (steady_clock since-epoch) for the
   /// Health() staleness / duration fields. Stamp 0 means "not yet".
   std::atomic<uint64_t> last_retrain_nanos_{0};
   std::atomic<uint64_t> last_publish_stamp_{0};
+  std::atomic<uint64_t> last_error_stamp_{0};
 
-  mutable Mutex error_mu_;  ///< Guards the last_error record.
+  mutable Mutex error_mu_;  ///< Guards the last_error / stale-reason records.
   std::string last_error_ DBAUGUR_GUARDED_BY(error_mu_);
   uint64_t last_error_cycles_ DBAUGUR_GUARDED_BY(error_mu_) = 0;
   uint64_t last_error_generation_ DBAUGUR_GUARDED_BY(error_mu_) = 0;
+  std::string stale_reason_ DBAUGUR_GUARDED_BY(error_mu_);
 };
 
 }  // namespace dbaugur::serve

@@ -8,7 +8,6 @@
 #include "common/binio.h"
 #include "common/contracts.h"
 #include "common/logging.h"
-#include "common/work_queue.h"
 
 namespace dbaugur::serve {
 
@@ -19,7 +18,7 @@ constexpr uint32_t kShardedVersion = 1;
 }  // namespace
 
 ShardedForecastService::ShardedForecastService(const ShardedServeOptions& opts)
-    : opts_(opts) {
+    : opts_(opts), overload_(opts.overload) {
   DBAUGUR_CHECK(opts_.shard_count >= 1,
                 "ShardedForecastService shard_count must be >= 1");
   DBAUGUR_CHECK(opts_.retrain_workers >= 1,
@@ -36,6 +35,9 @@ ShardedForecastService::ShardedForecastService(const ShardedServeOptions& opts)
   {
     MutexLock lock(&cycle_mu_);
     cycles_waited_.assign(shards_.size(), 0);
+    effective_budget_.store(
+        overload_.DegradedBudget(opts_.retrain_budget, shards_.size()),
+        std::memory_order_relaxed);
   }
   // One long-lived fit pool per retrain worker: per-cluster ensemble fits
   // inside a shard rebuild parallelize on the worker's own pool instead of
@@ -48,79 +50,106 @@ ShardedForecastService::ShardedForecastService(const ShardedServeOptions& opts)
       fit_pools_.push_back(std::make_unique<ThreadPool>(fit_threads));
     }
   }
+  worker_pool_ = std::make_unique<RetrainWorkerPool>(opts_.retrain_workers);
 }
 
 ShardedForecastService::~ShardedForecastService() { Stop(); }
 
 std::vector<size_t> ShardedForecastService::RetrainCycle() {
-  MutexLock lock(&cycle_mu_);
-  std::vector<ShardSignal> signals;
-  signals.reserve(shards_.size());
-  uint64_t total_pending = 0;
-  uint64_t max_wait = 0;
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    ShardSignal s;
-    s.shard_id = i;
-    s.pending_events = shards_[i]->queue_depth();
-    s.cycles_waited = cycles_waited_[i];
-    s.consecutive_failures = shards_[i]->consecutive_failures();
-    total_pending += s.pending_events;
-    if (s.pending_events > 0) max_wait = std::max(max_wait, s.cycles_waited);
-    signals.push_back(s);
-  }
-  std::vector<size_t> order = ScheduleRetrains(
-      signals,
-      RetrainSchedulerOptions{opts_.retrain_budget, opts_.starvation_cycles});
-
-  if (!order.empty()) {
-    // Workers pop the shared queue, so the priority order is preserved no
-    // matter how many threads drain it. Shards share no mutable state —
-    // concurrent RetrainOnce calls on distinct shards are independent.
-    IndexQueue queue(order);
-    size_t workers = std::min(opts_.retrain_workers, order.size());
-    auto work = [this, &queue](size_t worker_idx) {
-      ThreadPool* pool = worker_idx < fit_pools_.size()
-                             ? fit_pools_[worker_idx].get()
-                             : nullptr;
-      size_t shard_id = 0;
-      while (queue.Pop(&shard_id)) {
-        // Failures are recorded in the shard's stats and backed off by the
-        // scheduler (in cycles); the cycle itself keeps draining.
-        (void)shards_[shard_id]->RetrainOnce(pool);
+  std::vector<size_t> order;
+  std::string cycle_line;
+  {
+    MutexLock lock(&cycle_mu_);
+    std::vector<ShardSignal> signals;
+    signals.reserve(shards_.size());
+    uint64_t total_pending = 0;
+    uint64_t max_wait = 0;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      ShardSignal s;
+      s.shard_id = i;
+      s.pending_events = shards_[i]->queue_depth();
+      // A cancelled retrain drained its queue into the binner without
+      // publishing, so a degraded-stale shard still owes the scheduler a
+      // retrain even when no new traffic arrives — otherwise the
+      // work-conserving skip would pin it on its last-good snapshot forever.
+      if (s.pending_events == 0 && shards_[i]->degraded_stale()) {
+        s.pending_events = 1;
       }
-    };
-    if (workers <= 1) {
-      work(0);
-    } else {
-      std::vector<std::thread> threads;
-      threads.reserve(workers - 1);
-      for (size_t w = 1; w < workers; ++w) threads.emplace_back(work, w);
-      work(0);
-      for (std::thread& t : threads) t.join();
+      s.cycles_waited = cycles_waited_[i];
+      s.consecutive_failures = shards_[i]->consecutive_failures();
+      total_pending += s.pending_events;
+      if (s.pending_events > 0) max_wait = std::max(max_wait, s.cycles_waited);
+      signals.push_back(s);
+    }
+    // Overload ladder: feed this cycle's backlog sample, then schedule within
+    // the (possibly degraded) budget. Deterministic given the same stream of
+    // backlog samples, so identical runs degrade identically.
+    uint64_t level = overload_.Observe(total_pending);
+    size_t budget =
+        overload_.DegradedBudget(opts_.retrain_budget, shards_.size());
+    overload_level_.store(level, std::memory_order_release);
+    effective_budget_.store(budget, std::memory_order_relaxed);
+    order = ScheduleRetrains(
+        signals, RetrainSchedulerOptions{budget, opts_.starvation_cycles});
+
+    RetrainCycleReport report;
+    if (!order.empty()) {
+      // The persistent pool's workers claim shards in schedule order, so the
+      // priority order is preserved at any worker count; shards share no
+      // mutable state, so concurrent RetrainOnce calls are independent. This
+      // thread watchdogs the cycle while RunCycle blocks: overrunning or hung
+      // retrains are cancelled within ~one deadline and recorded shard-side
+      // as cancelled failures (degraded-stale + backoff).
+      report = worker_pool_->RunCycle(
+          order, opts_.retrain_deadline_seconds,
+          [this](size_t shard_id, size_t worker_idx,
+                 const CancelToken* cancel) {
+            ThreadPool* pool = worker_idx < fit_pools_.size()
+                                   ? fit_pools_[worker_idx].get()
+                                   : nullptr;
+            return shards_[shard_id]->RetrainOnce(pool, cancel);
+          });
+      if (report.cancelled > 0) {
+        retrains_cancelled_.fetch_add(report.cancelled,
+                                      std::memory_order_relaxed);
+      }
+    }
+
+    for (size_t i = 0; i < cycles_waited_.size(); ++i) ++cycles_waited_[i];
+    for (size_t id : order) cycles_waited_[id] = 0;
+    ++cycle_counter_;
+    cycles_done_.store(cycle_counter_, std::memory_order_release);
+
+    if (!order.empty()) {
+      // One line per productive cycle (idle ticks stay silent), carrying the
+      // overload/watchdog telemetry. Built into a local buffer here and
+      // emitted after cycle_mu_ is released — no lock is held while the
+      // logging backend runs.
+      std::ostringstream line;
+      line << "serve: cycle " << cycle_counter_ << " retrained "
+           << report.completed << "/" << order.size() << " scheduled ("
+           << shards_.size() << " shards) [";
+      size_t shown = std::min<size_t>(order.size(), 8);
+      for (size_t i = 0; i < shown; ++i) {
+        if (i > 0) line << ' ';
+        line << order[i];
+      }
+      if (order.size() > shown) line << " ...";
+      line << "] pending=" << total_pending << " max_wait=" << max_wait
+           << " overload=" << level << " budget=" << budget;
+      if (report.cancelled > 0) {
+        line << " watchdog_cancelled=" << report.cancelled;
+        for (const RetrainTaskResult& t : report.tasks) {
+          if (t.cancelled) {
+            line << " [shard " << t.shard_id << ": " << t.cancel_reason << "]";
+            break;  // one example reason is enough for the log
+          }
+        }
+      }
+      cycle_line = line.str();
     }
   }
-
-  for (size_t i = 0; i < cycles_waited_.size(); ++i) ++cycles_waited_[i];
-  for (size_t id : order) cycles_waited_[id] = 0;
-  ++cycle_counter_;
-  cycles_done_.store(cycle_counter_, std::memory_order_release);
-
-  if (!order.empty()) {
-    // One line per productive cycle (idle ticks stay silent). Formatted into
-    // a local buffer first — no shard lock is held while building it, and
-    // cycle_mu_ only serializes other scheduler callers.
-    std::ostringstream line;
-    line << "serve: cycle " << cycle_counter_ << " retrained " << order.size()
-         << "/" << shards_.size() << " shards [";
-    size_t shown = std::min<size_t>(order.size(), 8);
-    for (size_t i = 0; i < shown; ++i) {
-      if (i > 0) line << ' ';
-      line << order[i];
-    }
-    if (order.size() > shown) line << " ...";
-    line << "] pending=" << total_pending << " max_wait=" << max_wait;
-    DBAUGUR_INFO(line.str());
-  }
+  if (!cycle_line.empty()) DBAUGUR_INFO(cycle_line);
   return order;
 }
 
@@ -156,12 +185,17 @@ void ShardedForecastService::SchedulerLoop() {
     (void)RetrainCycle();
     // Per-shard failure backoff is in scheduler cycles (see
     // retrain_scheduler.h), so the loop ticks at a constant period instead of
-    // stretching globally the way ForecastService's single-shard loop does.
+    // stretching globally the way ForecastService's single-shard loop does —
+    // except under overload, where the degradation ladder widens the tick by
+    // 2^level until backlog drains (see OverloadController).
+    double interval = opts_.shard.retrain_interval_seconds *
+                      static_cast<double>(
+                          uint64_t{1}
+                          << overload_level_.load(std::memory_order_acquire));
     auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double>(
-                opts_.shard.retrain_interval_seconds));
+            std::chrono::duration<double>(interval));
     // Explicit predicate loop (not a wait_for lambda): the thread-safety
     // analysis checks lambda bodies as unannotated functions, so a predicate
     // reading the guarded stopping_ flag would be rejected.
@@ -208,6 +242,12 @@ ShardedServiceHealth ShardedForecastService::Health() const {
     waited = cycles_waited_;
     h.cycles = cycle_counter_;
   }
+  h.retrains_cancelled = retrains_cancelled_.load(std::memory_order_relaxed);
+  h.overload_level = overload_level_.load(std::memory_order_acquire);
+  h.effective_budget =
+      static_cast<size_t>(effective_budget_.load(std::memory_order_relaxed));
+  h.interval_multiplier =
+      static_cast<double>(uint64_t{1} << h.overload_level);
   bool any_backoff = false;
   bool any_degraded = false;
   bool any_trained = false;
@@ -226,11 +266,30 @@ ShardedServiceHealth ShardedForecastService::Health() const {
     row.drops = shard.drop_stats();
     row.retrains_completed = s.retrains_completed;
     row.retrains_failed = s.retrains_failed;
+    row.retrains_cancelled = shard.retrains_cancelled();
     row.consecutive_failures = s.consecutive_failures;
+    row.degraded_stale = shard.degraded_stale();
+    if (row.degraded_stale) {
+      row.stale_reason = shard.stale_reason();
+      ++h.stale_shards;
+    }
     row.last_retrain_seconds = shard.last_retrain_seconds();
     row.staleness_seconds = shard.staleness_seconds();
+    row.last_error_age_seconds = shard.last_error_age_seconds();
     row.cycles_waited = i < waited.size() ? waited[i] : 0;
     row.last_error = s.last_error;
+    // Service-wide ingest aggregates (the flat service has always reported
+    // these; the sharded Health now sums them across shards).
+    h.events_accepted += s.events_accepted;
+    h.events_dropped += s.events_dropped;
+    h.events_quarantined += s.events_quarantined;
+    h.drops.full += row.drops.full;
+    h.drops.template_id += row.drops.template_id;
+    h.drops.nonfinite += row.drops.nonfinite;
+    h.drops.negative += row.drops.negative;
+    h.drops.stale += row.drops.stale;
+    h.drops.pre_epoch += row.drops.pre_epoch;
+    h.drops.future += row.drops.future;
     if (s.consecutive_failures > 0) {
       row.state = ServiceHealth::State::kBackoff;
       any_backoff = true;

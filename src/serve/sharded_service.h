@@ -25,10 +25,27 @@
 // Retraining: each RetrainCycle samples per-shard signals (queue depth,
 // cycles waited, failure streak), asks serve/retrain_scheduler.h for a
 // deterministic priority order (traffic × staleness, starvation-bounded,
-// failure-backoff in cycles), and drains that order through up to
-// retrain_workers threads popping a shared IndexQueue — hot shards first
-// regardless of worker count. Reads are never blocked: they route to the
-// shard and copy its snapshot pointer.
+// failure-backoff in cycles), and drains that order through a persistent
+// RetrainWorkerPool (serve/retrain_workers.h) — workers claim shards in
+// schedule order, so hot shards go first regardless of worker count. Reads
+// are never blocked: they route to the shard and copy its snapshot pointer.
+//
+// Deadlines + watchdog: with retrain_deadline_seconds > 0, every shard
+// retrain runs under a per-task deadline with a cooperative CancelToken
+// polled at cluster-fit granularity. The scheduler thread watchdogs the cycle
+// while it waits: an overrunning or hung retrain (exercised by the
+// serve.retrain.hang / serve.retrain.slow fault points) is cancelled within
+// ~one deadline of the overrun, the shard keeps serving its last-good
+// snapshot marked degraded-stale (reason in Health()), and the cancellation
+// feeds the shard's failure-backoff streak. One stuck shard can therefore
+// never stall the publish loop for the others.
+//
+// Overload degradation: an OverloadController watches total backlog across
+// cycles. Sustained growth (the service is not keeping up) walks a
+// deterministic ladder — each level halves the per-cycle retrain budget and
+// doubles the scheduler interval — shedding retrain work before queues blow
+// out, and walks back down automatically once lag drains. Level, effective
+// budget, and interval multiplier are surfaced in Health().
 //
 // Checkpoint manifest format (all through common/binio's CRC32-framed
 // write-temp → fsync → rename path, previous good file kept as `.bak`):
@@ -67,6 +84,7 @@
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "serve/retrain_scheduler.h"
+#include "serve/retrain_workers.h"
 #include "serve/shard.h"
 
 namespace dbaugur::serve {
@@ -80,6 +98,12 @@ struct ShardedServeOptions {
   size_t retrain_workers = 1;
   /// Cycles a pending shard may wait before forced promotion (>= 1).
   uint64_t starvation_cycles = 4;
+  /// Per-shard retrain deadline within a cycle, seconds (<= 0 disables the
+  /// watchdog). An overrunning retrain is cooperatively cancelled; the shard
+  /// serves last-good and backs off.
+  double retrain_deadline_seconds = 0.0;
+  /// Overload-adaptive degradation ladder (see OverloadController).
+  OverloadOptions overload;
 };
 
 /// One shard's row in Health(): identity, serving state, queue pressure,
@@ -95,9 +119,16 @@ struct ShardHealth {
   IngestDropStats drops;
   uint64_t retrains_completed = 0;
   uint64_t retrains_failed = 0;
+  uint64_t retrains_cancelled = 0;    ///< Watchdog/deadline cancellations.
   uint64_t consecutive_failures = 0;
+  /// True while the shard serves a last-good snapshot because its most
+  /// recent retrain was cancelled mid-flight; `stale_reason` says why.
+  bool degraded_stale = false;
+  std::string stale_reason;
   double last_retrain_seconds = 0.0;  ///< Duration of the last retrain.
   double staleness_seconds = 0.0;     ///< Since the last snapshot publish.
+  /// Wall-clock age of the last recorded retrain failure (< 0: never failed).
+  double last_error_age_seconds = -1.0;
   uint64_t cycles_waited = 0;         ///< Scheduler cycles since last pick.
   std::string last_error;
 };
@@ -108,6 +139,22 @@ struct ShardedServiceHealth {
   /// shard serves a trained snapshot, else kUntrained.
   ServiceHealth::State state = ServiceHealth::State::kUntrained;
   uint64_t cycles = 0;  ///< Completed scheduler cycles.
+
+  /// Service-wide ingest aggregates (previously only per flat service):
+  /// accepted events, total drops, the quarantined subset, and the full
+  /// per-category drop breakdown summed across shards.
+  uint64_t events_accepted = 0;
+  uint64_t events_dropped = 0;
+  uint64_t events_quarantined = 0;
+  IngestDropStats drops;
+
+  /// Watchdog + overload telemetry.
+  uint64_t retrains_cancelled = 0;   ///< Total watchdog cancellations.
+  size_t stale_shards = 0;           ///< Shards currently degraded-stale.
+  uint64_t overload_level = 0;       ///< Current degradation-ladder level.
+  size_t effective_budget = 0;       ///< Post-degradation per-cycle budget.
+  double interval_multiplier = 1.0;  ///< Scheduler-interval widening factor.
+
   std::vector<ShardHealth> shards;
 };
 
@@ -147,12 +194,15 @@ class ShardedForecastService {
     return *shards_[shard_id];
   }
 
-  /// Runs one scheduler cycle synchronously: samples signals, schedules, and
-  /// retrains the scheduled shards (priority order) on up to retrain_workers
-  /// threads. Returns the scheduled shard ids in priority order — determinism
-  /// tests pin this. Per-shard failures are recorded in the shard's stats and
-  /// backed off in cycles by the scheduler; the cycle itself always runs to
-  /// completion. Serialized against concurrent cycles and LoadFromFiles.
+  /// Runs one scheduler cycle synchronously: samples signals, updates the
+  /// overload ladder, schedules within the (possibly degraded) budget, and
+  /// drains the schedule through the persistent worker pool — each retrain
+  /// under the configured deadline, with this thread watchdogging overruns.
+  /// Returns the scheduled shard ids in priority order — determinism tests
+  /// pin this. Per-shard failures (cancellations included) are recorded in
+  /// the shard's stats and backed off in cycles by the scheduler; the cycle
+  /// itself always runs to completion. Serialized against concurrent cycles
+  /// and LoadFromFiles.
   std::vector<size_t> RetrainCycle() DBAUGUR_EXCLUDES(cycle_mu_);
 
   /// Starts the background scheduler thread (idempotent).
@@ -203,13 +253,24 @@ class ShardedForecastService {
   /// single-threaded). Each pool is used by exactly one worker at a time —
   /// worker w owns fit_pools_[w] for the duration of a cycle.
   std::vector<std::unique_ptr<ThreadPool>> fit_pools_;
+  /// Persistent deadline-supervised workers draining each cycle's schedule.
+  /// RunCycle is only ever called under cycle_mu_ (its non-reentrancy
+  /// contract); the pool's internals synchronize themselves.
+  std::unique_ptr<RetrainWorkerPool> worker_pool_;
 
   /// Serializes scheduler cycles and checkpoint restore. Retrain work runs
-  /// *under* this lock (on this thread + workers); readers never take it.
+  /// *under* this lock (on the pool's workers, supervised by this thread);
+  /// readers never take it.
   mutable Mutex cycle_mu_;
   std::vector<uint64_t> cycles_waited_ DBAUGUR_GUARDED_BY(cycle_mu_);
   uint64_t cycle_counter_ DBAUGUR_GUARDED_BY(cycle_mu_) = 0;
+  OverloadController overload_ DBAUGUR_GUARDED_BY(cycle_mu_);
   std::atomic<uint64_t> cycles_done_{0};
+  /// Mirrors of the overload ladder for lock-free Health()/SchedulerLoop
+  /// reads; written under cycle_mu_ each cycle.
+  std::atomic<uint64_t> overload_level_{0};
+  std::atomic<uint64_t> effective_budget_{0};
+  std::atomic<uint64_t> retrains_cancelled_{0};
 
   Mutex lifecycle_mu_;  ///< Serializes Start/Stop/dtor (see ForecastService).
   std::thread worker_ DBAUGUR_GUARDED_BY(lifecycle_mu_);

@@ -213,6 +213,9 @@ struct CorpusEntry {
   bool full = false;
   bool replay = false;
   size_t shards = 1;
+  size_t workers = 1;
+  double deadline_seconds = 0.0;
+  size_t budget = 0;
   size_t line = 0;
 };
 
@@ -251,6 +254,18 @@ std::vector<CorpusEntry> LoadCorpus(const std::string& path) {
                         << " (needs >= 2 to run the sharded leg)";
           bad_flag = true;
         }
+      } else if (flag.rfind("workers=", 0) == 0) {
+        e.workers = static_cast<size_t>(
+            std::strtoull(flag.c_str() + 8, nullptr, 10));
+        if (e.workers < 1) {
+          ADD_FAILURE() << "corpus line " << lineno << ": workers=0";
+          bad_flag = true;
+        }
+      } else if (flag.rfind("deadline=", 0) == 0) {
+        e.deadline_seconds = std::strtod(flag.c_str() + 9, nullptr);
+      } else if (flag.rfind("budget=", 0) == 0) {
+        e.budget = static_cast<size_t>(
+            std::strtoull(flag.c_str() + 7, nullptr, 10));
       } else {
         ADD_FAILURE() << "corpus line " << lineno << ": unknown flag '" << flag
                       << "'";
@@ -270,6 +285,9 @@ TEST(ChaosCorpusTest, ReplaysEverySeedInTheCorpus) {
     o.full_service = e.full;
     o.replay = e.replay;
     o.service_shards = e.shards;
+    o.service_workers = e.workers;
+    o.retrain_deadline_seconds = e.deadline_seconds;
+    o.retrain_budget = e.budget;
     ChaosReport r = RunChaos(o);
     EXPECT_TRUE(r.ok) << "corpus line " << e.line << ": " << r.Summary();
   }
@@ -317,6 +335,49 @@ TEST_F(ChaosFaultTest, RetrainStormKeepsServiceInvariants) {
                                "serve.ingest.corrupt=p:0.1:7")
                   .ok());
   ChaosReport r = RunChaos(ServiceOptions(4243, StreamProfile::kSteady));
+  EXPECT_TRUE(r.ok) << r.Summary();
+}
+
+TEST_F(ChaosFaultTest, HangStormWatchdogKeepsShardedLegLive) {
+  // Every retrain hangs at the serve.retrain.hang site (n:100 fires on every
+  // hit, so the storm is deterministic at any worker count). The watchdog
+  // must cancel each one within its 50ms deadline: the run completes, hung
+  // shards keep serving their last-good (generation-0) snapshots, and router
+  // conservation still balances.
+  ASSERT_TRUE(fault::Configure("serve.retrain.hang=n:100").ok());
+  ChaosOptions o = MatrixOptions(4246, StreamProfile::kSteady);
+  o.service_shards = 3;
+  o.service_workers = 2;
+  o.retrain_deadline_seconds = 0.05;
+  ChaosReport r = RunChaos(o);
+  EXPECT_TRUE(r.ok) << r.Summary();
+}
+
+TEST_F(ChaosFaultTest, SlowStormUnderWideDeadlineCompletes) {
+  // A few ~200ms retrains under a deadline wide enough that the watchdog
+  // stays quiet: the storm slows cycles down but every invariant — and the
+  // no-spurious-failure property — must survive.
+  ASSERT_TRUE(fault::Configure("serve.retrain.slow=at:0,3").ok());
+  ChaosOptions o = MatrixOptions(4247, StreamProfile::kBurstySkewed);
+  o.service_shards = 2;
+  o.service_workers = 2;
+  o.retrain_deadline_seconds = 30.0;
+  ChaosReport r = RunChaos(o);
+  EXPECT_TRUE(r.ok) << r.Summary();
+}
+
+TEST_F(ChaosFaultTest, OverloadUnitBudgetBacklogHoldsInvariants) {
+  // No faults (the fixture's SetUp disarms any env storm): a unit per-cycle
+  // budget forces the scheduler to carry a
+  // backlog across cycles (driving the overload controller), while the leg's
+  // conservation and per-shard snapshot invariants must still hold. The
+  // exact ingest oracle self-gates on bounded budgets (unscheduled shards'
+  // queues stay undrained at the end of the run).
+  ChaosOptions o = MatrixOptions(4248, StreamProfile::kSteady);
+  o.service_shards = 3;
+  o.service_workers = 2;
+  o.retrain_budget = 1;
+  ChaosReport r = RunChaos(o);
   EXPECT_TRUE(r.ok) << r.Summary();
 }
 

@@ -308,6 +308,63 @@ class LintRuleTest(unittest.TestCase):
         )
         self.assert_clean(self.repo.run("src"))
 
+    # -- raw-thread ---------------------------------------------------------
+
+    def test_raw_thread_violating(self):
+        self.repo.write(
+            "src/serve/runner.cpp",
+            "#include <thread>\n"
+            "void Go() { std::thread t([] {}); t.join(); }\n",
+        )
+        result = self.repo.run("src")
+        self.assert_violation(result, "raw-thread", "src/serve/runner.cpp")
+        self.assertIn("bare std::thread", result.stdout)
+
+    def test_raw_thread_member_violating(self):
+        self.repo.write(
+            "src/serve/loop.h",
+            "#include <thread>\n"
+            "class Loop { std::thread worker_; };\n",
+        )
+        self.assert_violation(
+            self.repo.run("src"), "raw-thread", "src/serve/loop.h"
+        )
+
+    def test_raw_thread_owner_files_exempt(self):
+        self.repo.write(
+            "src/common/thread_pool.h",
+            "#include <thread>\n"
+            "class ThreadPool { std::thread workers_[4]; };\n",
+        )
+        self.repo.write(
+            "src/serve/retrain_workers.cpp",
+            "#include <thread>\n"
+            "void Spawn() { std::thread t([] {}); t.detach(); }\n",
+        )
+        self.assert_clean(self.repo.run("src"))
+
+    def test_raw_thread_clean(self):
+        self.repo.write(
+            "src/serve/timing.cpp",
+            "#include <thread>\n"
+            "unsigned Cores() { return std::thread::hardware_concurrency(); }\n"
+            "void Nap() { std::this_thread::yield(); }\n",
+        )
+        self.assert_clean(self.repo.run("src"))
+
+    def test_raw_thread_scoped_to_src(self):
+        self.repo.write(
+            "tests/t.cpp",
+            "#include <thread>\n"
+            "void Race() { std::thread t([] {}); t.join(); }\n",
+        )
+        self.repo.write(
+            "bench/b.cpp",
+            "#include <thread>\n"
+            "void Drive() { std::thread t([] {}); t.join(); }\n",
+        )
+        self.assert_clean(self.repo.run("tests", "bench"))
+
     # -- allowlist ----------------------------------------------------------
 
     def test_allowlist_suppresses_named_rule_and_file(self):

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -15,12 +16,15 @@
 #include <fstream>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/binio.h"
+#include "common/cancellation.h"
 #include "common/fault_injection.h"
 #include "serve/ingestor.h"
 #include "serve/service.h"
+#include "serve/sharded_service.h"
 #include "serve/snapshot.h"
 
 namespace dbaugur::serve {
@@ -573,6 +577,97 @@ TEST_F(CheckpointFaultTest, LoadFromMissingFileFails) {
       svc.LoadFromFile(::testing::TempDir() + "dbaugur_no_such_ckpt.bin");
   EXPECT_FALSE(st.ok());
   EXPECT_EQ(svc.generation(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Checkpoint vs cancellation races: saves issued while retrains hang, crawl,
+// or unwind from a watchdog cancellation must always produce complete,
+// loadable, all-or-nothing checkpoints.
+
+TEST_F(CheckpointFaultTest, SavesDuringCancelledRetrainCyclesStayLoadable) {
+  // Three storms: every retrain hangs until the watchdog fires; every
+  // retrain crawls through the slow fault (cancelled at the 20ms deadline
+  // long before the ~200ms stall ends); a seeded mix of both.
+  const char* kStorms[] = {
+      "serve.retrain.hang=n:1000",
+      "serve.retrain.slow=n:1000",
+      "serve.retrain.hang=p:0.5:11;serve.retrain.slow=p:0.5:12",
+  };
+  for (const char* storm : kStorms) {
+    fault::Reset();
+    ShardedServeOptions so;
+    so.shard = FaultOptions();
+    so.shard_count = 2;
+    so.retrain_workers = 2;
+    so.retrain_deadline_seconds = 0.02;
+    ShardedForecastService svc(so);
+    for (int64_t b = 0; b < 14; ++b) {
+      for (uint32_t t = 0; t < 4; ++t) {
+        TraceEvent e;
+        e.template_id = t;
+        e.timestamp = b * kInterval + 30;
+        e.count = 50.0 * static_cast<double>(t + 1);
+        ASSERT_TRUE(svc.Offer(e));
+      }
+    }
+    (void)svc.RetrainCycle();  // clean last-good state before the storm
+    ASSERT_TRUE(fault::Configure(storm).ok()) << storm;
+
+    std::atomic<bool> done{false};
+    std::thread cycler([&] {
+      for (int i = 0; i < 3; ++i) (void)svc.RetrainCycle();
+      done.store(true, std::memory_order_release);
+    });
+    // Saves race the storm: each blocks at most ~one watchdog deadline
+    // behind an in-flight cycle, then must write a checkpoint that loads
+    // all-or-nothing into a fresh service.
+    const std::string base = ::testing::TempDir() + "dbaugur_cancel_ckpt";
+    int saves = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      ASSERT_TRUE(svc.SaveToFiles(base).ok()) << storm;
+      ++saves;
+      ShardedForecastService restored(so);
+      ASSERT_TRUE(restored.LoadFromFiles(base).ok()) << storm;
+      for (size_t s = 0; s < so.shard_count; ++s) {
+        ASSERT_NE(restored.snapshot(s), nullptr) << storm;
+      }
+    }
+    cycler.join();
+    EXPECT_GE(saves, 1) << storm;
+  }
+}
+
+TEST_F(CheckpointFaultTest, ShardLevelSaveRacesASlowRetrainAndLoads) {
+  // Below the scheduler: a direct shard retrain crawling through the slow
+  // fault while SaveToFiles runs concurrently. The save serializes behind
+  // the shard's retrain lock mid-stall and must still emit a loadable
+  // checkpoint whether it lands before or after the publish.
+  ShardedServeOptions so;
+  so.shard = FaultOptions();
+  so.shard_count = 2;
+  ShardedForecastService svc(so);
+  for (int64_t b = 0; b < 14; ++b) {
+    for (uint32_t t = 0; t < 4; ++t) {
+      TraceEvent e;
+      e.template_id = t;
+      e.timestamp = b * kInterval + 30;
+      e.count = 50.0 * static_cast<double>(t + 1);
+      ASSERT_TRUE(svc.Offer(e));
+    }
+  }
+  ASSERT_TRUE(fault::Configure("serve.retrain.slow=n:1").ok());
+  CancelToken token;  // never cancelled: the slow retrain completes
+  std::thread retrainer(
+      [&] { (void)svc.shard(0).RetrainOnce(nullptr, &token); });
+  const std::string base = ::testing::TempDir() + "dbaugur_shard_race_ckpt";
+  ASSERT_TRUE(svc.SaveToFiles(base).ok());
+  retrainer.join();
+  EXPECT_FALSE(token.cancelled());
+  ShardedForecastService restored(so);
+  ASSERT_TRUE(restored.LoadFromFiles(base).ok());
+  for (size_t s = 0; s < so.shard_count; ++s) {
+    ASSERT_NE(restored.snapshot(s), nullptr);
+  }
 }
 
 // --------------------------------------------------------------------------

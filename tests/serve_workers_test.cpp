@@ -1,0 +1,593 @@
+// Concurrent retrain execution tests: CancelToken latching semantics,
+// OverloadController's pinned escalate/recover schedule, RetrainWorkerPool
+// schedule-order + concurrency + watchdog behavior, the workers=N vs
+// sequential snapshot bit-identity contract, hang-storm degradation and
+// recovery through ShardedForecastService, the overload ladder end-to-end,
+// and a producers + cycles + checkpoints stress the sanitizer presets
+// (ASan/TSan) exercise.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/fault_injection.h"
+#include "serve/retrain_scheduler.h"
+#include "serve/retrain_workers.h"
+#include "serve/sharded_service.h"
+#include "serve/snapshot.h"
+
+// Sanitizer builds run retrains an order of magnitude slower, so tests that
+// pin exact watchdog-cancellation counts against a tight deadline must widen
+// it there — a genuine (healthy) retrain missing the deadline would inflate
+// the count. Armed hang faults stall until cancelled, so they are caught at
+// any deadline; only the wall-clock cost changes.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DBAUGUR_WORKERS_TEST_SANITIZED 1
+#endif
+#if !defined(DBAUGUR_WORKERS_TEST_SANITIZED) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define DBAUGUR_WORKERS_TEST_SANITIZED 1
+#endif
+#endif
+
+namespace dbaugur::serve {
+namespace {
+
+constexpr int64_t kInterval = 600;
+
+#if defined(DBAUGUR_WORKERS_TEST_SANITIZED)
+constexpr double kHangDeadlineSeconds = 1.0;
+#else
+constexpr double kHangDeadlineSeconds = 0.05;
+#endif
+
+ServeOptions FastOptions() {
+  ServeOptions o;
+  o.pipeline.clustering.radius = 6.0;
+  o.pipeline.clustering.min_size = 2;
+  o.pipeline.clustering.dtw.window = 4;
+  o.pipeline.top_k = 3;
+  o.pipeline.forecaster.window = 6;
+  o.pipeline.forecaster.horizon = 1;
+  o.pipeline.forecaster.epochs = 2;  // serving smoke, not accuracy
+  o.pipeline.forecaster.batch_size = 8;
+  o.bin_interval_seconds = kInterval;
+  o.queue_capacity = 1 << 15;
+  o.retrain_interval_seconds = 0.005;
+  return o;
+}
+
+TraceEvent EventAt(uint32_t template_id, int64_t bin, double count) {
+  TraceEvent e;
+  e.template_id = template_id;
+  e.timestamp = bin * kInterval + 30;
+  e.count = count;
+  return e;
+}
+
+/// First `per_shard` template ids routing to each of `shard_count` shards.
+std::vector<std::vector<uint32_t>> TemplatesByShard(size_t shard_count,
+                                                    size_t per_shard) {
+  std::vector<std::vector<uint32_t>> groups(shard_count);
+  for (uint32_t id = 0; id < 4096; ++id) {
+    auto& g = groups[ShardOfKey(id, shard_count)];
+    if (g.size() < per_shard) g.push_back(id);
+    bool done = true;
+    for (const auto& grp : groups) done = done && grp.size() == per_shard;
+    if (done) break;
+  }
+  return groups;
+}
+
+void OfferGroupWave(ShardedForecastService* svc,
+                    const std::vector<std::vector<uint32_t>>& groups,
+                    int64_t first_bin, int64_t bins) {
+  for (int64_t b = first_bin; b < first_bin + bins; ++b) {
+    for (size_t g = 0; g < groups.size(); ++g) {
+      for (uint32_t id : groups[g]) {
+        double count = 40.0 + 15.0 * std::sin((0.5 + static_cast<double>(g)) *
+                                              static_cast<double>(b));
+        ASSERT_TRUE(svc->Offer(EventAt(id, b, count)));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CancelToken.
+
+TEST(CancelTokenTest, LatchesOnceFirstReasonWins) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), "");
+  token.Cancel("deadline overrun");
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), "deadline overrun");
+  token.Cancel("second caller");  // first cancel wins
+  EXPECT_EQ(token.reason(), "deadline overrun");
+  token.Reset();
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), "");
+}
+
+TEST(CancelTokenTest, CancelledStatusCarriesCodeAndReason) {
+  CancelToken token;
+  token.Cancel("watchdog: shard 3 overran");
+  Status st = CancelledStatus(token, "serve: retrain");
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_NE(st.message().find("serve: retrain"), std::string::npos);
+  EXPECT_NE(st.message().find("watchdog: shard 3 overran"), std::string::npos);
+}
+
+TEST(CancelTokenTest, CrossThreadLatchUnblocksAPoller) {
+  CancelToken token;
+  std::atomic<bool> unblocked{false};
+  std::thread poller([&] {
+    while (!token.cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    unblocked.store(true, std::memory_order_release);
+  });
+  token.Cancel("stop polling");
+  poller.join();
+  EXPECT_TRUE(unblocked.load(std::memory_order_acquire));
+  EXPECT_EQ(token.reason(), "stop polling");
+}
+
+// ---------------------------------------------------------------------------
+// OverloadController: a pure state machine, so the exact escalate/recover
+// schedule is pinned.
+
+TEST(OverloadControllerTest, EscalatesOnSustainedGrowthRecoversOnDrain) {
+  OverloadOptions o;
+  o.grow_cycles = 2;
+  o.drain_cycles = 2;
+  o.max_level = 2;
+  OverloadController c(o);
+  EXPECT_EQ(c.level(), 0u);
+  // First observation has no predecessor: never "growing".
+  EXPECT_EQ(c.Observe(10), 0u);
+  EXPECT_EQ(c.Observe(11), 0u);  // growth streak 1
+  EXPECT_EQ(c.Observe(12), 1u);  // growth streak 2 -> level 1
+  EXPECT_EQ(c.Observe(13), 1u);
+  EXPECT_EQ(c.Observe(14), 2u);  // -> level 2 (the cap)
+  EXPECT_EQ(c.Observe(15), 2u);
+  EXPECT_EQ(c.Observe(16), 2u);  // capped: streak resets, level holds
+  // Flat backlog is "not growing": drain streaks walk the ladder back down.
+  EXPECT_EQ(c.Observe(16), 2u);  // drain streak 1
+  EXPECT_EQ(c.Observe(16), 1u);  // drain streak 2 -> level 1
+  EXPECT_EQ(c.Observe(5), 1u);
+  EXPECT_EQ(c.Observe(0), 0u);   // fully recovered
+  EXPECT_EQ(c.Observe(0), 0u);   // stays at the floor
+}
+
+TEST(OverloadControllerTest, GrowthStreakResetsOnAnyDrainCycle) {
+  OverloadOptions o;
+  o.grow_cycles = 3;
+  OverloadController c(o);
+  (void)c.Observe(1);
+  (void)c.Observe(2);  // streak 1
+  (void)c.Observe(3);  // streak 2
+  (void)c.Observe(3);  // flat: streak resets before reaching 3
+  (void)c.Observe(4);  // streak 1 again
+  (void)c.Observe(5);  // streak 2
+  EXPECT_EQ(c.level(), 0u);
+  EXPECT_EQ(c.Observe(6), 1u);  // streak 3 -> level 1
+}
+
+TEST(OverloadControllerTest, ZeroGrowCyclesDisablesAdaptation) {
+  OverloadOptions o;
+  o.grow_cycles = 0;
+  OverloadController c(o);
+  for (uint64_t backlog = 1; backlog <= 20; ++backlog) {
+    EXPECT_EQ(c.Observe(backlog), 0u);
+  }
+  EXPECT_EQ(c.IntervalScale(), 1.0);
+}
+
+TEST(OverloadControllerTest, DegradedBudgetHalvesPerLevelWithUnitFloor) {
+  OverloadOptions o;
+  o.grow_cycles = 1;
+  o.drain_cycles = 1;
+  o.max_level = 10;
+  OverloadController c(o);
+  // Level 0: an explicit budget passes through; 0 means "every shard".
+  EXPECT_EQ(c.DegradedBudget(8, 16), 8u);
+  EXPECT_EQ(c.DegradedBudget(0, 16), 16u);
+  EXPECT_EQ(c.IntervalScale(), 1.0);
+  uint64_t backlog = 0;
+  auto escalate = [&] { (void)c.Observe(++backlog); (void)c.Observe(++backlog); };
+  escalate();  // level 1 (first Observe seeds have_last)
+  EXPECT_EQ(c.level(), 1u);
+  EXPECT_EQ(c.DegradedBudget(8, 16), 4u);
+  EXPECT_EQ(c.DegradedBudget(0, 16), 8u);
+  EXPECT_EQ(c.IntervalScale(), 2.0);
+  (void)c.Observe(++backlog);  // level 2
+  EXPECT_EQ(c.DegradedBudget(8, 16), 2u);
+  (void)c.Observe(++backlog);  // level 3
+  EXPECT_EQ(c.DegradedBudget(8, 16), 1u);
+  (void)c.Observe(++backlog);  // level 4: floor holds at 1, never 0
+  EXPECT_EQ(c.DegradedBudget(8, 16), 1u);
+  EXPECT_EQ(c.IntervalScale(), 16.0);
+}
+
+// ---------------------------------------------------------------------------
+// RetrainWorkerPool.
+
+TEST(RetrainWorkerPoolTest, SingleWorkerRunsTasksInScheduleOrder) {
+  RetrainWorkerPool pool(1);
+  EXPECT_EQ(pool.workers(), 1u);
+  std::vector<size_t> ran;
+  std::vector<size_t> order{3, 1, 4, 1, 5};
+  RetrainCycleReport report = pool.RunCycle(
+      order, /*deadline_seconds=*/0.0,
+      [&](size_t shard_id, size_t worker_idx, const CancelToken* cancel) {
+        EXPECT_EQ(worker_idx, 0u);
+        EXPECT_NE(cancel, nullptr);
+        ran.push_back(shard_id);
+        return Status::OK();
+      });
+  EXPECT_EQ(ran, order);  // one worker: claim order IS execution order
+  EXPECT_EQ(report.completed, order.size());
+  EXPECT_EQ(report.cancelled, 0u);
+  ASSERT_EQ(report.tasks.size(), order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(report.tasks[i].shard_id, order[i]);
+    EXPECT_FALSE(report.tasks[i].cancelled);
+    EXPECT_GE(report.tasks[i].seconds, 0.0);
+  }
+}
+
+TEST(RetrainWorkerPoolTest, EmptyOrderReturnsImmediately) {
+  RetrainWorkerPool pool(2);
+  RetrainCycleReport report = pool.RunCycle(
+      {}, 1.0, [&](size_t, size_t, const CancelToken*) {
+        ADD_FAILURE() << "work ran for an empty schedule";
+        return Status::OK();
+      });
+  EXPECT_TRUE(report.tasks.empty());
+}
+
+TEST(RetrainWorkerPoolTest, ConcurrencyNeverExceedsWorkerCount) {
+  constexpr size_t kWorkers = 2;
+  RetrainWorkerPool pool(kWorkers);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> peak{0};
+  std::vector<size_t> order(8);
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  RetrainCycleReport report = pool.RunCycle(
+      order, 0.0, [&](size_t, size_t, const CancelToken*) {
+        int now = in_flight.fetch_add(1, std::memory_order_acq_rel) + 1;
+        int prev = peak.load(std::memory_order_relaxed);
+        while (now > prev &&
+               !peak.compare_exchange_weak(prev, now,
+                                           std::memory_order_relaxed)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        return Status::OK();
+      });
+  EXPECT_EQ(report.completed, order.size());
+  EXPECT_LE(peak.load(), static_cast<int>(kWorkers));
+  EXPECT_GE(peak.load(), 1);
+}
+
+TEST(RetrainWorkerPoolTest, WatchdogCancelsAnOverrunningTask) {
+  RetrainWorkerPool pool(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  RetrainCycleReport report = pool.RunCycle(
+      {7}, /*deadline_seconds=*/0.05,
+      [&](size_t, size_t, const CancelToken* cancel) {
+        // Cooperative hang: unwinds only when the watchdog latches the token.
+        // The 2s bound means a broken watchdog fails the test rather than
+        // hanging it.
+        for (int i = 0; i < 2000 && !cancel->cancelled(); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        EXPECT_TRUE(cancel->cancelled());
+        return CancelledStatus(*cancel, "test: hung task");
+      });
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_EQ(report.tasks.size(), 1u);
+  EXPECT_TRUE(report.tasks[0].cancelled);
+  EXPECT_EQ(report.cancelled, 1u);
+  EXPECT_EQ(report.completed, 0u);
+  EXPECT_NE(report.tasks[0].cancel_reason.find("watchdog"), std::string::npos);
+  EXPECT_NE(report.tasks[0].cancel_reason.find("deadline"), std::string::npos);
+  // Cancelled within ~one deadline of the overrun, not after the 2s bound.
+  EXPECT_LT(elapsed, 1.0);
+}
+
+TEST(RetrainWorkerPoolTest, ZeroDeadlineDisablesTheWatchdog) {
+  RetrainWorkerPool pool(2);
+  RetrainCycleReport report = pool.RunCycle(
+      {0, 1}, /*deadline_seconds=*/0.0,
+      [&](size_t, size_t, const CancelToken* cancel) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));
+        EXPECT_FALSE(cancel->cancelled());
+        return Status::OK();
+      });
+  EXPECT_EQ(report.completed, 2u);
+  EXPECT_EQ(report.cancelled, 0u);
+}
+
+TEST(RetrainWorkerPoolTest, FastTasksUnderDeadlineAreNeverCancelled) {
+  RetrainWorkerPool pool(4);
+  std::vector<size_t> order(16);
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  RetrainCycleReport report = pool.RunCycle(
+      order, /*deadline_seconds=*/5.0,
+      [&](size_t, size_t, const CancelToken*) { return Status::OK(); });
+  EXPECT_EQ(report.completed, order.size());
+  EXPECT_EQ(report.cancelled, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract: published snapshots for completed shards are
+// bit-identical at any worker count.
+
+TEST(WorkerDeterminismTest, FourWorkersMatchSequentialSnapshotsBitIdentical) {
+  constexpr size_t kShards = 3;
+  auto groups = TemplatesByShard(kShards, 4);
+  ShardedServeOptions seq;
+  seq.shard = FastOptions();
+  seq.shard_count = kShards;
+  seq.retrain_workers = 1;
+  ShardedServeOptions par = seq;
+  par.retrain_workers = 4;
+  ShardedForecastService sequential(seq);
+  ShardedForecastService concurrent(par);
+
+  for (int round = 0; round < 2; ++round) {
+    OfferGroupWave(&sequential, groups, round * 12, 12);
+    OfferGroupWave(&concurrent, groups, round * 12, 12);
+    std::vector<size_t> a = sequential.RetrainCycle();
+    std::vector<size_t> b = concurrent.RetrainCycle();
+    EXPECT_EQ(a, b);  // identical schedules at any worker count
+  }
+  for (size_t s = 0; s < kShards; ++s) {
+    auto a = sequential.snapshot(s);
+    auto b = concurrent.snapshot(s);
+    ASSERT_TRUE(a->trained()) << "shard " << s;
+    ASSERT_TRUE(b->trained()) << "shard " << s;
+    BufWriter wa, wb;
+    ASSERT_TRUE(SerializeSnapshot(*a, &wa).ok());
+    ASSERT_TRUE(SerializeSnapshot(*b, &wb).ok());
+    EXPECT_EQ(wa.Take(), wb.Take()) << "shard " << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hang storm through the service: watchdog cancels, shards serve last-good
+// marked degraded-stale, and a later clean cycle recovers.
+
+class ServeWorkersFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Reset(); }
+  void TearDown() override {
+    const char* env = std::getenv("DBAUGUR_FAULT_SPEC");
+    if (env != nullptr && *env != '\0') {
+      ASSERT_TRUE(fault::Configure(env).ok());
+    } else {
+      fault::Reset();
+    }
+  }
+};
+
+TEST_F(ServeWorkersFaultTest, HangStormWatchdogDegradesThenRecovers) {
+  constexpr size_t kShards = 3;
+  auto groups = TemplatesByShard(kShards, 4);
+  ShardedServeOptions so;
+  so.shard = FastOptions();
+  so.shard_count = kShards;
+  so.retrain_workers = 2;
+  so.retrain_deadline_seconds = kHangDeadlineSeconds;
+  ShardedForecastService svc(so);
+  OfferGroupWave(&svc, groups, 0, 12);
+
+  // Exactly the first cycle's three retrains hang (3 shards pending, n:3 —
+  // every hit fires, so the storm is deterministic at any worker count).
+  ASSERT_TRUE(fault::Configure("serve.retrain.hang=n:3").ok());
+  std::vector<size_t> order = svc.RetrainCycle();
+  ASSERT_EQ(order.size(), kShards);
+
+  ShardedServiceHealth h = svc.Health();
+  EXPECT_EQ(h.retrains_cancelled, kShards);
+  EXPECT_EQ(h.stale_shards, kShards);
+  for (const ShardHealth& row : h.shards) {
+    EXPECT_EQ(row.retrains_cancelled, 1u);
+    EXPECT_TRUE(row.degraded_stale);
+    EXPECT_NE(row.stale_reason.find("watchdog"), std::string::npos);
+    EXPECT_EQ(row.generation, 0u);  // still serving the last-good snapshot
+    EXPECT_EQ(row.consecutive_failures, 1u);
+    EXPECT_GE(row.last_error_age_seconds, 0.0);
+    ASSERT_NE(svc.snapshot(row.shard_id), nullptr);
+  }
+
+  // Storm over: the backoff (one cycle after one failure) delays each shard
+  // one scheduler cycle, then a clean retrain publishes and clears the
+  // degraded-stale marker.
+  fault::Reset();
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    (void)svc.RetrainCycle();
+    if (svc.Health().stale_shards == 0) break;
+  }
+  h = svc.Health();
+  EXPECT_EQ(h.stale_shards, 0u);
+  EXPECT_EQ(h.retrains_cancelled, kShards);  // history, not current state
+  for (const ShardHealth& row : h.shards) {
+    EXPECT_FALSE(row.degraded_stale);
+    EXPECT_EQ(row.stale_reason, "");
+    EXPECT_GE(row.generation, 1u) << "shard " << row.shard_id;
+    EXPECT_EQ(row.consecutive_failures, 0u);
+  }
+}
+
+TEST_F(ServeWorkersFaultTest, SlowRetrainUnderWideDeadlineCompletes) {
+  ShardedServeOptions so;
+  so.shard = FastOptions();
+  so.shard_count = 1;
+  so.retrain_workers = 1;
+  so.retrain_deadline_seconds = 30.0;
+  ShardedForecastService svc(so);
+  auto groups = TemplatesByShard(1, 4);
+  OfferGroupWave(&svc, groups, 0, 12);
+  ASSERT_TRUE(fault::Configure("serve.retrain.slow=n:1").ok());
+  std::vector<size_t> order = svc.RetrainCycle();
+  ASSERT_EQ(order.size(), 1u);
+  ShardedServiceHealth h = svc.Health();
+  EXPECT_EQ(h.retrains_cancelled, 0u);
+  EXPECT_EQ(h.stale_shards, 0u);
+  EXPECT_GE(h.shards[0].generation, 1u);
+  // The injected ~200ms stall is visible in the retrain duration.
+  EXPECT_GE(h.shards[0].last_retrain_seconds, 0.15);
+}
+
+// ---------------------------------------------------------------------------
+// Overload ladder end-to-end.
+
+TEST(ServeOverloadTest, LadderRisesUnderBacklogAndDrainsWhenIdle) {
+  constexpr size_t kShards = 4;
+  auto groups = TemplatesByShard(kShards, 2);
+  ShardedServeOptions so;
+  so.shard = FastOptions();
+  so.shard_count = kShards;
+  so.retrain_workers = 2;
+  so.retrain_budget = 4;
+  so.overload.grow_cycles = 1;  // escalate on every growth cycle
+  so.overload.drain_cycles = 1;
+  so.overload.max_level = 2;
+  ShardedForecastService svc(so);
+
+  ShardedServiceHealth h = svc.Health();
+  EXPECT_EQ(h.overload_level, 0u);
+  EXPECT_EQ(h.effective_budget, 4u);
+  EXPECT_EQ(h.interval_multiplier, 1.0);
+
+  // Strictly growing sampled backlog: each cycle offers a strictly larger
+  // block of fresh (monotonically advancing — never stale-dropped) bins than
+  // the service can drain under its shrinking budget. The first cycle seeds
+  // the controller; each later growth cycle escalates one level to the cap.
+  int64_t next_bin = 0;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    int64_t bins = 12 * (cycle + 1);
+    OfferGroupWave(&svc, groups, next_bin, bins);
+    next_bin += bins;
+    (void)svc.RetrainCycle();
+  }
+  h = svc.Health();
+  EXPECT_EQ(h.overload_level, 2u);   // capped
+  EXPECT_EQ(h.effective_budget, 1u);  // 4 >> 2
+  EXPECT_EQ(h.interval_multiplier, 4.0);
+
+  // Stop offering: backlog stops growing, the ladder walks back down, and
+  // the budget recovers.
+  for (int cycle = 0; cycle < 6 && svc.Health().overload_level > 0; ++cycle) {
+    (void)svc.RetrainCycle();
+  }
+  h = svc.Health();
+  EXPECT_EQ(h.overload_level, 0u);
+  EXPECT_EQ(h.effective_budget, 4u);
+  EXPECT_EQ(h.interval_multiplier, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Health aggregates (previously only per-shard): accepted/dropped/quarantined
+// sums and the per-category drop breakdown.
+
+TEST(ServeHealthAggregateTest, SumsIngestCountersAcrossShards) {
+  constexpr size_t kShards = 3;
+  auto groups = TemplatesByShard(kShards, 2);
+  ShardedServeOptions so;
+  so.shard = FastOptions();
+  so.shard_count = kShards;
+  ShardedForecastService svc(so);
+  size_t offered = 0;
+  for (size_t g = 0; g < kShards; ++g) {
+    for (uint32_t id : groups[g]) {
+      ASSERT_TRUE(svc.Offer(EventAt(id, 1, 5.0)));
+      ++offered;
+    }
+  }
+  // Two quarantine-class drops (nonfinite, negative) on shard 0's owner.
+  uint32_t id0 = groups[0][0];
+  EXPECT_FALSE(svc.Offer(EventAt(id0, 1, std::nan(""))));
+  EXPECT_FALSE(svc.Offer(EventAt(id0, 1, -3.0)));
+  ShardedServiceHealth h = svc.Health();
+  EXPECT_EQ(h.events_accepted, offered);
+  EXPECT_EQ(h.events_dropped, 2u);
+  EXPECT_EQ(h.events_quarantined, 2u);
+  EXPECT_EQ(h.drops.nonfinite, 1u);
+  EXPECT_EQ(h.drops.negative, 1u);
+  EXPECT_EQ(h.drops.total(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint-vs-cancellation stress (S3): concurrent producers, scheduler
+// cycles under a hang storm with an armed watchdog, and SaveToFiles racing
+// both — every checkpoint written must be loadable and all-or-nothing.
+
+TEST_F(ServeWorkersFaultTest, CheckpointsStayLoadableUnderHangStormStress) {
+  constexpr size_t kShards = 3;
+  auto groups = TemplatesByShard(kShards, 3);
+  ShardedServeOptions so;
+  so.shard = FastOptions();
+  so.shard_count = kShards;
+  so.retrain_workers = 2;
+  so.retrain_deadline_seconds = 0.02;
+  ShardedForecastService svc(so);
+  OfferGroupWave(&svc, groups, 0, 12);
+  (void)svc.RetrainCycle();  // one clean generation before the storm
+
+  // Every retrain for the rest of the test hangs until the watchdog fires.
+  ASSERT_TRUE(fault::Configure("serve.retrain.hang=n:1000").ok());
+
+  const std::string base = ::testing::TempDir() + "dbaugur_workers_stress";
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    int64_t bin = 12;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (size_t g = 0; g < kShards; ++g) {
+        for (uint32_t id : groups[g]) {
+          (void)svc.Offer(EventAt(id, bin, 20.0 + (bin % 7)));
+        }
+      }
+      ++bin;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::thread cycler([&] {
+    for (int i = 0; i < 8; ++i) (void)svc.RetrainCycle();
+    stop.store(true, std::memory_order_release);
+  });
+  // Checkpoints race retrains mid-hang and mid-watchdog-cancellation. Each
+  // one must be complete and loadable the moment SaveToFiles returns.
+  int saves = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    ASSERT_TRUE(svc.SaveToFiles(base).ok());
+    ++saves;
+    ShardedServeOptions fresh = so;
+    ShardedForecastService restored(fresh);
+    ASSERT_TRUE(restored.LoadFromFiles(base).ok());
+    for (size_t s = 0; s < kShards; ++s) {
+      ASSERT_NE(restored.snapshot(s), nullptr);
+    }
+  }
+  producer.join();
+  cycler.join();
+  EXPECT_GE(saves, 1);
+  // The storm really ran: the watchdog cancelled hung retrains throughout.
+  EXPECT_GT(svc.Health().retrains_cancelled, 0u);
+}
+
+}  // namespace
+}  // namespace dbaugur::serve

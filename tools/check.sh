@@ -6,7 +6,11 @@
 #                          DBAUGUR_FAULT_SPEC storm armed from the environment)
 #   2c. Chaos harness     (end-to-end chaos slice re-run under ASan with a
 #                          fault storm armed, plus bench/chaos_soak --smoke)
+#   2d. Hang-storm smoke  (watchdog cancellation / degraded-stale / overload
+#                          slice re-run explicitly under ASan)
 #   3. TSan               (skipped with a warning if the toolchain lacks it)
+#   3b. Workers stress    (serve_workers suite repeated under TSan — worker
+#                          pool, watchdog, checkpoint-vs-cancel races)
 #   4. clang-tidy on src/ (skipped with a warning if clang-tidy is absent)
 #   5. thread-safety      (clang++ build with -Werror=thread-safety checking
 #                          the DBAUGUR_GUARDED_BY annotations; skipped with a
@@ -169,6 +173,26 @@ else
   fi
 fi
 
+# --- 2d. Hang-storm watchdog smoke under ASan: the deadline/cancellation
+# slice — serve.retrain.hang|slow storms driving watchdog cancellation,
+# degraded-stale serving, overload adaptation, and checkpoint-vs-cancel
+# races. These tests arm their own storms via fault::Configure; running
+# them by name keeps the recovery paths sanitizer-clean even if the
+# broader -R patterns above drift.
+if [[ "$FAST" == 1 ]]; then
+  record "hang-storm-asan" "SKIPPED (--fast)"
+elif [[ -f build-asan/CTestTestfile.cmake ]]; then
+  note "hang-storm (ASan): watchdog cancellation + overload slice"
+  if ctest --test-dir build-asan --output-on-failure -j "$JOBS" --timeout 600 \
+      -R 'HangStorm|SlowStorm|SlowRetrain|Overload|SavesDuringCancelledRetrain|ShardLevelSaveRaces'; then
+    record "hang-storm-asan" "OK"
+  else
+    record "hang-storm-asan" "FAIL"
+  fi
+else
+  record "hang-storm-asan" "SKIPPED (ASan build failed)"
+fi
+
 # --- 3. TSan (if the toolchain supports it). ---------------------------------
 if [[ "$FAST" == 1 ]]; then
   record "tsan" "SKIPPED (--fast)"
@@ -182,9 +206,26 @@ else
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DDBAUGUR_SANITIZE=thread \
       -DDBAUGUR_ENABLE_DCHECKS=ON
+    # --- 3b. Concurrent-retrain stress: repeat the worker-pool, watchdog and
+    # checkpoint-vs-cancel suites under the race detector. The plain ctest
+    # pass above ran them once; the repeats shake out interleavings a single
+    # run can miss (worker claim order, cancel-vs-publish, save-vs-cancel).
+    if [[ -x build-tsan/tests/serve_workers_test ]]; then
+      note "tsan: serve_workers stress (3 repeats)"
+      if ./build-tsan/tests/serve_workers_test \
+          --gtest_filter='RetrainWorkerPoolTest.*:WorkerDeterminismTest.*:ServeWorkersFaultTest.*' \
+          --gtest_repeat=3 > /dev/null 2>&1; then
+        record "tsan-workers-stress" "OK"
+      else
+        record "tsan-workers-stress" "FAIL"
+      fi
+    else
+      record "tsan-workers-stress" "SKIPPED (TSan build failed)"
+    fi
   else
     echo "WARNING: toolchain cannot link -fsanitize=thread; skipping TSan tree"
     record "tsan" "SKIPPED (unsupported toolchain)"
+    record "tsan-workers-stress" "SKIPPED (unsupported toolchain)"
   fi
   rm -rf "$tsan_probe"
 fi
@@ -236,9 +277,10 @@ fi
 # --- 6. Project-invariant lint (tools/lint.py). ------------------------------
 # Bans bare assert(), nondeterministic sources in src/, atomic<shared_ptr>,
 # raw std:: sync primitives outside common/mutex.h, undocumented NOLINTs,
-# allocation in the src/nn hot path, and raw x86 intrinsics outside
-# common/simd.h. Self-tests run first so a broken linter cannot silently pass
-# the tree.
+# allocation in the src/nn hot path, raw x86 intrinsics outside
+# common/simd.h, and bare std::thread outside the sanctioned thread owners
+# (common/thread_pool, serve/retrain_workers). Self-tests run first so a
+# broken linter cannot silently pass the tree.
 if [[ "$FAST" == 1 ]]; then
   record "lint" "SKIPPED (--fast)"
 elif command -v python3 > /dev/null 2>&1; then

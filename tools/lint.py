@@ -39,6 +39,15 @@ checks, so they cannot erode one "just this once" at a time:
                      wrapper so the scalar tier stays a complete, testable
                      mirror of every vector path and new ISAs are one-file
                      ports.
+  raw-thread         No bare `std::thread` in src/ outside common/thread_pool
+                     and serve/retrain_workers (the two sanctioned owners of
+                     worker threads). Ad-hoc threads dodge the pools' lifetime
+                     discipline (join-on-destruction, bounded concurrency,
+                     deadline supervision); lifecycle threads that a class
+                     owns 1:1 (e.g. a service's scheduler loop) go on the
+                     allowlist with a justification. `std::this_thread` is
+                     fine — the rule targets thread *ownership*, not sleeps
+                     or yields.
 
 Exit codes: 0 clean, 1 violations found, 2 usage / IO error.
 
@@ -361,6 +370,38 @@ def check_raw_intrinsics(relpath, raw, stripped):
     return hits
 
 
+THREAD_OWNERS = {
+    os.path.join("src", "common", "thread_pool.h"),
+    os.path.join("src", "common", "thread_pool.cpp"),
+    os.path.join("src", "serve", "retrain_workers.h"),
+    os.path.join("src", "serve", "retrain_workers.cpp"),
+}
+
+# `std::thread` as a type (ownership), not `std::this_thread` (different
+# token) and not `std::thread::hardware_concurrency` (a pure query).
+RAW_THREAD_RX = r"std::\s*thread(?![A-Za-z0-9_])(?!\s*::)"
+
+
+def check_raw_thread(relpath, raw, stripped):
+    """Bare std::thread outside the sanctioned worker-pool owners.
+
+    common/thread_pool and serve/retrain_workers are the two places in src/
+    that may own raw threads: both join on destruction, bound concurrency,
+    and (for the retrain pool) supervise deadlines. A class that owns one
+    lifecycle thread 1:1 earns an allowlist entry with a justification
+    instead of a free pass here.
+    """
+    if os.path.normpath(relpath) in THREAD_OWNERS:
+        return []
+    return _grep(
+        stripped,
+        RAW_THREAD_RX,
+        "bare std::thread — run work on common/thread_pool or "
+        "serve/retrain_workers (owned lifecycle threads: allowlist with a "
+        "justification)",
+    )
+
+
 RULES = [
     ("bare-assert", in_dirs("src", "tests", "bench"), check_bare_assert),
     ("nondeterminism", in_dirs("src"), check_nondeterminism),
@@ -372,6 +413,7 @@ RULES = [
     ("nn-alloc", in_dirs(os.path.join("src", "nn")), check_nn_alloc),
     ("raw-intrinsics", in_dirs("src", "tests", "bench"),
      check_raw_intrinsics),
+    ("raw-thread", in_dirs("src"), check_raw_thread),
 ]
 
 
